@@ -1,0 +1,100 @@
+// §1 motivation ablation: answering the ClusterFuzz capacity questions from
+// energy interfaces vs by trial-and-error deployment.
+//
+//   "What is the optimal number of machines to deploy to minimize energy
+//    consumption while achieving 95% testing coverage?"
+//   "How much additional energy is required to increase coverage from 90%
+//    to 95% using the same number of machines?"
+//
+// Shape: both methods find similar fleet sizes, but trial-and-error burns
+// several full campaigns' worth of energy to get there — "this
+// trial-and-error process could consume more energy than it saves".
+
+#include <cstdio>
+
+#include "src/eval/interp.h"
+#include "src/sched/planner.h"
+
+namespace eclarity {
+namespace {
+
+int Main() {
+  FuzzCampaignConfig config;
+  std::printf("Ablation: ClusterFuzz capacity planning (target 95%% coverage, "
+              "24 h deadline, <= %d machines)\n\n",
+              config.max_machines);
+
+  // The fleet-size sweep, straight from the interface (the figure's curve).
+  auto program = CampaignEnergyInterface(config);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  Evaluator evaluator(*program);
+  std::printf("Energy vs fleet size (from the interface, no deployment):\n");
+  std::printf("  %-10s %16s\n", "machines", "energy(kWh)");
+  for (int m : {2, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
+    auto energy = evaluator.ExpectedEnergy(
+        "E_fuzz_campaign",
+        {Value::Number(static_cast<double>(m)), Value::Number(0.95)}, {});
+    if (!energy.ok()) {
+      std::fprintf(stderr, "%s\n", energy.status().ToString().c_str());
+      return 1;
+    }
+    const bool feasible = energy->joules() < 1e11;
+    std::printf("  %-10d %16.2f%s\n", m, energy->kilowatt_hours(),
+                feasible ? "" : "  (misses deadline)");
+  }
+
+  auto plan = PlanWithInterface(config, 0.95);
+  Rng rng(0xfa22);
+  auto trial = PlanByTrialAndError(config, 0.95, rng);
+  if (!plan.ok() || !trial.ok()) {
+    std::fprintf(stderr, "planning failed\n");
+    return 1;
+  }
+
+  std::printf("\n%-22s %10s %18s %20s %8s\n", "method", "machines",
+              "campaign(kWh)", "planning-cost(kWh)", "probes");
+  std::printf("%-22s %10d %18.2f %20.2f %8d\n", "energy-interface",
+              plan->machines, plan->campaign_energy.kilowatt_hours(),
+              plan->planning_energy.kilowatt_hours(), plan->probes);
+  std::printf("%-22s %10d %18.2f %20.2f %8d\n", "trial-and-error",
+              trial->machines, trial->campaign_energy.kilowatt_hours(),
+              trial->planning_energy.kilowatt_hours(), trial->probes);
+
+  // The paper's second question: the marginal energy of 90% -> 95%.
+  auto p90 = PlanWithInterface(config, 0.90);
+  if (p90.ok()) {
+    auto e95_at_m90 = evaluator.ExpectedEnergy(
+        "E_fuzz_campaign",
+        {Value::Number(static_cast<double>(p90->machines)),
+         Value::Number(0.95)},
+        {});
+    if (e95_at_m90.ok()) {
+      std::printf(
+          "\nMarginal cost of 90%% -> 95%% coverage at %d machines: %.2f kWh "
+          "(%.2f -> %.2f)\n",
+          p90->machines,
+          e95_at_m90->kilowatt_hours() - p90->campaign_energy.kilowatt_hours(),
+          p90->campaign_energy.kilowatt_hours(),
+          e95_at_m90->kilowatt_hours());
+    }
+  }
+
+  const bool shape_ok =
+      plan->planning_energy.joules() == 0.0 &&
+      trial->planning_energy.joules() >
+          plan->campaign_energy.joules() &&
+      trial->probes >= 3;
+  std::printf(
+      "\nShape check (trial-and-error burns more than one full campaign just "
+      "planning): %s\n",
+      shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace eclarity
+
+int main() { return eclarity::Main(); }

@@ -1,0 +1,120 @@
+// Microbenchmarks of the toolkit itself (google-benchmark): parsing,
+// enumeration, interval analysis, and a full GPT-2 prediction — the costs a
+// resource manager would pay to consult energy interfaces online.
+
+#include <benchmark/benchmark.h>
+
+#include "src/eval/interp.h"
+#include "src/eval/interval.h"
+#include "src/hw/vendor.h"
+#include "src/iface/energy_interface.h"
+#include "src/lang/parser.h"
+#include "src/ml/gpt2.h"
+#include "src/ml/gpt2_iface.h"
+
+namespace eclarity {
+namespace {
+
+constexpr char kFig1Source[] = R"(
+const max_response_len = 1024;
+interface E_ml_webservice_handle(image_size, n_zeros) {
+  ecv request_hit ~ bernoulli(0.3);
+  if (request_hit) {
+    return E_cache_lookup(image_size, max_response_len);
+  } else {
+    return E_cnn_forward(image_size, n_zeros);
+  }
+}
+interface E_cache_lookup(key_size, response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 0.001mJ * response_len;
+  } else {
+    return 0.1mJ * response_len;
+  }
+}
+interface E_cnn_forward(image_size, n_zeros) {
+  let n_embedding = 256;
+  return 8 * (image_size - n_zeros) * 20nJ +
+         8 * n_embedding * 0.1nJ +
+         16 * n_embedding * 1.5nJ;
+}
+)";
+
+void BM_ParseFig1(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = ParseProgram(kFig1Source);
+    benchmark::DoNotOptimize(program.ok());
+  }
+}
+BENCHMARK(BM_ParseFig1);
+
+void BM_EnumerateFig1(benchmark::State& state) {
+  auto program = ParseProgram(kFig1Source);
+  Evaluator evaluator(*program);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+  for (auto _ : state) {
+    auto dist = evaluator.EvalDistribution("E_ml_webservice_handle", args, {});
+    benchmark::DoNotOptimize(dist.ok());
+  }
+}
+BENCHMARK(BM_EnumerateFig1);
+
+void BM_SampleFig1(benchmark::State& state) {
+  auto program = ParseProgram(kFig1Source);
+  Evaluator evaluator(*program);
+  Rng rng(1);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+  for (auto _ : state) {
+    auto v = evaluator.EvalSampled("E_ml_webservice_handle", args, {}, rng);
+    benchmark::DoNotOptimize(v.ok());
+  }
+}
+BENCHMARK(BM_SampleFig1);
+
+void BM_IntervalFig1(benchmark::State& state) {
+  auto program = ParseProgram(kFig1Source);
+  IntervalEvaluator evaluator(*program);
+  const std::vector<IntervalValue> args = {
+      IntervalValue::Number(1000.0, 60000.0),
+      IntervalValue::Number(0.0, 30000.0)};
+  for (auto _ : state) {
+    auto bounds = evaluator.EvalInterval("E_ml_webservice_handle", args);
+    benchmark::DoNotOptimize(bounds.ok());
+  }
+}
+BENCHMARK(BM_IntervalFig1);
+
+void BM_Gpt2Prediction(benchmark::State& state) {
+  const GpuProfile profile = Rtx4090LikeProfile();
+  Gpt2Model model;
+  auto gpt2 = Gpt2EnergyInterface(model, profile);
+  auto hw = GpuVendorInterface(profile);
+  auto iface = EnergyInterface::FromProgram(
+      std::move(*gpt2), "E_gpt2_generate", {"E_gpu_kernel", "E_gpu_idle"});
+  auto linked = iface->Link(*hw);
+  const std::vector<Value> args = {
+      Value::Number(16.0), Value::Number(static_cast<double>(state.range(0)))};
+  for (auto _ : state) {
+    auto energy = linked->Expected(args);
+    benchmark::DoNotOptimize(energy.ok());
+  }
+}
+BENCHMARK(BM_Gpt2Prediction)->Arg(10)->Arg(100)->Arg(200);
+
+void BM_TaskInterfaceGeneration(benchmark::State& state) {
+  const CpuProfile profile = BigLittleProfile();
+  for (auto _ : state) {
+    auto program = Gpt2EnergyInterface(Gpt2Model(), Rtx4090LikeProfile());
+    benchmark::DoNotOptimize(program.ok());
+  }
+  (void)profile;
+}
+BENCHMARK(BM_TaskInterfaceGeneration);
+
+}  // namespace
+}  // namespace eclarity
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Answering the paper's ClusterFuzz questions from an energy interface,
+// before deploying anything (paper §1).
+
+#include <cstdio>
+
+#include "src/eval/interp.h"
+#include "src/sched/planner.h"
+
+using namespace eclarity;
+
+int main() {
+  FuzzCampaignConfig config;
+
+  // Q1: optimal number of machines for 95% coverage under the deadline?
+  auto plan = PlanWithInterface(config, 0.95);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Q1: optimal fleet for 95%% coverage within %.0f h: "
+              "%d machines (%.2f kWh), found without deploying anything\n",
+              config.deadline.hours(), plan->machines,
+              plan->campaign_energy.kilowatt_hours());
+
+  // Q2: marginal energy from 90% to 95% at the same fleet size?
+  auto program = CampaignEnergyInterface(config);
+  Evaluator evaluator(*program);
+  const double m = plan->machines;
+  auto e90 = evaluator.ExpectedEnergy(
+      "E_fuzz_campaign", {Value::Number(m), Value::Number(0.90)}, {});
+  auto e95 = evaluator.ExpectedEnergy(
+      "E_fuzz_campaign", {Value::Number(m), Value::Number(0.95)}, {});
+  std::printf("Q2: raising coverage 90%% -> 95%% at %d machines costs "
+              "%.2f kWh more (%.2f -> %.2f)\n",
+              plan->machines, e95->kilowatt_hours() - e90->kilowatt_hours(),
+              e90->kilowatt_hours(), e95->kilowatt_hours());
+
+  // What the alternative costs: trial-and-error deployment.
+  Rng rng(99);
+  auto trial = PlanByTrialAndError(config, 0.95, rng);
+  if (trial.ok()) {
+    std::printf(
+        "\nTrial-and-error lands on %d machines after %d probe campaigns,\n"
+        "burning %.1f kWh just to plan — %.1fx the energy of the campaign\n"
+        "it was trying to optimise.\n",
+        trial->machines, trial->probes,
+        trial->planning_energy.kilowatt_hours(),
+        trial->planning_energy.joules() / plan->campaign_energy.joules());
+  }
+  return 0;
+}

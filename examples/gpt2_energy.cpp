@@ -1,0 +1,79 @@
+// Predicting GPT-2 inference energy a priori (the paper's §5 experiment as
+// a library user would run it): calibrate a GPU's energy coefficients with
+// microbenchmarks, build the GPT-2 interface, predict, then actually run
+// the workload on the simulated GPU and compare — and finally retarget the
+// same interface to a different GPU by swapping the hardware layer only.
+
+#include <cstdio>
+
+#include "src/hw/counters.h"
+#include "src/hw/vendor.h"
+#include "src/iface/energy_interface.h"
+#include "src/ml/calibrate.h"
+#include "src/ml/gpt2.h"
+#include "src/ml/gpt2_iface.h"
+
+using namespace eclarity;
+
+namespace {
+
+Result<EnergyInterface> BuildInterface(const GpuProfile& profile) {
+  ECLARITY_ASSIGN_OR_RETURN(CalibrationResult calibration,
+                            CalibrateGpu(profile));
+  std::printf("[%s] calibrated: vram=%.2f nJ/sector, static=%.1f W (R^2 %.4f)\n",
+              profile.name.c_str(),
+              calibration.coefficients.vram_sector_joules * 1e9,
+              calibration.coefficients.static_watts, calibration.r_squared);
+  Gpt2Model model;
+  ECLARITY_ASSIGN_OR_RETURN(Program gpt2, Gpt2EnergyInterface(model, profile));
+  ECLARITY_ASSIGN_OR_RETURN(
+      Program hw, GpuEnergyInterface(profile.name, calibration.coefficients));
+  ECLARITY_ASSIGN_OR_RETURN(
+      EnergyInterface iface,
+      EnergyInterface::FromProgram(std::move(gpt2), "E_gpt2_generate",
+                                   {"E_gpu_kernel", "E_gpu_idle"}));
+  return iface.Link(hw);
+}
+
+}  // namespace
+
+int main() {
+  const int prompt = 16;
+  const int tokens = 120;
+
+  auto iface_4090 = BuildInterface(Rtx4090LikeProfile());
+  if (!iface_4090.ok()) {
+    std::fprintf(stderr, "%s\n", iface_4090.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<Value> args = {Value::Number(prompt),
+                                   Value::Number(tokens)};
+  auto predicted = iface_4090->Expected(args);
+  std::printf("\npredicted energy for %d tokens on rtx4090-like: %s\n",
+              tokens, predicted->ToString().c_str());
+
+  // Now actually run the generation and measure through NVML telemetry.
+  Gpt2Model model;
+  GpuDevice device(Rtx4090LikeProfile(), /*noise_seed=*/7);
+  NvmlCounter counter(device);
+  const GenerationRun run =
+      RunGeneration(model, device, counter, prompt, tokens);
+  std::printf("measured (NVML):  %s   (%.2f%% error, %d kernels, %s)\n",
+              run.measured_energy.ToString().c_str(),
+              100.0 * std::abs(predicted->joules() -
+                               run.measured_energy.joules()) /
+                  run.measured_energy.joules(),
+              run.kernels_executed, run.duration.ToString().c_str());
+
+  // Retargeting: same high-level interface, different bottom layer.
+  auto iface_3070 = BuildInterface(Rtx3070LikeProfile());
+  if (!iface_3070.ok()) {
+    std::fprintf(stderr, "%s\n", iface_3070.status().ToString().c_str());
+    return 1;
+  }
+  auto predicted_3070 = iface_3070->Expected(args);
+  std::printf("\nsame workload, rtx3070-like hardware layer: %s (%.1fx)\n",
+              predicted_3070->ToString().c_str(),
+              predicted_3070->joules() / predicted->joules());
+  return 0;
+}

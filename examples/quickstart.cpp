@@ -1,0 +1,80 @@
+// Quickstart: write an energy interface in EIL, then use it all four ways —
+// read it, execute it, bound it, and retarget it.
+
+#include <cstdio>
+
+#include "src/iface/energy_interface.h"
+#include "src/lang/parser.h"
+
+using namespace eclarity;
+
+int main() {
+  // 1. An energy interface is a small program (paper Fig. 1 style): it takes
+  //    the same input as the implementation and returns the energy that
+  //    input would cost. ECVs capture environment the input doesn't carry.
+  constexpr char kSource[] = R"(
+interface E_cache_lookup(response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 5mJ * response_len;
+  } else {
+    return 100mJ * response_len;
+  }
+}
+interface E_handle_request(response_len) {
+  return E_cache_lookup(response_len) + 2mJ;
+}
+)";
+
+  auto iface = EnergyInterface::FromSource(kSource, "E_handle_request");
+  if (!iface.ok()) {
+    std::fprintf(stderr, "error: %s\n", iface.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Execute it: what would a 4-unit response cost, a priori?
+  const std::vector<Value> args = {Value::Number(4.0)};
+  auto expected = iface->Expected(args);
+  auto dist = iface->EnergyDistribution(args);
+  std::printf("expected energy:     %s\n", expected->ToString().c_str());
+  std::printf("energy distribution: %s\n", dist->ToString().c_str());
+
+  // 3. Override the ECV with what *your* workload knows: a hot cache.
+  EcvProfile hot;
+  hot.SetBernoulli("local_cache_hit", 0.99);
+  auto hot_expected = iface->Expected(args, hot);
+  std::printf("with 99%% cache hits: %s\n", hot_expected->ToString().c_str());
+
+  // 4. Bound it: guaranteed worst case over response_len in [1, 16].
+  auto bounds = iface->WorstCase({IntervalValue::Number(1.0, 16.0)});
+  std::printf("worst case on [1,16]: [%g J, %g J]\n", bounds->lo_joules,
+              bounds->hi_joules);
+
+  // 5. Enumerate the paths: every ECV draw, its probability, its energy.
+  auto paths = iface->Paths(args);
+  std::printf("\npaths:\n");
+  for (const WeightedOutcome& o : *paths) {
+    std::printf("  p=%.2f  %s  (%s=%s)\n", o.probability,
+                o.value.ToString().c_str(), o.ecv_assignments[0].first.c_str(),
+                o.ecv_assignments[0].second.ToString().c_str());
+  }
+
+  // 6. Retarget: swap the cache's interface for a faster machine's.
+  auto faster = ParseProgram(R"(
+interface E_cache_lookup(response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 1mJ * response_len;
+  } else {
+    return 20mJ * response_len;
+  }
+}
+)");
+  auto rebound = iface->Rebind(*faster);
+  std::printf("\nafter hardware rebinding: %s\n",
+              rebound->Expected(args)->ToString().c_str());
+
+  // 7. And it is always readable:
+  std::printf("\ncanonical source:\n%s", iface->ToSource().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Energy-aware scheduling on big.LITTLE: the Linux-EAS-style utilisation
+// proxy vs a scheduler that consults task energy interfaces (paper §1).
+
+#include <cstdio>
+
+#include "src/sched/eas.h"
+#include "src/sim/task.h"
+
+using namespace eclarity;
+
+int main() {
+  const CpuProfile profile = BigLittleProfile();
+  const Duration quantum = Duration::Milliseconds(10.0);
+  // A bimodal video transcoder (compute peaks, I/O troughs) plus steady
+  // memory-bound telemetry — the workload the paper says defeats
+  // utilisation proxies.
+  std::vector<Task> tasks = {
+      Task::Transcode("video", 2, 6, 2.2e7, 5e4),
+      Task::Steady("telemetry", 2e5, 0.8),
+  };
+
+  // The task's energy interface, readable before anything runs:
+  auto task_iface = TaskEnergyInterface(tasks[0], profile, quantum);
+  if (task_iface.ok()) {
+    std::printf("--- E_task_video_quantum (generated) ---\n");
+    const auto* decl = task_iface->FindInterface("E_task_video_quantum");
+    if (decl != nullptr) {
+      std::printf("interface %s(q, core_kind, opp) { ... %zu-phase pattern "
+                  "composed over the CPU vendor interface ... }\n\n",
+                  decl->name.c_str(), tasks[0].pattern.size());
+    }
+  }
+
+  UtilizationEasScheduler baseline(profile, quantum);
+  CpuDevice device_a(profile);
+  auto a = RunSchedule(device_a, tasks, baseline, 400, quantum);
+
+  auto interface_sched = InterfaceEasScheduler::Create(tasks, profile, quantum);
+  if (!interface_sched.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 interface_sched.status().ToString().c_str());
+    return 1;
+  }
+  CpuDevice device_b(profile);
+  auto b = RunSchedule(device_b, tasks, **interface_sched, 400, quantum);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "schedule run failed\n");
+    return 1;
+  }
+
+  auto report = [](const char* name, const ScheduleRunResult& r) {
+    std::printf("%-20s energy=%7.3f J  missed=%3d/800 quanta  work=%5.1f%%  "
+                "energy/Gop=%.3f J\n",
+                name, r.total_energy.joules(), r.missed_quanta,
+                100.0 * r.total_ops_executed / r.total_ops_requested,
+                r.total_energy.joules() / (r.total_ops_executed / 1e9));
+  };
+  report("utilization-proxy:", *a);
+  report("energy-interface:", *b);
+  std::printf(
+      "\nThe proxy's EWMA lags the bimodal pattern: it under-provisions the\n"
+      "compute peaks (dropped frames) and over-provisions the I/O troughs\n"
+      "(wasted energy). The interface scheduler knows the next quantum's\n"
+      "energy on every core a priori.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// ClusterFuzz-style fuzzing-campaign model (paper §1).
+//
+// The paper's motivating questions: "What is the optimal number of machines
+// to deploy to minimize energy consumption while achieving 95% testing
+// coverage? How much additional energy is required to increase coverage
+// from 90% to 95%?" — and its complaint that answering them today means
+// deploy-measure-revise loops that "could consume more energy than they
+// save".
+//
+// The campaign model: coverage follows the classic saturation curve
+//   coverage(execs) = 1 - exp(-execs / discovery_scale)
+// where execs = machines * execs_per_second * time. More machines reach a
+// target sooner but burn fixed per-machine power; with per-machine overhead
+// there is an energy-optimal fleet size under a deadline.
+//
+// CampaignEnergyInterface expresses the closed form in EIL; RunCampaign
+// simulates the "real" deployment (with discovery noise) for the
+// trial-and-error baseline.
+
+#ifndef ECLARITY_SRC_APPS_FUZZING_H_
+#define ECLARITY_SRC_APPS_FUZZING_H_
+
+#include "src/lang/ast.h"
+#include "src/units/units.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct FuzzCampaignConfig {
+  double execs_per_second_per_machine = 2500.0;
+  // Executions needed to cover ~63% of reachable states.
+  double discovery_scale = 4.0e8;
+  // Per-machine power while fuzzing (whole node, busy).
+  Power machine_power = Power::Watts(280.0);
+  // Shared infrastructure (dispatcher, corpus store) that runs regardless
+  // of fleet size.
+  Power shared_power = Power::Watts(400.0);
+  // Cross-machine coordination (corpus sync, dedup) grows quadratically
+  // with the fleet: total coordination power = this * machines^2.
+  Power coordination_power_quadratic = Power::Watts(1.5);
+  Duration deadline = Duration::Hours(24.0);
+  int max_machines = 64;
+};
+
+struct CampaignResult {
+  double coverage_reached = 0.0;
+  Duration duration;
+  Energy energy;
+  bool met_target = false;
+};
+
+// Simulates an actual deployment: runs until `target_coverage` or the
+// config deadline, whichever first. Noise models run-to-run discovery
+// variance (seed scheduling luck).
+CampaignResult RunCampaign(const FuzzCampaignConfig& config, int machines,
+                           double target_coverage, Rng& rng);
+
+// EIL program exporting:
+//   E_fuzz_campaign(machines, target_coverage) — energy to reach the target
+//     (infeasible-by-deadline runs carry a large penalty term);
+//   T_fuzz_campaign_hours(machines, target_coverage) is not expressible
+//     (interfaces return energy), so feasibility is folded into the energy
+//     term as in the scheduler interfaces.
+Result<Program> CampaignEnergyInterface(const FuzzCampaignConfig& config);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_APPS_FUZZING_H_

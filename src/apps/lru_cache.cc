@@ -1,0 +1,33 @@
+#include "src/apps/lru_cache.h"
+
+namespace eclarity {
+
+bool LruCache::Get(uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+  ++hits_;
+  return true;
+}
+
+void LruCache::Put(uint64_t key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (capacity_ == 0) {
+    return;
+  }
+  if (order_.size() >= capacity_) {
+    index_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  index_[key] = order_.begin();
+}
+
+}  // namespace eclarity

@@ -1,0 +1,53 @@
+// A small LRU cache with hit/miss statistics.
+//
+// Used by the Fig. 1 web service as both the node-local request cache and
+// the remote (Redis-like) cache tier. The hit statistics a cache keeps are
+// exactly the knowledge its resource manager contributes as ECV
+// probabilities when composing energy interfaces (paper §3).
+
+#ifndef ECLARITY_SRC_APPS_LRU_CACHE_H_
+#define ECLARITY_SRC_APPS_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace eclarity {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  // True on hit (entry promoted to most-recent).
+  bool Get(uint64_t key);
+
+  // Inserts (or refreshes) an entry, evicting the least-recent on overflow.
+  void Put(uint64_t key);
+
+  bool Contains(uint64_t key) const { return index_.count(key) > 0; }
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> order_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_APPS_LRU_CACHE_H_

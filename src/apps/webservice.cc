@@ -1,0 +1,253 @@
+#include "src/apps/webservice.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/lang/parser.h"
+#include "src/ml/gpt2_iface.h"  // TraceDuration
+
+namespace eclarity {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+constexpr uint64_t kImageHashMix = 0x9e3779b97f4a7c15ULL;
+
+uint64_t MixId(uint64_t id) {
+  uint64_t z = id + kImageHashMix;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Per-operation node energy mirroring CpuDevice::RunQuantum with a quantum
+// equal to the busy time (see WebService::ChargeNode): dynamic power plus
+// the idle+package share for the busy duration.
+double NodeJoulesPerOp(const CpuProfile& profile, int opp_index,
+                       double memory_intensity) {
+  const CoreTypeSpec& type = profile.clusters[0].type;
+  const OperatingPoint& opp = type.opps[static_cast<size_t>(opp_index)];
+  const MemoryStallModel stall;
+  const double throughput_scale =
+      1.0 - memory_intensity * (1.0 - stall.throughput_floor);
+  const double power_scale =
+      1.0 - memory_intensity * (1.0 - stall.power_floor);
+  const double rate =
+      opp.frequency_hz * type.ops_per_cycle * throughput_scale;
+  const double busy_per_op = 1.0 / rate;
+  return opp.dynamic_power.watts() * power_scale * busy_per_op +
+         (type.idle_power.watts() + profile.package_power.watts()) *
+             busy_per_op;
+}
+
+}  // namespace
+
+double WebService::ZeroFraction(uint64_t image_id) const {
+  const double unit =
+      static_cast<double>(MixId(image_id) >> 11) * 0x1.0p-53;
+  return config_.zero_fraction_lo +
+         (config_.zero_fraction_hi - config_.zero_fraction_lo) * unit;
+}
+
+WebService::WebService(WebServiceConfig config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(config.corpus_images, config.zipf_exponent),
+      local_(config.local_cache_entries),
+      remote_(config.remote_cache_entries),
+      cnn_(CnnConfig::Fig1()),
+      node_(ServerCpuProfile(1)),
+      remote_node_(ServerCpuProfile(1)),
+      gpu_(Rtx4090LikeProfile(), seed ^ 0x6b7),
+      nvml_(gpu_) {
+  (void)node_.SetOpp(0, config_.node_opp);
+  (void)remote_node_.SetOpp(0, config_.node_opp);
+}
+
+Result<Energy> WebService::ChargeNode(CpuDevice& device, double ops) {
+  const double rate =
+      device.PeakOpsPerSecond(0) *
+      (1.0 - config_.memory_intensity * (1.0 - MemoryStallModel().throughput_floor));
+  // Quantum sized to the busy time so no idle padding is charged (tiny
+  // slack guards rounding).
+  const Duration quantum = Duration::Seconds(ops / rate * (1.0 + 1e-9));
+  const uint32_t before = device.Rapl().ReadRegister();
+  ECLARITY_RETURN_IF_ERROR(
+      device.RunQuantum(0, quantum, ops, config_.memory_intensity).status());
+  device.FinishQuantum(quantum);
+  const uint32_t after = device.Rapl().ReadRegister();
+  return RaplCounter::EnergyBetween(before, after);
+}
+
+Result<ServiceRunResult> WebService::Run(size_t n) {
+  ServiceRunResult result;
+  result.per_request_joules.reserve(n);
+  const double response_bytes = config_.response_len;
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t image_id = static_cast<uint64_t>(zipf_.Sample(rng_));
+    Energy request_energy = Energy::Zero();
+    ++counters_.requests;
+
+    if (local_.Get(image_id)) {
+      // Local request-cache hit.
+      ++counters_.local_hits;
+      const double ops = config_.lookup_ops_base +
+                         config_.serve_ops_per_byte * response_bytes;
+      ECLARITY_ASSIGN_OR_RETURN(Energy node, ChargeNode(node_, ops));
+      request_energy += node;
+      result.node_energy += node;
+    } else if (remote_.Get(image_id)) {
+      // Remote cache tier hit: local lookup missed, remote serves, and the
+      // response travels over the NIC; promote into the local cache.
+      ++counters_.remote_hits;
+      const double node_ops = config_.lookup_ops_base +
+                              config_.serve_ops_per_byte * response_bytes +
+                              config_.insert_ops_per_byte * response_bytes;
+      const double remote_ops = config_.remote_ops_base +
+                                config_.remote_ops_per_byte * response_bytes;
+      ECLARITY_ASSIGN_OR_RETURN(Energy node, ChargeNode(node_, node_ops));
+      ECLARITY_ASSIGN_OR_RETURN(Energy remote,
+                                ChargeNode(remote_node_, remote_ops));
+      const Energy nic = config_.nic_per_request +
+                         config_.nic_per_byte * response_bytes;
+      request_energy += node + remote + nic;
+      result.node_energy += node;
+      result.remote_energy += remote;
+      result.nic_energy += nic;
+      local_.Put(image_id);
+    } else {
+      // Full miss: CNN inference on the GPU, then insert into both tiers.
+      ++counters_.cnn_misses;
+      const double zeros = config_.image_elements * ZeroFraction(image_id);
+      const Energy gpu_before = nvml_.Read();
+      for (const KernelStats& k :
+           cnn_.InferenceKernels(config_.image_elements, zeros)) {
+        gpu_.ExecuteKernel(k);
+      }
+      const Energy gpu = nvml_.Read() - gpu_before;
+      const double node_ops = config_.lookup_ops_base +
+                              config_.insert_ops_per_byte * response_bytes;
+      ECLARITY_ASSIGN_OR_RETURN(Energy node, ChargeNode(node_, node_ops));
+      request_energy += gpu + node;
+      result.gpu_energy += gpu;
+      result.node_energy += node;
+      local_.Put(image_id);
+      remote_.Put(image_id);
+    }
+    result.per_request_joules.push_back(request_energy.joules());
+    result.measured_energy += request_energy;
+  }
+  result.counters = counters_;
+  return result;
+}
+
+Result<Program> WebServiceEnergyInterface(const WebServiceConfig& config,
+                                          const CpuProfile& node_profile,
+                                          const CnnModel& cnn) {
+  const double jpo =
+      NodeJoulesPerOp(node_profile, config.node_opp, config.memory_intensity);
+
+  // Closed forms for the CNN path: counts are linear in the number of
+  // active (non-zero) elements; fit exactly from two samples.
+  const GpuProfile timing = Rtx4090LikeProfile();
+  auto totals = [&](double active) {
+    double instr = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double vram = 0.0;
+    const auto kernels =
+        cnn.InferenceKernels(config.image_elements,
+                             config.image_elements - active);
+    for (const KernelStats& k : kernels) {
+      instr += k.instructions;
+      l1 += k.l1_wavefronts;
+      l2 += k.l2_sectors;
+      vram += k.vram_sectors;
+    }
+    const double duration = TraceDuration(kernels, timing).seconds();
+    return std::array<double, 5>{instr, l1, l2, vram, duration};
+  };
+  const double a0 = 1000.0;
+  const double a1 = config.image_elements;
+  const auto t0 = totals(a0);
+  const auto t1 = totals(a1);
+  std::array<double, 5> slope;
+  std::array<double, 5> intercept;
+  for (int i = 0; i < 5; ++i) {
+    slope[static_cast<size_t>(i)] =
+        (t1[static_cast<size_t>(i)] - t0[static_cast<size_t>(i)]) / (a1 - a0);
+    intercept[static_cast<size_t>(i)] =
+        t0[static_cast<size_t>(i)] - slope[static_cast<size_t>(i)] * a0;
+  }
+
+  std::ostringstream os;
+  os << "extern interface E_gpu_kernel(instructions, l1_wavefronts, "
+        "l2_sectors, vram_sectors, duration_s);\n"
+     << "extern interface E_gpu_idle(duration_s);\n"
+     << "# Fig. 1: energy interface of the ML web service.\n"
+     << "const max_response_len = " << Num(config.response_len) << ";\n"
+     << "\n"
+     << "interface E_ml_webservice_handle(image_size, n_zeros) {\n"
+     << "  # ECV: request_hit - request found in cache\n"
+     << "  ecv request_hit ~ bernoulli(0.3);\n"
+     << "  if (request_hit) {\n"
+     << "    return E_cache_lookup(image_size, max_response_len);\n"
+     << "  } else {\n"
+     << "    return E_cnn_forward(image_size, n_zeros) +\n"
+     << "           E_node_work(" << Num(config.lookup_ops_base) << " + "
+     << Num(config.insert_ops_per_byte) << " * max_response_len);\n"
+     << "  }\n"
+     << "}\n\n"
+     << "interface E_cache_lookup(key_size, response_len) {\n"
+     << "  # ECV: local_cache_hit - cache hit in current node\n"
+     << "  ecv local_cache_hit ~ bernoulli(0.8);\n"
+     << "  if (local_cache_hit) {\n"
+     << "    return E_node_work(" << Num(config.lookup_ops_base) << " + "
+     << Num(config.serve_ops_per_byte) << " * response_len);\n"
+     << "  } else {\n"
+     << "    return E_node_work(" << Num(config.lookup_ops_base) << " + "
+     << Num(config.serve_ops_per_byte + config.insert_ops_per_byte)
+     << " * response_len) +\n"
+     << "           E_remote_work(" << Num(config.remote_ops_base) << " + "
+     << Num(config.remote_ops_per_byte) << " * response_len) +\n"
+     << "           E_nic(response_len);\n"
+     << "  }\n"
+     << "}\n\n"
+     << "interface E_cnn_forward(image_size, n_zeros) {\n"
+     << "  let active = max(image_size - n_zeros, 0);\n"
+     << "  let instructions = " << Num(intercept[0]) << " + " << Num(slope[0])
+     << " * active;\n"
+     << "  let l1_wavefronts = " << Num(intercept[1]) << " + "
+     << Num(slope[1]) << " * active;\n"
+     << "  let l2_sectors = " << Num(intercept[2]) << " + " << Num(slope[2])
+     << " * active;\n"
+     << "  let vram_sectors = " << Num(intercept[3]) << " + " << Num(slope[3])
+     << " * active;\n"
+     << "  let duration_s = " << Num(intercept[4]) << " + " << Num(slope[4])
+     << " * active;\n"
+     << "  return E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, "
+        "vram_sectors, duration_s);\n"
+     << "}\n\n"
+     << "# Node-runtime interfaces: cost per service operation, derived by\n"
+     << "# the node's resource manager from the CPU vendor interface.\n"
+     << "interface E_node_work(ops) {\n"
+     << "  return ops * " << Num(jpo) << "J;\n"
+     << "}\n"
+     << "interface E_remote_work(ops) {\n"
+     << "  return ops * " << Num(jpo) << "J;\n"
+     << "}\n"
+     << "interface E_nic(bytes) {\n"
+     << "  return " << Num(config.nic_per_request.joules()) << "J + bytes * "
+     << Num(config.nic_per_byte.joules()) << "J;\n"
+     << "}\n";
+  return ParseProgram(os.str());
+}
+
+}  // namespace eclarity

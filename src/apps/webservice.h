@@ -1,0 +1,134 @@
+// The Fig. 1 ML web service, materialised.
+//
+// The paper's running example: a CNN image-classification service with a
+// request cache. A request either hits the request cache (locally or in the
+// remote cache tier) or triggers CNN inference. Fig. 1 writes its energy
+// interface with two ECVs — request_hit and local_cache_hit — and returns a
+// probability distribution over per-request energy.
+//
+// This module implements the *system*: a Zipf request stream over an image
+// corpus, a node-local LRU in front of a larger remote (Redis-like) LRU, a
+// CnnModel backend on a simulated GPU, and energy accounting through the
+// node CPU's RAPL, the remote node's RAPL, a NIC energy tally, and the
+// GPU's NVML counter. WebServiceEnergyInterface emits the Fig. 1 EIL
+// program whose ECVs the cache manager's observed hit rates instantiate.
+
+#ifndef ECLARITY_SRC_APPS_WEBSERVICE_H_
+#define ECLARITY_SRC_APPS_WEBSERVICE_H_
+
+#include <cstdint>
+
+#include "src/apps/lru_cache.h"
+#include "src/hw/counters.h"
+#include "src/hw/cpu.h"
+#include "src/hw/gpu.h"
+#include "src/lang/ast.h"
+#include "src/ml/cnn.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct WebServiceConfig {
+  // Request stream.
+  size_t corpus_images = 10000;
+  double zipf_exponent = 1.0;
+  double image_elements = 50176.0;  // 224 x 224
+  // Per-image zero fraction is deterministic in the image id, in
+  // [zero_fraction_lo, zero_fraction_hi].
+  double zero_fraction_lo = 0.10;
+  double zero_fraction_hi = 0.60;
+  double response_len = 1024.0;  // Fig. 1's max_response_len
+
+  // Cache tiers.
+  size_t local_cache_entries = 500;
+  size_t remote_cache_entries = 4000;
+
+  // Node CPU cost model (operations per path; memory-bound work).
+  double lookup_ops_base = 2000.0;
+  double serve_ops_per_byte = 3.0;
+  double remote_ops_base = 4000.0;
+  double remote_ops_per_byte = 6.0;
+  double insert_ops_per_byte = 2.0;
+  double memory_intensity = 0.6;
+  int node_opp = 1;  // operating point the service nodes run at
+
+  // NIC energy for the remote-cache path.
+  Energy nic_per_request = Energy::Microjoules(20.0);
+  Energy nic_per_byte = Energy::Nanojoules(300.0);
+};
+
+struct ServiceCounters {
+  uint64_t requests = 0;
+  uint64_t local_hits = 0;
+  uint64_t remote_hits = 0;
+  uint64_t cnn_misses = 0;
+
+  double RequestHitRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(local_hits + remote_hits) / requests;
+  }
+  // P(local | request hit).
+  double LocalHitRate() const {
+    const uint64_t hits = local_hits + remote_hits;
+    return hits == 0 ? 0.0 : static_cast<double>(local_hits) / hits;
+  }
+};
+
+struct ServiceRunResult {
+  ServiceCounters counters;
+  Energy measured_energy;     // node RAPL + remote RAPL + NIC + GPU NVML
+  Energy node_energy;         // node CPU share (RAPL)
+  Energy remote_energy;       // remote node share (RAPL)
+  Energy nic_energy;
+  Energy gpu_energy;          // NVML share
+  std::vector<double> per_request_joules;  // measured, per request
+};
+
+class WebService {
+ public:
+  WebService(WebServiceConfig config, uint64_t seed);
+
+  // Serves `n` requests from the Zipf stream and measures energy.
+  Result<ServiceRunResult> Run(size_t n);
+
+  const WebServiceConfig& config() const { return config_; }
+  const ServiceCounters& counters() const { return counters_; }
+
+  // Image properties, deterministic in the id.
+  double ZeroFraction(uint64_t image_id) const;
+
+ private:
+  // Charges `ops` of service work to `device`, advancing it exactly the
+  // busy time (no idle padding). Returns the RAPL-measured delta.
+  Result<Energy> ChargeNode(CpuDevice& device, double ops);
+
+  WebServiceConfig config_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  LruCache local_;
+  LruCache remote_;
+  CnnModel cnn_;
+  CpuDevice node_;
+  CpuDevice remote_node_;
+  GpuDevice gpu_;
+  NvmlCounter nvml_;
+  ServiceCounters counters_;
+};
+
+// Emits the Fig. 1 interface for this service configuration:
+//   E_ml_webservice_handle(image_size, n_zeros)
+//   E_cache_lookup(key_size, response_len)
+//   E_cnn_forward(image_size, n_zeros)
+// The cache-path costs are closed forms over the node CPU vendor model; the
+// CNN path imports E_gpu_kernel / E_gpu_idle (link a GPU hardware layer).
+// ECV defaults: request_hit ~ bernoulli(0.3), local_cache_hit ~
+// bernoulli(0.8) — override them with observed rates at evaluation time.
+Result<Program> WebServiceEnergyInterface(const WebServiceConfig& config,
+                                          const CpuProfile& node_profile,
+                                          const CnnModel& cnn);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_APPS_WEBSERVICE_H_

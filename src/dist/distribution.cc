@@ -1,0 +1,371 @@
+#include "src/dist/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace eclarity {
+namespace {
+
+constexpr double kMassEpsilon = 1e-15;
+
+}  // namespace
+
+Distribution Distribution::PointMass(double value) {
+  Distribution d;
+  d.atoms_ = {{value, 1.0}};
+  return d;
+}
+
+Distribution Distribution::BernoulliValues(double p, double value_true,
+                                           double value_false) {
+  p = std::clamp(p, 0.0, 1.0);
+  Distribution d;
+  d.atoms_ = {{value_true, p}, {value_false, 1.0 - p}};
+  d.Canonicalize();
+  return d;
+}
+
+Result<Distribution> Distribution::Categorical(std::vector<Atom> atoms) {
+  if (atoms.empty()) {
+    return InvalidArgumentError("Categorical: no atoms");
+  }
+  double total = 0.0;
+  for (const Atom& a : atoms) {
+    if (a.probability < 0.0) {
+      return InvalidArgumentError("Categorical: negative probability");
+    }
+    if (!std::isfinite(a.value) || !std::isfinite(a.probability)) {
+      return InvalidArgumentError("Categorical: non-finite atom");
+    }
+    total += a.probability;
+  }
+  if (total <= 0.0) {
+    return InvalidArgumentError("Categorical: zero total mass");
+  }
+  Distribution d;
+  d.atoms_ = std::move(atoms);
+  d.Canonicalize();
+  return d;
+}
+
+Result<Distribution> Distribution::FromSamples(
+    const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return InvalidArgumentError("FromSamples: empty sample set");
+  }
+  std::vector<Atom> atoms;
+  atoms.reserve(samples.size());
+  const double mass = 1.0 / static_cast<double>(samples.size());
+  for (double s : samples) {
+    atoms.push_back({s, mass});
+  }
+  return Categorical(std::move(atoms));
+}
+
+Result<Distribution> Distribution::FromSamplesBinned(
+    const std::vector<double>& samples, size_t bins) {
+  if (samples.empty()) {
+    return InvalidArgumentError("FromSamplesBinned: empty sample set");
+  }
+  if (bins == 0) {
+    return InvalidArgumentError("FromSamplesBinned: zero bins");
+  }
+  const double lo = *std::min_element(samples.begin(), samples.end());
+  const double hi = *std::max_element(samples.begin(), samples.end());
+  if (lo == hi) {
+    return PointMass(lo);
+  }
+  const double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<double> bin_mass(bins, 0.0);
+  std::vector<double> bin_value_sum(bins, 0.0);
+  for (double s : samples) {
+    size_t idx = static_cast<size_t>((s - lo) / width);
+    if (idx >= bins) {
+      idx = bins - 1;  // the max sample lands in the last bin
+    }
+    bin_mass[idx] += 1.0;
+    bin_value_sum[idx] += s;
+  }
+  std::vector<Atom> atoms;
+  for (size_t i = 0; i < bins; ++i) {
+    if (bin_mass[i] > 0.0) {
+      atoms.push_back({bin_value_sum[i] / bin_mass[i],
+                       bin_mass[i] / static_cast<double>(samples.size())});
+    }
+  }
+  return Categorical(std::move(atoms));
+}
+
+double Distribution::Mean() const {
+  double mean = 0.0;
+  for (const Atom& a : atoms_) {
+    mean += a.value * a.probability;
+  }
+  return mean;
+}
+
+double Distribution::Variance() const {
+  const double mean = Mean();
+  double var = 0.0;
+  for (const Atom& a : atoms_) {
+    var += (a.value - mean) * (a.value - mean) * a.probability;
+  }
+  return var;
+}
+
+double Distribution::Stddev() const { return std::sqrt(Variance()); }
+
+double Distribution::MinValue() const {
+  assert(IsValid());
+  return atoms_.front().value;
+}
+
+double Distribution::MaxValue() const {
+  assert(IsValid());
+  return atoms_.back().value;
+}
+
+double Distribution::Cdf(double x) const {
+  double mass = 0.0;
+  for (const Atom& a : atoms_) {
+    if (a.value > x) {
+      break;
+    }
+    mass += a.probability;
+  }
+  return mass;
+}
+
+double Distribution::Quantile(double q) const {
+  assert(IsValid());
+  q = std::clamp(q, 0.0, 1.0);
+  double mass = 0.0;
+  for (const Atom& a : atoms_) {
+    mass += a.probability;
+    if (mass >= q - kMassEpsilon) {
+      return a.value;
+    }
+  }
+  return atoms_.back().value;
+}
+
+double Distribution::MassInRange(double lo, double hi) const {
+  double mass = 0.0;
+  for (const Atom& a : atoms_) {
+    if (a.value >= lo && a.value <= hi) {
+      mass += a.probability;
+    }
+  }
+  return mass;
+}
+
+Distribution Distribution::Affine(double scale, double offset) const {
+  Distribution out;
+  out.atoms_.reserve(atoms_.size());
+  for (const Atom& a : atoms_) {
+    out.atoms_.push_back({a.value * scale + offset, a.probability});
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Distribution Distribution::Convolve(const Distribution& other,
+                                    size_t max_support) const {
+  assert(IsValid() && other.IsValid());
+  Distribution out;
+  out.atoms_.reserve(atoms_.size() * other.atoms_.size());
+  for (const Atom& a : atoms_) {
+    for (const Atom& b : other.atoms_) {
+      out.atoms_.push_back({a.value + b.value, a.probability * b.probability});
+    }
+  }
+  out.Canonicalize();
+  if (out.atoms_.size() > max_support) {
+    out = out.Compact(max_support);
+  }
+  return out;
+}
+
+Result<Distribution> Distribution::Mixture(
+    const std::vector<Distribution>& components,
+    const std::vector<double>& weights) {
+  if (components.size() != weights.size()) {
+    return InvalidArgumentError("Mixture: size mismatch");
+  }
+  if (components.empty()) {
+    return InvalidArgumentError("Mixture: no components");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return InvalidArgumentError("Mixture: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return InvalidArgumentError("Mixture: zero total weight");
+  }
+  Distribution out;
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (weights[i] == 0.0) {
+      continue;
+    }
+    if (!components[i].IsValid()) {
+      return InvalidArgumentError("Mixture: invalid component distribution");
+    }
+    for (const Atom& a : components[i].atoms_) {
+      out.atoms_.push_back({a.value, a.probability * weights[i] / total});
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Distribution Distribution::Compact(size_t max_support,
+                                   double tolerance) const {
+  Distribution out = *this;
+  if (tolerance > 0.0 && out.atoms_.size() > 1) {
+    std::vector<Atom> merged;
+    merged.push_back(out.atoms_.front());
+    for (size_t i = 1; i < out.atoms_.size(); ++i) {
+      Atom& last = merged.back();
+      const Atom& cur = out.atoms_[i];
+      if (cur.value - last.value <= tolerance) {
+        const double mass = last.probability + cur.probability;
+        last.value = (last.value * last.probability +
+                      cur.value * cur.probability) / mass;
+        last.probability = mass;
+      } else {
+        merged.push_back(cur);
+      }
+    }
+    out.atoms_ = std::move(merged);
+  }
+  // Repeatedly merge the adjacent pair with the smallest combined mass until
+  // the support fits. Values stay sorted because we merge neighbours.
+  while (out.atoms_.size() > std::max<size_t>(max_support, 1)) {
+    size_t best = 0;
+    double best_mass = out.atoms_[0].probability + out.atoms_[1].probability;
+    for (size_t i = 1; i + 1 < out.atoms_.size(); ++i) {
+      const double mass =
+          out.atoms_[i].probability + out.atoms_[i + 1].probability;
+      if (mass < best_mass) {
+        best_mass = mass;
+        best = i;
+      }
+    }
+    Atom& a = out.atoms_[best];
+    const Atom& b = out.atoms_[best + 1];
+    const double mass = a.probability + b.probability;
+    a.value = (a.value * a.probability + b.value * b.probability) / mass;
+    a.probability = mass;
+    out.atoms_.erase(out.atoms_.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+  return out;
+}
+
+double Distribution::Sample(Rng& rng) const {
+  assert(IsValid());
+  double u = rng.UniformDouble();
+  for (const Atom& a : atoms_) {
+    u -= a.probability;
+    if (u < 0.0) {
+      return a.value;
+    }
+  }
+  return atoms_.back().value;
+}
+
+std::vector<double> Distribution::SampleMany(Rng& rng, size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Sample(rng));
+  }
+  return out;
+}
+
+double Distribution::Wasserstein1(const Distribution& a,
+                                  const Distribution& b) {
+  assert(a.IsValid() && b.IsValid());
+  // W1 = ∫ |CDF_a(x) - CDF_b(x)| dx over the union of breakpoints.
+  std::vector<double> points;
+  points.reserve(a.atoms_.size() + b.atoms_.size());
+  for (const Atom& atom : a.atoms_) {
+    points.push_back(atom.value);
+  }
+  for (const Atom& atom : b.atoms_) {
+    points.push_back(atom.value);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  double distance = 0.0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    const double gap = points[i + 1] - points[i];
+    distance += std::fabs(a.Cdf(points[i]) - b.Cdf(points[i])) * gap;
+  }
+  return distance;
+}
+
+double Distribution::KolmogorovSmirnov(const Distribution& a,
+                                       const Distribution& b) {
+  assert(a.IsValid() && b.IsValid());
+  double worst = 0.0;
+  for (const Atom& atom : a.atoms_) {
+    worst = std::max(worst, std::fabs(a.Cdf(atom.value) - b.Cdf(atom.value)));
+  }
+  for (const Atom& atom : b.atoms_) {
+    worst = std::max(worst, std::fabs(a.Cdf(atom.value) - b.Cdf(atom.value)));
+  }
+  return worst;
+}
+
+std::string Distribution::ToString(size_t max_atoms) const {
+  std::ostringstream os;
+  os << "{";
+  const size_t shown = std::min(max_atoms, atoms_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << atoms_[i].value << ": " << atoms_[i].probability;
+  }
+  if (shown < atoms_.size()) {
+    os << ", ... (" << atoms_.size() - shown << " more)";
+  }
+  os << "}";
+  return os.str();
+}
+
+void Distribution::Canonicalize() {
+  std::sort(atoms_.begin(), atoms_.end(),
+            [](const Atom& a, const Atom& b) { return a.value < b.value; });
+  std::vector<Atom> merged;
+  merged.reserve(atoms_.size());
+  for (const Atom& a : atoms_) {
+    if (a.probability <= kMassEpsilon) {
+      continue;
+    }
+    if (!merged.empty() && merged.back().value == a.value) {
+      merged.back().probability += a.probability;
+    } else {
+      merged.push_back(a);
+    }
+  }
+  atoms_ = std::move(merged);
+  double total = 0.0;
+  for (const Atom& a : atoms_) {
+    total += a.probability;
+  }
+  if (total > 0.0 && std::fabs(total - 1.0) > 1e-12) {
+    for (Atom& a : atoms_) {
+      a.probability /= total;
+    }
+  }
+}
+
+}  // namespace eclarity

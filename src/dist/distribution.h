@@ -1,0 +1,139 @@
+// Finite discrete probability distributions over real values.
+//
+// Energy interfaces with energy-critical variables (ECVs, paper §3) return
+// probability distributions rather than single numbers: the cache-hit ECV in
+// Fig. 1 makes E_cache_lookup a two-point distribution. This module provides
+// the distribution algebra those interfaces need:
+//
+//   * construction: point mass, Bernoulli-weighted two-point, categorical,
+//     empirical (from samples);
+//   * combination: mixture (probabilistic branch), convolution (independent
+//     sum), affine maps (scaling by request counts, adding static energy);
+//   * queries: mean, variance, quantiles, CDF, support bounds;
+//   * comparison: Wasserstein-1 and Kolmogorov-Smirnov distances, used when
+//     validating a predicted distribution against measured samples.
+//
+// Supports are kept finite and are re-compacted (nearby atoms merged) when
+// convolution chains would otherwise blow up the support size.
+
+#ifndef ECLARITY_SRC_DIST_DISTRIBUTION_H_
+#define ECLARITY_SRC_DIST_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// One atom of probability mass.
+struct Atom {
+  double value = 0.0;
+  double probability = 0.0;
+
+  bool operator==(const Atom&) const = default;
+};
+
+class Distribution {
+ public:
+  // The empty distribution; IsValid() is false until atoms are provided.
+  Distribution() = default;
+
+  // --- Constructors -------------------------------------------------------
+
+  // All mass on a single value.
+  static Distribution PointMass(double value);
+
+  // `value_true` with probability p, `value_false` with probability 1-p.
+  static Distribution BernoulliValues(double p, double value_true,
+                                      double value_false);
+
+  // Arbitrary categorical distribution. Probabilities are normalised;
+  // duplicate values are merged. Fails on negative probability or zero total
+  // mass.
+  static Result<Distribution> Categorical(std::vector<Atom> atoms);
+
+  // Empirical distribution: every sample becomes an atom with mass 1/n
+  // (duplicates merged). Fails on an empty sample set.
+  static Result<Distribution> FromSamples(const std::vector<double>& samples);
+
+  // Empirical distribution binned into `bins` equal-width buckets between
+  // min and max sample (each bucket represented by its mass-weighted mean).
+  static Result<Distribution> FromSamplesBinned(
+      const std::vector<double>& samples, size_t bins);
+
+  // --- Structure ----------------------------------------------------------
+
+  bool IsValid() const { return !atoms_.empty(); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  size_t SupportSize() const { return atoms_.size(); }
+
+  // --- Moments and queries ------------------------------------------------
+
+  double Mean() const;
+  double Variance() const;
+  double Stddev() const;
+  double MinValue() const;
+  double MaxValue() const;
+
+  // P(X <= x).
+  double Cdf(double x) const;
+  // Smallest x with CDF(x) >= q, q in [0,1].
+  double Quantile(double q) const;
+  // Probability mass within [lo, hi] inclusive.
+  double MassInRange(double lo, double hi) const;
+
+  // --- Algebra ------------------------------------------------------------
+
+  // X -> scale * X + offset.
+  Distribution Affine(double scale, double offset) const;
+
+  // Distribution of X + Y for independent X (this) and Y (other). The result
+  // is compacted to at most `max_support` atoms (default keeps exactness for
+  // small cases while bounding blow-up in long chains).
+  Distribution Convolve(const Distribution& other,
+                        size_t max_support = kDefaultMaxSupport) const;
+
+  // Weighted mixture Σ w_i * D_i. Weights are normalised. Fails on size
+  // mismatch, negative weight, or zero total weight.
+  static Result<Distribution> Mixture(
+      const std::vector<Distribution>& components,
+      const std::vector<double>& weights);
+
+  // Merges atoms whose values lie within `tolerance` of each other (mass-
+  // weighted mean), then caps the support at `max_support` by merging the
+  // lowest-mass neighbours.
+  Distribution Compact(size_t max_support,
+                       double tolerance = 0.0) const;
+
+  // --- Sampling and comparison --------------------------------------------
+
+  double Sample(Rng& rng) const;
+  std::vector<double> SampleMany(Rng& rng, size_t n) const;
+
+  // Wasserstein-1 (earth mover's) distance between two distributions.
+  static double Wasserstein1(const Distribution& a, const Distribution& b);
+
+  // Kolmogorov-Smirnov statistic sup_x |CDF_a(x) - CDF_b(x)|.
+  static double KolmogorovSmirnov(const Distribution& a,
+                                  const Distribution& b);
+
+  std::string ToString(size_t max_atoms = 8) const;
+
+  bool operator==(const Distribution&) const = default;
+
+  static constexpr size_t kDefaultMaxSupport = 4096;
+
+ private:
+  // Sorts by value, merges exact duplicates, normalises mass to 1.
+  void Canonicalize();
+
+  std::vector<Atom> atoms_;  // sorted by value, probabilities sum to 1
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_DIST_DISTRIBUTION_H_

@@ -1,0 +1,79 @@
+#include "src/eval/ecv_profile.h"
+
+#include <cmath>
+
+namespace eclarity {
+
+Result<EcvSupport> EcvSupport::Make(
+    std::vector<std::pair<Value, double>> o) {
+  if (o.empty()) {
+    return InvalidArgumentError("ECV support must be non-empty");
+  }
+  double total = 0.0;
+  for (const auto& [value, prob] : o) {
+    if (prob < 0.0 || !std::isfinite(prob)) {
+      return InvalidArgumentError("ECV outcome probability must be >= 0");
+    }
+    total += prob;
+  }
+  if (total <= 0.0) {
+    return InvalidArgumentError("ECV support has zero total probability");
+  }
+  for (auto& [value, prob] : o) {
+    prob /= total;
+  }
+  EcvSupport support;
+  support.outcomes = std::move(o);
+  return support;
+}
+
+EcvSupport EcvSupport::Fixed(Value v) {
+  EcvSupport support;
+  support.outcomes.emplace_back(std::move(v), 1.0);
+  return support;
+}
+
+EcvSupport EcvSupport::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  EcvSupport support;
+  support.outcomes.emplace_back(Value::Bool(true), p);
+  support.outcomes.emplace_back(Value::Bool(false), 1.0 - p);
+  return support;
+}
+
+void EcvProfile::SetFixed(const std::string& key, Value value) {
+  overrides_[key] = EcvSupport::Fixed(std::move(value));
+}
+
+void EcvProfile::SetBernoulli(const std::string& key, double p) {
+  overrides_[key] = EcvSupport::Bernoulli(p);
+}
+
+Status EcvProfile::Set(const std::string& key,
+                       std::vector<std::pair<Value, double>> outcomes) {
+  ECLARITY_ASSIGN_OR_RETURN(EcvSupport support,
+                            EcvSupport::Make(std::move(outcomes)));
+  overrides_[key] = std::move(support);
+  return OkStatus();
+}
+
+void EcvProfile::MergeFrom(const EcvProfile& other) {
+  for (const auto& [key, support] : other.overrides_) {
+    overrides_[key] = support;
+  }
+}
+
+const EcvSupport* EcvProfile::Find(const std::string& iface_name,
+                                   const std::string& ecv_name) const {
+  const auto qualified = overrides_.find(iface_name + "." + ecv_name);
+  if (qualified != overrides_.end()) {
+    return &qualified->second;
+  }
+  const auto bare = overrides_.find(ecv_name);
+  if (bare != overrides_.end()) {
+    return &bare->second;
+  }
+  return nullptr;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,48 @@
+#include "src/eval/env.h"
+
+namespace eclarity {
+
+Status Environment::Define(const std::string& name, Value value, bool is_mut) {
+  auto& scope = scopes_.back();
+  if (scope.count(name) > 0) {
+    return AlreadyExistsError("redefinition of '" + name + "'");
+  }
+  scope[name] = Binding{std::move(value), is_mut};
+  return OkStatus();
+}
+
+Status Environment::Assign(const std::string& name, Value value) {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    const auto binding = it->find(name);
+    if (binding != it->end()) {
+      if (!binding->second.is_mut) {
+        return FailedPreconditionError("assignment to immutable '" + name +
+                                       "'");
+      }
+      binding->second.value = std::move(value);
+      return OkStatus();
+    }
+  }
+  return NotFoundError("assignment to undefined '" + name + "'");
+}
+
+Result<Value> Environment::Lookup(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    const auto binding = it->find(name);
+    if (binding != it->end()) {
+      return binding->second.value;
+    }
+  }
+  return NotFoundError("undefined name '" + name + "'");
+}
+
+bool Environment::IsDefined(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    if (it->count(name) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,494 @@
+#include "src/eval/interp.h"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "src/eval/builtins.h"
+#include "src/eval/env.h"
+
+namespace eclarity {
+namespace {
+
+std::string PosContext(const InterfaceDecl& iface, int line, int column) {
+  std::ostringstream os;
+  os << "in '" << iface.name << "' at " << line << ":" << column;
+  return os.str();
+}
+
+// Strategy for resolving ECV draws. The sampling chooser draws randomly;
+// the enumerating chooser drives a DFS over the whole choice tree.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  // Returns the index of the chosen outcome in `support`.
+  virtual Result<size_t> Choose(const std::string& qualified_name,
+                                const EcvSupport& support) = 0;
+};
+
+class SamplingChooser : public Chooser {
+ public:
+  explicit SamplingChooser(Rng& rng) : rng_(rng) {}
+
+  Result<size_t> Choose(const std::string& /*qualified_name*/,
+                        const EcvSupport& support) override {
+    std::vector<double> weights;
+    weights.reserve(support.outcomes.size());
+    for (const auto& [value, prob] : support.outcomes) {
+      weights.push_back(prob);
+    }
+    return rng_.Categorical(weights);
+  }
+
+ private:
+  Rng& rng_;
+};
+
+// Drives repeated executions through every combination of choices.
+// Execution i follows the recorded prefix and extends with first choices;
+// Advance() then increments the deepest counter (dropping exhausted ones)
+// like an odometer over a tree with heterogeneous arity.
+class EnumeratingChooser : public Chooser {
+ public:
+  Result<size_t> Choose(const std::string& qualified_name,
+                        const EcvSupport& support) override {
+    if (cursor_ < path_.size()) {
+      // Replaying the recorded prefix.
+      ChoicePoint& cp = path_[cursor_];
+      if (cp.arity != support.outcomes.size()) {
+        return InternalError("non-deterministic choice structure for ECV '" +
+                             qualified_name + "'");
+      }
+      probability_ *= support.outcomes[cp.index].second;
+      assignments_.emplace_back(qualified_name,
+                                support.outcomes[cp.index].first);
+      return path_[cursor_++].index;
+    }
+    // New choice point: take the first outcome and record it.
+    path_.push_back(ChoicePoint{0, support.outcomes.size()});
+    ++cursor_;
+    probability_ *= support.outcomes[0].second;
+    assignments_.emplace_back(qualified_name, support.outcomes[0].first);
+    return size_t{0};
+  }
+
+  // Prepares the next execution. Returns false when the tree is exhausted.
+  bool Advance() {
+    while (!path_.empty()) {
+      ChoicePoint& last = path_.back();
+      if (last.index + 1 < last.arity) {
+        ++last.index;
+        Reset();
+        return true;
+      }
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  void Reset() {
+    cursor_ = 0;
+    probability_ = 1.0;
+    assignments_.clear();
+  }
+
+  double probability() const { return probability_; }
+  const std::vector<std::pair<std::string, Value>>& assignments() const {
+    return assignments_;
+  }
+  size_t depth() const { return path_.size(); }
+
+ private:
+  struct ChoicePoint {
+    size_t index;
+    size_t arity;
+  };
+  std::vector<ChoicePoint> path_;
+  size_t cursor_ = 0;
+  double probability_ = 1.0;
+  std::vector<std::pair<std::string, Value>> assignments_;
+};
+
+// One execution of an interface under a given chooser.
+class Execution {
+ public:
+  Execution(const Program& program, const EvalOptions& options,
+            const EcvProfile& profile, Chooser& chooser)
+      : program_(program),
+        options_(options),
+        profile_(profile),
+        chooser_(chooser) {}
+
+  Result<Value> CallInterface(const std::string& name,
+                              const std::vector<Value>& args) {
+    const InterfaceDecl* decl = program_.FindInterface(name);
+    if (decl == nullptr) {
+      return NotFoundError("call to undefined interface '" + name + "'");
+    }
+    if (decl->params.size() != args.size()) {
+      std::ostringstream os;
+      os << "interface '" << name << "' takes " << decl->params.size()
+         << " arguments, got " << args.size();
+      return InvalidArgumentError(os.str());
+    }
+    if (++depth_ > options_.max_call_depth) {
+      return ResourceExhaustedError("interface call depth limit exceeded at '" +
+                                    name + "'");
+    }
+    Environment env;
+    for (size_t i = 0; i < args.size(); ++i) {
+      ECLARITY_RETURN_IF_ERROR(
+          env.Define(decl->params[i], args[i], /*is_mut=*/false));
+    }
+    ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> result,
+                              ExecBlock(decl->body, env, *decl));
+    --depth_;
+    if (!result.has_value()) {
+      return InternalError("interface '" + name +
+                           "' fell off the end without returning");
+    }
+    return *result;
+  }
+
+ private:
+  Status Budget(const InterfaceDecl& iface, const Stmt& stmt) {
+    if (++steps_ > options_.max_steps) {
+      return ResourceExhaustedError(
+          "statement budget exhausted " +
+          PosContext(iface, stmt.line, stmt.column));
+    }
+    return OkStatus();
+  }
+
+  // Executes a block; a present optional is the returned value.
+  Result<std::optional<Value>> ExecBlock(const Block& block, Environment& env,
+                                         const InterfaceDecl& iface) {
+    ScopedScope scope(env);
+    for (const StmtPtr& stmt : block.statements) {
+      ECLARITY_RETURN_IF_ERROR(Budget(iface, *stmt));
+      switch (stmt->kind) {
+        case StmtKind::kLet: {
+          const auto& s = static_cast<const LetStmt&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*s.init, env, iface));
+          ECLARITY_RETURN_IF_ERROR(env.Define(s.name, std::move(v), s.is_mut));
+          break;
+        }
+        case StmtKind::kAssign: {
+          const auto& s = static_cast<const AssignStmt&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*s.value, env, iface));
+          ECLARITY_RETURN_IF_ERROR(env.Assign(s.name, std::move(v)));
+          break;
+        }
+        case StmtKind::kEcv: {
+          const auto& s = static_cast<const EcvStmt&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(EcvSupport support,
+                                    ResolveSupport(s, env, iface));
+          const std::string qualified = iface.name + "." + s.name;
+          ECLARITY_ASSIGN_OR_RETURN(size_t idx,
+                                    chooser_.Choose(qualified, support));
+          if (idx >= support.outcomes.size()) {
+            return InternalError("chooser returned out-of-range index");
+          }
+          ECLARITY_RETURN_IF_ERROR(
+              env.Define(s.name, support.outcomes[idx].first, false));
+          break;
+        }
+        case StmtKind::kIf: {
+          const auto& s = static_cast<const IfStmt&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value cond, Eval(*s.condition, env, iface));
+          Result<bool> truth = cond.AsBool();
+          if (!truth.ok()) {
+            return InvalidArgumentError(
+                PosContext(iface, stmt->line, stmt->column) +
+                ": if condition: " + truth.status().message());
+          }
+          if (truth.value()) {
+            ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> r,
+                                      ExecBlock(s.then_block, env, iface));
+            if (r.has_value()) {
+              return r;
+            }
+          } else if (s.else_block.has_value()) {
+            ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> r,
+                                      ExecBlock(*s.else_block, env, iface));
+            if (r.has_value()) {
+              return r;
+            }
+          }
+          break;
+        }
+        case StmtKind::kFor: {
+          const auto& s = static_cast<const ForStmt&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value begin_v, Eval(*s.begin, env, iface));
+          ECLARITY_ASSIGN_OR_RETURN(Value end_v, Eval(*s.end, env, iface));
+          ECLARITY_ASSIGN_OR_RETURN(double begin_n, begin_v.AsNumber());
+          ECLARITY_ASSIGN_OR_RETURN(double end_n, end_v.AsNumber());
+          const int64_t lo = static_cast<int64_t>(std::llround(begin_n));
+          const int64_t hi = static_cast<int64_t>(std::llround(end_n));
+          for (int64_t i = lo; i < hi; ++i) {
+            ECLARITY_RETURN_IF_ERROR(Budget(iface, *stmt));
+            ScopedScope iteration(env);
+            ECLARITY_RETURN_IF_ERROR(env.Define(
+                s.var, Value::Number(static_cast<double>(i)), false));
+            ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> r,
+                                      ExecBlock(s.body, env, iface));
+            if (r.has_value()) {
+              return r;
+            }
+          }
+          break;
+        }
+        case StmtKind::kReturn: {
+          const auto& s = static_cast<const ReturnStmt&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*s.value, env, iface));
+          return std::optional<Value>(std::move(v));
+        }
+      }
+    }
+    return std::optional<Value>();
+  }
+
+  Result<EcvSupport> ResolveSupport(const EcvStmt& stmt, Environment& env,
+                                    const InterfaceDecl& iface) {
+    // Caller-provided profile overrides the declared distribution.
+    const EcvSupport* override_support = profile_.Find(iface.name, stmt.name);
+    if (override_support != nullptr) {
+      return *override_support;
+    }
+    switch (stmt.dist.kind) {
+      case EcvDistKind::kBernoulli: {
+        ECLARITY_ASSIGN_OR_RETURN(Value p_v,
+                                  Eval(*stmt.dist.params[0], env, iface));
+        ECLARITY_ASSIGN_OR_RETURN(double p, p_v.AsNumber());
+        if (p < 0.0 || p > 1.0) {
+          return InvalidArgumentError(
+              PosContext(iface, stmt.line, stmt.column) +
+              ": bernoulli probability out of [0,1]");
+        }
+        return EcvSupport::Bernoulli(p);
+      }
+      case EcvDistKind::kUniformInt: {
+        ECLARITY_ASSIGN_OR_RETURN(Value lo_v,
+                                  Eval(*stmt.dist.params[0], env, iface));
+        ECLARITY_ASSIGN_OR_RETURN(Value hi_v,
+                                  Eval(*stmt.dist.params[1], env, iface));
+        ECLARITY_ASSIGN_OR_RETURN(double lo_n, lo_v.AsNumber());
+        ECLARITY_ASSIGN_OR_RETURN(double hi_n, hi_v.AsNumber());
+        const int64_t lo = static_cast<int64_t>(std::llround(lo_n));
+        const int64_t hi = static_cast<int64_t>(std::llround(hi_n));
+        if (hi < lo) {
+          return InvalidArgumentError(
+              PosContext(iface, stmt.line, stmt.column) +
+              ": uniform_int with inverted bounds");
+        }
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span > options_.max_ecv_support) {
+          return ResourceExhaustedError(
+              PosContext(iface, stmt.line, stmt.column) +
+              ": uniform_int support too large");
+        }
+        std::vector<std::pair<Value, double>> outcomes;
+        outcomes.reserve(span);
+        for (int64_t v = lo; v <= hi; ++v) {
+          outcomes.emplace_back(Value::Number(static_cast<double>(v)), 1.0);
+        }
+        return EcvSupport::Make(std::move(outcomes));
+      }
+      case EcvDistKind::kCategorical: {
+        std::vector<std::pair<Value, double>> outcomes;
+        for (size_t i = 0; i + 1 < stmt.dist.params.size(); i += 2) {
+          ECLARITY_ASSIGN_OR_RETURN(Value v,
+                                    Eval(*stmt.dist.params[i], env, iface));
+          ECLARITY_ASSIGN_OR_RETURN(Value p_v,
+                                    Eval(*stmt.dist.params[i + 1], env, iface));
+          ECLARITY_ASSIGN_OR_RETURN(double p, p_v.AsNumber());
+          outcomes.emplace_back(std::move(v), p);
+        }
+        Result<EcvSupport> support = EcvSupport::Make(std::move(outcomes));
+        if (!support.ok()) {
+          return InvalidArgumentError(
+              PosContext(iface, stmt.line, stmt.column) + ": " +
+              support.status().message());
+        }
+        return support;
+      }
+    }
+    return InternalError("unknown ECV distribution kind");
+  }
+
+  Result<Value> Eval(const Expr& e, Environment& env,
+                     const InterfaceDecl& iface) {
+    switch (e.kind) {
+      case ExprKind::kNumberLit:
+        return Value::Number(static_cast<const NumberLit&>(e).value);
+      case ExprKind::kEnergyLit:
+        return Value::Joules(static_cast<const EnergyLit&>(e).joules);
+      case ExprKind::kBoolLit:
+        return Value::Bool(static_cast<const BoolLit&>(e).value);
+      case ExprKind::kVarRef: {
+        const auto& var = static_cast<const VarRef&>(e);
+        Result<Value> local = env.Lookup(var.name);
+        if (local.ok()) {
+          return local;
+        }
+        const ConstDecl* constant = program_.FindConst(var.name);
+        if (constant != nullptr) {
+          return Eval(*constant->value, env, iface);
+        }
+        return NotFoundError(PosContext(iface, e.line, e.column) +
+                             ": undefined name '" + var.name + "'");
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        ECLARITY_ASSIGN_OR_RETURN(Value operand, Eval(*u.operand, env, iface));
+        return ApplyUnary(u.op, operand, PosContext(iface, e.line, e.column));
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        // Short-circuit && and ||.
+        if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr) {
+          ECLARITY_ASSIGN_OR_RETURN(Value lhs, Eval(*b.lhs, env, iface));
+          ECLARITY_ASSIGN_OR_RETURN(bool lv, lhs.AsBool());
+          if (b.op == BinaryOp::kAnd && !lv) {
+            return Value::Bool(false);
+          }
+          if (b.op == BinaryOp::kOr && lv) {
+            return Value::Bool(true);
+          }
+          ECLARITY_ASSIGN_OR_RETURN(Value rhs, Eval(*b.rhs, env, iface));
+          ECLARITY_ASSIGN_OR_RETURN(bool rv, rhs.AsBool());
+          return Value::Bool(rv);
+        }
+        ECLARITY_ASSIGN_OR_RETURN(Value lhs, Eval(*b.lhs, env, iface));
+        ECLARITY_ASSIGN_OR_RETURN(Value rhs, Eval(*b.rhs, env, iface));
+        return ApplyBinary(b.op, lhs, rhs, PosContext(iface, e.line, e.column));
+      }
+      case ExprKind::kConditional: {
+        const auto& c = static_cast<const ConditionalExpr&>(e);
+        ECLARITY_ASSIGN_OR_RETURN(Value cond, Eval(*c.condition, env, iface));
+        ECLARITY_ASSIGN_OR_RETURN(bool truth, cond.AsBool());
+        return truth ? Eval(*c.then_value, env, iface)
+                     : Eval(*c.else_value, env, iface);
+      }
+      case ExprKind::kCall: {
+        const auto& call = static_cast<const CallExpr&>(e);
+        std::vector<Value> args;
+        args.reserve(call.args.size());
+        for (const ExprPtr& arg : call.args) {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*arg, env, iface));
+          args.push_back(std::move(v));
+        }
+        if (IsBuiltinName(call.callee)) {
+          return ApplyBuiltin(call.callee, args, call.string_args,
+                              PosContext(iface, e.line, e.column));
+        }
+        return CallInterface(call.callee, args);
+      }
+    }
+    return InternalError("unknown expression kind");
+  }
+
+  const Program& program_;
+  const EvalOptions& options_;
+  const EcvProfile& profile_;
+  Chooser& chooser_;
+  size_t steps_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Evaluator::Evaluator(const Program& program, EvalOptions options)
+    : program_(&program), options_(options) {}
+
+Result<Value> Evaluator::EvalSampled(const std::string& interface_name,
+                                     const std::vector<Value>& args,
+                                     const EcvProfile& profile,
+                                     Rng& rng) const {
+  SamplingChooser chooser(rng);
+  Execution exec(*program_, options_, profile, chooser);
+  return exec.CallInterface(interface_name, args);
+}
+
+Result<std::vector<WeightedOutcome>> Evaluator::Enumerate(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile) const {
+  EnumeratingChooser chooser;
+  std::vector<WeightedOutcome> outcomes;
+  for (;;) {
+    if (outcomes.size() >= options_.max_paths) {
+      return ResourceExhaustedError(
+          "ECV assignment enumeration exceeded max_paths");
+    }
+    Execution exec(*program_, options_, profile, chooser);
+    ECLARITY_ASSIGN_OR_RETURN(Value value,
+                              exec.CallInterface(interface_name, args));
+    WeightedOutcome outcome;
+    outcome.value = std::move(value);
+    outcome.probability = chooser.probability();
+    outcome.ecv_assignments = chooser.assignments();
+    outcomes.push_back(std::move(outcome));
+    if (!chooser.Advance()) {
+      break;
+    }
+  }
+  return outcomes;
+}
+
+Result<double> OutcomeJoules(const Value& value,
+                             const EnergyCalibration* calibration) {
+  ECLARITY_ASSIGN_OR_RETURN(AbstractEnergy energy, value.AsEnergy());
+  if (energy.IsConcrete()) {
+    return energy.concrete().joules();
+  }
+  if (calibration == nullptr) {
+    return FailedPreconditionError(
+        "interface returned abstract energy '" + energy.ToString() +
+        "' but no calibration was provided");
+  }
+  ECLARITY_ASSIGN_OR_RETURN(Energy resolved, energy.Resolve(*calibration));
+  return resolved.joules();
+}
+
+Result<Distribution> Evaluator::EvalDistribution(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  ECLARITY_ASSIGN_OR_RETURN(std::vector<WeightedOutcome> outcomes,
+                            Enumerate(interface_name, args, profile));
+  std::vector<Atom> atoms;
+  atoms.reserve(outcomes.size());
+  for (const WeightedOutcome& o : outcomes) {
+    ECLARITY_ASSIGN_OR_RETURN(double joules,
+                              OutcomeJoules(o.value, calibration));
+    atoms.push_back({joules, o.probability});
+  }
+  return Distribution::Categorical(std::move(atoms));
+}
+
+Result<Energy> Evaluator::ExpectedEnergy(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  ECLARITY_ASSIGN_OR_RETURN(
+      Distribution dist,
+      EvalDistribution(interface_name, args, profile, calibration));
+  return Energy::Joules(dist.Mean());
+}
+
+Result<Energy> Evaluator::MonteCarloMean(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, Rng& rng, size_t samples,
+    const EnergyCalibration* calibration) const {
+  if (samples == 0) {
+    return InvalidArgumentError("MonteCarloMean: zero samples");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    ECLARITY_ASSIGN_OR_RETURN(Value v,
+                              EvalSampled(interface_name, args, profile, rng));
+    ECLARITY_ASSIGN_OR_RETURN(double joules, OutcomeJoules(v, calibration));
+    total += joules;
+  }
+  return Energy::Joules(total / static_cast<double>(samples));
+}
+
+}  // namespace eclarity

@@ -1,0 +1,113 @@
+// The EIL interpreter: executable energy interfaces.
+//
+// An energy interface "can be executed ... to know a priori the energy that
+// the resource would consume" (paper §2). Evaluator provides three
+// executable views over one shared semantics:
+//
+//   * EvalSampled     — one run; ECVs drawn from their (possibly overridden)
+//                       distributions. Monte Carlo building block.
+//   * Enumerate       — exact: every reachable combination of ECV draws,
+//                       with its probability and the resulting energy. This
+//                       is simultaneously the paper's "return value is a
+//                       probability distribution" (§3) and the per-path view
+//                       used by the §4 workflows.
+//   * EvalDistribution / ExpectedEnergy — the enumeration folded into a
+//                       numeric distribution / expectation over Joules,
+//                       resolving abstract units through a calibration.
+//
+// The interval/worst-case evaluator lives in interval.h; the shared AST and
+// value semantics keep the two consistent.
+
+#ifndef ECLARITY_SRC_EVAL_INTERP_H_
+#define ECLARITY_SRC_EVAL_INTERP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dist/distribution.h"
+#include "src/eval/ecv_profile.h"
+#include "src/lang/ast.h"
+#include "src/lang/value.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct EvalOptions {
+  // Statement-execution budget per evaluation (guards runaway loops).
+  size_t max_steps = 1'000'000;
+  // Interface call depth budget (guards unbounded recursion).
+  int max_call_depth = 64;
+  // Budget on enumerated ECV assignments in Enumerate().
+  size_t max_paths = 200'000;
+  // Guard on the size of a single ECV's support (e.g. wide uniform_int).
+  size_t max_ecv_support = 4096;
+};
+
+// One enumerated outcome: the energy produced under a specific sequence of
+// ECV draws, its probability, and the draws themselves (qualified name ->
+// drawn value, in draw order).
+struct WeightedOutcome {
+  Value value;
+  double probability = 0.0;
+  std::vector<std::pair<std::string, Value>> ecv_assignments;
+};
+
+class Evaluator {
+ public:
+  // The program must outlive the evaluator.
+  explicit Evaluator(const Program& program, EvalOptions options = {});
+
+  const Program& program() const { return *program_; }
+
+  // Runs `interface_name` once on `args`; each ECV encountered is sampled
+  // from its profile override or declared distribution using `rng`.
+  Result<Value> EvalSampled(const std::string& interface_name,
+                            const std::vector<Value>& args,
+                            const EcvProfile& profile, Rng& rng) const;
+
+  // Exactly enumerates every combination of ECV draws (depth-first over
+  // choice points; handles ECVs inside loops and nested calls). Outcome
+  // probabilities sum to 1. Fails with kResourceExhausted if more than
+  // options.max_paths assignments exist.
+  Result<std::vector<WeightedOutcome>> Enumerate(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile) const;
+
+  // Enumerate() folded to a Distribution over Joules. Abstract energy
+  // returns are resolved through `calibration` (pass nullptr to require
+  // fully concrete returns).
+  Result<Distribution> EvalDistribution(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile,
+      const EnergyCalibration* calibration = nullptr) const;
+
+  // Exact expected energy: Σ p_i * E_i.
+  Result<Energy> ExpectedEnergy(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile,
+      const EnergyCalibration* calibration = nullptr) const;
+
+  // Monte Carlo: mean of `samples` sampled evaluations, in Joules. Used by
+  // property tests to cross-validate Enumerate().
+  Result<Energy> MonteCarloMean(const std::string& interface_name,
+                                const std::vector<Value>& args,
+                                const EcvProfile& profile, Rng& rng,
+                                size_t samples,
+                                const EnergyCalibration* calibration = nullptr)
+      const;
+
+ private:
+  const Program* program_;
+  EvalOptions options_;
+};
+
+// Resolves an outcome's energy value to Joules (through `calibration` when
+// abstract; nullptr requires concreteness).
+Result<double> OutcomeJoules(const Value& value,
+                             const EnergyCalibration* calibration);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EVAL_INTERP_H_

@@ -1,0 +1,140 @@
+// Interval (worst-case) evaluation of energy interfaces.
+//
+// The interface→implementation workflow (paper §4.1) treats an interface as
+// an *upper-bound envelope*: "for each path through the interface, the
+// return value represents the worst-case energy consumption". This module
+// evaluates an interface over interval-valued inputs and ECVs, producing
+// guaranteed lower/upper energy bounds:
+//
+//   * numbers become [lo, hi] intervals;
+//   * booleans become three-valued ({true}, {false}, {true,false});
+//   * energies become Joule intervals (abstract units resolved through a
+//     calibration at the point of creation);
+//   * an `if` on an indefinite condition explores both arms and joins
+//     mutated state and returns;
+//   * a `for` with an indefinite trip count runs the guaranteed iterations
+//     exactly, then joins the possible extra iterations;
+//   * an ECV contributes the hull of its support (probabilities are
+//     irrelevant to a worst-case bound).
+//
+// Soundness: the concrete result of any evaluation whose inputs lie within
+// the given intervals lies within the returned bounds (property-tested
+// against the concrete interpreter).
+
+#ifndef ECLARITY_SRC_EVAL_INTERVAL_H_
+#define ECLARITY_SRC_EVAL_INTERVAL_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/eval/ecv_profile.h"
+#include "src/lang/ast.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct NumInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static NumInterval Point(double v) { return {v, v}; }
+  bool IsPoint() const { return lo == hi; }
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  NumInterval Hull(const NumInterval& other) const;
+};
+
+struct BoolSet {
+  bool can_true = false;
+  bool can_false = false;
+
+  static BoolSet True() { return {true, false}; }
+  static BoolSet False() { return {false, true}; }
+  static BoolSet Both() { return {true, true}; }
+  bool IsDefinite() const { return can_true != can_false; }
+  BoolSet Hull(const BoolSet& other) const {
+    return {can_true || other.can_true, can_false || other.can_false};
+  }
+};
+
+struct EnergyInterval {
+  double lo_joules = 0.0;
+  double hi_joules = 0.0;
+
+  static EnergyInterval Point(double j) { return {j, j}; }
+  bool Contains(double j) const { return j >= lo_joules && j <= hi_joules; }
+  EnergyInterval Hull(const EnergyInterval& other) const;
+  double width() const { return hi_joules - lo_joules; }
+};
+
+class IntervalValue {
+ public:
+  IntervalValue() : data_(NumInterval{}) {}
+
+  static IntervalValue Number(double lo, double hi);
+  static IntervalValue NumberPoint(double v);
+  static IntervalValue Boolean(BoolSet b);
+  static IntervalValue EnergyJoules(double lo, double hi);
+
+  bool is_number() const { return std::holds_alternative<NumInterval>(data_); }
+  bool is_bool() const { return std::holds_alternative<BoolSet>(data_); }
+  bool is_energy() const {
+    return std::holds_alternative<EnergyInterval>(data_);
+  }
+
+  const NumInterval& num() const { return std::get<NumInterval>(data_); }
+  const BoolSet& boolean() const { return std::get<BoolSet>(data_); }
+  const EnergyInterval& energy() const {
+    return std::get<EnergyInterval>(data_);
+  }
+
+  // Hull of two values; fails on kind mismatch.
+  Result<IntervalValue> Hull(const IntervalValue& other) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit IntervalValue(NumInterval n) : data_(n) {}
+  explicit IntervalValue(BoolSet b) : data_(b) {}
+  explicit IntervalValue(EnergyInterval e) : data_(e) {}
+
+  std::variant<NumInterval, BoolSet, EnergyInterval> data_;
+};
+
+struct IntervalOptions {
+  size_t max_steps = 1'000'000;
+  int max_call_depth = 64;
+  // Limit on unrolled loop iterations (definite + possible).
+  size_t max_loop_iterations = 100'000;
+};
+
+// Worst-case evaluator over a program. Lifetime: `program` (and
+// `calibration`, when given) must outlive the evaluator.
+class IntervalEvaluator {
+ public:
+  explicit IntervalEvaluator(const Program& program,
+                             const EnergyCalibration* calibration = nullptr,
+                             IntervalOptions options = {});
+
+  // Evaluates `interface_name` over interval arguments; ECV distributions
+  // may be narrowed through `profile` (e.g. pinning an ECV narrows its
+  // hull). Returns guaranteed energy bounds.
+  Result<EnergyInterval> EvalInterval(const std::string& interface_name,
+                                      const std::vector<IntervalValue>& args,
+                                      const EcvProfile& profile = {}) const;
+
+  // Convenience: point arguments.
+  Result<EnergyInterval> EvalIntervalPoint(const std::string& interface_name,
+                                           const std::vector<double>& args,
+                                           const EcvProfile& profile = {}) const;
+
+ private:
+  const Program* program_;
+  const EnergyCalibration* calibration_;
+  IntervalOptions options_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EVAL_INTERVAL_H_

@@ -1,0 +1,25 @@
+// Standalone evaluation of pure EIL expressions (no interface calls, no
+// ECVs) over a fixed variable binding. Used by the empirical extractor's
+// feature expressions and anywhere a lightweight formula evaluator is
+// needed without constructing a whole Program.
+
+#ifndef ECLARITY_SRC_EVAL_PURE_EXPR_H_
+#define ECLARITY_SRC_EVAL_PURE_EXPR_H_
+
+#include <map>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lang/value.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Evaluates `expr` with variables bound by `env`. Builtin functions are
+// available; calls to interfaces are errors.
+Result<Value> EvalPureExpr(const Expr& expr,
+                           const std::map<std::string, Value>& env);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EVAL_PURE_EXPR_H_

@@ -1,0 +1,115 @@
+#include "src/extract/empirical.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/eval/pure_expr.h"
+#include "src/lang/parser.h"
+#include "src/util/stats.h"
+
+namespace eclarity {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<EmpiricalFit> FitEmpiricalInterface(
+    const std::string& name, const std::vector<std::string>& params,
+    const std::vector<std::string>& feature_exprs,
+    const std::vector<std::vector<double>>& sample_inputs,
+    const MeasureFn& measure) {
+  if (feature_exprs.empty()) {
+    return InvalidArgumentError("need at least one feature expression");
+  }
+  if (sample_inputs.size() < feature_exprs.size()) {
+    return InvalidArgumentError(
+        "need at least as many samples as features");
+  }
+
+  // Parse features once.
+  std::vector<ExprPtr> features;
+  for (const std::string& text : feature_exprs) {
+    ECLARITY_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(text));
+    features.push_back(std::move(expr));
+  }
+
+  // Evaluate the design matrix and measure the module.
+  const size_t rows = sample_inputs.size();
+  const size_t cols = features.size();
+  Matrix a(rows, cols);
+  std::vector<double> b(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (sample_inputs[r].size() != params.size()) {
+      return InvalidArgumentError("sample input arity mismatch");
+    }
+    std::map<std::string, Value> env;
+    for (size_t i = 0; i < params.size(); ++i) {
+      env[params[i]] = Value::Number(sample_inputs[r][i]);
+    }
+    for (size_t c = 0; c < cols; ++c) {
+      ECLARITY_ASSIGN_OR_RETURN(Value v, EvalPureExpr(*features[c], env));
+      ECLARITY_ASSIGN_OR_RETURN(double x, v.AsNumber());
+      a.At(r, c) = x;
+    }
+    ECLARITY_ASSIGN_OR_RETURN(Energy measured, measure(sample_inputs[r]));
+    b[r] = measured.joules();
+  }
+
+  ECLARITY_ASSIGN_OR_RETURN(std::vector<double> coefficients,
+                            NonNegativeLeastSquares(a, b));
+
+  // R^2 over the sample set.
+  const double mean = Mean(b);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    double predicted = 0.0;
+    for (size_t c = 0; c < cols; ++c) {
+      predicted += a.At(r, c) * coefficients[c];
+    }
+    ss_res += (b[r] - predicted) * (b[r] - predicted);
+    ss_tot += (b[r] - mean) * (b[r] - mean);
+  }
+
+  // Emit the interface.
+  std::ostringstream os;
+  os << "# EMPIRICAL interface for '" << name
+     << "': fitted from measurements, suitable for\n"
+     << "# testing but not for formal verification (paper s4.2).\n"
+     << "interface E_" << name << "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << params[i];
+  }
+  os << ") {\n  return ";
+  bool first = true;
+  for (size_t c = 0; c < cols; ++c) {
+    if (coefficients[c] == 0.0) {
+      continue;
+    }
+    if (!first) {
+      os << " +\n         ";
+    }
+    os << "(" << feature_exprs[c] << ") * " << Num(coefficients[c]) << "J";
+    first = false;
+  }
+  if (first) {
+    os << "0J";
+  }
+  os << ";\n}\n";
+
+  EmpiricalFit fit;
+  ECLARITY_ASSIGN_OR_RETURN(fit.program, ParseProgram(os.str()));
+  fit.coefficients = std::move(coefficients);
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,47 @@
+// Empirical (black-box) interface extraction — the §4.2 fallback.
+//
+// "There can be cases in which neither the source code of a module nor an
+// energy interface is available ... the fallback approach can be to use
+// microbenchmarks, measurements, and tracing ... to obtain a statistical or
+// learned model of its energy behavior. The resulting interfaces would be
+// suitable for testing but likely not for formal verification."
+//
+// FitEmpiricalInterface measures a black-box module at the given sample
+// inputs and fits a non-negative linear model over user-chosen feature
+// expressions (EIL formulas over the parameters, e.g. "n", "n*n",
+// "log2(n+1)"), emitting an EIL interface annotated as empirical.
+
+#ifndef ECLARITY_SRC_EXTRACT_EMPIRICAL_H_
+#define ECLARITY_SRC_EXTRACT_EMPIRICAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Measures the module's energy for one input vector.
+using MeasureFn =
+    std::function<Result<Energy>(const std::vector<double>& args)>;
+
+struct EmpiricalFit {
+  Program program;              // contains interface E_<name>(params...)
+  std::vector<double> coefficients;  // Joules per feature unit
+  double r_squared = 0.0;
+};
+
+// Requires at least as many samples as features. Fails when a feature
+// expression references unknown parameters or evaluates to a non-number.
+Result<EmpiricalFit> FitEmpiricalInterface(
+    const std::string& name, const std::vector<std::string>& params,
+    const std::vector<std::string>& feature_exprs,
+    const std::vector<std::vector<double>>& sample_inputs,
+    const MeasureFn& measure);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EXTRACT_EMPIRICAL_H_

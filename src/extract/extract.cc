@@ -1,0 +1,673 @@
+#include "src/extract/extract.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/eval/pure_expr.h"
+#include "src/lang/checker.h"
+
+namespace eclarity {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Side-effect (device state) analysis
+// ---------------------------------------------------------------------------
+
+// Abstract value of one device-state key along the analysis.
+enum class KeyVal {
+  kEntry,       // still whatever it was at function entry
+  kOn,          // definitely on
+  kOff,         // definitely off
+  kSetMixed,    // definitely set by this function, but branch-dependent
+  kMaybeEntry,  // may still be the entry value
+};
+
+KeyVal JoinKey(KeyVal a, KeyVal b) {
+  if (a == b) {
+    return a;
+  }
+  const auto is_set = [](KeyVal v) {
+    return v == KeyVal::kOn || v == KeyVal::kOff || v == KeyVal::kSetMixed;
+  };
+  if (is_set(a) && is_set(b)) {
+    return KeyVal::kSetMixed;
+  }
+  return KeyVal::kMaybeEntry;
+}
+
+using StateMap = std::map<std::string, KeyVal>;
+
+StateMap JoinState(const StateMap& a, const StateMap& b) {
+  StateMap out;
+  std::set<std::string> keys;
+  for (const auto& [k, v] : a) {
+    keys.insert(k);
+  }
+  for (const auto& [k, v] : b) {
+    keys.insert(k);
+  }
+  for (const std::string& k : keys) {
+    const auto ita = a.find(k);
+    const auto itb = b.find(k);
+    const KeyVal va = ita != a.end() ? ita->second : KeyVal::kEntry;
+    const KeyVal vb = itb != b.end() ? itb->second : KeyVal::kEntry;
+    out[k] = JoinKey(va, vb);
+  }
+  return out;
+}
+
+// Per-function summary used by callers.
+struct FnSummary {
+  // Keys whose entry value the function may observe — these become extra
+  // state parameters on E_<fn>_st and ECVs on the public E_<fn>.
+  std::vector<std::string> entry_reads;  // sorted
+  // Exit effect per key: kOn / kOff only; absent key = unchanged.
+  // kSetMixed / kMaybeEntry exits are recorded as "dynamic".
+  std::map<std::string, KeyVal> exit;
+  std::set<std::string> dynamic_exit;
+};
+
+class ModuleAnalyzer {
+ public:
+  explicit ModuleAnalyzer(const MirModule& module) : module_(module) {}
+
+  Result<std::map<std::string, FnSummary>> Run() {
+    for (const MirFunction& fn : module_.functions) {
+      ECLARITY_RETURN_IF_ERROR(Analyze(fn.name).status());
+    }
+    return summaries_;
+  }
+
+ private:
+  Result<FnSummary> Analyze(const std::string& name) {
+    const auto done = summaries_.find(name);
+    if (done != summaries_.end()) {
+      return done->second;
+    }
+    if (!in_progress_.insert(name).second) {
+      return UnimplementedError("extraction does not support recursion ('" +
+                                name + "')");
+    }
+    const MirFunction* fn = module_.FindFunction(name);
+    if (fn == nullptr) {
+      return NotFoundError("MIR function '" + name + "' not found");
+    }
+    StateMap state;
+    std::set<std::string> reads;
+    ECLARITY_RETURN_IF_ERROR(Walk(fn->body, state, reads));
+
+    FnSummary summary;
+    summary.entry_reads.assign(reads.begin(), reads.end());
+    for (const auto& [key, val] : state) {
+      switch (val) {
+        case KeyVal::kEntry:
+          break;  // unchanged
+        case KeyVal::kOn:
+        case KeyVal::kOff:
+          summary.exit[key] = val;
+          break;
+        case KeyVal::kSetMixed:
+        case KeyVal::kMaybeEntry:
+          summary.dynamic_exit.insert(key);
+          break;
+      }
+    }
+    in_progress_.erase(name);
+    summaries_[name] = summary;
+    return summary;
+  }
+
+  Status Walk(const MirBlock& block, StateMap& state,
+              std::set<std::string>& reads) {
+    for (const MirStmtPtr& stmt : block.statements) {
+      switch (stmt->kind) {
+        case MirStmtKind::kAssign:
+          break;
+        case MirStmtKind::kResourceUse: {
+          const auto& use = static_cast<const MirResourceUse&>(*stmt);
+          const ResourceOpDecl* op = module_.FindOp(use.op);
+          if (op == nullptr) {
+            return NotFoundError("undeclared resource op '" + use.op + "'");
+          }
+          if (op->state_key.has_value()) {
+            const std::string& key = *op->state_key;
+            const auto it = state.find(key);
+            const KeyVal cur = it != state.end() ? it->second : KeyVal::kEntry;
+            if (cur == KeyVal::kEntry || cur == KeyVal::kMaybeEntry) {
+              reads.insert(key);
+            }
+            state[key] = KeyVal::kOn;  // using the device wakes it
+          }
+          break;
+        }
+        case MirStmtKind::kDeviceState: {
+          const auto& set = static_cast<const MirDeviceState&>(*stmt);
+          state[set.key] = set.on ? KeyVal::kOn : KeyVal::kOff;
+          break;
+        }
+        case MirStmtKind::kCall: {
+          const auto& call = static_cast<const MirCall&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(FnSummary callee, Analyze(call.callee));
+          for (const std::string& key : callee.entry_reads) {
+            const auto it = state.find(key);
+            const KeyVal cur = it != state.end() ? it->second : KeyVal::kEntry;
+            if (cur == KeyVal::kEntry || cur == KeyVal::kMaybeEntry) {
+              reads.insert(key);
+            }
+          }
+          if (!callee.dynamic_exit.empty()) {
+            return UnimplementedError(
+                "call to '" + call.callee +
+                "' whose exit device-state is branch-dependent is not "
+                "supported by the extractor");
+          }
+          for (const auto& [key, val] : callee.exit) {
+            state[key] = val;
+          }
+          break;
+        }
+        case MirStmtKind::kIf: {
+          const auto& s = static_cast<const MirIf&>(*stmt);
+          StateMap then_state = state;
+          StateMap else_state = state;
+          ECLARITY_RETURN_IF_ERROR(Walk(s.then_block, then_state, reads));
+          if (s.else_block.has_value()) {
+            ECLARITY_RETURN_IF_ERROR(Walk(*s.else_block, else_state, reads));
+          }
+          state = JoinState(then_state, else_state);
+          break;
+        }
+        case MirStmtKind::kFor: {
+          const auto& s = static_cast<const MirFor&>(*stmt);
+          // Zero-or-more iterations: run the body twice over joined state to
+          // reach the fixpoint of this shallow lattice.
+          StateMap once = state;
+          ECLARITY_RETURN_IF_ERROR(Walk(s.body, once, reads));
+          StateMap joined = JoinState(state, once);
+          StateMap twice = joined;
+          ECLARITY_RETURN_IF_ERROR(Walk(s.body, twice, reads));
+          state = JoinState(joined, twice);
+          break;
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  const MirModule& module_;
+  std::map<std::string, FnSummary> summaries_;
+  std::set<std::string> in_progress_;
+};
+
+// ---------------------------------------------------------------------------
+// Compilation to EIL
+// ---------------------------------------------------------------------------
+
+std::string StateLocal(const std::string& key) { return "__st_" + key; }
+
+constexpr char kTotalVar[] = "__total";
+
+// Collects locals assigned anywhere in the block (excluding loop vars).
+void CollectLocals(const MirBlock& block, std::set<std::string>& locals) {
+  for (const MirStmtPtr& stmt : block.statements) {
+    switch (stmt->kind) {
+      case MirStmtKind::kAssign:
+        locals.insert(static_cast<const MirAssign&>(*stmt).name);
+        break;
+      case MirStmtKind::kIf: {
+        const auto& s = static_cast<const MirIf&>(*stmt);
+        CollectLocals(s.then_block, locals);
+        if (s.else_block.has_value()) {
+          CollectLocals(*s.else_block, locals);
+        }
+        break;
+      }
+      case MirStmtKind::kFor:
+        CollectLocals(static_cast<const MirFor&>(*stmt).body, locals);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// Collects device-state keys this function manipulates directly.
+void CollectDirectKeys(const MirBlock& block, const MirModule& module,
+                       std::set<std::string>& keys) {
+  for (const MirStmtPtr& stmt : block.statements) {
+    switch (stmt->kind) {
+      case MirStmtKind::kResourceUse: {
+        const ResourceOpDecl* op =
+            module.FindOp(static_cast<const MirResourceUse&>(*stmt).op);
+        if (op != nullptr && op->state_key.has_value()) {
+          keys.insert(*op->state_key);
+        }
+        break;
+      }
+      case MirStmtKind::kDeviceState:
+        keys.insert(static_cast<const MirDeviceState&>(*stmt).key);
+        break;
+      case MirStmtKind::kIf: {
+        const auto& s = static_cast<const MirIf&>(*stmt);
+        CollectDirectKeys(s.then_block, module, keys);
+        if (s.else_block.has_value()) {
+          CollectDirectKeys(*s.else_block, module, keys);
+        }
+        break;
+      }
+      case MirStmtKind::kFor:
+        CollectDirectKeys(static_cast<const MirFor&>(*stmt).body, module,
+                          keys);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const MirModule& module,
+                   const std::map<std::string, FnSummary>& summaries)
+      : module_(module), summaries_(summaries) {}
+
+  // Emits E_<fn>_st (state-parameterised, when needed) and the public
+  // E_<fn> into `out`.
+  Status Compile(const MirFunction& fn, Program& out) {
+    const FnSummary& summary = summaries_.at(fn.name);
+
+    // Keys that need a state local: directly manipulated here, plus keys
+    // whose entry value flows into callees.
+    std::set<std::string> keys;
+    CollectDirectKeys(fn.body, module_, keys);
+    for (const std::string& key : summary.entry_reads) {
+      keys.insert(key);
+    }
+    // Keys set by callees matter only if re-read later; conservatively give
+    // them locals too so the post-call updates have a home.
+    CollectCalleeKeys(fn.body, keys);
+
+    const bool needs_state_params = !summary.entry_reads.empty();
+
+    // --- The worker: E_<fn> or E_<fn>_st -----------------------------------
+    InterfaceDecl worker;
+    worker.name = needs_state_params ? "E_" + fn.name + "_st" : "E_" + fn.name;
+    worker.params = fn.params;
+    if (needs_state_params) {
+      for (const std::string& key : summary.entry_reads) {
+        worker.params.push_back(StateLocal(key) + "_in");
+      }
+      worker.doc = "State-explicit variant of E_" + fn.name +
+                   "; extra parameters carry entry device state.";
+    } else {
+      worker.doc = "Extracted from the implementation of '" + fn.name + "'.";
+    }
+
+    Block body;
+    // State locals.
+    for (const std::string& key : keys) {
+      ExprPtr init;
+      if (std::find(summary.entry_reads.begin(), summary.entry_reads.end(),
+                    key) != summary.entry_reads.end()) {
+        init = MakeVar(StateLocal(key) + "_in");
+      } else {
+        init = MakeBool(false);  // never read before set; value irrelevant
+      }
+      body.statements.push_back(
+          MakeLet(StateLocal(key), std::move(init), /*is_mut=*/true));
+    }
+    // Ordinary locals.
+    std::set<std::string> locals;
+    CollectLocals(fn.body, locals);
+    for (const std::string& name : locals) {
+      body.statements.push_back(
+          MakeLet(name, MakeNumber(0.0), /*is_mut=*/true));
+    }
+    // Accumulator.
+    body.statements.push_back(
+        MakeLet(kTotalVar, MakeEnergyJoules(0.0), /*is_mut=*/true));
+
+    ECLARITY_RETURN_IF_ERROR(CompileBlock(fn.body, body));
+    body.statements.push_back(MakeReturn(MakeVar(kTotalVar)));
+    worker.body = std::move(body);
+    ECLARITY_RETURN_IF_ERROR(out.AddInterface(std::move(worker)));
+
+    // --- Public wrapper with entry ECVs -------------------------------------
+    if (needs_state_params) {
+      InterfaceDecl pub;
+      pub.name = "E_" + fn.name;
+      pub.params = fn.params;
+      pub.doc =
+          "Extracted from the implementation of '" + fn.name +
+          "'. Entry device state is environment-dependent, hence the ECVs.";
+      Block pub_body;
+      std::vector<ExprPtr> call_args;
+      for (const std::string& param : fn.params) {
+        call_args.push_back(MakeVar(param));
+      }
+      for (const std::string& key : summary.entry_reads) {
+        const std::string ecv = EntryStateEcvName(key);
+        EcvDistSpec spec;
+        spec.kind = EcvDistKind::kBernoulli;
+        spec.params.push_back(MakeNumber(0.5));
+        pub_body.statements.push_back(
+            std::make_unique<EcvStmt>(ecv, std::move(spec)));
+        call_args.push_back(MakeVar(ecv));
+      }
+      pub_body.statements.push_back(MakeReturn(
+          MakeCall("E_" + fn.name + "_st", std::move(call_args))));
+      pub.body = std::move(pub_body);
+      ECLARITY_RETURN_IF_ERROR(out.AddInterface(std::move(pub)));
+    }
+    return OkStatus();
+  }
+
+ private:
+  void CollectCalleeKeys(const MirBlock& block, std::set<std::string>& keys) {
+    for (const MirStmtPtr& stmt : block.statements) {
+      switch (stmt->kind) {
+        case MirStmtKind::kCall: {
+          const auto& call = static_cast<const MirCall&>(*stmt);
+          const auto it = summaries_.find(call.callee);
+          if (it != summaries_.end()) {
+            for (const auto& [key, val] : it->second.exit) {
+              keys.insert(key);
+            }
+            for (const std::string& key : it->second.entry_reads) {
+              keys.insert(key);
+            }
+          }
+          break;
+        }
+        case MirStmtKind::kIf: {
+          const auto& s = static_cast<const MirIf&>(*stmt);
+          CollectCalleeKeys(s.then_block, keys);
+          if (s.else_block.has_value()) {
+            CollectCalleeKeys(*s.else_block, keys);
+          }
+          break;
+        }
+        case MirStmtKind::kFor:
+          CollectCalleeKeys(static_cast<const MirFor&>(*stmt).body, keys);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // total = total + <expr>
+  StmtPtr Accumulate(ExprPtr amount) {
+    return MakeAssign(kTotalVar, MakeBinary(BinaryOp::kAdd, MakeVar(kTotalVar),
+                                            std::move(amount)));
+  }
+
+  Status CompileBlock(const MirBlock& block, Block& out) {
+    for (const MirStmtPtr& stmt : block.statements) {
+      switch (stmt->kind) {
+        case MirStmtKind::kAssign: {
+          const auto& s = static_cast<const MirAssign&>(*stmt);
+          out.statements.push_back(MakeAssign(s.name, s.value->Clone()));
+          break;
+        }
+        case MirStmtKind::kResourceUse: {
+          const auto& use = static_cast<const MirResourceUse&>(*stmt);
+          const ResourceOpDecl* op = module_.FindOp(use.op);
+          if (op == nullptr) {
+            return NotFoundError("undeclared resource op '" + use.op + "'");
+          }
+          std::vector<ExprPtr> args;
+          for (const ExprPtr& a : use.args) {
+            args.push_back(a->Clone());
+          }
+          if (op->state_key.has_value()) {
+            std::vector<ExprPtr> warm_args;
+            std::vector<ExprPtr> cold_args;
+            for (const ExprPtr& a : use.args) {
+              warm_args.push_back(a->Clone());
+              cold_args.push_back(a->Clone());
+            }
+            // (state ? E_op_warm(...) : E_op_cold(...))
+            out.statements.push_back(Accumulate(MakeConditional(
+                MakeVar(StateLocal(*op->state_key)),
+                MakeCall("E_" + op->name + "_warm", std::move(warm_args)),
+                MakeCall("E_" + op->name + "_cold", std::move(cold_args)))));
+            out.statements.push_back(
+                MakeAssign(StateLocal(*op->state_key), MakeBool(true)));
+          } else {
+            out.statements.push_back(
+                Accumulate(MakeCall("E_" + op->name, std::move(args))));
+          }
+          break;
+        }
+        case MirStmtKind::kDeviceState: {
+          const auto& s = static_cast<const MirDeviceState&>(*stmt);
+          out.statements.push_back(
+              MakeAssign(StateLocal(s.key), MakeBool(s.on)));
+          break;
+        }
+        case MirStmtKind::kCall: {
+          const auto& call = static_cast<const MirCall&>(*stmt);
+          const auto it = summaries_.find(call.callee);
+          if (it == summaries_.end()) {
+            return NotFoundError("call to unknown function '" + call.callee +
+                                 "'");
+          }
+          const FnSummary& callee = it->second;
+          std::vector<ExprPtr> args;
+          for (const ExprPtr& a : call.args) {
+            args.push_back(a->Clone());
+          }
+          std::string target = "E_" + call.callee;
+          if (!callee.entry_reads.empty()) {
+            target += "_st";
+            for (const std::string& key : callee.entry_reads) {
+              args.push_back(MakeVar(StateLocal(key)));
+            }
+          }
+          out.statements.push_back(
+              Accumulate(MakeCall(target, std::move(args))));
+          for (const auto& [key, val] : callee.exit) {
+            out.statements.push_back(
+                MakeAssign(StateLocal(key), MakeBool(val == KeyVal::kOn)));
+          }
+          break;
+        }
+        case MirStmtKind::kIf: {
+          const auto& s = static_cast<const MirIf&>(*stmt);
+          Block then_block;
+          ECLARITY_RETURN_IF_ERROR(CompileBlock(s.then_block, then_block));
+          std::optional<Block> else_block;
+          if (s.else_block.has_value()) {
+            Block compiled;
+            ECLARITY_RETURN_IF_ERROR(CompileBlock(*s.else_block, compiled));
+            else_block = std::move(compiled);
+          }
+          out.statements.push_back(std::make_unique<IfStmt>(
+              s.condition->Clone(), std::move(then_block),
+              std::move(else_block)));
+          break;
+        }
+        case MirStmtKind::kFor: {
+          const auto& s = static_cast<const MirFor&>(*stmt);
+          Block body;
+          ECLARITY_RETURN_IF_ERROR(CompileBlock(s.body, body));
+          out.statements.push_back(std::make_unique<ForStmt>(
+              s.var, s.begin->Clone(), s.end->Clone(), std::move(body)));
+          break;
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  const MirModule& module_;
+  const std::map<std::string, FnSummary>& summaries_;
+};
+
+// ---------------------------------------------------------------------------
+// Reference MIR execution
+// ---------------------------------------------------------------------------
+
+class MirExecutor {
+ public:
+  MirExecutor(const MirModule& module, const Program& hardware,
+              std::map<std::string, bool>& device_state)
+      : module_(module),
+        hardware_(hardware),
+        evaluator_(hardware_),
+        device_state_(device_state),
+        rng_(0xdead) {}
+
+  Result<MirRunResult> Run(const std::string& function,
+                           const std::vector<double>& args) {
+    const MirFunction* fn = module_.FindFunction(function);
+    if (fn == nullptr) {
+      return NotFoundError("MIR function '" + function + "' not found");
+    }
+    if (fn->params.size() != args.size()) {
+      return InvalidArgumentError("arity mismatch running '" + function + "'");
+    }
+    std::map<std::string, Value> env;
+    for (size_t i = 0; i < args.size(); ++i) {
+      env[fn->params[i]] = Value::Number(args[i]);
+    }
+    MirRunResult result;
+    ECLARITY_RETURN_IF_ERROR(Exec(fn->body, env, result));
+    return result;
+  }
+
+ private:
+  Result<Value> Eval(const Expr& e, std::map<std::string, Value>& env) {
+    return EvalPureExpr(e, env);
+  }
+
+  Status Exec(const MirBlock& block, std::map<std::string, Value>& env,
+              MirRunResult& result) {
+    for (const MirStmtPtr& stmt : block.statements) {
+      switch (stmt->kind) {
+        case MirStmtKind::kAssign: {
+          const auto& s = static_cast<const MirAssign&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*s.value, env));
+          env[s.name] = v;
+          break;
+        }
+        case MirStmtKind::kResourceUse: {
+          const auto& use = static_cast<const MirResourceUse&>(*stmt);
+          const ResourceOpDecl* op = module_.FindOp(use.op);
+          if (op == nullptr) {
+            return NotFoundError("undeclared resource op '" + use.op + "'");
+          }
+          std::string target = "E_" + op->name;
+          if (op->state_key.has_value()) {
+            const bool warm = device_state_[*op->state_key];
+            target += warm ? "_warm" : "_cold";
+            device_state_[*op->state_key] = true;
+          }
+          std::vector<Value> args;
+          for (const ExprPtr& a : use.args) {
+            ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*a, env));
+            args.push_back(v);
+          }
+          ECLARITY_ASSIGN_OR_RETURN(
+              Value cost, evaluator_.EvalSampled(target, args, {}, rng_));
+          ECLARITY_ASSIGN_OR_RETURN(AbstractEnergy energy, cost.AsEnergy());
+          if (!energy.IsConcrete()) {
+            return FailedPreconditionError(
+                "hardware interface returned abstract energy");
+          }
+          result.energy += energy.concrete();
+          ++result.uses;
+          break;
+        }
+        case MirStmtKind::kDeviceState: {
+          const auto& s = static_cast<const MirDeviceState&>(*stmt);
+          device_state_[s.key] = s.on;
+          break;
+        }
+        case MirStmtKind::kCall: {
+          const auto& call = static_cast<const MirCall&>(*stmt);
+          const MirFunction* callee = module_.FindFunction(call.callee);
+          if (callee == nullptr) {
+            return NotFoundError("call to unknown function '" + call.callee +
+                                 "'");
+          }
+          if (callee->params.size() != call.args.size()) {
+            return InvalidArgumentError("arity mismatch calling '" +
+                                        call.callee + "'");
+          }
+          std::map<std::string, Value> callee_env;
+          for (size_t i = 0; i < call.args.size(); ++i) {
+            ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*call.args[i], env));
+            callee_env[callee->params[i]] = v;
+          }
+          ECLARITY_RETURN_IF_ERROR(Exec(callee->body, callee_env, result));
+          break;
+        }
+        case MirStmtKind::kIf: {
+          const auto& s = static_cast<const MirIf&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value cond, Eval(*s.condition, env));
+          ECLARITY_ASSIGN_OR_RETURN(bool truth, cond.AsBool());
+          if (truth) {
+            ECLARITY_RETURN_IF_ERROR(Exec(s.then_block, env, result));
+          } else if (s.else_block.has_value()) {
+            ECLARITY_RETURN_IF_ERROR(Exec(*s.else_block, env, result));
+          }
+          break;
+        }
+        case MirStmtKind::kFor: {
+          const auto& s = static_cast<const MirFor&>(*stmt);
+          ECLARITY_ASSIGN_OR_RETURN(Value begin_v, Eval(*s.begin, env));
+          ECLARITY_ASSIGN_OR_RETURN(Value end_v, Eval(*s.end, env));
+          ECLARITY_ASSIGN_OR_RETURN(double begin_n, begin_v.AsNumber());
+          ECLARITY_ASSIGN_OR_RETURN(double end_n, end_v.AsNumber());
+          for (int64_t i = static_cast<int64_t>(begin_n);
+               i < static_cast<int64_t>(end_n); ++i) {
+            env[s.var] = Value::Number(static_cast<double>(i));
+            ECLARITY_RETURN_IF_ERROR(Exec(s.body, env, result));
+          }
+          break;
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  const MirModule& module_;
+  const Program& hardware_;
+  Evaluator evaluator_;
+  std::map<std::string, bool>& device_state_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::string EntryStateEcvName(const std::string& state_key) {
+  return "__entry_" + state_key;
+}
+
+Result<Program> ExtractModule(const MirModule& module) {
+  ModuleAnalyzer analyzer(module);
+  ECLARITY_ASSIGN_OR_RETURN(auto summaries, analyzer.Run());
+  Program out;
+  FunctionCompiler compiler(module, summaries);
+  for (const MirFunction& fn : module.functions) {
+    ECLARITY_RETURN_IF_ERROR(compiler.Compile(fn, out));
+  }
+  // Validate what we produced (imports to hardware ops are expected).
+  CheckOptions options;
+  options.allow_any_unresolved = true;
+  ECLARITY_RETURN_IF_ERROR(CheckProgramOk(out, options));
+  return out;
+}
+
+Result<MirRunResult> RunMir(const MirModule& module,
+                            const std::string& function,
+                            const std::vector<double>& args,
+                            const Program& hardware,
+                            std::map<std::string, bool>& device_state) {
+  MirExecutor executor(module, hardware, device_state);
+  return executor.Run(function, args);
+}
+
+}  // namespace eclarity

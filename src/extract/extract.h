@@ -1,0 +1,66 @@
+// Implementation→interface extraction (paper §4.2).
+//
+// ExtractModule compiles each MIR function into an EIL energy interface
+// E_<function>:
+//
+//   * the module's logic (assignments, branches, loops) is carried over
+//     verbatim, so the interface computes the same path structure;
+//   * every resource use becomes an accumulation of a call into the
+//     lower-level energy interface E_<op>(...), left as an import to be
+//     linked against a hardware layer;
+//   * device-state side effects are materialised as boolean locals: a
+//     state-dependent op reads the local (warm vs cold cost) and sets it,
+//     exactly capturing "if an app causes the radio to turn on, subsequent
+//     uses consume less energy";
+//   * a state that can be *read before the module sets it* depends on what
+//     ran before — not on the input — so it becomes an ECV
+//     (`__entry_<key>`), to be pinned by the caller's profile;
+//   * a call to another function that may change a state in a data-
+//     dependent way re-introduces uncertainty as a fresh ECV.
+//
+// RunMir is the reference executor: it runs the implementation concretely,
+// charging each resource use through an EIL hardware program, and is used to
+// validate that extracted interfaces predict the implementation exactly.
+
+#ifndef ECLARITY_SRC_EXTRACT_EXTRACT_H_
+#define ECLARITY_SRC_EXTRACT_EXTRACT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/eval/interp.h"
+#include "src/extract/mir.h"
+#include "src/lang/ast.h"
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Compiles every function of `module` to an EIL interface. The resulting
+// program imports E_<op> (or E_<op>_warm / E_<op>_cold for state-dependent
+// ops); link it against a hardware layer before evaluating.
+Result<Program> ExtractModule(const MirModule& module);
+
+// Reference execution of one MIR function. `hardware` must define the
+// E_<op> interfaces the module's resource ops map to. `device_state` is the
+// machine's shared state at entry (missing keys default to off) and is
+// updated in place by side effects.
+struct MirRunResult {
+  Energy energy;
+  // Resource-use count, for diagnostics.
+  int uses = 0;
+};
+
+Result<MirRunResult> RunMir(const MirModule& module,
+                            const std::string& function,
+                            const std::vector<double>& args,
+                            const Program& hardware,
+                            std::map<std::string, bool>& device_state);
+
+// Name of the ECV the extractor introduces for an entry-dependent state.
+std::string EntryStateEcvName(const std::string& state_key);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EXTRACT_EXTRACT_H_

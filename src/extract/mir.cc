@@ -1,0 +1,96 @@
+#include "src/extract/mir.h"
+
+namespace eclarity {
+
+MirBlock MirBlock::Clone() const {
+  MirBlock out;
+  out.statements.reserve(statements.size());
+  for (const MirStmtPtr& s : statements) {
+    out.statements.push_back(s->Clone());
+  }
+  return out;
+}
+
+MirStmtPtr MirAssign::Clone() const {
+  return std::make_unique<MirAssign>(name, value->Clone());
+}
+
+MirStmtPtr MirResourceUse::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const ExprPtr& a : args) {
+    cloned.push_back(a->Clone());
+  }
+  return std::make_unique<MirResourceUse>(op, std::move(cloned));
+}
+
+MirStmtPtr MirDeviceState::Clone() const {
+  return std::make_unique<MirDeviceState>(key, on);
+}
+
+MirStmtPtr MirIf::Clone() const {
+  std::optional<MirBlock> cloned_else;
+  if (else_block.has_value()) {
+    cloned_else = else_block->Clone();
+  }
+  return std::make_unique<MirIf>(condition->Clone(), then_block.Clone(),
+                                 std::move(cloned_else));
+}
+
+MirStmtPtr MirFor::Clone() const {
+  return std::make_unique<MirFor>(var, begin->Clone(), end->Clone(),
+                                  body.Clone());
+}
+
+MirStmtPtr MirCall::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const ExprPtr& a : args) {
+    cloned.push_back(a->Clone());
+  }
+  return std::make_unique<MirCall>(callee, std::move(cloned));
+}
+
+MirFunction MirFunction::Clone() const {
+  MirFunction out;
+  out.name = name;
+  out.params = params;
+  out.body = body.Clone();
+  return out;
+}
+
+const MirFunction* MirModule::FindFunction(const std::string& name) const {
+  for (const MirFunction& f : functions) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const ResourceOpDecl* MirModule::FindOp(const std::string& name) const {
+  for (const ResourceOpDecl& op : resource_ops) {
+    if (op.name == name) {
+      return &op;
+    }
+  }
+  return nullptr;
+}
+
+MirStmtPtr MirMakeAssign(std::string name, ExprPtr value) {
+  return std::make_unique<MirAssign>(std::move(name), std::move(value));
+}
+
+MirStmtPtr MirMakeUse(std::string op, std::vector<ExprPtr> args) {
+  return std::make_unique<MirResourceUse>(std::move(op), std::move(args));
+}
+
+MirStmtPtr MirMakeState(std::string key, bool on) {
+  return std::make_unique<MirDeviceState>(std::move(key), on);
+}
+
+MirStmtPtr MirMakeCall(std::string callee, std::vector<ExprPtr> args) {
+  return std::make_unique<MirCall>(std::move(callee), std::move(args));
+}
+
+}  // namespace eclarity

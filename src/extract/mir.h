@@ -1,0 +1,152 @@
+// MIR: a small structured imperative IR for module *implementations*.
+//
+// The implementation→interface workflow (paper §4.2) derives, for each
+// module implementation, "an intermediate representation that captures how
+// that module combines lower-level resources to implement its own logic ...
+// a combination of calls to lower-level resources and the actual
+// instructions that the module executes, along with a representation of
+// side effects".
+//
+// MirFunction is that IR. Its statements are:
+//   * Assign       — local arithmetic (the module's own logic);
+//   * ResourceUse  — consume a lower-level resource (cpu op batch, memory
+//                    read, packet send, ...); the op may be *state-
+//                    dependent* (cold vs warm cost);
+//   * DeviceState  — a side effect: set shared device state (e.g. turn the
+//                    WiFi radio on), changing the cost of later uses — the
+//                    paper's §4.2 example;
+//   * If / For     — structured control flow (conditions/bounds are
+//                    expressions over parameters and locals);
+//   * CallFn       — invoke another MIR function (its energy accrues here).
+//
+// Expressions reuse the EIL AST (numeric/boolean, no energy values): an
+// implementation computes with numbers; energy emerges from resource uses.
+
+#ifndef ECLARITY_SRC_EXTRACT_MIR_H_
+#define ECLARITY_SRC_EXTRACT_MIR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Declares one lower-level resource operation the implementation can use.
+struct ResourceOpDecl {
+  std::string name;       // e.g. "net_send" -> interface E_net_send(...)
+  size_t arity = 1;       // argument count of the energy interface
+  // When set, the op's cost depends on this device state: a use while the
+  // state is ON calls E_<name>_warm, while OFF calls E_<name>_cold, and
+  // the use itself turns the state ON (e.g. radio wake-on-use).
+  std::optional<std::string> state_key;
+};
+
+enum class MirStmtKind { kAssign, kResourceUse, kDeviceState, kIf, kFor, kCall };
+
+struct MirStmt;
+using MirStmtPtr = std::unique_ptr<MirStmt>;
+
+struct MirBlock {
+  std::vector<MirStmtPtr> statements;
+
+  MirBlock() = default;
+  MirBlock(MirBlock&&) = default;
+  MirBlock& operator=(MirBlock&&) = default;
+  MirBlock Clone() const;
+};
+
+struct MirStmt {
+  explicit MirStmt(MirStmtKind k) : kind(k) {}
+  virtual ~MirStmt() = default;
+  virtual MirStmtPtr Clone() const = 0;
+  MirStmtKind kind;
+};
+
+struct MirAssign : MirStmt {
+  MirAssign(std::string n, ExprPtr v)
+      : MirStmt(MirStmtKind::kAssign), name(std::move(n)), value(std::move(v)) {}
+  MirStmtPtr Clone() const override;
+  std::string name;
+  ExprPtr value;
+};
+
+struct MirResourceUse : MirStmt {
+  MirResourceUse(std::string o, std::vector<ExprPtr> a)
+      : MirStmt(MirStmtKind::kResourceUse), op(std::move(o)), args(std::move(a)) {}
+  MirStmtPtr Clone() const override;
+  std::string op;
+  std::vector<ExprPtr> args;
+};
+
+struct MirDeviceState : MirStmt {
+  MirDeviceState(std::string k, bool v)
+      : MirStmt(MirStmtKind::kDeviceState), key(std::move(k)), on(v) {}
+  MirStmtPtr Clone() const override;
+  std::string key;
+  bool on;
+};
+
+struct MirIf : MirStmt {
+  MirIf(ExprPtr c, MirBlock t, std::optional<MirBlock> e)
+      : MirStmt(MirStmtKind::kIf),
+        condition(std::move(c)),
+        then_block(std::move(t)),
+        else_block(std::move(e)) {}
+  MirStmtPtr Clone() const override;
+  ExprPtr condition;
+  MirBlock then_block;
+  std::optional<MirBlock> else_block;
+};
+
+struct MirFor : MirStmt {
+  MirFor(std::string v, ExprPtr b, ExprPtr e, MirBlock body_block)
+      : MirStmt(MirStmtKind::kFor),
+        var(std::move(v)),
+        begin(std::move(b)),
+        end(std::move(e)),
+        body(std::move(body_block)) {}
+  MirStmtPtr Clone() const override;
+  std::string var;
+  ExprPtr begin;
+  ExprPtr end;
+  MirBlock body;
+};
+
+struct MirCall : MirStmt {
+  MirCall(std::string c, std::vector<ExprPtr> a)
+      : MirStmt(MirStmtKind::kCall), callee(std::move(c)), args(std::move(a)) {}
+  MirStmtPtr Clone() const override;
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+struct MirFunction {
+  std::string name;
+  std::vector<std::string> params;
+  MirBlock body;
+
+  MirFunction Clone() const;
+};
+
+// A module: functions plus the resource ops they may use.
+struct MirModule {
+  std::vector<ResourceOpDecl> resource_ops;
+  std::vector<MirFunction> functions;
+
+  const MirFunction* FindFunction(const std::string& name) const;
+  const ResourceOpDecl* FindOp(const std::string& name) const;
+};
+
+// Builder helpers.
+MirStmtPtr MirMakeAssign(std::string name, ExprPtr value);
+MirStmtPtr MirMakeUse(std::string op, std::vector<ExprPtr> args);
+MirStmtPtr MirMakeState(std::string key, bool on);
+MirStmtPtr MirMakeCall(std::string callee, std::vector<ExprPtr> args);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EXTRACT_MIR_H_

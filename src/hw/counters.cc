@@ -1,0 +1,45 @@
+#include "src/hw/counters.h"
+
+#include <cmath>
+
+namespace eclarity {
+
+NvmlCounter::NvmlCounter(const GpuDevice& device) : device_(&device) {}
+
+Energy NvmlCounter::Read() {
+  if (device_->profile().telemetry == GpuTelemetryKind::kEnergyCounter) {
+    return device_->ReadEnergyRegister();
+  }
+  // Power-sampling: integrate instantaneous samples on the fixed grid
+  // t = k * period, advancing the cursor to the last completed sample.
+  const Duration period = device_->profile().power_sample_period;
+  const Duration now = device_->Now();
+  while (cursor_ + period <= now) {
+    const Power sample = device_->SamplePower(cursor_);
+    integrated_ += sample * period;
+    cursor_ += period;
+  }
+  return integrated_;
+}
+
+void RaplCounter::Update(Energy cumulative_true) {
+  if (cumulative_true.joules() > true_joules_) {
+    true_joules_ = cumulative_true.joules();
+  }
+  const double ticks = std::floor(true_joules_ / kJoulesPerTick);
+  register_ = static_cast<uint32_t>(
+      static_cast<uint64_t>(ticks) & 0xffffffffULL);
+}
+
+Energy RaplCounter::EnergyBetween(uint32_t before, uint32_t after) {
+  // Unsigned subtraction handles a single wraparound.
+  const uint32_t delta = after - before;
+  return Energy::Joules(static_cast<double>(delta) * kJoulesPerTick);
+}
+
+Energy RaplCounter::ReadUnwrapped() const {
+  const double ticks = std::floor(true_joules_ / kJoulesPerTick);
+  return Energy::Joules(ticks * kJoulesPerTick);
+}
+
+}  // namespace eclarity

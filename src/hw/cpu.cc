@@ -1,0 +1,159 @@
+#include "src/hw/cpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eclarity {
+
+CpuProfile BigLittleProfile() {
+  CpuProfile profile;
+  profile.name = "big.LITTLE";
+  profile.package_power = Power::Milliwatts(300.0);
+
+  CoreTypeSpec big;
+  big.name = "big";
+  big.ops_per_cycle = 4.0;
+  big.idle_power = Power::Milliwatts(80.0);
+  // Power grows superlinearly with frequency (V scales with f).
+  big.opps = {
+      {1.0e9, Power::Milliwatts(450.0)},
+      {1.6e9, Power::Milliwatts(1100.0)},
+      {2.2e9, Power::Milliwatts(2300.0)},
+      {2.8e9, Power::Milliwatts(4200.0)},
+  };
+
+  CoreTypeSpec little;
+  little.name = "little";
+  little.ops_per_cycle = 2.0;
+  little.idle_power = Power::Milliwatts(15.0);
+  little.opps = {
+      {0.6e9, Power::Milliwatts(60.0)},
+      {1.0e9, Power::Milliwatts(160.0)},
+      {1.5e9, Power::Milliwatts(420.0)},
+  };
+
+  profile.clusters = {{big, 4}, {little, 4}};
+  return profile;
+}
+
+CpuProfile ServerCpuProfile(int cores) {
+  CpuProfile profile;
+  profile.name = "server";
+  profile.package_power = Power::Watts(18.0);
+
+  CoreTypeSpec core;
+  core.name = "server";
+  core.ops_per_cycle = 4.0;
+  core.idle_power = Power::Milliwatts(350.0);
+  core.opps = {
+      {1.2e9, Power::Watts(1.1)},
+      {2.0e9, Power::Watts(2.6)},
+      {2.8e9, Power::Watts(5.2)},
+      {3.4e9, Power::Watts(8.5)},
+  };
+  profile.clusters = {{core, cores}};
+  return profile;
+}
+
+CpuDevice::CpuDevice(CpuProfile profile, MemoryStallModel stall_model)
+    : profile_(std::move(profile)), stall_(stall_model) {
+  for (const CpuCluster& cluster : profile_.clusters) {
+    for (int i = 0; i < cluster.core_count; ++i) {
+      Core core;
+      core.type = &cluster.type;
+      cores_.push_back(core);
+    }
+  }
+}
+
+const std::string& CpuDevice::CoreType(int idx) const {
+  return cores_[static_cast<size_t>(idx)].type->name;
+}
+
+int CpuDevice::OppCount(int idx) const {
+  return static_cast<int>(cores_[static_cast<size_t>(idx)].type->opps.size());
+}
+
+Status CpuDevice::SetOpp(int idx, int opp_index) {
+  if (idx < 0 || idx >= CoreCount()) {
+    return OutOfRangeError("core index out of range");
+  }
+  Core& core = cores_[static_cast<size_t>(idx)];
+  if (opp_index < 0 ||
+      opp_index >= static_cast<int>(core.type->opps.size())) {
+    return OutOfRangeError("operating point index out of range");
+  }
+  core.opp_index = opp_index;
+  return OkStatus();
+}
+
+int CpuDevice::CurrentOpp(int idx) const {
+  return cores_[static_cast<size_t>(idx)].opp_index;
+}
+
+double CpuDevice::PeakOpsPerSecond(int idx) const {
+  const Core& core = cores_[static_cast<size_t>(idx)];
+  const OperatingPoint& opp =
+      core.type->opps[static_cast<size_t>(core.opp_index)];
+  return opp.frequency_hz * core.type->ops_per_cycle;
+}
+
+Result<QuantumResult> CpuDevice::RunQuantum(int idx, Duration quantum,
+                                            double ops_requested,
+                                            double memory_intensity) {
+  if (idx < 0 || idx >= CoreCount()) {
+    return OutOfRangeError("core index out of range");
+  }
+  if (quantum.seconds() <= 0.0) {
+    return InvalidArgumentError("quantum must be positive");
+  }
+  memory_intensity = std::clamp(memory_intensity, 0.0, 1.0);
+  ops_requested = std::max(0.0, ops_requested);
+
+  Core& core = cores_[static_cast<size_t>(idx)];
+  const OperatingPoint& opp =
+      core.type->opps[static_cast<size_t>(core.opp_index)];
+
+  // Memory-bound work stalls the pipeline and draws less switching power.
+  const double throughput_scale =
+      1.0 - memory_intensity * (1.0 - stall_.throughput_floor);
+  const double power_scale =
+      1.0 - memory_intensity * (1.0 - stall_.power_floor);
+  const double rate =
+      opp.frequency_hz * core.type->ops_per_cycle * throughput_scale;
+  const double capacity = rate * quantum.seconds();
+
+  QuantumResult result;
+  result.ops_executed = std::min(ops_requested, capacity);
+  const double busy_seconds = rate > 0.0 ? result.ops_executed / rate : 0.0;
+  result.utilization = busy_seconds / quantum.seconds();
+  const Energy dynamic =
+      opp.dynamic_power * power_scale * Duration::Seconds(busy_seconds);
+  const Energy idle = core.type->idle_power * quantum;
+  result.energy = dynamic + idle;
+
+  core.energy += result.energy;
+  core.ran_this_quantum = true;
+  total_energy_ += result.energy;
+  return result;
+}
+
+void CpuDevice::FinishQuantum(Duration quantum) {
+  for (Core& core : cores_) {
+    if (!core.ran_this_quantum) {
+      const Energy idle = core.type->idle_power * quantum;
+      core.energy += idle;
+      total_energy_ += idle;
+    }
+    core.ran_this_quantum = false;
+  }
+  total_energy_ += profile_.package_power * quantum;
+  now_ += quantum;
+  rapl_.Update(total_energy_);
+}
+
+Energy CpuDevice::CoreEnergy(int idx) const {
+  return cores_[static_cast<size_t>(idx)].energy;
+}
+
+}  // namespace eclarity

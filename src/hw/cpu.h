@@ -1,0 +1,125 @@
+// Asymmetric multi-core CPU energy simulator.
+//
+// Substrate for the paper's §1 motivation: the Linux Energy-Aware Scheduler
+// runs on big.LITTLE systems and guesses task energy from past utilisation,
+// which fails for bimodal workloads. The simulator provides:
+//
+//   * clusters of heterogeneous core types (big/LITTLE) with per-core DVFS
+//     operating points (frequency, full-utilisation dynamic power);
+//   * quantum-based execution: a scheduler hands each core work for one
+//     quantum; the core reports executed operations and accrued energy;
+//   * memory intensity: memory-bound phases stall the pipeline (fewer
+//     ops/s) and draw less dynamic power — the effect that makes
+//     utilisation a poor energy proxy;
+//   * a package-level RaplCounter view for measurement workflows.
+
+#ifndef ECLARITY_SRC_HW_CPU_H_
+#define ECLARITY_SRC_HW_CPU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/counters.h"
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct OperatingPoint {
+  double frequency_hz = 1e9;
+  // Dynamic power when the core is 100% busy with compute-bound work.
+  Power dynamic_power = Power::Watts(1.0);
+};
+
+struct CoreTypeSpec {
+  std::string name;
+  double ops_per_cycle = 1.0;  // pipeline width for compute-bound work
+  std::vector<OperatingPoint> opps;  // ascending frequency
+  Power idle_power = Power::Milliwatts(50.0);
+};
+
+struct CpuCluster {
+  CoreTypeSpec type;
+  int core_count = 1;
+};
+
+struct CpuProfile {
+  std::string name;
+  std::vector<CpuCluster> clusters;
+  // Uncore/package power drawn regardless of core activity.
+  Power package_power = Power::Watts(0.5);
+};
+
+// A big.LITTLE phone/embedded-class profile: 4 big + 4 LITTLE.
+CpuProfile BigLittleProfile();
+// A symmetric server-class profile used by the cluster-scheduler scenarios.
+CpuProfile ServerCpuProfile(int cores = 16);
+
+// How memory-bound work degrades throughput and dynamic power. Fractions of
+// the compute-bound values at memory_intensity == 1.
+struct MemoryStallModel {
+  double throughput_floor = 0.25;  // ops rate at full memory-boundness
+  double power_floor = 0.55;       // dynamic power at full memory-boundness
+};
+
+struct QuantumResult {
+  double ops_executed = 0.0;
+  Energy energy;        // this core's energy for the quantum (idle+dynamic)
+  double utilization = 0.0;  // busy fraction of the quantum
+};
+
+class CpuDevice {
+ public:
+  CpuDevice(CpuProfile profile, MemoryStallModel stall_model = {});
+
+  const CpuProfile& profile() const { return profile_; }
+  int CoreCount() const { return static_cast<int>(cores_.size()); }
+  // Core type name of core `idx` ("big", "little", ...).
+  const std::string& CoreType(int idx) const;
+  int OppCount(int idx) const;
+  Status SetOpp(int idx, int opp_index);
+  int CurrentOpp(int idx) const;
+
+  // Peak ops/second of core `idx` at its current operating point, for
+  // compute-bound work.
+  double PeakOpsPerSecond(int idx) const;
+
+  // Runs one scheduling quantum on core `idx`: executes up to
+  // `ops_requested` operations of the given memory intensity (0 = fully
+  // compute-bound, 1 = fully memory-bound). Advances this core's share of
+  // package time; call FinishQuantum once per quantum to advance the clock.
+  Result<QuantumResult> RunQuantum(int idx, Duration quantum,
+                                   double ops_requested,
+                                   double memory_intensity);
+
+  // Advances global time by one quantum (adds package power and idle power
+  // of cores that did not run). Call after the per-core RunQuantum calls.
+  void FinishQuantum(Duration quantum);
+
+  Duration Now() const { return now_; }
+  Energy TrueEnergy() const { return total_energy_; }
+  Energy CoreEnergy(int idx) const;
+
+  // Package-level RAPL view (updated at FinishQuantum).
+  const RaplCounter& Rapl() const { return rapl_; }
+
+ private:
+  struct Core {
+    const CoreTypeSpec* type;
+    int opp_index = 0;
+    Energy energy;
+    bool ran_this_quantum = false;
+  };
+
+  CpuProfile profile_;
+  MemoryStallModel stall_;
+  std::vector<Core> cores_;
+  Duration now_;
+  Energy total_energy_;
+  RaplCounter rapl_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_HW_CPU_H_

@@ -1,0 +1,154 @@
+#include "src/hw/gpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace eclarity {
+
+GpuProfile Rtx4090LikeProfile() {
+  GpuProfile p;
+  p.name = "rtx4090-like";
+  p.energy_per_instruction = Energy::Picojoules(20.0);
+  p.energy_per_l1_wavefront = Energy::Nanojoules(0.15);
+  p.energy_per_l2_sector = Energy::Nanojoules(0.25);
+  p.energy_per_vram_sector = Energy::Nanojoules(2.5);
+  p.static_power = Power::Watts(58.0);
+  p.instructions_per_second = 4.0e13;
+  p.vram_bytes_per_second = 1.0e12;
+  p.white_noise_sigma = 0.006;
+  p.thermal_drift_amplitude = 0.025;
+  p.thermal_drift_period = Duration::Seconds(3.3);
+  p.burst_boost_bias = 0.016;
+  // Ada-class: direct cumulative energy register with fine resolution.
+  p.telemetry = GpuTelemetryKind::kEnergyCounter;
+  p.energy_resolution = Energy::Millijoules(1.0);
+  return p;
+}
+
+GpuProfile Rtx3070LikeProfile() {
+  GpuProfile p;
+  p.name = "rtx3070-like";
+  p.energy_per_instruction = Energy::Picojoules(30.0);
+  p.energy_per_l1_wavefront = Energy::Nanojoules(0.20);
+  p.energy_per_l2_sector = Energy::Nanojoules(0.30);
+  p.energy_per_vram_sector = Energy::Nanojoules(3.0);
+  p.static_power = Power::Watts(32.0);
+  p.instructions_per_second = 1.0e13;
+  p.vram_bytes_per_second = 4.4e11;
+  p.white_noise_sigma = 0.012;
+  p.thermal_drift_amplitude = 0.045;
+  p.thermal_drift_period = Duration::Seconds(1.7);
+  p.burst_boost_bias = 0.055;
+  // Ampere-class: only periodic, coarsely quantised power sampling.
+  p.telemetry = GpuTelemetryKind::kPowerSampling;
+  p.power_sample_period = Duration::Milliseconds(10.0);
+  p.power_quantization = Power::Watts(1.0);
+  return p;
+}
+
+KernelStats& KernelStats::operator+=(const KernelStats& other) {
+  instructions += other.instructions;
+  l1_wavefronts += other.l1_wavefronts;
+  l2_sectors += other.l2_sectors;
+  vram_sectors += other.vram_sectors;
+  return *this;
+}
+
+GpuDevice::GpuDevice(GpuProfile profile, uint64_t noise_seed)
+    : profile_(std::move(profile)), rng_(noise_seed) {}
+
+double GpuDevice::Residual(Duration at) {
+  const double drift =
+      profile_.thermal_drift_amplitude *
+      std::sin(2.0 * M_PI * at.seconds() /
+               profile_.thermal_drift_period.seconds());
+  const double white = rng_.Normal(0.0, profile_.white_noise_sigma);
+  return drift + white;
+}
+
+Duration GpuDevice::ExecuteKernel(const KernelStats& stats) {
+  // Duration: compute-bound or memory-bound, plus fixed launch overhead.
+  const double compute_s =
+      stats.instructions / profile_.instructions_per_second;
+  const double memory_s = stats.vram_sectors * GpuProfile::kBytesPerSector /
+                          profile_.vram_bytes_per_second;
+  const Duration duration = Duration::Seconds(
+      std::max(compute_s, memory_s) + GpuProfile::kLaunchOverheadSeconds);
+
+  const Energy modeled_dynamic =
+      profile_.energy_per_instruction * stats.instructions +
+      profile_.energy_per_l1_wavefront * stats.l1_wavefronts +
+      profile_.energy_per_l2_sector * stats.l2_sectors +
+      profile_.energy_per_vram_sector * stats.vram_sectors;
+  const Energy static_energy = profile_.static_power * duration;
+  double residual = Residual(now_ + duration);
+  if (duration < profile_.burst_kernel_threshold) {
+    residual += profile_.burst_boost_bias;
+  }
+  const Energy true_kernel_energy =
+      modeled_dynamic * (1.0 + residual) + static_energy;
+
+  trace_.push_back(
+      {now_, now_ + duration, true_kernel_energy / duration});
+  now_ += duration;
+  true_energy_ += true_kernel_energy;
+  counters_.instructions += stats.instructions;
+  counters_.l1_wavefronts += stats.l1_wavefronts;
+  counters_.l2_sectors += stats.l2_sectors;
+  counters_.vram_sectors += stats.vram_sectors;
+  counters_.kernels += 1.0;
+  return duration;
+}
+
+void GpuDevice::Idle(Duration duration) {
+  assert(duration.seconds() >= 0.0);
+  if (duration.seconds() <= 0.0) {
+    return;
+  }
+  trace_.push_back({now_, now_ + duration, profile_.static_power});
+  now_ += duration;
+  true_energy_ += profile_.static_power * duration;
+}
+
+Energy GpuDevice::ReadEnergyRegister() const {
+  const double resolution = profile_.energy_resolution.joules();
+  if (resolution <= 0.0) {
+    return true_energy_;
+  }
+  const double ticks = std::floor(true_energy_.joules() / resolution);
+  return Energy::Joules(ticks * resolution);
+}
+
+Power GpuDevice::SamplePower(Duration at) const {
+  Power raw = profile_.static_power;
+  if (!trace_.empty()) {
+    if (at >= trace_.back().end) {
+      // Beyond recorded history: device is idle at static power.
+      raw = profile_.static_power;
+    } else {
+      // Binary search for the segment containing `at`.
+      size_t lo = 0;
+      size_t hi = trace_.size() - 1;
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (trace_[mid].end <= at) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (at >= trace_[lo].start) {
+        raw = trace_[lo].power;
+      }
+      // Gaps between segments (none are produced today) read as static.
+    }
+  }
+  const double q = profile_.power_quantization.watts();
+  if (q <= 0.0) {
+    return raw;
+  }
+  return Power::Watts(std::round(raw.watts() / q) * q);
+}
+
+}  // namespace eclarity

@@ -1,0 +1,100 @@
+#include "src/hw/vendor.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/lang/parser.h"
+
+namespace eclarity {
+namespace {
+
+// Formats a double with enough digits to round-trip.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Formats an energy-per-event coefficient as an EIL Joule literal.
+std::string JoulesLit(double joules) { return Num(joules) + "J"; }
+
+}  // namespace
+
+GpuEnergyCoefficients CoefficientsFromProfile(const GpuProfile& profile) {
+  GpuEnergyCoefficients c;
+  c.instruction_joules = profile.energy_per_instruction.joules();
+  c.l1_wavefront_joules = profile.energy_per_l1_wavefront.joules();
+  c.l2_sector_joules = profile.energy_per_l2_sector.joules();
+  c.vram_sector_joules = profile.energy_per_vram_sector.joules();
+  c.static_watts = profile.static_power.watts();
+  return c;
+}
+
+Result<Program> GpuEnergyInterface(const std::string& device_name,
+                                   const GpuEnergyCoefficients& c) {
+  std::ostringstream os;
+  os << "# Hardware energy interface for " << device_name << ".\n"
+     << "# Linear model over the five metrics of the paper's GPT-2 study:\n"
+     << "# instructions, L1 wavefronts, L2 sectors, VRAM sectors, static.\n"
+     << "interface E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, "
+        "vram_sectors, duration_s) {\n"
+     << "  return instructions * " << JoulesLit(c.instruction_joules)
+     << " +\n         l1_wavefronts * " << JoulesLit(c.l1_wavefront_joules)
+     << " +\n         l2_sectors * " << JoulesLit(c.l2_sector_joules)
+     << " +\n         vram_sectors * " << JoulesLit(c.vram_sector_joules)
+     << " +\n         duration_s * " << JoulesLit(c.static_watts) << ";\n"
+     << "}\n"
+     << "interface E_gpu_idle(duration_s) {\n"
+     << "  return duration_s * " << JoulesLit(c.static_watts) << ";\n"
+     << "}\n";
+  return ParseProgram(os.str());
+}
+
+Result<Program> GpuVendorInterface(const GpuProfile& profile) {
+  return GpuEnergyInterface(profile.name, CoefficientsFromProfile(profile));
+}
+
+Result<Program> CpuVendorInterface(const CpuProfile& profile,
+                                   const MemoryStallModel& stall) {
+  std::ostringstream os;
+  os << "# Hardware energy interface for CPU '" << profile.name << "'.\n";
+  for (const CpuCluster& cluster : profile.clusters) {
+    const CoreTypeSpec& type = cluster.type;
+    // Dynamic energy of running `ops` operations at operating point `opp`
+    // with the given memory intensity. Mirrors CpuDevice::RunQuantum.
+    os << "interface E_" << type.name
+       << "_run(ops, memory_intensity, opp) {\n"
+       << "  let throughput_scale = 1 - memory_intensity * "
+       << Num(1.0 - stall.throughput_floor) << ";\n"
+       << "  let power_scale = 1 - memory_intensity * "
+       << Num(1.0 - stall.power_floor) << ";\n";
+    for (size_t i = 0; i < type.opps.size(); ++i) {
+      const OperatingPoint& opp = type.opps[i];
+      const double rate = opp.frequency_hz * type.ops_per_cycle;
+      os << "  " << (i == 0 ? "if" : "else if") << " (opp == " << i << ") {\n"
+         << "    return ops / (" << Num(rate)
+         << " * throughput_scale) * power_scale * "
+         << JoulesLit(opp.dynamic_power.watts()) << ";\n"
+         << "  }\n";
+    }
+    // Unknown OPP: conservative worst case at the top operating point.
+    const OperatingPoint& top = type.opps.back();
+    const double top_rate = top.frequency_hz * type.ops_per_cycle;
+    os << "  return ops / (" << Num(top_rate)
+       << " * throughput_scale) * power_scale * "
+       << JoulesLit(top.dynamic_power.watts()) << ";\n"
+       << "}\n";
+    // Busy time in seconds, needed by schedulers for capacity planning.
+    // Returned as an energy-typed value would be wrong, so the rate tables
+    // are exported as separate per-OPP constants instead.
+    os << "interface E_" << type.name << "_idle(duration_s) {\n"
+       << "  return duration_s * " << JoulesLit(type.idle_power.watts())
+       << ";\n}\n";
+  }
+  os << "interface E_package(duration_s) {\n"
+     << "  return duration_s * " << JoulesLit(profile.package_power.watts())
+     << ";\n}\n";
+  return ParseProgram(os.str());
+}
+
+}  // namespace eclarity

@@ -1,0 +1,62 @@
+// Vendor-provided hardware energy interfaces (the paper's bottom layer).
+//
+// §3: "The lowest layer in the system stack would normally consist of
+// energy interfaces provided by a hardware vendor", and when those are not
+// available "one can approximate them with microbenchmarks". Both paths are
+// supported:
+//
+//   * GpuVendorInterface / CpuVendorInterface emit EIL programs from the
+//     device profiles — what a cooperative vendor would publish;
+//   * GpuCalibratedInterface emits the same shape from microbenchmark-fitted
+//     coefficients (see ml::Calibrator), which is what the paper actually
+//     had to do for its two GPUs.
+//
+// The generated programs are the bottom layer of every stack in this repo;
+// retargeting a stack to another machine replaces exactly these interfaces.
+
+#ifndef ECLARITY_SRC_HW_VENDOR_H_
+#define ECLARITY_SRC_HW_VENDOR_H_
+
+#include <string>
+
+#include "src/hw/cpu.h"
+#include "src/hw/gpu.h"
+#include "src/lang/ast.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Linear GPU energy model coefficients (Joules per event, Watts static).
+struct GpuEnergyCoefficients {
+  double instruction_joules = 0.0;
+  double l1_wavefront_joules = 0.0;
+  double l2_sector_joules = 0.0;
+  double vram_sector_joules = 0.0;
+  double static_watts = 0.0;
+};
+
+// True coefficients straight from a profile.
+GpuEnergyCoefficients CoefficientsFromProfile(const GpuProfile& profile);
+
+// EIL program exporting:
+//   E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, vram_sectors,
+//                duration_s)
+//   E_gpu_idle(duration_s)
+Result<Program> GpuEnergyInterface(const std::string& device_name,
+                                   const GpuEnergyCoefficients& coefficients);
+
+// Convenience: vendor interface with the profile's true coefficients.
+Result<Program> GpuVendorInterface(const GpuProfile& profile);
+
+// EIL program exporting, per core type T in the profile:
+//   E_T_run(ops, memory_intensity, opp)  — dynamic energy of executing ops
+//   E_T_busy_seconds(ops, memory_intensity, opp) * 1J trick is avoided by
+//   also exporting:
+//   E_T_idle(duration_s)                 — idle energy over wall time
+// plus E_package(duration_s).
+Result<Program> CpuVendorInterface(const CpuProfile& profile,
+                                   const MemoryStallModel& stall_model = {});
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_HW_VENDOR_H_

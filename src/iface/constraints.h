@@ -1,0 +1,106 @@
+// Energy constraints and compatibility checking (paper §4.1).
+//
+// In the interface→implementation workflow, a module's energy interface
+// states *upper-bound requirements*; a toolchain must check that the
+// composition of lower-level interfaces "satisfies the energy constraints
+// present in the upper-level energy interfaces", and some modules need
+// stronger properties — "constant-energy execution for crypto code, to
+// explicitly disallow energy side-channels".
+//
+// This module implements those checks:
+//
+//   * CheckEnvelopeAtPoint  — per-input check: the implementation's maximum
+//     energy over all ECV draws must not exceed the envelope interface's
+//     value for the same input.
+//   * CheckEnvelopeOnBox    — sound interval check over an input box: the
+//     implementation's guaranteed upper bound must not exceed the
+//     envelope's guaranteed lower bound.
+//   * CheckConstantEnergy   — all paths (ECV draws) of an interface must
+//     produce the same energy, within a tolerance; violations report the
+//     pair of draw sequences that differ (the side channel).
+//   * CheckCompatibility    — batch form over declared (module, envelope)
+//     pairs across a composed program.
+
+#ifndef ECLARITY_SRC_IFACE_CONSTRAINTS_H_
+#define ECLARITY_SRC_IFACE_CONSTRAINTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/eval/interp.h"
+#include "src/eval/interval.h"
+#include "src/lang/ast.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct EnvelopeReport {
+  bool satisfied = false;
+  // Implementation's maximum energy over ECV draws (Joules).
+  double impl_max_joules = 0.0;
+  // Envelope's bound for the same input (Joules). For the box check this is
+  // the envelope's guaranteed minimum.
+  double bound_joules = 0.0;
+  // bound - impl_max (negative when violated).
+  double margin_joules = 0.0;
+};
+
+// Point check: worst outcome of `impl` on `args` vs the (deterministic
+// upper-bound) value of `envelope` on the same args. Both entries must exist
+// in `program`. ECVs in the envelope are taken at their worst case too.
+Result<EnvelopeReport> CheckEnvelopeAtPoint(
+    const Program& program, const std::string& impl,
+    const std::string& envelope, const std::vector<Value>& args,
+    const EnergyCalibration* calibration = nullptr);
+
+// Sound box check via interval evaluation.
+Result<EnvelopeReport> CheckEnvelopeOnBox(
+    const Program& program, const std::string& impl,
+    const std::string& envelope, const std::vector<IntervalValue>& args,
+    const EnergyCalibration* calibration = nullptr);
+
+struct ConstantEnergyReport {
+  bool constant = false;
+  double min_joules = 0.0;
+  double max_joules = 0.0;
+  // Present when not constant: the two ECV draw sequences whose energies
+  // differ the most — the observable side channel.
+  std::optional<std::vector<std::pair<std::string, Value>>> low_trace;
+  std::optional<std::vector<std::pair<std::string, Value>>> high_trace;
+};
+
+// Checks that every ECV draw sequence yields the same energy for `args`,
+// within `tolerance_joules`.
+Result<ConstantEnergyReport> CheckConstantEnergy(
+    const Program& program, const std::string& entry,
+    const std::vector<Value>& args, double tolerance_joules = 0.0,
+    const EnergyCalibration* calibration = nullptr);
+
+enum class ConstraintKind { kUpperBound, kConstantEnergy };
+
+struct EnergyConstraint {
+  ConstraintKind kind = ConstraintKind::kUpperBound;
+  std::string impl;        // implementation entry interface
+  std::string envelope;    // bound interface (kUpperBound only)
+  double tolerance_joules = 0.0;  // kConstantEnergy only
+};
+
+struct ConstraintViolation {
+  EnergyConstraint constraint;
+  std::vector<Value> args;
+  std::string detail;
+};
+
+// Evaluates every constraint against every argument tuple in `test_inputs`.
+// Returns the violations (empty means compatible, paper §4.1's "first-cut
+// answer on whether they are compatible with each other").
+Result<std::vector<ConstraintViolation>> CheckCompatibility(
+    const Program& program, const std::vector<EnergyConstraint>& constraints,
+    const std::vector<std::vector<Value>>& test_inputs,
+    const EnergyCalibration* calibration = nullptr);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_IFACE_CONSTRAINTS_H_

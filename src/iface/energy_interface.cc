@@ -1,0 +1,129 @@
+#include "src/iface/energy_interface.h"
+
+#include "src/lang/checker.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace eclarity {
+
+// Friend of EnergyInterface; performs the raw construction.
+Result<EnergyInterface> MakeEnergyInterface(Program program, std::string entry,
+                                            std::vector<std::string> params) {
+  return EnergyInterface(std::move(program), std::move(entry),
+                         std::move(params));
+}
+
+namespace {
+
+Result<EnergyInterface> Build(Program program, const std::string& entry,
+                              const std::vector<std::string>& imports) {
+  CheckOptions options;
+  for (const std::string& name : imports) {
+    options.allow_unresolved.insert(name);
+  }
+  ECLARITY_RETURN_IF_ERROR(CheckProgramOk(program, options));
+  const InterfaceDecl* decl = program.FindInterface(entry);
+  if (decl == nullptr) {
+    return NotFoundError("entry interface '" + entry +
+                         "' not found in program");
+  }
+  std::vector<std::string> params = decl->params;
+  return MakeEnergyInterface(std::move(program), entry, std::move(params));
+}
+
+}  // namespace
+
+Result<EnergyInterface> EnergyInterface::FromSource(
+    const std::string& source, const std::string& entry,
+    const std::vector<std::string>& imports) {
+  ECLARITY_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  return Build(std::move(program), entry, imports);
+}
+
+Result<EnergyInterface> EnergyInterface::FromProgram(
+    Program program, const std::string& entry,
+    const std::vector<std::string>& imports) {
+  return Build(std::move(program), entry, imports);
+}
+
+std::vector<std::string> EnergyInterface::UnresolvedImports() const {
+  return program_.UnresolvedCallees();
+}
+
+Status EnergyInterface::RequireClosed() const {
+  const std::vector<std::string> unresolved = UnresolvedImports();
+  if (unresolved.empty()) {
+    return OkStatus();
+  }
+  std::string joined;
+  for (const std::string& name : unresolved) {
+    if (!joined.empty()) {
+      joined += ", ";
+    }
+    joined += name;
+  }
+  return FailedPreconditionError(
+      "interface '" + entry_ + "' has unresolved imports: " + joined);
+}
+
+Result<Energy> EnergyInterface::Expected(const std::vector<Value>& args,
+                                         const EcvProfile& profile,
+                                         const EnergyCalibration* calibration,
+                                         const EvalOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  Evaluator evaluator(program_, options);
+  return evaluator.ExpectedEnergy(entry_, args, profile, calibration);
+}
+
+Result<Distribution> EnergyInterface::EnergyDistribution(
+    const std::vector<Value>& args, const EcvProfile& profile,
+    const EnergyCalibration* calibration, const EvalOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  Evaluator evaluator(program_, options);
+  return evaluator.EvalDistribution(entry_, args, profile, calibration);
+}
+
+Result<std::vector<WeightedOutcome>> EnergyInterface::Paths(
+    const std::vector<Value>& args, const EcvProfile& profile,
+    const EvalOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  Evaluator evaluator(program_, options);
+  return evaluator.Enumerate(entry_, args, profile);
+}
+
+Result<EnergyInterval> EnergyInterface::WorstCase(
+    const std::vector<IntervalValue>& args, const EcvProfile& profile,
+    const EnergyCalibration* calibration,
+    const IntervalOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  IntervalEvaluator evaluator(program_, calibration, options);
+  return evaluator.EvalInterval(entry_, args, profile);
+}
+
+Result<Value> EnergyInterface::Sample(const std::vector<Value>& args,
+                                      const EcvProfile& profile, Rng& rng,
+                                      const EvalOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  Evaluator evaluator(program_, options);
+  return evaluator.EvalSampled(entry_, args, profile, rng);
+}
+
+Result<EnergyInterface> EnergyInterface::Rebind(const Program& layer) const {
+  Program merged = program_.Clone();
+  ECLARITY_RETURN_IF_ERROR(merged.Merge(layer, /*overwrite=*/true));
+  std::vector<std::string> imports = merged.UnresolvedCallees();
+  return Build(std::move(merged), entry_, imports);
+}
+
+Result<EnergyInterface> EnergyInterface::Link(const Program& other) const {
+  Program merged = program_.Clone();
+  ECLARITY_RETURN_IF_ERROR(merged.Merge(other, /*overwrite=*/false));
+  std::vector<std::string> imports = merged.UnresolvedCallees();
+  return Build(std::move(merged), entry_, imports);
+}
+
+std::string EnergyInterface::ToSource() const {
+  return PrintProgram(program_);
+}
+
+}  // namespace eclarity

@@ -1,0 +1,134 @@
+#include "src/iface/perturb.h"
+
+namespace eclarity {
+namespace {
+
+void PerturbExpr(Expr& e, double epsilon, Rng& rng);
+
+void PerturbBlock(Block& block, double epsilon, Rng& rng) {
+  for (StmtPtr& stmt : block.statements) {
+    switch (stmt->kind) {
+      case StmtKind::kLet:
+        PerturbExpr(*static_cast<LetStmt&>(*stmt).init, epsilon, rng);
+        break;
+      case StmtKind::kAssign:
+        PerturbExpr(*static_cast<AssignStmt&>(*stmt).value, epsilon, rng);
+        break;
+      case StmtKind::kEcv:
+        // Distribution parameters are probabilities/counts, not energies;
+        // they are left untouched.
+        break;
+      case StmtKind::kIf: {
+        auto& s = static_cast<IfStmt&>(*stmt);
+        PerturbExpr(*s.condition, epsilon, rng);
+        PerturbBlock(s.then_block, epsilon, rng);
+        if (s.else_block.has_value()) {
+          PerturbBlock(*s.else_block, epsilon, rng);
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        auto& s = static_cast<ForStmt&>(*stmt);
+        PerturbExpr(*s.begin, epsilon, rng);
+        PerturbExpr(*s.end, epsilon, rng);
+        PerturbBlock(s.body, epsilon, rng);
+        break;
+      }
+      case StmtKind::kReturn:
+        PerturbExpr(*static_cast<ReturnStmt&>(*stmt).value, epsilon, rng);
+        break;
+    }
+  }
+}
+
+void PerturbExpr(Expr& e, double epsilon, Rng& rng) {
+  switch (e.kind) {
+    case ExprKind::kEnergyLit: {
+      auto& lit = static_cast<EnergyLit&>(e);
+      lit.joules *= 1.0 + rng.UniformDouble(-epsilon, epsilon);
+      return;
+    }
+    case ExprKind::kNumberLit:
+    case ExprKind::kBoolLit:
+    case ExprKind::kVarRef:
+      return;
+    case ExprKind::kUnary:
+      PerturbExpr(*static_cast<UnaryExpr&>(e).operand, epsilon, rng);
+      return;
+    case ExprKind::kBinary: {
+      auto& b = static_cast<BinaryExpr&>(e);
+      PerturbExpr(*b.lhs, epsilon, rng);
+      PerturbExpr(*b.rhs, epsilon, rng);
+      return;
+    }
+    case ExprKind::kConditional: {
+      auto& c = static_cast<ConditionalExpr&>(e);
+      PerturbExpr(*c.condition, epsilon, rng);
+      PerturbExpr(*c.then_value, epsilon, rng);
+      PerturbExpr(*c.else_value, epsilon, rng);
+      return;
+    }
+    case ExprKind::kCall: {
+      auto& call = static_cast<CallExpr&>(e);
+      for (ExprPtr& arg : call.args) {
+        PerturbExpr(*arg, epsilon, rng);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Program> PerturbProgram(const Program& program, double epsilon,
+                               Rng& rng) {
+  if (epsilon < 0.0 || epsilon >= 1.0) {
+    return InvalidArgumentError("perturbation epsilon must be in [0, 1)");
+  }
+  Program clone = program.Clone();
+  // Consts may hold energy literals too.
+  Program rebuilt;
+  for (const ConstDecl& c : clone.consts()) {
+    ConstDecl copy = c.Clone();
+    PerturbExpr(*copy.value, epsilon, rng);
+    ECLARITY_RETURN_IF_ERROR(rebuilt.AddConst(std::move(copy)));
+  }
+  for (const InterfaceDecl& i : clone.interfaces()) {
+    InterfaceDecl copy = i.Clone();
+    PerturbBlock(copy.body, epsilon, rng);
+    ECLARITY_RETURN_IF_ERROR(rebuilt.AddInterface(std::move(copy)));
+  }
+  return rebuilt;
+}
+
+Result<ComposedErrorResult> ComposedErrorStudy(
+    const Program& program, const std::string& entry,
+    const std::vector<Value>& args, double epsilon, int trials, Rng& rng,
+    const EcvProfile& profile, const EnergyCalibration* calibration) {
+  if (trials <= 0) {
+    return InvalidArgumentError("trials must be positive");
+  }
+  Evaluator base_eval(program);
+  ECLARITY_ASSIGN_OR_RETURN(
+      Energy truth, base_eval.ExpectedEnergy(entry, args, profile, calibration));
+  if (truth.joules() == 0.0) {
+    return FailedPreconditionError(
+        "entry expectation is zero; relative error undefined");
+  }
+  ComposedErrorResult result;
+  result.true_expectation_joules = truth.joules();
+  result.relative_errors.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    ECLARITY_ASSIGN_OR_RETURN(Program perturbed,
+                              PerturbProgram(program, epsilon, rng));
+    Evaluator eval(perturbed);
+    ECLARITY_ASSIGN_OR_RETURN(
+        Energy estimate, eval.ExpectedEnergy(entry, args, profile, calibration));
+    result.relative_errors.push_back(
+        RelativeError(estimate.joules(), truth.joules()));
+  }
+  result.summary = SummarizeErrors(result.relative_errors);
+  return result;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,48 @@
+// Coefficient perturbation for the composition-error study (paper §6).
+//
+// "An important question in composition is how the lack of accuracy in
+// different lower-level interfaces influences the accuracy of a higher-level
+// interface." To study that empirically, PerturbProgram injects a bounded
+// relative error into every energy literal of a program — modelling
+// imperfect per-layer calibration — and ComposedErrorStudy measures how the
+// end-to-end expectation of an entry interface moves, across many random
+// perturbations.
+
+#ifndef ECLARITY_SRC_IFACE_PERTURB_H_
+#define ECLARITY_SRC_IFACE_PERTURB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/interp.h"
+#include "src/lang/ast.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Returns a clone of `program` with every EnergyLit scaled by an independent
+// factor (1 + u), u ~ Uniform(-epsilon, +epsilon). `epsilon` in [0, 1).
+Result<Program> PerturbProgram(const Program& program, double epsilon,
+                               Rng& rng);
+
+struct ComposedErrorResult {
+  // Relative error of the perturbed expectation vs the true expectation,
+  // one entry per trial.
+  std::vector<double> relative_errors;
+  ErrorSummary summary;
+  double true_expectation_joules = 0.0;
+};
+
+// Runs `trials` random perturbations at strength `epsilon` and reports the
+// distribution of end-to-end relative error of `entry`'s expectation.
+Result<ComposedErrorResult> ComposedErrorStudy(
+    const Program& program, const std::string& entry,
+    const std::vector<Value>& args, double epsilon, int trials, Rng& rng,
+    const EcvProfile& profile = {},
+    const EnergyCalibration* calibration = nullptr);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_IFACE_PERTURB_H_

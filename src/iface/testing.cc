@@ -1,0 +1,61 @@
+#include "src/iface/testing.h"
+
+#include <algorithm>
+
+#include "src/util/stats.h"
+
+namespace eclarity {
+
+Result<DivergenceReport> TestAgainstMeasurement(
+    const EnergyInterface& iface,
+    const std::vector<std::vector<Value>>& inputs,
+    const EnergyMeasureFn& measure, double threshold,
+    const EcvProfile& profile, const EnergyCalibration* calibration) {
+  if (inputs.empty()) {
+    return InvalidArgumentError("no test inputs");
+  }
+  if (threshold < 0.0) {
+    return InvalidArgumentError("threshold must be non-negative");
+  }
+  DivergenceReport report;
+  for (const std::vector<Value>& args : inputs) {
+    ECLARITY_ASSIGN_OR_RETURN(Energy predicted,
+                              iface.Expected(args, profile, calibration));
+    ECLARITY_ASSIGN_OR_RETURN(Energy measured, measure(args));
+    DivergenceRow row;
+    row.args = args;
+    row.measured_joules = measured.joules();
+    row.predicted_joules = predicted.joules();
+    row.divergence = RelativeError(measured.joules(), predicted.joules());
+    row.flagged = row.divergence > threshold;
+    if (row.flagged) {
+      ++report.flagged_count;
+    }
+    report.max_divergence = std::max(report.max_divergence, row.divergence);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+Result<BudgetReport> CheckEnergyBudget(const EnergyInterface& iface,
+                                       const std::vector<Value>& args,
+                                       Energy budget,
+                                       double max_exceed_probability,
+                                       const EcvProfile& profile,
+                                       const EnergyCalibration* calibration) {
+  if (max_exceed_probability < 0.0 || max_exceed_probability > 1.0) {
+    return InvalidArgumentError("max_exceed_probability must be in [0,1]");
+  }
+  ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
+                            iface.EnergyDistribution(args, profile,
+                                                     calibration));
+  BudgetReport report;
+  report.budget = budget;
+  report.worst_case = Energy::Joules(dist.MaxValue());
+  // P(X > budget) = 1 - P(X <= budget).
+  report.exceed_probability = 1.0 - dist.Cdf(budget.joules());
+  report.satisfied = report.exceed_probability <= max_exceed_probability;
+  return report;
+}
+
+}  // namespace eclarity

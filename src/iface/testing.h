@@ -1,0 +1,73 @@
+// Energy testing against interfaces (paper §4.2's testing workflow).
+//
+// "One way to do testing is by running the layer (or the entire stack)
+// with well chosen inputs, measuring the consumed energy (e.g., with Intel
+// RAPL), and comparing it to the interface's prediction; divergences would
+// then be flagged as energy bugs."
+//
+// TestAgainstMeasurement runs a caller-supplied measurement callback over a
+// set of inputs and flags divergences beyond a threshold. CheckEnergyBudget
+// evaluates a probabilistic budget — P(energy > budget) <= p — against the
+// interface's exact ECV distribution, the quantile analogue of the §4.1
+// upper-bound envelopes.
+
+#ifndef ECLARITY_SRC_IFACE_TESTING_H_
+#define ECLARITY_SRC_IFACE_TESTING_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/iface/energy_interface.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Measures the real system's energy for one input (through RAPL/NVML-style
+// counters in this repository's substrates).
+using EnergyMeasureFn =
+    std::function<Result<Energy>(const std::vector<Value>& args)>;
+
+struct DivergenceRow {
+  std::vector<Value> args;
+  double measured_joules = 0.0;
+  double predicted_joules = 0.0;
+  double divergence = 0.0;  // |measured - predicted| / predicted
+  bool flagged = false;
+};
+
+struct DivergenceReport {
+  std::vector<DivergenceRow> rows;
+  int flagged_count = 0;
+  double max_divergence = 0.0;
+
+  bool AllWithinThreshold() const { return flagged_count == 0; }
+};
+
+// Compares `measure` against `iface.Expected` on every input tuple;
+// divergence beyond `threshold` flags the row as a candidate energy bug.
+Result<DivergenceReport> TestAgainstMeasurement(
+    const EnergyInterface& iface,
+    const std::vector<std::vector<Value>>& inputs,
+    const EnergyMeasureFn& measure, double threshold = 0.10,
+    const EcvProfile& profile = {},
+    const EnergyCalibration* calibration = nullptr);
+
+struct BudgetReport {
+  bool satisfied = false;
+  // Exact probability mass of outcomes strictly above the budget.
+  double exceed_probability = 0.0;
+  Energy budget;
+  Energy worst_case;
+};
+
+// Checks P(energy > budget) <= max_exceed_probability under the interface's
+// exact distribution for `args`.
+Result<BudgetReport> CheckEnergyBudget(
+    const EnergyInterface& iface, const std::vector<Value>& args,
+    Energy budget, double max_exceed_probability,
+    const EcvProfile& profile = {},
+    const EnergyCalibration* calibration = nullptr);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_IFACE_TESTING_H_

@@ -1,0 +1,53 @@
+// Static checks over EIL programs.
+//
+// Interfaces are contracts, so a malformed interface should be rejected
+// before anything evaluates it. CheckProgram verifies, per interface:
+//
+//   * every referenced name is defined (param, let, ecv, const, loop var);
+//   * assignment targets exist and were declared `mut`;
+//   * no redefinition within a scope, no shadowing of parameters;
+//   * every control-flow path ends in a return;
+//   * no statements after a return in the same block;
+//   * call arity matches the callee's declaration (or a known builtin);
+//   * ECV names are unique within an interface;
+//   * calls resolve to interfaces in the program, builtins, or names listed
+//     in `allow_unresolved` (imports satisfied later by composition).
+
+#ifndef ECLARITY_SRC_LANG_CHECKER_H_
+#define ECLARITY_SRC_LANG_CHECKER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct CheckOptions {
+  // Callee names that may remain unresolved (to be bound by later Merge).
+  std::set<std::string> allow_unresolved;
+  // When false (default), a call to an undefined non-builtin name is an
+  // error; composition workflows set this to true and check closure later.
+  bool allow_any_unresolved = false;
+};
+
+// Returns all problems found (empty means the program is well-formed).
+std::vector<Status> CheckProgram(const Program& program,
+                                 const CheckOptions& options = {});
+
+// Convenience: first problem or OK.
+Status CheckProgramOk(const Program& program, const CheckOptions& options = {});
+
+// Collects the names of all ECVs declared anywhere in `decl`.
+std::vector<std::string> CollectEcvNames(const InterfaceDecl& decl);
+
+// Collects names of interfaces called (transitively, within `program`)
+// starting from `root`. Includes `root` itself. Unknown callees are skipped.
+std::set<std::string> TransitiveCallees(const Program& program,
+                                        const std::string& root);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_LANG_CHECKER_H_

@@ -1,0 +1,290 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace eclarity {
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto* kKeywords = new std::map<std::string, TokenKind>{
+      {"interface", TokenKind::kInterface},
+      {"extern", TokenKind::kExtern},
+      {"const", TokenKind::kConst},
+      {"let", TokenKind::kLet},
+      {"mut", TokenKind::kMut},
+      {"ecv", TokenKind::kEcv},
+      {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},
+      {"for", TokenKind::kFor},
+      {"in", TokenKind::kIn},
+      {"return", TokenKind::kReturn},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+  };
+  return *kKeywords;
+}
+
+// Joules per unit for recognised energy-literal suffixes.
+const std::map<std::string, double>& EnergyUnits() {
+  static const auto* kUnits = new std::map<std::string, double>{
+      {"J", 1.0},    {"kJ", 1e3},  {"mJ", 1e-3},
+      {"uJ", 1e-6},  {"nJ", 1e-9}, {"pJ", 1e-12},
+  };
+  return *kUnits;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back(Make(TokenKind::kEndOfFile));
+        return tokens;
+      }
+      ECLARITY_ASSIGN_OR_RETURN(Token token, Next());
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Token Make(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Status Error(const std::string& message) const {
+    std::ostringstream os;
+    os << "lex error at " << line_ << ":" << column_ << ": " << message;
+    return InvalidArgumentError(os.str());
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (!AtEnd() && Peek() == '#') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<Token> Next() {
+    const char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier();
+    }
+    if (c == '"') {
+      return LexString();
+    }
+    return LexOperator();
+  }
+
+  Result<Token> LexNumber() {
+    Token t = Make(TokenKind::kNumber);
+    std::string digits;
+    auto take_digits = [&] {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+    };
+    take_digits();
+    if (Peek() == '.' && Peek(1) != '.') {  // don't eat the '..' range op
+      digits.push_back(Advance());
+      take_digits();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      // Exponent only if followed by digits or a sign+digits; otherwise the
+      // 'e' begins an identifier-like suffix or next token.
+      const char s1 = Peek(1);
+      const char s2 = Peek(2);
+      const bool exp_digit = std::isdigit(static_cast<unsigned char>(s1));
+      const bool exp_signed = (s1 == '+' || s1 == '-') &&
+                              std::isdigit(static_cast<unsigned char>(s2));
+      if (exp_digit || exp_signed) {
+        digits.push_back(Advance());  // e
+        if (Peek() == '+' || Peek() == '-') {
+          digits.push_back(Advance());
+        }
+        take_digits();
+      }
+    }
+    t.number = std::strtod(digits.c_str(), nullptr);
+
+    // An attached alphabetic suffix turns the number into an energy literal.
+    if (std::isalpha(static_cast<unsigned char>(Peek()))) {
+      std::string suffix;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        suffix.push_back(Advance());
+      }
+      const auto it = EnergyUnits().find(suffix);
+      if (it == EnergyUnits().end()) {
+        return Error("unknown unit suffix '" + suffix +
+                     "' on numeric literal (expected J/kJ/mJ/uJ/nJ/pJ)");
+      }
+      t.kind = TokenKind::kEnergy;
+      t.number *= it->second;  // stored in Joules
+      t.text = suffix;
+    }
+    return t;
+  }
+
+  Result<Token> LexIdentifier() {
+    Token t = Make(TokenKind::kIdentifier);
+    std::string name;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      name.push_back(Advance());
+    }
+    const auto it = Keywords().find(name);
+    if (it != Keywords().end()) {
+      t.kind = it->second;
+    }
+    t.text = std::move(name);
+    return t;
+  }
+
+  Result<Token> LexString() {
+    Token t = Make(TokenKind::kString);
+    Advance();  // opening quote
+    std::string contents;
+    while (!AtEnd() && Peek() != '"') {
+      if (Peek() == '\n') {
+        return Error("unterminated string literal");
+      }
+      contents.push_back(Advance());
+    }
+    if (AtEnd()) {
+      return Error("unterminated string literal");
+    }
+    Advance();  // closing quote
+    t.text = std::move(contents);
+    return t;
+  }
+
+  Result<Token> LexOperator() {
+    Token t = Make(TokenKind::kEndOfFile);
+    const char c = Advance();
+    switch (c) {
+      case '(': t.kind = TokenKind::kLParen; return t;
+      case ')': t.kind = TokenKind::kRParen; return t;
+      case '{': t.kind = TokenKind::kLBrace; return t;
+      case '}': t.kind = TokenKind::kRBrace; return t;
+      case ',': t.kind = TokenKind::kComma; return t;
+      case ';': t.kind = TokenKind::kSemicolon; return t;
+      case ':': t.kind = TokenKind::kColon; return t;
+      case '?': t.kind = TokenKind::kQuestion; return t;
+      case '~': t.kind = TokenKind::kTilde; return t;
+      case '+': t.kind = TokenKind::kPlus; return t;
+      case '-': t.kind = TokenKind::kMinus; return t;
+      case '*': t.kind = TokenKind::kStar; return t;
+      case '/': t.kind = TokenKind::kSlash; return t;
+      case '%': t.kind = TokenKind::kPercent; return t;
+      case '.':
+        if (Peek() == '.') {
+          Advance();
+          t.kind = TokenKind::kDotDot;
+          return t;
+        }
+        return Error("unexpected '.'");
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kEq;
+        } else {
+          t.kind = TokenKind::kAssign;
+        }
+        return t;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kNe;
+        } else {
+          t.kind = TokenKind::kBang;
+        }
+        return t;
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kLe;
+        } else {
+          t.kind = TokenKind::kLt;
+        }
+        return t;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          t.kind = TokenKind::kGe;
+        } else {
+          t.kind = TokenKind::kGt;
+        }
+        return t;
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          t.kind = TokenKind::kAndAnd;
+          return t;
+        }
+        return Error("unexpected '&' (did you mean '&&'?)");
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          t.kind = TokenKind::kOrOr;
+          return t;
+        }
+        return Error("unexpected '|' (did you mean '||'?)");
+      default: {
+        std::ostringstream os;
+        os << "unexpected character '" << c << "'";
+        return Error(os.str());
+      }
+    }
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace eclarity

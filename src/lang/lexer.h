@@ -1,0 +1,22 @@
+// Lexer for EIL source text.
+
+#ifndef ECLARITY_SRC_LANG_LEXER_H_
+#define ECLARITY_SRC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Tokenises `source` into a token stream terminated by kEndOfFile.
+// Comments run from '#' to end of line. Energy literals are numbers with an
+// attached unit suffix (no whitespace): 5mJ, 0.3J, 10uJ, 2nJ, 7pJ, 1kJ.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_LANG_LEXER_H_

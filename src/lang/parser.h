@@ -1,0 +1,24 @@
+// Recursive-descent parser for EIL.
+
+#ifndef ECLARITY_SRC_LANG_PARSER_H_
+#define ECLARITY_SRC_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Parses a full EIL compilation unit (constants + interfaces). Parse errors
+// carry line:column positions.
+Result<Program> ParseProgram(std::string_view source);
+
+// Parses a standalone expression, e.g. for constraint specifications and
+// tests. The expression may reference names that are resolved only at
+// evaluation time.
+Result<ExprPtr> ParseExpression(std::string_view source);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_LANG_PARSER_H_

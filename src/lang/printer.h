@@ -1,0 +1,25 @@
+// Pretty-printer: renders AST back to canonical EIL source.
+//
+// Energy interfaces are meant to be read by humans (paper §3: "programs that
+// can be both read by humans and executed by programs"). Every generated or
+// extracted interface is therefore rendered back to source for inspection,
+// and Print(Parse(Print(x))) is stable (round-trip tested).
+
+#ifndef ECLARITY_SRC_LANG_PRINTER_H_
+#define ECLARITY_SRC_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace eclarity {
+
+std::string PrintExpr(const Expr& expr);
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+std::string PrintBlock(const Block& block, int indent = 0);
+std::string PrintInterface(const InterfaceDecl& decl);
+std::string PrintProgram(const Program& program);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_LANG_PRINTER_H_

@@ -1,0 +1,68 @@
+#include "src/lang/token.h"
+
+#include <sstream>
+
+namespace eclarity {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kEnergy: return "energy-literal";
+    case TokenKind::kString: return "string";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInterface: return "'interface'";
+    case TokenKind::kExtern: return "'extern'";
+    case TokenKind::kConst: return "'const'";
+    case TokenKind::kLet: return "'let'";
+    case TokenKind::kMut: return "'mut'";
+    case TokenKind::kEcv: return "'ecv'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "unknown";
+}
+
+std::string Token::ToString() const {
+  std::ostringstream os;
+  os << TokenKindName(kind);
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kString) {
+    os << " '" << text << "'";
+  } else if (kind == TokenKind::kNumber || kind == TokenKind::kEnergy) {
+    os << " " << number;
+  }
+  os << " at " << line << ":" << column;
+  return os.str();
+}
+
+}  // namespace eclarity

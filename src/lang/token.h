@@ -1,0 +1,90 @@
+// Token definitions for EIL, the Energy Interface Language.
+//
+// EIL is the "little program" notation of the paper (§2-§3): energy
+// interfaces are written as small readable programs that compute energy.
+// The surface syntax is deliberately close to the paper's Fig. 1 pseudo-
+// Python, with braces for blocks so the grammar stays unambiguous:
+//
+//   interface E_cache_lookup(key_size, response_len) {
+//     ecv local_cache_hit ~ bernoulli(0.8);
+//     if (local_cache_hit) {
+//       return 5mJ * response_len;
+//     } else {
+//       return 100mJ * response_len;
+//     }
+//   }
+
+#ifndef ECLARITY_SRC_LANG_TOKEN_H_
+#define ECLARITY_SRC_LANG_TOKEN_H_
+
+#include <string>
+
+namespace eclarity {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  kNumber,       // 42, 3.14, 1e-3
+  kEnergy,       // 5mJ, 3.2J, 10uJ (number with attached energy unit)
+  kString,       // "relu"
+  kIdentifier,   // E_cnn_forward, response_len
+
+  // Keywords.
+  kInterface,
+  kExtern,
+  kConst,
+  kLet,
+  kMut,
+  kEcv,
+  kIf,
+  kElse,
+  kFor,
+  kIn,
+  kReturn,
+  kTrue,
+  kFalse,
+
+  // Punctuation and operators.
+  kLParen,       // (
+  kRParen,       // )
+  kLBrace,       // {
+  kRBrace,       // }
+  kComma,        // ,
+  kSemicolon,    // ;
+  kColon,        // :
+  kQuestion,     // ?
+  kTilde,        // ~
+  kDotDot,       // ..
+  kAssign,       // =
+  kPlus,         // +
+  kMinus,        // -
+  kStar,         // *
+  kSlash,        // /
+  kPercent,      // %
+  kBang,         // !
+  kEq,           // ==
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kAndAnd,       // &&
+  kOrOr,         // ||
+
+  kEndOfFile,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;          // raw text (identifier name, string contents)
+  double number = 0.0;       // for kNumber; for kEnergy, the value in Joules
+  int line = 0;              // 1-based source line
+  int column = 0;            // 1-based source column
+
+  std::string ToString() const;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_LANG_TOKEN_H_

@@ -1,0 +1,82 @@
+// Runtime values for EIL evaluation.
+//
+// EIL is dynamically typed with three value kinds:
+//   * number  — dimensionless double (counts, sizes, probabilities, ...)
+//   * bool    — condition results and boolean ECVs
+//   * energy  — an AbstractEnergy: concrete Joules and/or abstract units
+//
+// The arithmetic below enforces dimensional discipline: energies add with
+// energies, scale by numbers, and the ratio of two energies is a number.
+// Mixing kinds any other way is an evaluation error, not a silent coercion —
+// catching Joule/count confusion is precisely what the strong typing is for.
+
+#ifndef ECLARITY_SRC_LANG_VALUE_H_
+#define ECLARITY_SRC_LANG_VALUE_H_
+
+#include <string>
+#include <variant>
+
+#include "src/lang/ast.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+enum class ValueKind { kNumber, kBool, kEnergy };
+
+const char* ValueKindName(ValueKind kind);
+
+class Value {
+ public:
+  Value() : data_(0.0) {}
+
+  static Value Number(double v) { return Value(v); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value EnergyValue(AbstractEnergy e) { return Value(std::move(e)); }
+  static Value Joules(double j) {
+    return Value(AbstractEnergy::FromConcrete(Energy::Joules(j)));
+  }
+
+  ValueKind kind() const;
+
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_energy() const {
+    return std::holds_alternative<AbstractEnergy>(data_);
+  }
+
+  double number() const { return std::get<double>(data_); }
+  bool boolean() const { return std::get<bool>(data_); }
+  const AbstractEnergy& energy() const {
+    return std::get<AbstractEnergy>(data_);
+  }
+
+  // Typed accessors with error reporting.
+  Result<double> AsNumber() const;
+  Result<bool> AsBool() const;
+  Result<AbstractEnergy> AsEnergy() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(AbstractEnergy e) : data_(std::move(e)) {}
+
+  std::variant<double, bool, AbstractEnergy> data_;
+};
+
+// Applies a binary operator with EIL's typing rules. `context` is prepended
+// to error messages (typically "at line:col").
+Result<Value> ApplyBinary(BinaryOp op, const Value& lhs, const Value& rhs,
+                          const std::string& context);
+
+// Applies unary negation (number or energy) or logical not (bool).
+Result<Value> ApplyUnary(UnaryOp op, const Value& operand,
+                         const std::string& context);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_LANG_VALUE_H_

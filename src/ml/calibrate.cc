@@ -1,0 +1,130 @@
+#include "src/ml/calibrate.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/hw/counters.h"
+#include "src/util/stats.h"
+
+namespace eclarity {
+namespace {
+
+// Relative metric mix of one microbenchmark pattern (per "unit" of work).
+struct Pattern {
+  const char* name;
+  double instructions;
+  double l1_wavefronts;
+  double l2_sectors;
+  double vram_sectors;
+};
+
+// Each pattern is dominated by one metric, with realistic residual traffic
+// on the others (a pure single-metric kernel does not exist on real silicon
+// either — NNLS handles the correlation).
+constexpr Pattern kPatterns[] = {
+    {"instr_heavy", 1.0, 1.0 / 256.0, 1.0 / 4096.0, 1.0 / 16384.0},
+    {"l1_heavy", 1.0 / 4.0, 1.0, 1.0 / 64.0, 1.0 / 1024.0},
+    {"l2_heavy", 1.0 / 8.0, 1.0 / 8.0, 1.0, 1.0 / 64.0},
+    {"vram_heavy", 1.0 / 16.0, 1.0 / 16.0, 1.5, 1.0},
+};
+
+}  // namespace
+
+Result<CalibrationResult> CalibrateGpu(const GpuProfile& profile,
+                                       const CalibrationOptions& options) {
+  if (options.sizes_per_pattern < 1) {
+    return InvalidArgumentError("sizes_per_pattern must be >= 1");
+  }
+  GpuDevice device(profile, options.seed);
+  NvmlCounter counter(device);
+
+  // Rows: [instructions, l1, l2, vram, duration] -> measured joules.
+  std::vector<std::vector<double>> features;
+  std::vector<double> measured;
+
+  auto record_run = [&](const KernelStats* kernel, Duration idle_span) {
+    const Energy before = counter.Read();
+    const Duration t0 = device.Now();
+    KernelStats totals;
+    if (kernel != nullptr) {
+      device.ExecuteKernel(*kernel);
+      totals = *kernel;
+    } else {
+      device.Idle(idle_span);
+    }
+    // Let the sampling grid drain; the tail idle time is part of the run's
+    // duration column, so no baseline subtraction is needed.
+    device.Idle(profile.power_sample_period * 2.0);
+    const Energy after = counter.Read();
+    const Duration duration = device.Now() - t0;
+    features.push_back({totals.instructions, totals.l1_wavefronts,
+                        totals.l2_sectors, totals.vram_sectors,
+                        duration.seconds()});
+    measured.push_back((after - before).joules());
+  };
+
+  for (const Pattern& pattern : kPatterns) {
+    for (int s = 1; s <= options.sizes_per_pattern; ++s) {
+      // Scale the dominant metric so the run takes about
+      // run_length * s / sizes_per_pattern of device time.
+      const double target_seconds = options.run_length.seconds() *
+                                    static_cast<double>(s) /
+                                    static_cast<double>(options.sizes_per_pattern);
+      // Work units limited by whichever resource binds.
+      const double by_compute =
+          profile.instructions_per_second * target_seconds /
+          std::max(pattern.instructions, 1e-12);
+      const double by_memory =
+          profile.vram_bytes_per_second * target_seconds /
+          (std::max(pattern.vram_sectors, 1e-12) *
+           GpuProfile::kBytesPerSector);
+      const double units = std::min(by_compute, by_memory);
+      KernelStats kernel;
+      kernel.name = pattern.name;
+      kernel.instructions = pattern.instructions * units;
+      kernel.l1_wavefronts = pattern.l1_wavefronts * units;
+      kernel.l2_sectors = pattern.l2_sectors * units;
+      kernel.vram_sectors = pattern.vram_sectors * units;
+      record_run(&kernel, Duration::Zero());
+    }
+  }
+  // Idle runs pin down static power.
+  for (int s = 1; s <= options.sizes_per_pattern; ++s) {
+    record_run(nullptr, options.run_length * static_cast<double>(s));
+  }
+
+  const size_t rows = features.size();
+  Matrix a(rows, 5);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      a.At(r, c) = features[r][c];
+    }
+  }
+  ECLARITY_ASSIGN_OR_RETURN(std::vector<double> x,
+                            NonNegativeLeastSquares(a, measured, 20000));
+
+  CalibrationResult result;
+  result.coefficients.instruction_joules = x[0];
+  result.coefficients.l1_wavefront_joules = x[1];
+  result.coefficients.l2_sector_joules = x[2];
+  result.coefficients.vram_sector_joules = x[3];
+  result.coefficients.static_watts = x[4];
+  result.runs = static_cast<int>(rows);
+
+  // R^2 on the calibration set.
+  const double mean = Mean(measured);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    double predicted = 0.0;
+    for (size_t c = 0; c < 5; ++c) {
+      predicted += a.At(r, c) * x[c];
+    }
+    ss_res += (measured[r] - predicted) * (measured[r] - predicted);
+    ss_tot += (measured[r] - mean) * (measured[r] - mean);
+  }
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return result;
+}
+
+}  // namespace eclarity

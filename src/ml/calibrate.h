@@ -1,0 +1,48 @@
+// Microbenchmark calibration of GPU energy coefficients.
+//
+// The paper (§5) ran "the GPU-cache microbenchmark with Nvidia Nsight
+// Compute CLI to measure the energy for the individual metrics, to obtain
+// absolute energy measures". Calibrator reproduces that workflow against the
+// simulated GPU: it launches long, steady kernels with extreme per-metric
+// ratios (instruction-heavy, L1-heavy, L2-heavy, VRAM-heavy, idle), measures
+// each through the NVML-style counter, and solves a non-negative
+// least-squares system for the five coefficients.
+//
+// Calibration kernels are long and steady precisely so that even coarse
+// power-sampling telemetry measures them well; the resulting coefficients
+// then carry the telemetry's *systematic* component, while bursty inference
+// workloads expose its aliasing — the mechanism behind Table 1's asymmetry.
+
+#ifndef ECLARITY_SRC_ML_CALIBRATE_H_
+#define ECLARITY_SRC_ML_CALIBRATE_H_
+
+#include <cstdint>
+
+#include "src/hw/vendor.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct CalibrationResult {
+  GpuEnergyCoefficients coefficients;
+  // Coefficient of determination of the fit over the microbenchmark runs.
+  double r_squared = 0.0;
+  int runs = 0;
+};
+
+struct CalibrationOptions {
+  // Approximate device-time length of each microbenchmark run.
+  Duration run_length = Duration::Seconds(1.0);
+  // Sizes (scale factors) per kernel pattern.
+  int sizes_per_pattern = 4;
+  uint64_t seed = 0x5eed;
+};
+
+// Runs the microbenchmark suite on a fresh device with `profile` and fits
+// the coefficients.
+Result<CalibrationResult> CalibrateGpu(const GpuProfile& profile,
+                                       const CalibrationOptions& options = {});
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_ML_CALIBRATE_H_

@@ -1,0 +1,71 @@
+#include "src/ml/cnn.h"
+
+#include <algorithm>
+
+namespace eclarity {
+namespace {
+
+constexpr double kWarpLanes = 32.0;
+constexpr double kBytesPerElement = 2.0;  // fp16 activations/weights
+
+}  // namespace
+
+CnnModel::CnnModel(CnnConfig config) : config_(config) {}
+
+std::vector<KernelStats> CnnModel::InferenceKernels(
+    double image_elements, double zero_elements) const {
+  const double active = std::max(0.0, image_elements - zero_elements);
+  std::vector<KernelStats> kernels;
+
+  for (int layer = 0; layer < config_.conv_layers; ++layer) {
+    KernelStats conv;
+    conv.name = "conv2d";
+    const double macs = active * config_.macs_per_active_element;
+    conv.instructions = macs / kWarpLanes * 1.15;
+    const double bytes = (active + image_elements) * kBytesPerElement;
+    conv.vram_sectors = bytes / GpuProfile::kBytesPerSector;
+    conv.l2_sectors = conv.vram_sectors * 1.6;
+    conv.l1_wavefronts = macs / (kWarpLanes * 8.0);
+    kernels.push_back(conv);
+  }
+  for (int layer = 0; layer < config_.relu_layers; ++layer) {
+    KernelStats relu;
+    relu.name = "relu";
+    const double elems = config_.embedding;
+    relu.instructions = elems / kWarpLanes * 3.0;
+    relu.vram_sectors =
+        elems * 2.0 * kBytesPerElement / GpuProfile::kBytesPerSector;
+    relu.l2_sectors = relu.vram_sectors * 1.6;
+    relu.l1_wavefronts = elems / (kWarpLanes * 8.0);
+    kernels.push_back(relu);
+  }
+  for (int layer = 0; layer < config_.mlp_layers; ++layer) {
+    KernelStats mlp;
+    mlp.name = "mlp";
+    const double macs = config_.embedding * config_.mlp_width;
+    mlp.instructions = macs / kWarpLanes * 1.15;
+    const double bytes =
+        (config_.embedding + config_.mlp_width +
+         config_.embedding * config_.mlp_width) * kBytesPerElement;
+    mlp.vram_sectors = bytes / GpuProfile::kBytesPerSector;
+    mlp.l2_sectors = mlp.vram_sectors * 1.6;
+    mlp.l1_wavefronts = macs / (kWarpLanes * 8.0);
+    kernels.push_back(mlp);
+  }
+  return kernels;
+}
+
+AbstractEnergy CnnModel::AbstractCost(double image_elements,
+                                      double zero_elements) const {
+  const double active = std::max(0.0, image_elements - zero_elements);
+  return AbstractEnergy::Unit("conv2d",
+                              config_.conv_layers * active) +
+         AbstractEnergy::Unit(
+             "relu", static_cast<double>(config_.relu_layers) *
+                         config_.embedding) +
+         AbstractEnergy::Unit(
+             "mlp", static_cast<double>(config_.mlp_layers) *
+                        config_.embedding);
+}
+
+}  // namespace eclarity

@@ -1,0 +1,62 @@
+// CNN inference cost model for the Fig. 1 web service.
+//
+// The paper's running example is a CNN image classifier whose energy
+// interface (Fig. 1) is
+//
+//   E_cnn_forward(image) = 8 * E_conv2d(image.size() - n_zeros)
+//                        + 8 * E_relu(256) + 16 * E_mlp(256)
+//
+// i.e. convolution work scales with the number of non-zero input elements
+// (the zero-skipping accelerator behaviour of [33, 63, 64]), while the ReLU
+// and MLP stages run on the fixed 256-wide embedding. CnnModel realises
+// exactly that structure as a kernel trace for the simulated GPU, and also
+// emits the abstract-unit counts that Fig. 1's interface reports.
+
+#ifndef ECLARITY_SRC_ML_CNN_H_
+#define ECLARITY_SRC_ML_CNN_H_
+
+#include <vector>
+
+#include "src/hw/gpu.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct CnnConfig {
+  int conv_layers = 8;
+  int relu_layers = 8;
+  int mlp_layers = 16;
+  int embedding = 256;
+  // Work per active (non-zero) input element per conv layer.
+  double macs_per_active_element = 9.0;  // 3x3 kernel
+  double mlp_width = 256.0;
+
+  static CnnConfig Fig1() { return CnnConfig{}; }
+};
+
+class CnnModel {
+ public:
+  explicit CnnModel(CnnConfig config = CnnConfig::Fig1());
+
+  const CnnConfig& config() const { return config_; }
+
+  // Kernel trace for one inference over an image with `image_elements`
+  // total elements of which `zero_elements` are zero (skipped by the
+  // accelerator's zero-gating).
+  std::vector<KernelStats> InferenceKernels(double image_elements,
+                                            double zero_elements) const;
+
+  // Fig. 1's abstract-unit accounting of the same inference:
+  //   conv_layers * conv2d(active) + relu_layers * relu(embedding)
+  //   + mlp_layers * mlp(embedding).
+  AbstractEnergy AbstractCost(double image_elements,
+                              double zero_elements) const;
+
+ private:
+  CnnConfig config_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_ML_CNN_H_

@@ -1,0 +1,193 @@
+#include "src/ml/gpt2.h"
+
+#include <cmath>
+
+namespace eclarity {
+namespace {
+
+// Warp width and cost-recipe constants shared by all kernels.
+constexpr double kWarpLanes = 32.0;
+constexpr double kBytesPerSector = GpuProfile::kBytesPerSector;
+// MAC-to-instruction expansion: address arithmetic, predicates, epilogue.
+constexpr double kInstrOverhead = 1.15;
+// L2 sees VRAM traffic plus tile re-fetches.
+constexpr double kL2Amplification = 1.6;
+// One L1 wavefront serves a warp's operand reuse window.
+constexpr double kMacsPerL1Wavefront = kWarpLanes * 8.0;
+
+}  // namespace
+
+Gpt2Model::Gpt2Model(Gpt2Config config) : config_(config) {}
+
+int64_t Gpt2Model::ParamCount() const {
+  const int64_t d = config_.d_model;
+  const int64_t ff = config_.d_ff;
+  const int64_t per_block = 4 * d * d     // attention qkv + proj
+                            + 2 * d * ff  // MLP
+                            + 9 * d;      // biases + layer norms
+  return static_cast<int64_t>(config_.vocab_size) * d  // wte (tied head)
+         + static_cast<int64_t>(config_.max_context) * d  // wpe
+         + config_.n_layers * per_block + 2 * d;           // final LN
+}
+
+KernelStats Gpt2Model::Gemm(const std::string& name, double m, double k,
+                            double n, double weight_params) const {
+  KernelStats stats;
+  stats.name = name;
+  const double macs = m * k * n;
+  stats.instructions = macs / kWarpLanes * kInstrOverhead + (m * n) / kWarpLanes;
+  const double weight_bytes = weight_params * config_.bytes_per_param;
+  const double activation_bytes =
+      (m * k + m * n) * config_.bytes_per_activation;
+  stats.vram_sectors = (weight_bytes + activation_bytes) / kBytesPerSector;
+  stats.l2_sectors =
+      stats.vram_sectors * kL2Amplification + macs / 1024.0;
+  stats.l1_wavefronts = macs / kMacsPerL1Wavefront;
+  return stats;
+}
+
+KernelStats Gpt2Model::Elementwise(const std::string& name,
+                                   double elements) const {
+  KernelStats stats;
+  stats.name = name;
+  stats.instructions = elements / kWarpLanes * 4.0;  // load, op, op, store
+  const double bytes = elements * 2.0 * config_.bytes_per_activation;
+  stats.vram_sectors = bytes / kBytesPerSector;
+  stats.l2_sectors = stats.vram_sectors * kL2Amplification;
+  stats.l1_wavefronts = elements / kMacsPerL1Wavefront;
+  return stats;
+}
+
+std::vector<KernelStats> Gpt2Model::AttentionKernels(double q_tokens,
+                                                     double kv_tokens) const {
+  const double d = config_.d_model;
+  std::vector<KernelStats> kernels;
+
+  // QK^T: per head, [q, d_h] x [d_h, kv]; summed over heads = q * kv * d.
+  KernelStats score;
+  score.name = "attn_score";
+  const double score_macs = q_tokens * kv_tokens * d;
+  score.instructions = score_macs / kWarpLanes * kInstrOverhead;
+  const double k_cache_bytes = kv_tokens * d * config_.bytes_per_activation;
+  const double q_bytes = q_tokens * d * config_.bytes_per_activation;
+  const double score_out_bytes =
+      q_tokens * kv_tokens * config_.n_heads / 64.0;  // scores mostly on-chip
+  score.vram_sectors =
+      (k_cache_bytes + q_bytes + score_out_bytes) / kBytesPerSector;
+  score.l2_sectors = score.vram_sectors * kL2Amplification;
+  score.l1_wavefronts = score_macs / kMacsPerL1Wavefront;
+  kernels.push_back(score);
+
+  // Softmax over q * kv * heads scores.
+  kernels.push_back(Elementwise(
+      "attn_softmax", q_tokens * kv_tokens * config_.n_heads));
+
+  // A·V: same MAC volume as QK^T, reads the V cache.
+  KernelStats value = score;
+  value.name = "attn_value";
+  kernels.push_back(value);
+  return kernels;
+}
+
+std::vector<KernelStats> Gpt2Model::DecodeStepKernels(int context_len) const {
+  const double d = config_.d_model;
+  const double ff = config_.d_ff;
+  std::vector<KernelStats> kernels;
+  for (int layer = 0; layer < config_.n_layers; ++layer) {
+    kernels.push_back(Elementwise("ln1", d));
+    kernels.push_back(Gemm("qkv", 1, d, 3 * d, 3 * d * d));
+    const auto attn = AttentionKernels(1.0, static_cast<double>(context_len));
+    kernels.insert(kernels.end(), attn.begin(), attn.end());
+    kernels.push_back(Gemm("attn_proj", 1, d, d, d * d));
+    kernels.push_back(Elementwise("residual1", d));
+    kernels.push_back(Elementwise("ln2", d));
+    kernels.push_back(Gemm("ff1", 1, d, ff, d * ff));
+    kernels.push_back(Elementwise("gelu", ff));
+    kernels.push_back(Gemm("ff2", 1, ff, d, ff * d));
+    kernels.push_back(Elementwise("residual2", d));
+  }
+  kernels.push_back(Elementwise("ln_f", d));
+  kernels.push_back(
+      Gemm("lm_head", 1, d, config_.vocab_size,
+           static_cast<double>(config_.vocab_size) * d));
+  return kernels;
+}
+
+std::vector<KernelStats> Gpt2Model::PrefillKernels(int prompt_len) const {
+  const double d = config_.d_model;
+  const double ff = config_.d_ff;
+  const double p = static_cast<double>(prompt_len);
+  std::vector<KernelStats> kernels;
+  kernels.push_back(Elementwise("embed", p * d));
+  for (int layer = 0; layer < config_.n_layers; ++layer) {
+    kernels.push_back(Elementwise("ln1", p * d));
+    kernels.push_back(Gemm("qkv", p, d, 3 * d, 3 * d * d));
+    const auto attn = AttentionKernels(p, p);
+    kernels.insert(kernels.end(), attn.begin(), attn.end());
+    kernels.push_back(Gemm("attn_proj", p, d, d, d * d));
+    kernels.push_back(Elementwise("residual1", p * d));
+    kernels.push_back(Elementwise("ln2", p * d));
+    kernels.push_back(Gemm("ff1", p, d, ff, d * ff));
+    kernels.push_back(Elementwise("gelu", p * ff));
+    kernels.push_back(Gemm("ff2", p, ff, d, ff * d));
+    kernels.push_back(Elementwise("residual2", p * d));
+  }
+  // Prefill does not need logits for the prompt tokens (only the last token
+  // matters, and that is folded into the first decode step).
+  return kernels;
+}
+
+KernelStats Gpt2Model::GenerationTotals(int prompt_len, int gen_tokens) const {
+  KernelStats totals;
+  totals.name = "generation";
+  for (const KernelStats& k : PrefillKernels(prompt_len)) {
+    totals += k;
+  }
+  for (int t = 0; t < gen_tokens; ++t) {
+    for (const KernelStats& k : DecodeStepKernels(prompt_len + t)) {
+      totals += k;
+    }
+  }
+  return totals;
+}
+
+GenerationRun RunGeneration(const Gpt2Model& model, GpuDevice& device,
+                            NvmlCounter& counter, int prompt_len,
+                            int gen_tokens, Duration inter_token_gap) {
+  GenerationRun run;
+  run.totals.name = "generation";
+  const Energy before = counter.Read();
+  const Energy true_before = device.TrueEnergy();
+  const Duration start = device.Now();
+
+  for (const KernelStats& k : model.PrefillKernels(prompt_len)) {
+    device.ExecuteKernel(k);
+    run.totals += k;
+    ++run.kernels_executed;
+  }
+  for (int t = 0; t < gen_tokens; ++t) {
+    device.Idle(inter_token_gap);  // host-side sampling + launch gap
+    for (const KernelStats& k : model.DecodeStepKernels(prompt_len + t)) {
+      device.ExecuteKernel(k);
+      run.totals += k;
+      ++run.kernels_executed;
+    }
+  }
+
+  const Duration end = device.Now();
+  run.duration = end - start;
+  run.true_energy = device.TrueEnergy() - true_before;
+
+  // Power-sampling telemetry integrates on a fixed grid; a careful
+  // experimenter idles past the end so the sampler drains, then subtracts
+  // the known baseline power for the drained tail.
+  const Duration drain = device.profile().power_sample_period * 2.0;
+  device.Idle(drain);
+  const Energy after = counter.Read();
+  const Duration extra = device.Now() - end;
+  const Energy baseline_correction = device.profile().static_power * extra;
+  run.measured_energy = after - before - baseline_correction;
+  return run;
+}
+
+}  // namespace eclarity

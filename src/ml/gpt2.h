@@ -1,0 +1,117 @@
+// GPT-2 inference cost model.
+//
+// Substitute for running the real GPT-2 (paper §5). The paper's high-level
+// interface predicts energy from per-metric event counts; this model
+// produces exactly those counts: for each kernel of an autoregressive
+// transformer forward pass it derives instruction, L1-wavefront, L2-sector
+// and VRAM-sector counts from the layer shapes, using a uniform GEMM recipe.
+// Executing the resulting kernel trace on hw::GpuDevice yields the "real
+// run" that NVML-style counters then measure.
+//
+// Decode steps use a KV cache (attention work linear in context length);
+// prefill processes the whole prompt (attention work quadratic in prompt
+// length). Weights are streamed from VRAM once per kernel, activations
+// read/written per kernel.
+
+#ifndef ECLARITY_SRC_ML_GPT2_H_
+#define ECLARITY_SRC_ML_GPT2_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/counters.h"
+#include "src/hw/gpu.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct Gpt2Config {
+  int n_layers = 12;
+  int d_model = 768;
+  int n_heads = 12;
+  int d_ff = 3072;
+  int vocab_size = 50257;
+  int max_context = 1024;
+  double bytes_per_param = 2.0;       // fp16 weights
+  double bytes_per_activation = 2.0;  // fp16 activations / KV cache
+
+  // GPT-2 small (124M parameters), as used in the paper.
+  static Gpt2Config Small124M() { return Gpt2Config{}; }
+
+  // GPT-2 medium (355M parameters).
+  static Gpt2Config Medium355M() {
+    Gpt2Config c;
+    c.n_layers = 24;
+    c.d_model = 1024;
+    c.n_heads = 16;
+    c.d_ff = 4096;
+    return c;
+  }
+
+  // GPT-2 large (774M parameters).
+  static Gpt2Config Large774M() {
+    Gpt2Config c;
+    c.n_layers = 36;
+    c.d_model = 1280;
+    c.n_heads = 20;
+    c.d_ff = 5120;
+    return c;
+  }
+};
+
+class Gpt2Model {
+ public:
+  explicit Gpt2Model(Gpt2Config config = Gpt2Config::Small124M());
+
+  const Gpt2Config& config() const { return config_; }
+
+  // Total parameter count (embeddings + blocks, tied LM head).
+  int64_t ParamCount() const;
+
+  // Kernel trace of one decode step: context of `context_len` tokens in the
+  // KV cache, producing the next token.
+  std::vector<KernelStats> DecodeStepKernels(int context_len) const;
+
+  // Kernel trace of prefilling a prompt of `prompt_len` tokens.
+  std::vector<KernelStats> PrefillKernels(int prompt_len) const;
+
+  // Aggregate counts of a full generation: prefill(prompt_len) followed by
+  // `gen_tokens` decode steps at growing context.
+  KernelStats GenerationTotals(int prompt_len, int gen_tokens) const;
+
+ private:
+  // Uniform GEMM cost recipe: [m,k] x [k,n] with `weight_reads` distinct
+  // weight matrices streamed from VRAM.
+  KernelStats Gemm(const std::string& name, double m, double k, double n,
+                   double weight_params) const;
+  // Elementwise/normalisation kernel over `elements` values.
+  KernelStats Elementwise(const std::string& name, double elements) const;
+  // Attention score+value kernels for `q_tokens` queries over `kv_tokens`
+  // keys/values (per all heads), reading the KV cache from memory.
+  std::vector<KernelStats> AttentionKernels(double q_tokens,
+                                            double kv_tokens) const;
+
+  Gpt2Config config_;
+};
+
+// Result of running a generation on the simulated GPU.
+struct GenerationRun {
+  Duration duration;
+  Energy measured_energy;   // via the device's NVML-style counter
+  Energy true_energy;       // simulator ground truth (for diagnostics only)
+  KernelStats totals;
+  int kernels_executed = 0;
+};
+
+// Executes prefill + decode steps on `device`, measuring with `counter`.
+// `inter_token_gap` models host-side sampling/launch gaps between tokens
+// (makes the workload bursty, which power-sampling telemetry aliases).
+GenerationRun RunGeneration(const Gpt2Model& model, GpuDevice& device,
+                            NvmlCounter& counter, int prompt_len,
+                            int gen_tokens,
+                            Duration inter_token_gap = Duration::Microseconds(50.0));
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_ML_GPT2_H_

@@ -1,0 +1,175 @@
+#include "src/ml/gpt2_iface.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/lang/parser.h"
+#include "src/util/stats.h"
+
+namespace eclarity {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct MetricTotals {
+  double instructions = 0.0;
+  double l1 = 0.0;
+  double l2 = 0.0;
+  double vram = 0.0;
+  double duration_s = 0.0;
+};
+
+MetricTotals Totals(const std::vector<KernelStats>& kernels,
+                    const GpuProfile& profile) {
+  MetricTotals t;
+  for (const KernelStats& k : kernels) {
+    t.instructions += k.instructions;
+    t.l1 += k.l1_wavefronts;
+    t.l2 += k.l2_sectors;
+    t.vram += k.vram_sectors;
+  }
+  t.duration_s = TraceDuration(kernels, profile).seconds();
+  return t;
+}
+
+// y = a + b*x through two samples.
+struct Linear {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+Linear FitLinear(double x0, double y0, double x1, double y1) {
+  Linear fit;
+  fit.b = (y1 - y0) / (x1 - x0);
+  fit.a = y0 - fit.b * x0;
+  return fit;
+}
+
+// y = a + b*x + c*x^2 through three samples.
+struct Quadratic {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+Result<Quadratic> FitQuadratic(const double xs[3], const double ys[3]) {
+  Matrix m(3, 3);
+  std::vector<double> rhs(3);
+  for (int r = 0; r < 3; ++r) {
+    m.At(r, 0) = 1.0;
+    m.At(r, 1) = xs[r];
+    m.At(r, 2) = xs[r] * xs[r];
+    rhs[static_cast<size_t>(r)] = ys[r];
+  }
+  ECLARITY_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                            SolveLinearSystem(m, rhs));
+  return Quadratic{coeffs[0], coeffs[1], coeffs[2]};
+}
+
+std::string LinearExpr(const Linear& fit, const char* var) {
+  return Num(fit.a) + " + " + Num(fit.b) + " * " + var;
+}
+
+std::string QuadraticExpr(const Quadratic& fit, const char* var) {
+  return Num(fit.a) + " + " + Num(fit.b) + " * " + var + " + " + Num(fit.c) +
+         " * " + var + " * " + var;
+}
+
+}  // namespace
+
+Duration TraceDuration(const std::vector<KernelStats>& kernels,
+                       const GpuProfile& profile) {
+  double seconds = 0.0;
+  for (const KernelStats& k : kernels) {
+    const double compute_s = k.instructions / profile.instructions_per_second;
+    const double memory_s = k.vram_sectors * GpuProfile::kBytesPerSector /
+                            profile.vram_bytes_per_second;
+    seconds += std::max(compute_s, memory_s) +
+               GpuProfile::kLaunchOverheadSeconds;
+  }
+  return Duration::Seconds(seconds);
+}
+
+Result<Program> Gpt2EnergyInterface(const Gpt2Model& model,
+                                    const GpuProfile& timing_profile,
+                                    Duration inter_token_gap) {
+  // Decode-step metrics are exactly linear in context length; sample the
+  // cost model at two points to recover the closed form.
+  const double ctx0 = 1.0;
+  const double ctx1 = static_cast<double>(model.config().max_context);
+  const MetricTotals s0 =
+      Totals(model.DecodeStepKernels(static_cast<int>(ctx0)), timing_profile);
+  const MetricTotals s1 =
+      Totals(model.DecodeStepKernels(static_cast<int>(ctx1)), timing_profile);
+  const Linear instr = FitLinear(ctx0, s0.instructions, ctx1, s1.instructions);
+  const Linear l1 = FitLinear(ctx0, s0.l1, ctx1, s1.l1);
+  const Linear l2 = FitLinear(ctx0, s0.l2, ctx1, s1.l2);
+  const Linear vram = FitLinear(ctx0, s0.vram, ctx1, s1.vram);
+  const Linear dur = FitLinear(ctx0, s0.duration_s, ctx1, s1.duration_s);
+
+  // Prefill metrics are quadratic in prompt length (attention P^2 term).
+  const double ps[3] = {1.0, 64.0, 512.0};
+  MetricTotals pt[3];
+  for (int i = 0; i < 3; ++i) {
+    pt[i] = Totals(model.PrefillKernels(static_cast<int>(ps[i])),
+                   timing_profile);
+  }
+  const double instr_ys[3] = {pt[0].instructions, pt[1].instructions,
+                              pt[2].instructions};
+  const double l1_ys[3] = {pt[0].l1, pt[1].l1, pt[2].l1};
+  const double l2_ys[3] = {pt[0].l2, pt[1].l2, pt[2].l2};
+  const double vram_ys[3] = {pt[0].vram, pt[1].vram, pt[2].vram};
+  const double dur_ys[3] = {pt[0].duration_s, pt[1].duration_s,
+                            pt[2].duration_s};
+  ECLARITY_ASSIGN_OR_RETURN(Quadratic q_instr, FitQuadratic(ps, instr_ys));
+  ECLARITY_ASSIGN_OR_RETURN(Quadratic q_l1, FitQuadratic(ps, l1_ys));
+  ECLARITY_ASSIGN_OR_RETURN(Quadratic q_l2, FitQuadratic(ps, l2_ys));
+  ECLARITY_ASSIGN_OR_RETURN(Quadratic q_vram, FitQuadratic(ps, vram_ys));
+  ECLARITY_ASSIGN_OR_RETURN(Quadratic q_dur, FitQuadratic(ps, dur_ys));
+
+  std::ostringstream os;
+  os << "extern interface E_gpu_kernel(instructions, l1_wavefronts, "
+        "l2_sectors, vram_sectors, duration_s);\n"
+     << "extern interface E_gpu_idle(duration_s);\n\n";
+  os << "# High-level energy interface for GPT-2 ("
+     << model.ParamCount() / 1000000 << "M parameters) inference.\n"
+     << "# Counts are closed forms over the context length; Joule\n"
+     << "# conversion is delegated to the imported hardware interface\n"
+     << "# E_gpu_kernel, so relinking the bottom layer retargets the GPU.\n"
+     << "interface E_gpt2_step(ctx) {\n"
+     << "  let instructions = " << LinearExpr(instr, "ctx") << ";\n"
+     << "  let l1_wavefronts = " << LinearExpr(l1, "ctx") << ";\n"
+     << "  let l2_sectors = " << LinearExpr(l2, "ctx") << ";\n"
+     << "  let vram_sectors = " << LinearExpr(vram, "ctx") << ";\n"
+     << "  let duration_s = " << LinearExpr(dur, "ctx") << ";\n"
+     << "  return E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, "
+        "vram_sectors, duration_s);\n"
+     << "}\n\n"
+     << "interface E_gpt2_prefill(prompt_len) {\n"
+     << "  let instructions = " << QuadraticExpr(q_instr, "prompt_len")
+     << ";\n"
+     << "  let l1_wavefronts = " << QuadraticExpr(q_l1, "prompt_len") << ";\n"
+     << "  let l2_sectors = " << QuadraticExpr(q_l2, "prompt_len") << ";\n"
+     << "  let vram_sectors = " << QuadraticExpr(q_vram, "prompt_len")
+     << ";\n"
+     << "  let duration_s = " << QuadraticExpr(q_dur, "prompt_len") << ";\n"
+     << "  return E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, "
+        "vram_sectors, duration_s);\n"
+     << "}\n\n"
+     << "interface E_gpt2_generate(prompt_len, gen_tokens) {\n"
+     << "  let mut total = E_gpt2_prefill(prompt_len);\n"
+     << "  for t in 0..gen_tokens {\n"
+     << "    total = total + E_gpu_idle(" << Num(inter_token_gap.seconds())
+     << ") + E_gpt2_step(prompt_len + t);\n"
+     << "  }\n"
+     << "  return total;\n"
+     << "}\n";
+  return ParseProgram(os.str());
+}
+
+}  // namespace eclarity

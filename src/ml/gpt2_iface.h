@@ -1,0 +1,41 @@
+// Generator for the high-level GPT-2 energy interface (paper §5).
+//
+// Produces an EIL program with three interfaces:
+//
+//   E_gpt2_step(ctx)                  — one decode step at context `ctx`
+//   E_gpt2_prefill(prompt_len)        — prompt ingestion
+//   E_gpt2_generate(prompt_len, gen_tokens)
+//                                     — prefill + gen_tokens decode steps
+//
+// Each computes the five metric counts in closed form (linear in context
+// for decode, quadratic in prompt length for prefill — both derived exactly
+// from the cost model) and defers Joule conversion to the *hardware* layer
+// by calling E_gpu_kernel / E_gpu_idle, which the program imports. Linking
+// against GpuVendorInterface(...) or a calibrated GpuEnergyInterface(...)
+// retargets the same high-level interface to a different GPU, the layered
+// adaptation the paper argues for in §3.
+
+#ifndef ECLARITY_SRC_ML_GPT2_IFACE_H_
+#define ECLARITY_SRC_ML_GPT2_IFACE_H_
+
+#include "src/lang/ast.h"
+#include "src/ml/gpt2.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// `timing_profile` supplies the duration model (instruction/VRAM
+// throughput, launch overhead) used to express each step's duration;
+// `inter_token_gap` must match the gap the runner inserts between tokens.
+Result<Program> Gpt2EnergyInterface(
+    const Gpt2Model& model, const GpuProfile& timing_profile,
+    Duration inter_token_gap = Duration::Microseconds(50.0));
+
+// Duration of executing `kernels` on a device with `profile` (the same
+// arithmetic GpuDevice uses), exposed for the generator and tests.
+Duration TraceDuration(const std::vector<KernelStats>& kernels,
+                       const GpuProfile& profile);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_ML_GPT2_IFACE_H_

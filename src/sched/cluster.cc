@@ -1,0 +1,140 @@
+#include "src/sched/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/eval/interp.h"
+#include "src/hw/vendor.h"
+
+namespace eclarity {
+
+ClusterNodeType ComputeNodeType() {
+  ClusterNodeType node;
+  node.name = "compute";
+  node.cpu = ServerCpuProfile(1);
+  node.cpu.name = "compute-node";
+  // Fast clocks...
+  node.cpu.clusters[0].type.name = "cnode";
+  node.cpu.clusters[0].type.opps = {
+      {2.0e9, Power::Watts(2.2)},
+      {3.6e9, Power::Watts(9.5)},
+  };
+  // ...but a weak memory system: memory-bound work crawls.
+  node.stall.throughput_floor = 0.12;
+  node.stall.power_floor = 0.50;
+  return node;
+}
+
+ClusterNodeType MemoryNodeType() {
+  ClusterNodeType node;
+  node.name = "big-memory";
+  node.cpu = ServerCpuProfile(1);
+  node.cpu.name = "memory-node";
+  node.cpu.clusters[0].type.name = "mnode";
+  node.cpu.clusters[0].type.opps = {
+      {1.6e9, Power::Watts(1.8)},
+      {2.4e9, Power::Watts(4.5)},
+  };
+  // Large caches + more channels: memory-bound work barely stalls.
+  node.stall.throughput_floor = 0.70;
+  node.stall.power_floor = 0.75;
+  return node;
+}
+
+std::vector<int> AssignBlind(const std::vector<ClusterNodeType>& nodes,
+                             const std::vector<ClusterApp>& apps) {
+  std::vector<int> assignment(apps.size());
+  for (size_t i = 0; i < apps.size(); ++i) {
+    assignment[i] = static_cast<int>(i % nodes.size());
+  }
+  return assignment;
+}
+
+Result<std::vector<int>> AssignWithInterfaces(
+    const std::vector<ClusterNodeType>& nodes,
+    const std::vector<ClusterApp>& apps) {
+  // One evaluator per node type over its vendor interface.
+  std::vector<Program> programs;
+  programs.reserve(nodes.size());
+  for (const ClusterNodeType& node : nodes) {
+    ECLARITY_ASSIGN_OR_RETURN(Program program,
+                              CpuVendorInterface(node.cpu, node.stall));
+    programs.push_back(std::move(program));
+  }
+
+  std::vector<int> assignment(apps.size(), 0);
+  for (size_t a = 0; a < apps.size(); ++a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      const CoreTypeSpec& type = nodes[n].cpu.clusters[0].type;
+      const int top_opp = static_cast<int>(type.opps.size()) - 1;
+      const double rate = type.opps.back().frequency_hz * type.ops_per_cycle *
+                          (1.0 - apps[a].memory_intensity *
+                                     (1.0 - nodes[n].stall.throughput_floor));
+      const double duration_s = apps[a].total_ops / rate;
+      Evaluator evaluator(programs[n]);
+      ECLARITY_ASSIGN_OR_RETURN(
+          Energy dynamic,
+          evaluator.ExpectedEnergy(
+              "E_" + type.name + "_run",
+              {Value::Number(apps[a].total_ops),
+               Value::Number(apps[a].memory_intensity),
+               Value::Number(static_cast<double>(top_opp))},
+              {}));
+      ECLARITY_ASSIGN_OR_RETURN(
+          Energy idle,
+          evaluator.ExpectedEnergy("E_" + type.name + "_idle",
+                                   {Value::Number(duration_s)}, {}));
+      ECLARITY_ASSIGN_OR_RETURN(
+          Energy package,
+          evaluator.ExpectedEnergy("E_package",
+                                   {Value::Number(duration_s)}, {}));
+      const double joules =
+          dynamic.joules() + idle.joules() + package.joules();
+      if (joules < best) {
+        best = joules;
+        assignment[a] = static_cast<int>(n);
+      }
+    }
+  }
+  return assignment;
+}
+
+Result<PlacementOutcome> RunPlacement(
+    const std::vector<ClusterNodeType>& nodes,
+    const std::vector<ClusterApp>& apps, std::vector<int> assignment) {
+  if (assignment.size() != apps.size()) {
+    return InvalidArgumentError("assignment size mismatch");
+  }
+  PlacementOutcome outcome;
+  outcome.assignment = std::move(assignment);
+  const Duration quantum = Duration::Milliseconds(10.0);
+  for (size_t a = 0; a < apps.size(); ++a) {
+    const int n = outcome.assignment[a];
+    if (n < 0 || n >= static_cast<int>(nodes.size())) {
+      return OutOfRangeError("bad node index in assignment");
+    }
+    CpuDevice device(nodes[static_cast<size_t>(n)].cpu,
+                     nodes[static_cast<size_t>(n)].stall);
+    const int top_opp = device.OppCount(0) - 1;
+    ECLARITY_RETURN_IF_ERROR(device.SetOpp(0, top_opp));
+    double remaining = apps[a].total_ops;
+    while (remaining > 1e-6) {
+      ECLARITY_ASSIGN_OR_RETURN(
+          QuantumResult result,
+          device.RunQuantum(0, quantum, remaining,
+                            apps[a].memory_intensity));
+      remaining -= result.ops_executed;
+      device.FinishQuantum(quantum);
+      if (result.ops_executed <= 0.0) {
+        return InternalError("app made no progress");
+      }
+    }
+    outcome.total_energy += device.TrueEnergy();
+    outcome.longest_runtime =
+        std::max(outcome.longest_runtime, device.Now());
+  }
+  return outcome;
+}
+
+}  // namespace eclarity

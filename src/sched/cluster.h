@@ -1,0 +1,68 @@
+// Cluster-level placement (paper §1's Kubernetes motivation).
+//
+// "A memory-intensive application might consume less energy on a big-memory
+// node than on a compute node, but Kubernetes wouldn't know ahead of time
+// what the application will do."
+//
+// Two node types with different CPUs and memory systems; a set of apps with
+// different memory intensities. AssignBlind places round-robin (all the
+// scheduler can do without energy information); AssignWithInterfaces
+// evaluates each app's energy on each node type through the node's vendor
+// energy interface and picks the cheaper. RunPlacement grounds both against
+// the simulated hardware.
+
+#ifndef ECLARITY_SRC_SCHED_CLUSTER_H_
+#define ECLARITY_SRC_SCHED_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct ClusterNodeType {
+  std::string name;
+  CpuProfile cpu;
+  MemoryStallModel stall;
+};
+
+// Compute-optimised: fast cores, weak memory system (stalls bite hard).
+ClusterNodeType ComputeNodeType();
+// Memory-optimised: slower cores, strong memory system.
+ClusterNodeType MemoryNodeType();
+
+struct ClusterApp {
+  std::string name;
+  double total_ops = 0.0;
+  double memory_intensity = 0.0;
+};
+
+struct PlacementOutcome {
+  std::vector<int> assignment;  // app index -> node-type index
+  Energy total_energy;
+  Duration longest_runtime;
+};
+
+// Round-robin, workload-blind placement.
+std::vector<int> AssignBlind(const std::vector<ClusterNodeType>& nodes,
+                             const std::vector<ClusterApp>& apps);
+
+// Energy-interface-driven placement: per app, evaluate the energy of
+// running to completion on each node type via the node's vendor interface
+// (E_<type>_run + E_<type>_idle at the top operating point) and take the
+// argmin.
+Result<std::vector<int>> AssignWithInterfaces(
+    const std::vector<ClusterNodeType>& nodes,
+    const std::vector<ClusterApp>& apps);
+
+// Executes the assignment on simulated hardware (one core per app, top
+// operating point) and reports ground-truth energy.
+Result<PlacementOutcome> RunPlacement(
+    const std::vector<ClusterNodeType>& nodes,
+    const std::vector<ClusterApp>& apps, std::vector<int> assignment);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_SCHED_CLUSTER_H_

@@ -1,0 +1,68 @@
+#include "src/sched/planner.h"
+
+#include <limits>
+
+#include "src/eval/interp.h"
+
+namespace eclarity {
+
+Result<PlanResult> PlanWithInterface(const FuzzCampaignConfig& config,
+                                     double target_coverage) {
+  ECLARITY_ASSIGN_OR_RETURN(Program program, CampaignEnergyInterface(config));
+  Evaluator evaluator(program);
+  PlanResult plan;
+  double best = std::numeric_limits<double>::infinity();
+  for (int m = 1; m <= config.max_machines; ++m) {
+    ECLARITY_ASSIGN_OR_RETURN(
+        Energy energy,
+        evaluator.ExpectedEnergy(
+            "E_fuzz_campaign",
+            {Value::Number(static_cast<double>(m)),
+             Value::Number(target_coverage)},
+            {}));
+    if (energy.joules() < best) {
+      best = energy.joules();
+      plan.machines = m;
+      plan.campaign_energy = energy;
+    }
+  }
+  if (plan.machines == 0) {
+    return FailedPreconditionError("no feasible fleet size");
+  }
+  return plan;
+}
+
+Result<PlanResult> PlanByTrialAndError(const FuzzCampaignConfig& config,
+                                       double target_coverage, Rng& rng) {
+  PlanResult plan;
+  // Binary search for the smallest fleet that meets the deadline; each
+  // probe is a full (real) campaign.
+  int lo = 1;
+  int hi = config.max_machines;
+  int best_feasible = -1;
+  Energy best_energy;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    const CampaignResult probe = RunCampaign(config, mid, target_coverage, rng);
+    ++plan.probes;
+    plan.planning_energy += probe.energy;
+    if (probe.met_target) {
+      if (best_feasible < 0 || probe.energy < best_energy) {
+        best_feasible = mid;
+        best_energy = probe.energy;
+      }
+      hi = mid - 1;  // try fewer machines
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (best_feasible < 0) {
+    return FailedPreconditionError(
+        "no probed fleet size met the coverage target by the deadline");
+  }
+  plan.machines = best_feasible;
+  plan.campaign_energy = best_energy;
+  return plan;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,46 @@
+// Fleet capacity planning for fuzzing campaigns (paper §1).
+//
+// Two ways to answer "how many machines minimise energy for 95% coverage
+// under the deadline":
+//
+//   * PlanWithInterface — evaluates the campaign's energy interface for
+//     every candidate fleet size, before deploying anything. Costs no
+//     campaign energy.
+//   * PlanByTrialAndError — what operators do today: deploy a fleet, run
+//     the campaign, observe, adjust (binary search over fleet sizes). Every
+//     probe burns a real campaign's worth of energy — "ironically, this
+//     trial-and-error process could consume more energy than it saves".
+
+#ifndef ECLARITY_SRC_SCHED_PLANNER_H_
+#define ECLARITY_SRC_SCHED_PLANNER_H_
+
+#include <vector>
+
+#include "src/apps/fuzzing.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct PlanResult {
+  int machines = 0;
+  // Predicted (interface) or measured (trial) energy of one campaign at the
+  // chosen fleet size.
+  Energy campaign_energy;
+  // Energy burnt by the planning process itself (0 for the interface).
+  Energy planning_energy;
+  int probes = 0;
+};
+
+// Interface-driven plan: argmin over machines of the interface's energy.
+Result<PlanResult> PlanWithInterface(const FuzzCampaignConfig& config,
+                                     double target_coverage);
+
+// Trial-and-error plan: binary search for the smallest deadline-feasible
+// fleet, then pick the probe with the least energy. Every probe runs a real
+// campaign and its energy accrues to planning_energy.
+Result<PlanResult> PlanByTrialAndError(const FuzzCampaignConfig& config,
+                                       double target_coverage, Rng& rng);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_SCHED_PLANNER_H_

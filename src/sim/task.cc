@@ -1,0 +1,71 @@
+#include "src/sim/task.h"
+
+namespace eclarity {
+
+Task Task::Transcode(std::string name, int peak_quanta, int trough_quanta,
+                     double peak_ops, double trough_ops) {
+  Task task;
+  task.name = std::move(name);
+  for (int i = 0; i < peak_quanta; ++i) {
+    task.pattern.push_back({peak_ops, 0.1});  // compute-bound transcoding
+  }
+  for (int i = 0; i < trough_quanta; ++i) {
+    task.pattern.push_back({trough_ops, 0.9});  // I/O wait, memory-bound
+  }
+  return task;
+}
+
+Task Task::Steady(std::string name, double ops, double memory_intensity) {
+  Task task;
+  task.name = std::move(name);
+  task.pattern.push_back({ops, memory_intensity});
+  return task;
+}
+
+Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
+                                      const std::vector<Task>& tasks,
+                                      Scheduler& scheduler, int quanta,
+                                      Duration quantum) {
+  if (tasks.empty()) {
+    return InvalidArgumentError("RunSchedule: no tasks");
+  }
+  if (static_cast<int>(tasks.size()) > device.CoreCount()) {
+    return InvalidArgumentError("RunSchedule: more tasks than cores");
+  }
+  ScheduleRunResult result;
+  std::vector<double> history(tasks.size(), 0.0);
+
+  for (int q = 0; q < quanta; ++q) {
+    std::vector<bool> used(static_cast<size_t>(device.CoreCount()), false);
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const QuantumDemand& demand = tasks[t].DemandAt(q);
+      ECLARITY_ASSIGN_OR_RETURN(
+          Placement placement,
+          scheduler.Place(tasks[t], q, history[t], device, used));
+      if (placement.core < 0 || placement.core >= device.CoreCount() ||
+          used[static_cast<size_t>(placement.core)]) {
+        return InvalidArgumentError("scheduler '" + scheduler.name() +
+                                    "' produced an invalid placement");
+      }
+      used[static_cast<size_t>(placement.core)] = true;
+      ECLARITY_RETURN_IF_ERROR(device.SetOpp(placement.core, placement.opp));
+      ECLARITY_ASSIGN_OR_RETURN(
+          QuantumResult executed,
+          device.RunQuantum(placement.core, quantum, demand.ops,
+                            demand.memory_intensity));
+      result.total_ops_requested += demand.ops;
+      result.total_ops_executed += executed.ops_executed;
+      if (executed.ops_executed + 1e-6 < demand.ops) {
+        ++result.missed_quanta;
+      }
+      history[t] = executed.utilization;
+    }
+    device.FinishQuantum(quantum);
+  }
+  result.total_energy = device.TrueEnergy();
+  result.quanta = quanta;
+  result.wall_time = device.Now();
+  return result;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,90 @@
+// Task model and quantum-driven execution for CPU scheduling experiments.
+//
+// Substrate for the paper's §1 motivation: the Linux EAS "looks at past
+// core utilisation and uses the average to predict how much energy [a task]
+// will consume in the next scheduling quantum. However, this is inaccurate
+// for many applications. For example, real-time video transcoding can
+// exhibit a bi-modal behavior, with compute peaks during active transcoding
+// and troughs when doing I/O."
+//
+// A Task is a cyclic pattern of per-quantum demands (operations + memory
+// intensity). The runner advances a CpuDevice quantum by quantum, asking a
+// Scheduler for placements, and reports energy, progress, and deadline
+// misses.
+
+#ifndef ECLARITY_SRC_SIM_TASK_H_
+#define ECLARITY_SRC_SIM_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Work a task wants to execute during one quantum.
+struct QuantumDemand {
+  double ops = 0.0;
+  double memory_intensity = 0.0;
+};
+
+struct Task {
+  std::string name;
+  // Demand pattern, cycled: quantum q uses pattern[q % pattern.size()].
+  std::vector<QuantumDemand> pattern;
+
+  const QuantumDemand& DemandAt(int quantum) const {
+    return pattern[static_cast<size_t>(quantum) % pattern.size()];
+  }
+
+  // Bimodal transcode workload: `peak_quanta` heavy compute quanta followed
+  // by `trough_quanta` light I/O quanta, repeating.
+  static Task Transcode(std::string name, int peak_quanta, int trough_quanta,
+                        double peak_ops, double trough_ops);
+  // Steady background task.
+  static Task Steady(std::string name, double ops, double memory_intensity);
+};
+
+// A placement decision for one task in one quantum.
+struct Placement {
+  int core = 0;
+  int opp = 0;
+};
+
+// Scheduling policy interface. Called once per (task, quantum); the
+// scheduler may inspect the device for core capabilities but must not
+// advance it. `history_utilization` is the task's utilisation in its
+// previous quantum (the only signal the utilisation-proxy baseline has).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  // Decide where to run `task` for quantum index `quantum`. At most one
+  // task per core per quantum; `used_cores[c]` marks cores already taken.
+  virtual Result<Placement> Place(const Task& task, int quantum,
+                                  double history_utilization,
+                                  const CpuDevice& device,
+                                  const std::vector<bool>& used_cores) = 0;
+};
+
+struct ScheduleRunResult {
+  Energy total_energy;
+  double total_ops_requested = 0.0;
+  double total_ops_executed = 0.0;
+  // A quantum where a task could not finish its demanded ops.
+  int missed_quanta = 0;
+  int quanta = 0;
+  Duration wall_time;
+};
+
+// Runs `tasks` for `quanta` scheduling quanta of length `quantum` on
+// `device` under `scheduler`.
+Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
+                                      const std::vector<Task>& tasks,
+                                      Scheduler& scheduler, int quanta,
+                                      Duration quantum);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_SIM_TASK_H_

@@ -1,0 +1,150 @@
+// The system-stack model of paper Fig. 2.
+//
+// A stack is an ordered list of layers (bottom = hardware, top =
+// application). Each layer holds resources (components that consume energy
+// and export energy interfaces) and exactly one resource manager. The
+// manager is "the main agent of composition": it merges the energy
+// interfaces of the layer's resources with its own glue interfaces and
+// policy knowledge (ECV profiles reflecting how it manages the resources —
+// e.g. the cache hit rates a cache manager actually observes), and exports
+// the result to the layer above.
+//
+// SystemStack supports the two operations the paper highlights:
+//   * retargeting — SwapLayer replaces the bottom (hardware) layer; nothing
+//     above changes (§3 "nothing needs to change in the software stack");
+//   * attribution — AttributeByLayer answers "where is the energy going?"
+//     by zeroing each layer's own energy terms and measuring the delta,
+//     which is exact for compositions that are linear in their literals.
+
+#ifndef ECLARITY_SRC_STACK_STACK_H_
+#define ECLARITY_SRC_STACK_STACK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/ecv_profile.h"
+#include "src/iface/energy_interface.h"
+#include "src/lang/ast.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// A hardware or software component that performs energy-consuming work and
+// ships energy interfaces for its operations.
+struct StackResource {
+  std::string name;
+  Program interfaces;
+
+  StackResource() = default;
+  StackResource(std::string n, Program p)
+      : name(std::move(n)), interfaces(std::move(p)) {}
+
+  StackResource Clone() const {
+    return StackResource(name, interfaces.Clone());
+  }
+};
+
+// A layer's resource manager: resources + glue + policy.
+class ResourceManager {
+ public:
+  explicit ResourceManager(std::string name) : name_(std::move(name)) {}
+
+  ResourceManager(const ResourceManager& other);
+  ResourceManager& operator=(const ResourceManager& other);
+  ResourceManager(ResourceManager&&) = default;
+  ResourceManager& operator=(ResourceManager&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  // Registers a resource. Interface-name collisions across resources are
+  // rejected.
+  Status AddResource(StackResource resource);
+
+  // Glue interfaces the manager defines on top of its resources (EIL
+  // source). Calls may target resource interfaces or remain unresolved,
+  // to be satisfied by layers below.
+  Status AddGlue(const std::string& eil_source);
+
+  // Policy knowledge applied at evaluation time (merged into the profile
+  // used for stack evaluation). Later Set* calls win on key collisions.
+  EcvProfile& policy() { return policy_; }
+  const EcvProfile& policy() const { return policy_; }
+
+  // The full program this manager exports upward: all resources + glue.
+  Result<Program> ComposeExported() const;
+
+  const std::vector<StackResource>& resources() const { return resources_; }
+
+ private:
+  std::string name_;
+  std::vector<StackResource> resources_;
+  std::vector<Program> glue_;
+  EcvProfile policy_;
+};
+
+struct LayerContribution {
+  std::string layer;
+  Energy own_energy;   // energy added by this layer's own terms
+  double fraction = 0.0;
+};
+
+class SystemStack {
+ public:
+  SystemStack() = default;
+
+  // Layers are added bottom-up (hardware first).
+  Status AddLayer(ResourceManager manager);
+
+  size_t LayerCount() const { return layers_.size(); }
+  const ResourceManager* FindLayer(const std::string& name) const;
+
+  // Replaces the named layer (typically the bottom/hardware layer) and
+  // leaves every other layer untouched.
+  Status SwapLayer(const std::string& name, ResourceManager replacement);
+
+  // Merges all layers bottom-up into one program and wraps `entry`.
+  // Every layer's policy profile is folded into `combined_policy`.
+  Result<EnergyInterface> Compose(const std::string& entry) const;
+
+  // Union of all layers' policy profiles (top layers win on collisions,
+  // since they are merged last).
+  EcvProfile CombinedPolicy() const;
+
+  // Splits `entry`'s expected energy across layers by zeroing each layer's
+  // energy literals in turn: contribution(L) = E_total - E_without_L.
+  // Fractions partition the total when composition is linear in literals.
+  Result<std::vector<LayerContribution>> AttributeByLayer(
+      const std::string& entry, const std::vector<Value>& args,
+      const EnergyCalibration* calibration = nullptr) const;
+
+  // Complementary view: energy *routed through* each layer — the delta when
+  // the layer's interfaces are stubbed to 0 J entirely (which also silences
+  // everything it drives below). Fractions overlap across layers (the
+  // hardware layer routes ~everything); useful for "who drives the energy"
+  // questions rather than "whose terms are these".
+  Result<std::vector<LayerContribution>> AttributeRoutedThrough(
+      const std::string& entry, const std::vector<Value>& args,
+      const EnergyCalibration* calibration = nullptr) const;
+
+ private:
+  Result<std::vector<LayerContribution>> AttributeWith(
+      const std::string& entry, const std::vector<Value>& args,
+      const EnergyCalibration* calibration,
+      Program (*ablate)(const Program&)) const;
+
+  std::vector<ResourceManager> layers_;
+};
+
+// Returns a clone of `program` with every energy literal set to 0 J and
+// every au(...) term eliminated — the "this code is free" ablation used by
+// layer attribution.
+Program ZeroEnergyTerms(const Program& program);
+
+// Returns a program with the same interface signatures whose bodies all
+// `return 0J;` — used by routed-through attribution.
+Program StubOutInterfaces(const Program& program);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_STACK_STACK_H_

@@ -1,0 +1,166 @@
+#include "src/units/abstract_energy.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace eclarity {
+namespace {
+
+constexpr double kCoefficientEpsilon = 1e-15;
+
+}  // namespace
+
+void EnergyCalibration::Bind(const std::string& unit, Energy per_unit) {
+  bindings_[unit] = per_unit;
+}
+
+bool EnergyCalibration::Has(const std::string& unit) const {
+  return bindings_.count(unit) > 0;
+}
+
+Result<Energy> EnergyCalibration::Get(const std::string& unit) const {
+  const auto it = bindings_.find(unit);
+  if (it == bindings_.end()) {
+    return NotFoundError("no calibration for abstract unit '" + unit + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> EnergyCalibration::Units() const {
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, energy] : bindings_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+AbstractEnergy AbstractEnergy::FromConcrete(Energy e) {
+  AbstractEnergy out;
+  out.concrete_ = e;
+  return out;
+}
+
+AbstractEnergy AbstractEnergy::Unit(const std::string& unit, double count) {
+  AbstractEnergy out;
+  out.terms_[unit] = count;
+  out.Prune();
+  return out;
+}
+
+double AbstractEnergy::Coefficient(const std::string& unit) const {
+  const auto it = terms_.find(unit);
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string> AbstractEnergy::Units() const {
+  std::vector<std::string> names;
+  names.reserve(terms_.size());
+  for (const auto& [name, coeff] : terms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+AbstractEnergy AbstractEnergy::operator+(const AbstractEnergy& other) const {
+  AbstractEnergy out = *this;
+  out += other;
+  return out;
+}
+
+AbstractEnergy AbstractEnergy::operator-(const AbstractEnergy& other) const {
+  return *this + other * -1.0;
+}
+
+AbstractEnergy AbstractEnergy::operator*(double scale) const {
+  AbstractEnergy out;
+  out.concrete_ = concrete_ * scale;
+  for (const auto& [name, coeff] : terms_) {
+    out.terms_[name] = coeff * scale;
+  }
+  out.Prune();
+  return out;
+}
+
+AbstractEnergy& AbstractEnergy::operator+=(const AbstractEnergy& other) {
+  concrete_ += other.concrete_;
+  for (const auto& [name, coeff] : other.terms_) {
+    terms_[name] += coeff;
+  }
+  Prune();
+  return *this;
+}
+
+bool AbstractEnergy::operator==(const AbstractEnergy& other) const {
+  return concrete_ == other.concrete_ && terms_ == other.terms_;
+}
+
+Result<Energy> AbstractEnergy::Resolve(
+    const EnergyCalibration& calibration) const {
+  Energy total = concrete_;
+  for (const auto& [name, coeff] : terms_) {
+    ECLARITY_ASSIGN_OR_RETURN(Energy per_unit, calibration.Get(name));
+    total += per_unit * coeff;
+  }
+  return total;
+}
+
+Result<double> AbstractEnergy::RatioTo(const AbstractEnergy& other) const {
+  if (IsConcrete() && other.IsConcrete()) {
+    if (other.concrete_ == Energy::Zero()) {
+      return FailedPreconditionError("RatioTo: division by zero energy");
+    }
+    return concrete_ / other.concrete_;
+  }
+  if (terms_.size() == 1 && other.terms_.size() == 1 &&
+      concrete_ == Energy::Zero() && other.concrete_ == Energy::Zero()) {
+    const auto& [unit_a, coeff_a] = *terms_.begin();
+    const auto& [unit_b, coeff_b] = *other.terms_.begin();
+    if (unit_a != unit_b) {
+      return FailedPreconditionError(
+          "RatioTo: incomparable abstract units '" + unit_a + "' vs '" +
+          unit_b + "'");
+    }
+    if (coeff_b == 0.0) {
+      return FailedPreconditionError("RatioTo: division by zero energy");
+    }
+    return coeff_a / coeff_b;
+  }
+  return FailedPreconditionError(
+      "RatioTo: quantities are not multiples of a single common unit");
+}
+
+std::string AbstractEnergy::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, coeff] : terms_) {
+    if (!first) {
+      os << " + ";
+    }
+    os << coeff << " " << name;
+    first = false;
+  }
+  if (concrete_ != Energy::Zero() || first) {
+    if (!first) {
+      os << " + ";
+    }
+    os << concrete_.ToString();
+  }
+  return os.str();
+}
+
+void AbstractEnergy::Prune() {
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (std::fabs(it->second) < kCoefficientEpsilon) {
+      it = terms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+AbstractEnergy operator*(double scale, const AbstractEnergy& e) {
+  return e * scale;
+}
+
+}  // namespace eclarity

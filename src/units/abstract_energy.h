@@ -1,0 +1,95 @@
+// Abstract energy units (paper §3).
+//
+// An energy interface may return energy "in abstract units, such as 'energy
+// for a 2D convolution' or 'energy for a ReLU'". Abstract units support
+// relative comparisons ("4 ReLUs' worth is twice 2 ReLUs' worth") without
+// knowing how many Joules a ReLU costs, and convert to concrete Joules once a
+// calibration table — typically produced by microbenchmarks on the target
+// machine — binds each unit.
+//
+// AbstractEnergy is a sparse linear combination of named units plus an
+// optional concrete Joule component, so mixed expressions like
+// `3 * relu + Energy::Millijoules(2)` remain well-defined.
+
+#ifndef ECLARITY_SRC_UNITS_ABSTRACT_ENERGY_H_
+#define ECLARITY_SRC_UNITS_ABSTRACT_ENERGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Binds abstract unit names to concrete energies, e.g. {"relu": 0.8 uJ}.
+class EnergyCalibration {
+ public:
+  EnergyCalibration() = default;
+
+  // Overwrites any previous binding for `unit`.
+  void Bind(const std::string& unit, Energy per_unit);
+
+  bool Has(const std::string& unit) const;
+  Result<Energy> Get(const std::string& unit) const;
+
+  // Names of all bound units, sorted.
+  std::vector<std::string> Units() const;
+
+  size_t size() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, Energy> bindings_;
+};
+
+class AbstractEnergy {
+ public:
+  AbstractEnergy() = default;
+
+  // A pure concrete amount (no abstract terms).
+  static AbstractEnergy FromConcrete(Energy e);
+  // `count` units of the named abstract unit.
+  static AbstractEnergy Unit(const std::string& unit, double count = 1.0);
+
+  // The concrete (Joule) component.
+  Energy concrete() const { return concrete_; }
+  // Coefficient of the named unit (0 when absent).
+  double Coefficient(const std::string& unit) const;
+  // All abstract unit names with nonzero coefficient, sorted.
+  std::vector<std::string> Units() const;
+  // True when there are no abstract terms (purely concrete, possibly zero).
+  bool IsConcrete() const { return terms_.empty(); }
+
+  AbstractEnergy operator+(const AbstractEnergy& other) const;
+  AbstractEnergy operator-(const AbstractEnergy& other) const;
+  AbstractEnergy operator*(double scale) const;
+  AbstractEnergy& operator+=(const AbstractEnergy& other);
+
+  bool operator==(const AbstractEnergy& other) const;
+
+  // Resolves to concrete Joules under `calibration`. Fails with kNotFound
+  // when a referenced unit is unbound.
+  Result<Energy> Resolve(const EnergyCalibration& calibration) const;
+
+  // If both quantities are multiples of the *same single* unit (or both
+  // purely concrete), returns the dimensionless ratio this/other; otherwise
+  // kFailedPrecondition. This is the paper's "relative comparison without
+  // Joules" operation.
+  Result<double> RatioTo(const AbstractEnergy& other) const;
+
+  // e.g. "3 conv2d + 16 relu + 2.5 mJ".
+  std::string ToString() const;
+
+ private:
+  void Prune();  // drops terms with ~0 coefficients
+
+  Energy concrete_;
+  std::map<std::string, double> terms_;
+};
+
+AbstractEnergy operator*(double scale, const AbstractEnergy& e);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_UNITS_ABSTRACT_ENERGY_H_

@@ -1,0 +1,64 @@
+#include "src/units/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace eclarity {
+namespace {
+
+struct Scale {
+  double factor;
+  const char* suffix;
+};
+
+// Renders `value` (in base units) with the best-fitting SI prefix.
+std::string RenderScaled(double value, const char* base_suffix) {
+  static constexpr std::array<Scale, 7> kScales = {{
+      {1e9, "G"},
+      {1e6, "M"},
+      {1e3, "k"},
+      {1.0, ""},
+      {1e-3, "m"},
+      {1e-6, "u"},
+      {1e-9, "n"},
+  }};
+  const double magnitude = std::fabs(value);
+  const Scale* chosen = &kScales.back();
+  for (const Scale& s : kScales) {
+    if (magnitude >= s.factor) {
+      chosen = &s;
+      break;
+    }
+  }
+  if (magnitude == 0.0) {
+    chosen = &kScales[3];  // plain base unit for zero
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s%s", value / chosen->factor,
+                chosen->suffix, base_suffix);
+  return buf;
+}
+
+}  // namespace
+
+Power Energy::operator/(Duration d) const {
+  return Power::Watts(joules_ / d.seconds());
+}
+
+std::string Energy::ToString() const { return RenderScaled(joules_, "J"); }
+
+std::string Duration::ToString() const { return RenderScaled(seconds_, "s"); }
+
+std::string Power::ToString() const { return RenderScaled(watts_, "W"); }
+
+std::ostream& operator<<(std::ostream& os, Energy e) {
+  return os << e.ToString();
+}
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+std::ostream& operator<<(std::ostream& os, Power p) {
+  return os << p.ToString();
+}
+
+}  // namespace eclarity

@@ -1,0 +1,206 @@
+// Strongly typed physical quantities: Energy (Joules), Power (Watts), and
+// Duration (seconds), with the dimensional algebra between them
+// (Energy = Power * Duration, Power = Energy / Duration, ...).
+//
+// Keeping these as distinct types (rather than bare doubles) prevents the
+// classic Joule-vs-Watt and milli-vs-base unit slips that energy-accounting
+// code is prone to.
+
+#ifndef ECLARITY_SRC_UNITS_UNITS_H_
+#define ECLARITY_SRC_UNITS_UNITS_H_
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+#include <string>
+
+namespace eclarity {
+
+class Power;
+class Duration;
+
+// An amount of energy. Internally stored in Joules.
+class Energy {
+ public:
+  constexpr Energy() : joules_(0.0) {}
+
+  static constexpr Energy Joules(double j) { return Energy(j); }
+  static constexpr Energy Millijoules(double mj) { return Energy(mj * 1e-3); }
+  static constexpr Energy Microjoules(double uj) { return Energy(uj * 1e-6); }
+  static constexpr Energy Nanojoules(double nj) { return Energy(nj * 1e-9); }
+  static constexpr Energy Picojoules(double pj) { return Energy(pj * 1e-12); }
+  static constexpr Energy KilowattHours(double kwh) {
+    return Energy(kwh * 3.6e6);
+  }
+  static constexpr Energy Zero() { return Energy(0.0); }
+
+  constexpr double joules() const { return joules_; }
+  constexpr double millijoules() const { return joules_ * 1e3; }
+  constexpr double microjoules() const { return joules_ * 1e6; }
+  constexpr double nanojoules() const { return joules_ * 1e9; }
+  constexpr double picojoules() const { return joules_ * 1e12; }
+  constexpr double kilowatt_hours() const { return joules_ / 3.6e6; }
+
+  constexpr Energy operator+(Energy other) const {
+    return Energy(joules_ + other.joules_);
+  }
+  constexpr Energy operator-(Energy other) const {
+    return Energy(joules_ - other.joules_);
+  }
+  constexpr Energy operator*(double scale) const {
+    return Energy(joules_ * scale);
+  }
+  constexpr Energy operator/(double scale) const {
+    return Energy(joules_ / scale);
+  }
+  // Dimensionless ratio of two energies.
+  constexpr double operator/(Energy other) const {
+    return joules_ / other.joules_;
+  }
+  Energy& operator+=(Energy other) {
+    joules_ += other.joules_;
+    return *this;
+  }
+  Energy& operator-=(Energy other) {
+    joules_ -= other.joules_;
+    return *this;
+  }
+  Energy& operator*=(double scale) {
+    joules_ *= scale;
+    return *this;
+  }
+  constexpr Energy operator-() const { return Energy(-joules_); }
+
+  constexpr auto operator<=>(const Energy&) const = default;
+
+  // Energy / Duration -> Power (defined after Duration below).
+  Power operator/(Duration d) const;
+
+  // Human-friendly rendering with auto-scaled unit, e.g. "12.4 mJ".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Energy(double joules) : joules_(joules) {}
+  double joules_;
+};
+
+// A span of time. Internally stored in seconds.
+class Duration {
+ public:
+  constexpr Duration() : seconds_(0.0) {}
+
+  static constexpr Duration Seconds(double s) { return Duration(s); }
+  static constexpr Duration Milliseconds(double ms) {
+    return Duration(ms * 1e-3);
+  }
+  static constexpr Duration Microseconds(double us) {
+    return Duration(us * 1e-6);
+  }
+  static constexpr Duration Nanoseconds(double ns) {
+    return Duration(ns * 1e-9);
+  }
+  static constexpr Duration Minutes(double m) { return Duration(m * 60.0); }
+  static constexpr Duration Hours(double h) { return Duration(h * 3600.0); }
+  static constexpr Duration Zero() { return Duration(0.0); }
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr double milliseconds() const { return seconds_ * 1e3; }
+  constexpr double microseconds() const { return seconds_ * 1e6; }
+  constexpr double nanoseconds() const { return seconds_ * 1e9; }
+  constexpr double hours() const { return seconds_ / 3600.0; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(seconds_ + other.seconds_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(seconds_ - other.seconds_);
+  }
+  constexpr Duration operator*(double scale) const {
+    return Duration(seconds_ * scale);
+  }
+  constexpr Duration operator/(double scale) const {
+    return Duration(seconds_ / scale);
+  }
+  constexpr double operator/(Duration other) const {
+    return seconds_ / other.seconds_;
+  }
+  Duration& operator+=(Duration other) {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    seconds_ -= other.seconds_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(double seconds) : seconds_(seconds) {}
+  double seconds_;
+};
+
+// A rate of energy use. Internally stored in Watts.
+class Power {
+ public:
+  constexpr Power() : watts_(0.0) {}
+
+  static constexpr Power Watts(double w) { return Power(w); }
+  static constexpr Power Milliwatts(double mw) { return Power(mw * 1e-3); }
+  static constexpr Power Kilowatts(double kw) { return Power(kw * 1e3); }
+  static constexpr Power Zero() { return Power(0.0); }
+
+  constexpr double watts() const { return watts_; }
+  constexpr double milliwatts() const { return watts_ * 1e3; }
+  constexpr double kilowatts() const { return watts_ * 1e-3; }
+
+  constexpr Power operator+(Power other) const {
+    return Power(watts_ + other.watts_);
+  }
+  constexpr Power operator-(Power other) const {
+    return Power(watts_ - other.watts_);
+  }
+  constexpr Power operator*(double scale) const {
+    return Power(watts_ * scale);
+  }
+  constexpr Power operator/(double scale) const {
+    return Power(watts_ / scale);
+  }
+  constexpr double operator/(Power other) const {
+    return watts_ / other.watts_;
+  }
+  Power& operator+=(Power other) {
+    watts_ += other.watts_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Power&) const = default;
+
+  // Power * Duration -> Energy.
+  constexpr Energy operator*(Duration d) const {
+    return Energy::Joules(watts_ * d.seconds());
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Power(double watts) : watts_(watts) {}
+  double watts_;
+};
+
+constexpr Energy operator*(Duration d, Power p) {
+  return Energy::Joules(p.watts() * d.seconds());
+}
+constexpr Energy operator*(double scale, Energy e) { return e * scale; }
+constexpr Duration operator*(double scale, Duration d) { return d * scale; }
+constexpr Power operator*(double scale, Power p) { return p * scale; }
+
+std::ostream& operator<<(std::ostream& os, Energy e);
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Power p);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_UNITS_UNITS_H_

@@ -1,0 +1,48 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace eclarity {
+namespace {
+
+std::atomic<LogSeverity> g_threshold{LogSeverity::kWarning};
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void SetLogThreshold(LogSeverity severity) { g_threshold.store(severity); }
+
+LogSeverity GetLogThreshold() { return g_threshold.load(); }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ < g_threshold.load()) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogSeverityName(severity_),
+               Basename(file_), line_, stream_.str().c_str());
+}
+
+}  // namespace eclarity

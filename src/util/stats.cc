@@ -1,0 +1,243 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace eclarity {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum_sq += (x - mean) * (x - mean);
+  }
+  return sum_sq / static_cast<double>(xs.size() - 1);
+}
+
+double Stddev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double RelativeError(double predicted, double actual) {
+  if (actual == 0.0) {
+    return std::abs(predicted);
+  }
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+ErrorSummary SummarizeErrors(const std::vector<double>& errors) {
+  ErrorSummary summary;
+  summary.count = errors.size();
+  if (errors.empty()) {
+    return summary;
+  }
+  summary.average = Mean(errors);
+  summary.max = Max(errors);
+  summary.p50 = Percentile(errors, 50.0);
+  summary.p95 = Percentile(errors, 95.0);
+  return summary;
+}
+
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return InvalidArgumentError("SolveLinearSystem: matrix must be square");
+  }
+  if (b.size() != n) {
+    return InvalidArgumentError("SolveLinearSystem: rhs size mismatch");
+  }
+  // Augmented working copy.
+  Matrix work(n, n + 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      work.At(r, c) = a.At(r, c);
+    }
+    work.At(r, n) = b[r];
+  }
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::abs(work.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double candidate = std::abs(work.At(r, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return FailedPreconditionError("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = col; c <= n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+      }
+    }
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = work.At(r, col) / work.At(col, col);
+      if (factor == 0.0) {
+        continue;
+      }
+      for (size_t c = col; c <= n; ++c) {
+        work.At(r, c) -= factor * work.At(col, c);
+      }
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = work.At(ri, n);
+    for (size_t c = ri + 1; c < n; ++c) {
+      acc -= work.At(ri, c) * x[c];
+    }
+    x[ri] = acc / work.At(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (b.size() != m) {
+    return InvalidArgumentError("LeastSquares: rhs size mismatch");
+  }
+  if (m < n) {
+    return InvalidArgumentError("LeastSquares: underdetermined system");
+  }
+  // Normal equations: (A^T A) x = A^T b.
+  Matrix ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t r = 0; r < m; ++r) {
+        acc += a.At(r, i) * a.At(r, j);
+      }
+      ata.At(i, j) = acc;
+    }
+    double acc = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      acc += a.At(r, i) * b[r];
+    }
+    atb[i] = acc;
+  }
+  return SolveLinearSystem(ata, atb);
+}
+
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& a, const std::vector<double>& b, int max_iters,
+    double tolerance) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (b.size() != m) {
+    return InvalidArgumentError("NonNegativeLeastSquares: rhs size mismatch");
+  }
+  if (n == 0 || m == 0) {
+    return InvalidArgumentError("NonNegativeLeastSquares: empty system");
+  }
+
+  // Precompute Gram matrix and A^T b once.
+  Matrix gram(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t r = 0; r < m; ++r) {
+        acc += a.At(r, i) * a.At(r, j);
+      }
+      gram.At(i, j) = acc;
+    }
+    double acc = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      acc += a.At(r, i) * b[r];
+    }
+    atb[i] = acc;
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double gii = gram.At(i, i);
+      if (gii <= 0.0) {
+        continue;  // column is all zeros; coefficient stays 0
+      }
+      double gradient = atb[i];
+      for (size_t j = 0; j < n; ++j) {
+        gradient -= gram.At(i, j) * x[j];
+      }
+      const double updated = std::max(0.0, x[i] + gradient / gii);
+      max_delta = std::max(max_delta, std::abs(updated - x[i]));
+      x[i] = updated;
+    }
+    if (max_delta < tolerance) {
+      break;
+    }
+  }
+  return x;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace eclarity

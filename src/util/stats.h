@@ -1,0 +1,89 @@
+// Statistics and small linear-algebra helpers.
+//
+// Used by the calibration workflow (least-squares fit of per-metric energy
+// coefficients), by the benches (error summaries), and by the empirical
+// interface extractor.
+
+#ifndef ECLARITY_SRC_UTIL_STATS_H_
+#define ECLARITY_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// Arithmetic mean; returns 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+// Unbiased sample variance (n-1 denominator); 0 when fewer than 2 samples.
+double Variance(const std::vector<double>& xs);
+double Stddev(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+// Returns 0 for an empty vector.
+double Percentile(std::vector<double> xs, double p);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+// Relative error |predicted - actual| / |actual|. Returns |predicted| when
+// actual == 0 (so that 0-vs-0 is 0 and nonzero-vs-0 is large).
+double RelativeError(double predicted, double actual);
+
+// Summary of a sample of relative errors, as reported in the paper's Table 1.
+struct ErrorSummary {
+  double average = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  size_t count = 0;
+};
+
+ErrorSummary SummarizeErrors(const std::vector<double>& errors);
+
+// Dense row-major matrix, just big enough for calibration problems.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// Solves the square system a * x = b by Gaussian elimination with partial
+// pivoting. Fails with kInvalidArgument on shape mismatch and
+// kFailedPrecondition when the matrix is (numerically) singular.
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b);
+
+// Ordinary least squares: finds x minimising ||a*x - b||^2 via the normal
+// equations (a^T a) x = a^T b. Requires a.rows() >= a.cols().
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b);
+
+// Non-negative least squares via projected coordinate descent. Calibrated
+// energy coefficients must be physically non-negative; plain OLS can go
+// negative when metrics are correlated.
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& a, const std::vector<double>& b, int max_iters = 2000,
+    double tolerance = 1e-12);
+
+// Pearson correlation of two equal-length vectors; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_UTIL_STATS_H_

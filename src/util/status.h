@@ -1,0 +1,153 @@
+// Lightweight error handling primitives used across the eclarity libraries.
+//
+// The toolkit does not use exceptions for recoverable errors (parse errors,
+// evaluation errors, lookup failures). Instead, fallible operations return
+// Status (for void-like operations) or Result<T> (for value-producing ones),
+// in the spirit of absl::Status / absl::StatusOr.
+
+#ifndef ECLARITY_SRC_UTIL_STATUS_H_
+#define ECLARITY_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eclarity {
+
+// Error categories. Kept deliberately small; the message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup failed (interface, resource, ECV, ...)
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// operation not valid in current state
+  kOutOfRange,        // index / numeric range violation
+  kUnimplemented,     // feature intentionally not supported
+  kResourceExhausted, // step / recursion / iteration limits hit
+  kInternal,          // invariant violation (bug in eclarity itself)
+};
+
+// Human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring absl's.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or an error Status. Accessing value() on an error, or
+// status() semantics, mirror absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return MakeFoo();` and `return SomeError();`
+  // both work from functions returning Result<T>.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates errors out of the enclosing function:
+//   ECLARITY_RETURN_IF_ERROR(DoThing());
+#define ECLARITY_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::eclarity::Status eclarity_status_ = (expr);  \
+    if (!eclarity_status_.ok()) {                  \
+      return eclarity_status_;                     \
+    }                                              \
+  } while (false)
+
+// Unwraps a Result<T> into a local or propagates the error:
+//   ECLARITY_ASSIGN_OR_RETURN(auto v, ComputeThing());
+#define ECLARITY_ASSIGN_OR_RETURN(decl, expr)                        \
+  ECLARITY_ASSIGN_OR_RETURN_IMPL_(                                   \
+      ECLARITY_STATUS_CONCAT_(result_, __LINE__), decl, expr)
+#define ECLARITY_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  decl = std::move(tmp).value()
+#define ECLARITY_STATUS_CONCAT_(a, b) ECLARITY_STATUS_CONCAT_IMPL_(a, b)
+#define ECLARITY_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_UTIL_STATUS_H_

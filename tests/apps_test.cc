@@ -1,0 +1,193 @@
+// Tests for the application substrates: LRU cache, the Fig. 1 web service
+// (system + interface agreement), and the fuzzing campaign model.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/fuzzing.h"
+#include "src/apps/lru_cache.h"
+#include "src/apps/webservice.h"
+#include "src/hw/vendor.h"
+#include "src/iface/energy_interface.h"
+#include "src/util/stats.h"
+
+namespace eclarity {
+namespace {
+
+// --- LruCache ---------------------------------------------------------------
+
+TEST(LruCacheTest, BasicHitMiss) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.Get(1));
+  cache.Put(1);
+  EXPECT_TRUE(cache.Get(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.Put(1);
+  cache.Put(2);
+  EXPECT_TRUE(cache.Get(1));  // 1 is now most recent
+  cache.Put(3);               // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutRefreshesExisting) {
+  LruCache cache(2);
+  cache.Put(1);
+  cache.Put(2);
+  cache.Put(1);  // refresh, no eviction
+  cache.Put(3);  // evicts 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache cache(0);
+  cache.Put(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- WebService ----------------------------------------------------------------
+
+TEST(WebServiceTest, ServesAndCounts) {
+  WebServiceConfig config;
+  config.corpus_images = 2000;
+  WebService service(config, 42);
+  auto result = service.Run(3000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->counters.requests, 3000u);
+  EXPECT_EQ(result->counters.local_hits + result->counters.remote_hits +
+                result->counters.cnn_misses,
+            3000u);
+  // A Zipf stream over 2k images with a 500-entry local cache hits often.
+  EXPECT_GT(result->counters.RequestHitRate(), 0.3);
+  EXPECT_GT(result->measured_energy.joules(), 0.0);
+  EXPECT_EQ(result->per_request_joules.size(), 3000u);
+  // Energy decomposes into the four shares.
+  const double parts = result->node_energy.joules() +
+                       result->remote_energy.joules() +
+                       result->nic_energy.joules() +
+                       result->gpu_energy.joules();
+  EXPECT_NEAR(parts, result->measured_energy.joules(),
+              1e-9 * parts + 1e-12);
+}
+
+TEST(WebServiceTest, ZeroFractionDeterministicAndBounded) {
+  WebServiceConfig config;
+  WebService service(config, 1);
+  for (uint64_t id = 0; id < 100; ++id) {
+    const double z = service.ZeroFraction(id);
+    EXPECT_GE(z, config.zero_fraction_lo);
+    EXPECT_LE(z, config.zero_fraction_hi);
+    EXPECT_DOUBLE_EQ(z, service.ZeroFraction(id));
+  }
+}
+
+TEST(WebServiceTest, LargerCacheRaisesHitRate) {
+  WebServiceConfig small;
+  small.local_cache_entries = 50;
+  WebServiceConfig large = small;
+  large.local_cache_entries = 3000;
+  WebService service_small(small, 9);
+  WebService service_large(large, 9);
+  auto a = service_small.Run(5000);
+  auto b = service_large.Run(5000);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b->counters.local_hits, a->counters.local_hits);
+  // More local hits -> less energy per request.
+  EXPECT_LT(b->measured_energy.joules(), a->measured_energy.joules());
+}
+
+// The Fig. 1 interface, instantiated with the observed hit rates, predicts
+// the measured mean per-request energy.
+TEST(WebServiceTest, InterfacePredictsMeasuredMean) {
+  WebServiceConfig config;
+  WebService service(config, 77);
+  auto run = service.Run(8000);
+  ASSERT_TRUE(run.ok());
+
+  auto program = WebServiceEnergyInterface(config, ServerCpuProfile(1),
+                                           CnnModel(CnnConfig::Fig1()));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto open_iface = EnergyInterface::FromProgram(
+      std::move(*program), "E_ml_webservice_handle",
+      {"E_gpu_kernel", "E_gpu_idle"});
+  ASSERT_TRUE(open_iface.ok()) << open_iface.status().ToString();
+  auto hw = GpuVendorInterface(Rtx4090LikeProfile());
+  ASSERT_TRUE(hw.ok());
+  auto iface = open_iface->Link(*hw);
+  ASSERT_TRUE(iface.ok());
+
+  // The cache manager's knowledge: observed hit rates as the ECV profile.
+  EcvProfile profile;
+  profile.SetBernoulli("request_hit", run->counters.RequestHitRate());
+  profile.SetBernoulli("local_cache_hit", run->counters.LocalHitRate());
+
+  const double mean_zeros =
+      config.image_elements *
+      (config.zero_fraction_lo + config.zero_fraction_hi) / 2.0;
+  auto predicted = iface->Expected(
+      {Value::Number(config.image_elements), Value::Number(mean_zeros)},
+      profile);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+
+  const double measured_mean = Mean(run->per_request_joules);
+  EXPECT_NEAR(predicted->joules() / measured_mean, 1.0, 0.10)
+      << "predicted " << predicted->joules() << " measured " << measured_mean;
+}
+
+// --- Fuzzing campaign -------------------------------------------------------------
+
+TEST(CampaignTest, CoverageSaturates) {
+  FuzzCampaignConfig config;
+  Rng rng(3);
+  const CampaignResult r = RunCampaign(config, 16, 0.99, rng);
+  EXPECT_TRUE(r.met_target);
+  EXPECT_GT(r.coverage_reached, 0.99);
+  EXPECT_LE(r.coverage_reached, 1.0);
+}
+
+TEST(CampaignTest, TooFewMachinesMissDeadline) {
+  FuzzCampaignConfig config;
+  config.deadline = Duration::Hours(1.0);
+  Rng rng(3);
+  const CampaignResult r = RunCampaign(config, 1, 0.99, rng);
+  EXPECT_FALSE(r.met_target);
+  EXPECT_NEAR(r.duration.seconds(), config.deadline.seconds(),
+              Duration::Minutes(10.0).seconds() + 1.0);
+}
+
+TEST(CampaignTest, InterfaceMatchesSimulatedCampaign) {
+  FuzzCampaignConfig config;
+  auto program = CampaignEnergyInterface(config);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Evaluator evaluator(*program);
+  Rng rng(13);
+  for (int machines : {8, 16, 32}) {
+    // Average several simulated campaigns (the sim has discovery noise).
+    double total = 0.0;
+    const int reps = 20;
+    for (int i = 0; i < reps; ++i) {
+      total += RunCampaign(config, machines, 0.95, rng).energy.joules();
+    }
+    const double simulated = total / reps;
+    auto predicted = evaluator.ExpectedEnergy(
+        "E_fuzz_campaign",
+        {Value::Number(static_cast<double>(machines)), Value::Number(0.95)},
+        {});
+    ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+    // The sim advances in 10-minute steps, so allow coarse agreement.
+    EXPECT_NEAR(predicted->joules() / simulated, 1.0, 0.15)
+        << "machines=" << machines;
+  }
+}
+
+}  // namespace
+}  // namespace eclarity

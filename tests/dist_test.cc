@@ -1,0 +1,235 @@
+// Unit and property tests for src/dist.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/dist/distribution.h"
+#include "src/util/rng.h"
+
+namespace eclarity {
+namespace {
+
+TEST(DistributionTest, PointMass) {
+  const Distribution d = Distribution::PointMass(5.0);
+  EXPECT_TRUE(d.IsValid());
+  EXPECT_EQ(d.SupportSize(), 1u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.MinValue(), 5.0);
+  EXPECT_DOUBLE_EQ(d.MaxValue(), 5.0);
+}
+
+TEST(DistributionTest, BernoulliValuesMoments) {
+  const Distribution d = Distribution::BernoulliValues(0.25, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.25 * 10.0 + 0.75 * 2.0);
+  EXPECT_NEAR(d.Variance(), 0.25 * 0.75 * 64.0, 1e-12);
+}
+
+TEST(DistributionTest, BernoulliDegenerateProbabilityCollapses) {
+  EXPECT_EQ(Distribution::BernoulliValues(1.0, 7.0, 3.0).SupportSize(), 1u);
+  EXPECT_EQ(Distribution::BernoulliValues(0.0, 7.0, 3.0).Mean(), 3.0);
+}
+
+TEST(DistributionTest, CategoricalNormalises) {
+  auto d = Distribution::Categorical({{1.0, 2.0}, {2.0, 6.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Cdf(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(d->Cdf(2.0), 1.0, 1e-12);
+}
+
+TEST(DistributionTest, CategoricalMergesDuplicateValues) {
+  auto d = Distribution::Categorical({{1.0, 0.5}, {1.0, 0.5}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->SupportSize(), 1u);
+}
+
+TEST(DistributionTest, CategoricalRejectsBadInput) {
+  EXPECT_FALSE(Distribution::Categorical({}).ok());
+  EXPECT_FALSE(Distribution::Categorical({{1.0, -0.5}}).ok());
+  EXPECT_FALSE(Distribution::Categorical({{1.0, 0.0}}).ok());
+  const double nan = std::nan("");
+  EXPECT_FALSE(Distribution::Categorical({{nan, 1.0}}).ok());
+}
+
+TEST(DistributionTest, FromSamples) {
+  auto d = Distribution::FromSamples({1.0, 2.0, 2.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->SupportSize(), 3u);
+  EXPECT_DOUBLE_EQ(d->Mean(), 2.0);
+  EXPECT_FALSE(Distribution::FromSamples({}).ok());
+}
+
+TEST(DistributionTest, FromSamplesBinnedPreservesMean) {
+  std::vector<double> samples;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(rng.Normal(50.0, 10.0));
+  }
+  auto d = Distribution::FromSamplesBinned(samples, 64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(d->SupportSize(), 64u);
+  // Mass-weighted bin means preserve the sample mean exactly.
+  double expected = 0.0;
+  for (double s : samples) {
+    expected += s;
+  }
+  expected /= static_cast<double>(samples.size());
+  EXPECT_NEAR(d->Mean(), expected, 1e-9);
+}
+
+TEST(DistributionTest, CdfAndQuantileAreInverse) {
+  auto d = Distribution::Categorical({{1.0, 0.2}, {2.0, 0.3}, {3.0, 0.5}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(d->Quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(d->Quantile(0.35), 2.0);
+  EXPECT_DOUBLE_EQ(d->Quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(d->Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d->Cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d->Cdf(10.0), 1.0);
+}
+
+TEST(DistributionTest, MassInRange) {
+  auto d = Distribution::Categorical({{1.0, 0.2}, {2.0, 0.3}, {3.0, 0.5}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->MassInRange(1.5, 3.0), 0.8);
+  EXPECT_DOUBLE_EQ(d->MassInRange(0.0, 0.5), 0.0);
+}
+
+TEST(DistributionTest, AffineTransform) {
+  const Distribution d = Distribution::BernoulliValues(0.5, 1.0, 3.0);
+  const Distribution t = d.Affine(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 2.0 * d.Mean() + 10.0);
+  EXPECT_DOUBLE_EQ(t.MinValue(), 12.0);
+  EXPECT_DOUBLE_EQ(t.MaxValue(), 16.0);
+}
+
+TEST(DistributionTest, ConvolutionMeansAdd) {
+  const Distribution a = Distribution::BernoulliValues(0.5, 0.0, 1.0);
+  const Distribution b = Distribution::BernoulliValues(0.25, 0.0, 4.0);
+  const Distribution sum = a.Convolve(b);
+  EXPECT_NEAR(sum.Mean(), a.Mean() + b.Mean(), 1e-12);
+  EXPECT_NEAR(sum.Variance(), a.Variance() + b.Variance(), 1e-12);
+}
+
+TEST(DistributionTest, ConvolutionChainBoundsSupport) {
+  Distribution acc = Distribution::PointMass(0.0);
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    // Irregular three-point summand so supports do not collapse.
+    auto step = Distribution::Categorical(
+        {{0.0, 0.5}, {1.0 + 0.01 * i, 0.3}, {3.0 + 0.001 * i, 0.2}});
+    ASSERT_TRUE(step.ok());
+    acc = acc.Convolve(*step, /*max_support=*/512);
+    EXPECT_LE(acc.SupportSize(), 512u);
+  }
+  EXPECT_TRUE(acc.IsValid());
+}
+
+TEST(DistributionTest, MixtureWeightsApplied) {
+  const Distribution a = Distribution::PointMass(0.0);
+  const Distribution b = Distribution::PointMass(10.0);
+  auto mix = Distribution::Mixture({a, b}, {3.0, 1.0});
+  ASSERT_TRUE(mix.ok());
+  EXPECT_NEAR(mix->Mean(), 2.5, 1e-12);
+}
+
+TEST(DistributionTest, MixtureRejectsBadInput) {
+  const Distribution a = Distribution::PointMass(0.0);
+  EXPECT_FALSE(Distribution::Mixture({a}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(Distribution::Mixture({}, {}).ok());
+  EXPECT_FALSE(Distribution::Mixture({a}, {-1.0}).ok());
+  EXPECT_FALSE(Distribution::Mixture({a}, {0.0}).ok());
+}
+
+TEST(DistributionTest, CompactPreservesMeanAndMass) {
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 1000; ++i) {
+    atoms.push_back({static_cast<double>(i), 1.0});
+  }
+  auto d = Distribution::Categorical(std::move(atoms));
+  ASSERT_TRUE(d.ok());
+  const double mean_before = d->Mean();
+  const Distribution compacted = d->Compact(50);
+  EXPECT_LE(compacted.SupportSize(), 50u);
+  EXPECT_NEAR(compacted.Mean(), mean_before, 1e-9);
+  double total = 0.0;
+  for (const Atom& a : compacted.atoms()) {
+    total += a.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DistributionTest, CompactWithToleranceMergesNeighbours) {
+  auto d = Distribution::Categorical(
+      {{1.0, 0.25}, {1.0005, 0.25}, {5.0, 0.5}});
+  ASSERT_TRUE(d.ok());
+  const Distribution compacted = d->Compact(10, /*tolerance=*/0.01);
+  EXPECT_EQ(compacted.SupportSize(), 2u);
+}
+
+TEST(DistributionTest, SamplingMatchesMass) {
+  auto d = Distribution::Categorical({{1.0, 0.7}, {2.0, 0.3}});
+  ASSERT_TRUE(d.ok());
+  Rng rng(11);
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (d->Sample(rng) == 1.0) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.7, 0.02);
+}
+
+TEST(DistributionTest, Wasserstein1OfShiftedPointMasses) {
+  const Distribution a = Distribution::PointMass(0.0);
+  const Distribution b = Distribution::PointMass(3.0);
+  EXPECT_NEAR(Distribution::Wasserstein1(a, b), 3.0, 1e-12);
+  EXPECT_NEAR(Distribution::Wasserstein1(a, a), 0.0, 1e-12);
+}
+
+TEST(DistributionTest, Wasserstein1IsSymmetric) {
+  auto a = Distribution::Categorical({{0.0, 0.5}, {2.0, 0.5}});
+  auto b = Distribution::Categorical({{1.0, 0.25}, {3.0, 0.75}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(Distribution::Wasserstein1(*a, *b),
+              Distribution::Wasserstein1(*b, *a), 1e-12);
+}
+
+TEST(DistributionTest, KolmogorovSmirnovBounds) {
+  const Distribution a = Distribution::PointMass(0.0);
+  const Distribution b = Distribution::PointMass(1.0);
+  EXPECT_NEAR(Distribution::KolmogorovSmirnov(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(Distribution::KolmogorovSmirnov(a, a), 0.0, 1e-12);
+}
+
+// Property sweep: affine + convolution identities across parameterisations.
+class DistributionPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistributionPropertyTest, ConvolutionWithPointMassIsShift) {
+  const double shift = GetParam();
+  auto d = Distribution::Categorical({{1.0, 0.3}, {4.0, 0.7}});
+  ASSERT_TRUE(d.ok());
+  const Distribution shifted = d->Convolve(Distribution::PointMass(shift));
+  EXPECT_NEAR(shifted.Mean(), d->Mean() + shift, 1e-12);
+  EXPECT_NEAR(shifted.Variance(), d->Variance(), 1e-12);
+}
+
+TEST_P(DistributionPropertyTest, QuantileIsMonotone) {
+  const double p = GetParam();
+  auto d = Distribution::Categorical(
+      {{0.0, 0.1}, {1.0, 0.2}, {2.0, 0.3}, {5.0, 0.4}});
+  ASSERT_TRUE(d.ok());
+  const double q = std::fabs(p) / 10.0;  // in [0, 1] for our params
+  if (q <= 0.9) {
+    EXPECT_LE(d->Quantile(q), d->Quantile(q + 0.1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, DistributionPropertyTest,
+                         ::testing::Values(-5.0, -1.0, 0.0, 0.5, 2.0, 9.0));
+
+}  // namespace
+}  // namespace eclarity

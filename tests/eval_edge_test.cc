@@ -1,0 +1,217 @@
+// Error-path and edge-case tests for the evaluator: every malformed
+// runtime situation must surface as a typed Status with a useful message,
+// never as a crash or a silent wrong answer.
+
+#include <gtest/gtest.h>
+
+#include "src/eval/builtins.h"
+#include "src/eval/interp.h"
+#include "src/eval/pure_expr.h"
+#include "src/lang/parser.h"
+
+namespace eclarity {
+namespace {
+
+Program MustParse(const char* source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+Result<Value> Run1(const char* source, const char* entry, double arg) {
+  static std::vector<std::unique_ptr<Program>> keep_alive;
+  keep_alive.push_back(std::make_unique<Program>(MustParse(source)));
+  Evaluator eval(*keep_alive.back());
+  Rng rng(1);
+  return eval.EvalSampled(entry, {Value::Number(arg)}, {}, rng);
+}
+
+// --- Runtime type errors -------------------------------------------------------
+
+TEST(EvalEdgeTest, ConditionMustBeBool) {
+  auto v = Run1("interface f(x) { if (x) { return 1J; } return 2J; }", "f", 1);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("if condition"), std::string::npos);
+}
+
+TEST(EvalEdgeTest, LoopBoundsMustBeNumbers) {
+  auto v = Run1(
+      "interface f(x) { let mut t = 0J; for i in 0..(x > 0) { t = t + 1J; } "
+      "return t; }",
+      "f", 1);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(EvalEdgeTest, ReturnedNumberFailsDistribution) {
+  // The dynamic type system allows returning a number; converting to a
+  // distribution must fail cleanly.
+  const Program p = MustParse("interface f(x) { return x * 2; }");
+  Evaluator eval(p);
+  auto dist = eval.EvalDistribution("f", {Value::Number(1.0)}, {});
+  ASSERT_FALSE(dist.ok());
+  EXPECT_NE(dist.status().message().find("expected energy"),
+            std::string::npos);
+}
+
+TEST(EvalEdgeTest, MixedEnergyNumberAdditionRejected) {
+  auto v = Run1("interface f(x) { return x + 1J; }", "f", 2);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("'+'"), std::string::npos);
+}
+
+// --- ECV runtime validation -----------------------------------------------------
+
+TEST(EvalEdgeTest, BernoulliProbabilityOutOfRange) {
+  auto v = Run1(
+      "interface f(p) { ecv e ~ bernoulli(p); return e ? 1J : 2J; }", "f",
+      1.5);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("out of [0,1]"), std::string::npos);
+}
+
+TEST(EvalEdgeTest, UniformIntInvertedBounds) {
+  auto v = Run1(
+      "interface f(x) { ecv e ~ uniform_int(5, 2); return e * 1J; }", "f", 0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("inverted"), std::string::npos);
+}
+
+TEST(EvalEdgeTest, UniformIntSupportBudget) {
+  const Program p = MustParse(
+      "interface f(x) { ecv e ~ uniform_int(0, 100000); return e * 1J; }");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(0.0)}, {}, rng);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalEdgeTest, CategoricalZeroMassRejected) {
+  auto v = Run1(
+      "interface f(x) { ecv e ~ categorical(1: 0, 2: 0); return e * 1J; }",
+      "f", 0);
+  ASSERT_FALSE(v.ok());
+}
+
+TEST(EvalEdgeTest, EcvParamsMayDependOnInputs) {
+  // Paper-adjacent: hit rate that depends on a parameter (cache size).
+  const Program p = MustParse(R"(
+interface f(cache_frac) {
+  ecv hit ~ bernoulli(cache_frac);
+  return hit ? 1mJ : 3mJ;
+}
+)");
+  Evaluator eval(p);
+  auto low = eval.ExpectedEnergy("f", {Value::Number(0.1)}, {});
+  auto high = eval.ExpectedEnergy("f", {Value::Number(0.9)}, {});
+  ASSERT_TRUE(low.ok() && high.ok());
+  EXPECT_GT(low->joules(), high->joules());
+}
+
+// --- Builtin error paths ---------------------------------------------------------
+
+TEST(EvalEdgeTest, BuiltinErrorPaths) {
+  const std::string ctx = "t";
+  // clamp with inverted bounds.
+  EXPECT_FALSE(ApplyBuiltin("clamp",
+                            {Value::Number(1), Value::Number(5),
+                             Value::Number(2)},
+                            {}, ctx)
+                   .ok());
+  // log of a non-positive value -> non-finite.
+  EXPECT_FALSE(ApplyBuiltin("log", {Value::Number(-1)}, {}, ctx).ok());
+  EXPECT_FALSE(ApplyBuiltin("sqrt", {Value::Number(-4)}, {}, ctx).ok());
+  // pow overflow.
+  EXPECT_FALSE(
+      ApplyBuiltin("pow", {Value::Number(1e300), Value::Number(10)}, {}, ctx)
+          .ok());
+  // au without its unit-name string.
+  EXPECT_FALSE(ApplyBuiltin("au", {Value::Number(0)}, {}, ctx).ok());
+  // unknown builtin name.
+  EXPECT_FALSE(ApplyBuiltin("warp", {Value::Number(0)}, {}, ctx).ok());
+  // min over mixed kinds.
+  EXPECT_FALSE(
+      ApplyBuiltin("min", {Value::Number(1), Value::Joules(1)}, {}, ctx).ok());
+  // abs of an abstract energy (not resolvable without calibration).
+  EXPECT_FALSE(
+      ApplyBuiltin("abs", {Value::EnergyValue(AbstractEnergy::Unit("x"))}, {},
+                   ctx)
+          .ok());
+}
+
+TEST(EvalEdgeTest, MinMaxOnConcreteEnergies) {
+  auto lo = ApplyBuiltin("min", {Value::Joules(2), Value::Joules(5)}, {}, "t");
+  auto hi = ApplyBuiltin("max", {Value::Joules(2), Value::Joules(5)}, {}, "t");
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_DOUBLE_EQ(lo->energy().concrete().joules(), 2.0);
+  EXPECT_DOUBLE_EQ(hi->energy().concrete().joules(), 5.0);
+}
+
+// --- Pure-expression evaluator -----------------------------------------------------
+
+TEST(EvalEdgeTest, PureExprBasics) {
+  auto e = ParseExpression("min(a, 3) * 2 + (a > 1 ? 1 : 0)");
+  ASSERT_TRUE(e.ok());
+  std::map<std::string, Value> env = {{"a", Value::Number(5.0)}};
+  auto v = EvalPureExpr(**e, env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number(), 7.0);
+}
+
+TEST(EvalEdgeTest, PureExprRejectsInterfaceCalls) {
+  auto e = ParseExpression("E_hw(3)");
+  ASSERT_TRUE(e.ok());
+  std::map<std::string, Value> env;
+  auto v = EvalPureExpr(**e, env);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("cannot call interface"),
+            std::string::npos);
+}
+
+TEST(EvalEdgeTest, PureExprUndefinedName) {
+  auto e = ParseExpression("missing + 1");
+  ASSERT_TRUE(e.ok());
+  std::map<std::string, Value> env;
+  EXPECT_EQ(EvalPureExpr(**e, env).status().code(), StatusCode::kNotFound);
+}
+
+// --- Profile interactions -------------------------------------------------------
+
+TEST(EvalEdgeTest, ProfileOverrideWithWrongTypeSurfacesAtUse) {
+  // Pinning a boolean ECV to a number makes the branch condition fail.
+  const Program p = MustParse(R"(
+interface f(x) {
+  ecv hit ~ bernoulli(0.5);
+  if (hit) { return 1J; }
+  return 2J;
+}
+)");
+  Evaluator eval(p);
+  EcvProfile profile;
+  profile.SetFixed("hit", Value::Number(1.0));
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(0.0)}, profile, rng);
+  ASSERT_FALSE(v.ok());
+}
+
+TEST(EvalEdgeTest, ProfileOverrideCanWidenSupport) {
+  // A profile can replace a Bernoulli with a three-way categorical.
+  const Program p = MustParse(R"(
+interface f() {
+  ecv mode ~ bernoulli(0.5);
+  return mode ? 1mJ : 2mJ;
+}
+)");
+  Evaluator eval(p);
+  EcvProfile profile;
+  ASSERT_TRUE(profile
+                  .Set("mode", {{Value::Bool(true), 0.2},
+                                {Value::Bool(false), 0.8}})
+                  .ok());
+  auto dist = eval.EvalDistribution("f", {}, profile);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Mean(), 0.2 * 1e-3 + 0.8 * 2e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,451 @@
+// Tests for the EIL interpreter: sampled, exact-enumeration, distribution
+// and expectation evaluation, including the paper's Fig. 1 interface.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/interp.h"
+#include "src/lang/parser.h"
+
+namespace eclarity {
+namespace {
+
+Program MustParse(const char* source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+// --- Deterministic evaluation ---------------------------------------------------
+
+TEST(EvalTest, SimpleArithmetic) {
+  const Program p = MustParse(
+      "interface f(n) { return (2 * n + 1) * 1mJ; }");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(10.0)}, {}, rng);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_NEAR(v->energy().concrete().millijoules(), 21.0, 1e-12);
+}
+
+TEST(EvalTest, ConstsResolve) {
+  const Program p = MustParse(R"(
+const base = 5mJ;
+interface f(n) { return base * n; }
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(3.0)}, {}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->energy().concrete().millijoules(), 15.0, 1e-12);
+}
+
+TEST(EvalTest, ForLoopAccumulates) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n {
+    total = total + (i + 1) * 1mJ;
+  }
+  return total;
+}
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(4.0)}, {}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->energy().concrete().millijoules(), 10.0, 1e-12);  // 1+2+3+4
+}
+
+TEST(EvalTest, NestedCalls) {
+  const Program p = MustParse(R"(
+interface inner(n) { return n * 2mJ; }
+interface outer(n) { return inner(n) + inner(n + 1); }
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("outer", {Value::Number(1.0)}, {}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->energy().concrete().millijoules(), 6.0, 1e-12);
+}
+
+TEST(EvalTest, RecursionWorksWithinDepthLimit) {
+  // E(n) = n * 1mJ via recursion.
+  const Program p = MustParse(R"(
+interface f(n) {
+  if (n <= 0) { return 0J; }
+  return 1mJ + f(n - 1);
+}
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(10.0)}, {}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->energy().concrete().millijoules(), 10.0, 1e-12);
+}
+
+TEST(EvalTest, RecursionDepthLimitEnforced) {
+  const Program p = MustParse(R"(
+interface f(n) { return 1mJ + f(n + 1); }
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(0.0)}, {}, rng);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, StepBudgetEnforced) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n { total = total + 1pJ; }
+  return total;
+}
+)");
+  EvalOptions options;
+  options.max_steps = 100;
+  Evaluator eval(p, options);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(1000000.0)}, {}, rng);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, ArityMismatchRejected) {
+  const Program p = MustParse("interface f(a, b) { return 1J; }");
+  Evaluator eval(p);
+  Rng rng(1);
+  EXPECT_FALSE(eval.EvalSampled("f", {Value::Number(1.0)}, {}, rng).ok());
+}
+
+TEST(EvalTest, UnknownInterfaceRejected) {
+  const Program p = MustParse("interface f(a) { return 1J; }");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("nope", {Value::Number(1.0)}, {}, rng);
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvalTest, BuiltinsWork) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  let a = min(x, 10);
+  let b = max(x, 2);
+  let c = clamp(x, 0, 5);
+  let d = floor(x / 2) + ceil(x / 2);
+  return (a + b + c + d) * 1mJ;
+}
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("f", {Value::Number(7.0)}, {}, rng);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  // a=7 b=7 c=5 d=3+4=7 -> 26.
+  EXPECT_NEAR(v->energy().concrete().millijoules(), 26.0, 1e-12);
+}
+
+TEST(EvalTest, ShortCircuitAvoidsRhsError) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  if (x > 0 && 1 / x > 0.01) { return 1J; }
+  return 2J;
+}
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  // x == 0 would divide by zero if && were strict.
+  auto v = eval.EvalSampled("f", {Value::Number(0.0)}, {}, rng);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->energy().concrete().joules(), 2.0);
+}
+
+// --- ECVs, enumeration, distributions ----------------------------------------
+
+constexpr char kCacheSource[] = R"(
+interface E_cache_lookup(response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 5mJ * response_len;
+  } else {
+    return 100mJ * response_len;
+  }
+}
+)";
+
+TEST(EvalTest, EnumerateBernoulliEcv) {
+  const Program p = MustParse(kCacheSource);
+  Evaluator eval(p);
+  auto outcomes = eval.Enumerate("E_cache_lookup", {Value::Number(2.0)}, {});
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 2u);
+  double total_prob = 0.0;
+  for (const auto& o : *outcomes) {
+    total_prob += o.probability;
+    ASSERT_EQ(o.ecv_assignments.size(), 1u);
+    EXPECT_EQ(o.ecv_assignments[0].first, "E_cache_lookup.local_cache_hit");
+  }
+  EXPECT_NEAR(total_prob, 1.0, 1e-12);
+}
+
+TEST(EvalTest, DistributionMatchesHandComputation) {
+  const Program p = MustParse(kCacheSource);
+  Evaluator eval(p);
+  auto dist = eval.EvalDistribution("E_cache_lookup", {Value::Number(1.0)}, {});
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_EQ(dist->SupportSize(), 2u);
+  EXPECT_NEAR(dist->Mean(), 0.8 * 0.005 + 0.2 * 0.1, 1e-12);
+  EXPECT_NEAR(dist->MinValue(), 0.005, 1e-12);
+  EXPECT_NEAR(dist->MaxValue(), 0.1, 1e-12);
+}
+
+TEST(EvalTest, EcvProfileOverridesDeclaredDistribution) {
+  const Program p = MustParse(kCacheSource);
+  Evaluator eval(p);
+  EcvProfile profile;
+  profile.SetFixed("local_cache_hit", Value::Bool(true));
+  auto dist = eval.EvalDistribution("E_cache_lookup", {Value::Number(1.0)},
+                                    profile);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->SupportSize(), 1u);
+  EXPECT_NEAR(dist->Mean(), 0.005, 1e-12);
+}
+
+TEST(EvalTest, QualifiedProfileKeyWinsOverBare) {
+  const Program p = MustParse(kCacheSource);
+  Evaluator eval(p);
+  EcvProfile profile;
+  profile.SetBernoulli("local_cache_hit", 0.0);
+  profile.SetBernoulli("E_cache_lookup.local_cache_hit", 1.0);
+  auto dist = eval.EvalDistribution("E_cache_lookup", {Value::Number(1.0)},
+                                    profile);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Mean(), 0.005, 1e-12);  // hit path forced
+}
+
+TEST(EvalTest, EcvInsideLoopIsFreshPerIteration) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n {
+    ecv hit ~ bernoulli(0.5);
+    if (hit) { total = total + 1mJ; }
+  }
+  return total;
+}
+)");
+  Evaluator eval(p);
+  auto outcomes = eval.Enumerate("f", {Value::Number(3.0)}, {});
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_EQ(outcomes->size(), 8u);  // 2^3 draws
+  auto dist = eval.EvalDistribution("f", {Value::Number(3.0)}, {});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->SupportSize(), 4u);  // binomial(3, .5) on {0,1,2,3} mJ
+  EXPECT_NEAR(dist->Mean(), 1.5e-3, 1e-12);
+}
+
+TEST(EvalTest, CategoricalAndUniformIntEcvs) {
+  const Program p = MustParse(R"(
+interface f() {
+  ecv mode ~ categorical(1: 0.5, 2: 0.3, 4: 0.2);
+  ecv extra ~ uniform_int(0, 3);
+  return (mode + extra) * 1mJ;
+}
+)");
+  Evaluator eval(p);
+  auto outcomes = eval.Enumerate("f", {}, {});
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_EQ(outcomes->size(), 12u);  // 3 * 4
+  auto dist = eval.EvalDistribution("f", {}, {});
+  ASSERT_TRUE(dist.ok());
+  const double mode_mean = 1 * 0.5 + 2 * 0.3 + 4 * 0.2;
+  EXPECT_NEAR(dist->Mean(), (mode_mean + 1.5) * 1e-3, 1e-12);
+}
+
+TEST(EvalTest, NestedCallEcvsCompose) {
+  const Program p = MustParse(R"(
+interface leaf() {
+  ecv hit ~ bernoulli(0.5);
+  return hit ? 1mJ : 3mJ;
+}
+interface root() {
+  return leaf() + leaf();
+}
+)");
+  Evaluator eval(p);
+  auto outcomes = eval.Enumerate("root", {}, {});
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_EQ(outcomes->size(), 4u);  // independent draws per call
+  auto dist = eval.EvalDistribution("root", {}, {});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->SupportSize(), 3u);  // 2, 4, 6 mJ
+  EXPECT_NEAR(dist->Mean(), 4e-3, 1e-12);
+}
+
+TEST(EvalTest, MaxPathsEnforced) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n {
+    ecv hit ~ bernoulli(0.5);
+    if (hit) { total = total + 1mJ; }
+  }
+  return total;
+}
+)");
+  EvalOptions options;
+  options.max_paths = 100;
+  Evaluator eval(p, options);
+  auto outcomes = eval.Enumerate("f", {Value::Number(20.0)}, {});
+  ASSERT_FALSE(outcomes.ok());
+  EXPECT_EQ(outcomes.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, ExpectedEnergyMatchesMonteCarlo) {
+  const Program p = MustParse(kCacheSource);
+  Evaluator eval(p);
+  auto exact = eval.ExpectedEnergy("E_cache_lookup", {Value::Number(4.0)}, {});
+  ASSERT_TRUE(exact.ok());
+  Rng rng(99);
+  auto mc = eval.MonteCarloMean("E_cache_lookup", {Value::Number(4.0)}, {},
+                                rng, 20000);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(mc->joules() / exact->joules(), 1.0, 0.05);
+}
+
+// --- Abstract units --------------------------------------------------------------
+
+TEST(EvalTest, AbstractUnitsNeedCalibration) {
+  const Program p = MustParse(R"(
+interface E_relu(n) { return au("relu", n); }
+)");
+  Evaluator eval(p);
+  auto dist = eval.EvalDistribution("E_relu", {Value::Number(2.0)}, {});
+  EXPECT_FALSE(dist.ok());
+  EXPECT_EQ(dist.status().code(), StatusCode::kFailedPrecondition);
+
+  EnergyCalibration cal;
+  cal.Bind("relu", Energy::Microjoules(3.0));
+  auto resolved =
+      eval.EvalDistribution("E_relu", {Value::Number(2.0)}, {}, &cal);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_NEAR(resolved->Mean(), 6e-6, 1e-15);
+}
+
+TEST(EvalTest, AbstractUnitsComposeAcrossCalls) {
+  const Program p = MustParse(R"(
+interface E_conv2d(n) { return au("conv2d", n); }
+interface E_relu(n) { return au("relu", n); }
+interface E_layer(n) { return E_conv2d(n) + 2 * E_relu(n); }
+)");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto v = eval.EvalSampled("E_layer", {Value::Number(3.0)}, {}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->energy().Coefficient("conv2d"), 3.0);
+  EXPECT_DOUBLE_EQ(v->energy().Coefficient("relu"), 6.0);
+}
+
+// --- Fig. 1 end-to-end -------------------------------------------------------------
+
+constexpr char kFig1Source[] = R"(
+const max_response_len = 1024;
+
+interface E_ml_webservice_handle(image_size, n_zeros) {
+  ecv request_hit ~ bernoulli(0.3);
+  if (request_hit) {
+    return E_cache_lookup(image_size, max_response_len);
+  } else {
+    return E_cnn_forward(image_size, n_zeros);
+  }
+}
+
+interface E_cache_lookup(key_size, response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 0.001mJ * response_len;
+  } else {
+    return 0.1mJ * response_len;
+  }
+}
+
+interface E_cnn_forward(image_size, n_zeros) {
+  let n_embedding = 256;
+  return 8 * E_conv2d(image_size - n_zeros) +
+         8 * E_relu(n_embedding) +
+         16 * E_mlp(n_embedding);
+}
+
+interface E_conv2d(n) { return n * 20nJ; }
+interface E_relu(n) { return n * 0.1nJ; }
+interface E_mlp(n) { return n * 1.5nJ; }
+)";
+
+TEST(EvalTest, Fig1DistributionStructure) {
+  const Program p = MustParse(kFig1Source);
+  Evaluator eval(p);
+  const std::vector<Value> args = {Value::Number(50176.0),  // 224x224 image
+                                   Value::Number(10000.0)};
+  auto outcomes = eval.Enumerate("E_ml_webservice_handle", args, {});
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  // request_hit splits; on hit, local_cache_hit splits again; on miss the
+  // CNN path draws nothing: 1 (miss) + 2 (hit x cache-hit) = 3 outcomes.
+  EXPECT_EQ(outcomes->size(), 3u);
+  auto dist = eval.EvalDistribution("E_ml_webservice_handle", args, {});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->SupportSize(), 3u);
+  // Hand-computed expectation.
+  const double cache_hit = 0.001e-3 * 1024;
+  const double cache_miss = 0.1e-3 * 1024;
+  const double cnn = 8 * (50176.0 - 10000.0) * 20e-9 + 8 * 256 * 0.1e-9 +
+                     16 * 256 * 1.5e-9;
+  const double expected =
+      0.3 * (0.8 * cache_hit + 0.2 * cache_miss) + 0.7 * cnn;
+  EXPECT_NEAR(dist->Mean(), expected, 1e-12);
+}
+
+TEST(EvalTest, Fig1WorkloadProfileShiftsEnergy) {
+  // A workload where every request is a repeat (hot cache) should cost far
+  // less than a cold workload — the insight Fig. 1's interface makes visible.
+  const Program p = MustParse(kFig1Source);
+  Evaluator eval(p);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+  EcvProfile hot;
+  hot.SetFixed("request_hit", Value::Bool(true));
+  hot.SetFixed("local_cache_hit", Value::Bool(true));
+  EcvProfile cold;
+  cold.SetFixed("request_hit", Value::Bool(false));
+  auto hot_energy = eval.ExpectedEnergy("E_ml_webservice_handle", args, hot);
+  auto cold_energy = eval.ExpectedEnergy("E_ml_webservice_handle", args, cold);
+  ASSERT_TRUE(hot_energy.ok() && cold_energy.ok());
+  EXPECT_LT(hot_energy->joules(), cold_energy->joules());
+}
+
+// Property sweep: Monte Carlo converges to the exact expectation for varying
+// ECV probabilities.
+class EvalConvergenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EvalConvergenceTest, MonteCarloMatchesExact) {
+  const double p_hit = GetParam();
+  Program program = MustParse(kCacheSource);
+  Evaluator eval(program);
+  EcvProfile profile;
+  profile.SetBernoulli("local_cache_hit", p_hit);
+  auto exact =
+      eval.ExpectedEnergy("E_cache_lookup", {Value::Number(8.0)}, profile);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(static_cast<uint64_t>(p_hit * 1000) + 7);
+  auto mc = eval.MonteCarloMean("E_cache_lookup", {Value::Number(8.0)},
+                                profile, rng, 30000);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(mc->joules(), exact->joules(),
+              0.05 * exact->joules() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(HitRates, EvalConvergenceTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,326 @@
+// Tests for the implementation→interface extractor (paper §4.2): MIR
+// compilation to EIL, device-state side effects, entry-state ECVs, and the
+// central property that extracted interfaces exactly predict the
+// implementation's energy (validated against the reference MIR executor).
+
+#include <gtest/gtest.h>
+
+#include "src/extract/empirical.h"
+#include "src/extract/extract.h"
+#include "src/iface/energy_interface.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace eclarity {
+namespace {
+
+// Hardware layer: plain ops plus a state-dependent radio.
+constexpr char kHardware[] = R"(
+interface E_cpu_op(n) { return n * 1nJ; }
+interface E_mem_read(bytes) { return bytes * 0.2nJ; }
+interface E_net_send_warm(bytes) { return bytes * 2nJ + 1uJ; }
+interface E_net_send_cold(bytes) { return bytes * 2nJ + 800uJ; }
+)";
+
+Program Hardware() {
+  auto program = ParseProgram(kHardware);
+  EXPECT_TRUE(program.ok());
+  return std::move(program).value();
+}
+
+MirModule SimpleModule() {
+  MirModule module;
+  module.resource_ops = {
+      {"cpu_op", 1, std::nullopt},
+      {"mem_read", 1, std::nullopt},
+      {"net_send", 1, std::string("radio")},
+  };
+  return module;
+}
+
+ExprPtr ParseE(const char* text) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(e).value();
+}
+
+TEST(ExtractTest, StraightLineFunction) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "work";
+  fn.params = {"n"};
+  fn.body.statements.push_back(MirMakeUse("cpu_op", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("n * 10")); return v; }()));
+  fn.body.statements.push_back(MirMakeUse("mem_read", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("n * 64")); return v; }()));
+  module.functions.push_back(std::move(fn));
+
+  auto program = ExtractModule(module);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto iface = EnergyInterface::FromProgram(std::move(*program), "E_work",
+                                            {"E_cpu_op", "E_mem_read"});
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  auto linked = iface->Link(Hardware());
+  ASSERT_TRUE(linked.ok());
+
+  for (double n : {1.0, 7.0, 100.0}) {
+    std::map<std::string, bool> state;
+    auto actual = RunMir(module, "work", {n}, Hardware(), state);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    auto predicted = linked->Expected({Value::Number(n)});
+    ASSERT_TRUE(predicted.ok());
+    EXPECT_NEAR(predicted->joules(), actual->energy.joules(),
+                1e-15 + 1e-9 * actual->energy.joules());
+  }
+}
+
+TEST(ExtractTest, ControlFlowAndLocals) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "batched";
+  fn.params = {"items", "batch"};
+  // batches = ceil(items / batch); per batch: cpu_op(batch * 3)
+  fn.body.statements.push_back(
+      MirMakeAssign("batches", ParseE("ceil(items / batch)")));
+  {
+    MirBlock body;
+    body.statements.push_back(MirMakeUse("cpu_op", []{
+      std::vector<ExprPtr> v; v.push_back(ParseE("batch * 3")); return v; }()));
+    fn.body.statements.push_back(std::make_unique<MirFor>(
+        "i", ParseE("0"), ParseE("batches"), std::move(body)));
+  }
+  {
+    MirBlock then_block;
+    then_block.statements.push_back(MirMakeUse("mem_read", []{
+      std::vector<ExprPtr> v; v.push_back(ParseE("items * 8")); return v; }()));
+    fn.body.statements.push_back(std::make_unique<MirIf>(
+        ParseE("items > 50"), std::move(then_block), std::nullopt));
+  }
+  module.functions.push_back(std::move(fn));
+
+  auto program = ExtractModule(module);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto iface = EnergyInterface::FromProgram(std::move(*program), "E_batched",
+                                            {"E_cpu_op", "E_mem_read"});
+  ASSERT_TRUE(iface.ok());
+  auto linked = iface->Link(Hardware());
+  ASSERT_TRUE(linked.ok());
+
+  for (double items : {10.0, 50.0, 51.0, 200.0}) {
+    std::map<std::string, bool> state;
+    auto actual = RunMir(module, "batched", {items, 16.0}, Hardware(), state);
+    ASSERT_TRUE(actual.ok());
+    auto predicted =
+        linked->Expected({Value::Number(items), Value::Number(16.0)});
+    ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+    EXPECT_NEAR(predicted->joules(), actual->energy.joules(),
+                1e-15 + 1e-9 * actual->energy.joules())
+        << "items=" << items;
+  }
+}
+
+// The paper's WiFi example: entry radio state becomes an ECV; pinning the
+// ECV reproduces the implementation exactly for both environments.
+TEST(ExtractTest, EntryStateBecomesEcv) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "upload";
+  fn.params = {"bytes"};
+  fn.body.statements.push_back(MirMakeUse("net_send", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("bytes")); return v; }()));
+  fn.body.statements.push_back(MirMakeUse("net_send", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("bytes")); return v; }()));
+  module.functions.push_back(std::move(fn));
+
+  auto program = ExtractModule(module);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // Both the public and state-explicit variants exist.
+  ASSERT_NE(program->FindInterface("E_upload"), nullptr);
+  ASSERT_NE(program->FindInterface("E_upload_st"), nullptr);
+
+  auto iface = EnergyInterface::FromProgram(
+      program->Clone(), "E_upload",
+      {"E_net_send_warm", "E_net_send_cold"});
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  auto linked = iface->Link(Hardware());
+  ASSERT_TRUE(linked.ok());
+
+  // Two outcomes: entry radio on vs off (second send is always warm).
+  auto outcomes = linked->Paths({Value::Number(1000.0)});
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_EQ(outcomes->size(), 2u);
+
+  for (bool radio_on : {false, true}) {
+    std::map<std::string, bool> state = {{"radio", radio_on}};
+    auto actual = RunMir(module, "upload", {1000.0}, Hardware(), state);
+    ASSERT_TRUE(actual.ok());
+    EXPECT_TRUE(state.at("radio"));  // using the radio turned it on
+
+    EcvProfile pinned;
+    pinned.SetFixed(EntryStateEcvName("radio"), Value::Bool(radio_on));
+    auto predicted = linked->Expected({Value::Number(1000.0)}, pinned);
+    ASSERT_TRUE(predicted.ok());
+    EXPECT_NEAR(predicted->joules(), actual->energy.joules(),
+                1e-15 + 1e-9 * actual->energy.joules())
+        << "radio_on=" << radio_on;
+  }
+}
+
+TEST(ExtractTest, StateSetBeforeUseNeedsNoEcv) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "wake_then_send";
+  fn.params = {"bytes"};
+  fn.body.statements.push_back(MirMakeState("radio", true));
+  fn.body.statements.push_back(MirMakeUse("net_send", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("bytes")); return v; }()));
+  module.functions.push_back(std::move(fn));
+
+  auto program = ExtractModule(module);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // No ECV: a single deterministic path.
+  EXPECT_EQ(program->FindInterface("E_wake_then_send_st"), nullptr);
+  auto iface = EnergyInterface::FromProgram(
+      std::move(*program), "E_wake_then_send",
+      {"E_net_send_warm", "E_net_send_cold"});
+  ASSERT_TRUE(iface.ok());
+  auto linked = iface->Link(Hardware());
+  ASSERT_TRUE(linked.ok());
+  auto outcomes = linked->Paths({Value::Number(100.0)});
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_EQ(outcomes->size(), 1u);
+  // Warm cost: the radio was explicitly woken first.
+  EXPECT_NEAR(outcomes->front().value.energy().concrete().joules(),
+              100.0 * 2e-9 + 1e-6, 1e-15);
+}
+
+// Cross-function composition: the caller wakes the radio, then calls a
+// helper whose own public interface would be uncertain — but the composed
+// interface must know the radio is on.
+TEST(ExtractTest, CallerStateFlowsIntoCallee) {
+  MirModule module = SimpleModule();
+  {
+    MirFunction helper;
+    helper.name = "send_chunk";
+    helper.params = {"bytes"};
+    helper.body.statements.push_back(MirMakeUse("net_send", []{
+      std::vector<ExprPtr> v; v.push_back(ParseE("bytes")); return v; }()));
+    module.functions.push_back(std::move(helper));
+  }
+  {
+    MirFunction caller;
+    caller.name = "warm_upload";
+    caller.params = {"bytes"};
+    caller.body.statements.push_back(MirMakeState("radio", true));
+    caller.body.statements.push_back(MirMakeCall("send_chunk", []{
+      std::vector<ExprPtr> v; v.push_back(ParseE("bytes")); return v; }()));
+    module.functions.push_back(std::move(caller));
+  }
+
+  auto program = ExtractModule(module);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto iface = EnergyInterface::FromProgram(
+      std::move(*program), "E_warm_upload",
+      {"E_net_send_warm", "E_net_send_cold"});
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  auto linked = iface->Link(Hardware());
+  ASSERT_TRUE(linked.ok());
+  // Single path, warm cost — no ECV leaks from the callee.
+  auto outcomes = linked->Paths({Value::Number(500.0)});
+  ASSERT_TRUE(outcomes.ok());
+  ASSERT_EQ(outcomes->size(), 1u);
+  EXPECT_NEAR(outcomes->front().value.energy().concrete().joules(),
+              500.0 * 2e-9 + 1e-6, 1e-15);
+}
+
+TEST(ExtractTest, RecursionRejected) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "loop";
+  fn.params = {"n"};
+  fn.body.statements.push_back(MirMakeCall("loop", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("n")); return v; }()));
+  module.functions.push_back(std::move(fn));
+  auto program = ExtractModule(module);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ExtractTest, UndeclaredOpRejected) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "bad";
+  fn.params = {};
+  fn.body.statements.push_back(MirMakeUse("warp_drive", {}));
+  module.functions.push_back(std::move(fn));
+  EXPECT_FALSE(ExtractModule(module).ok());
+}
+
+TEST(ExtractTest, ExtractedSourceIsReadable) {
+  MirModule module = SimpleModule();
+  MirFunction fn;
+  fn.name = "upload";
+  fn.params = {"bytes"};
+  fn.body.statements.push_back(MirMakeUse("net_send", []{
+    std::vector<ExprPtr> v; v.push_back(ParseE("bytes")); return v; }()));
+  module.functions.push_back(std::move(fn));
+  auto program = ExtractModule(module);
+  ASSERT_TRUE(program.ok());
+  const std::string source = PrintProgram(*program);
+  EXPECT_NE(source.find("ecv __entry_radio"), std::string::npos);
+  EXPECT_NE(source.find("E_net_send_warm"), std::string::npos);
+  // Round-trips through the parser.
+  EXPECT_TRUE(ParseProgram(source).ok()) << source;
+}
+
+// --- Empirical fallback -------------------------------------------------------
+
+TEST(EmpiricalTest, RecoversLinearModel) {
+  // Black box: E = 3e-6 * n + 5e-7 * n^2 (plus nothing else).
+  MeasureFn measure = [](const std::vector<double>& args) -> Result<Energy> {
+    const double n = args[0];
+    return Energy::Joules(3e-6 * n + 5e-7 * n * n);
+  };
+  std::vector<std::vector<double>> samples;
+  for (double n = 1.0; n <= 32.0; n += 1.0) {
+    samples.push_back({n});
+  }
+  auto fit = FitEmpiricalInterface("blackbox", {"n"}, {"n", "n * n"}, samples,
+                                   measure);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_GT(fit->r_squared, 0.99999);
+  EXPECT_NEAR(fit->coefficients[0], 3e-6, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 5e-7, 1e-10);
+
+  auto iface = EnergyInterface::FromProgram(std::move(fit->program),
+                                            "E_blackbox");
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  auto predicted = iface->Expected({Value::Number(10.0)});
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_NEAR(predicted->joules(), 3e-5 + 5e-5, 1e-9);
+}
+
+TEST(EmpiricalTest, InputValidation) {
+  MeasureFn measure = [](const std::vector<double>&) -> Result<Energy> {
+    return Energy::Joules(1.0);
+  };
+  EXPECT_FALSE(
+      FitEmpiricalInterface("x", {"n"}, {}, {{1.0}}, measure).ok());
+  EXPECT_FALSE(
+      FitEmpiricalInterface("x", {"n"}, {"n", "n*n"}, {{1.0}}, measure).ok());
+  EXPECT_FALSE(FitEmpiricalInterface("x", {"n"}, {"m"}, {{1.0}, {2.0}},
+                                     measure)
+                   .ok());
+}
+
+TEST(EmpiricalTest, MeasurementErrorsPropagate) {
+  MeasureFn measure = [](const std::vector<double>&) -> Result<Energy> {
+    return InternalError("device unplugged");
+  };
+  auto fit = FitEmpiricalInterface("x", {"n"}, {"n"}, {{1.0}, {2.0}}, measure);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,148 @@
+// Robustness tests: the lexer/parser/evaluator must return error Statuses —
+// never crash, hang, or accept garbage — on hostile inputs: random byte
+// soup, random token soup, and mutations of valid programs.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/interp.h"
+#include "src/lang/lexer.h"
+#include "src/lang/parser.h"
+#include "src/util/rng.h"
+
+namespace eclarity {
+namespace {
+
+constexpr char kValidProgram[] = R"(
+const base = 2mJ;
+extern interface E_hw(n);
+interface E_cache_lookup(response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 5mJ * response_len + base;
+  } else {
+    return 100mJ * response_len + E_hw(response_len);
+  }
+}
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n {
+    total = total + E_cache_lookup(i + 1);
+  }
+  return total;
+}
+)";
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xf022 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t length = rng.UniformUint64(200) + 1;
+    std::string input;
+    input.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      // Printable-biased byte soup (parsers see mostly text).
+      if (rng.Bernoulli(0.9)) {
+        input.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+      } else {
+        input.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+      }
+    }
+    // Must terminate and return a Status (usually an error) — no crash.
+    auto program = ParseProgram(input);
+    (void)program.ok();
+  }
+}
+
+TEST_P(FuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kTokens[] = {
+      "interface", "extern",  "const", "let",  "mut",   "ecv",   "if",
+      "else",      "for",     "in",    "return", "true", "false", "f",
+      "x",         "0",       "1.5",   "2mJ",  "(",     ")",     "{",
+      "}",         ",",       ";",     ":",    "?",     "~",     "..",
+      "=",         "+",       "-",     "*",    "/",     "%",     "!",
+      "==",        "!=",      "<",     "<=",   ">",     ">=",    "&&",
+      "||",        "\"s\"",   "bernoulli", "au", "min",
+  };
+  Rng rng(0x70c5 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    const int count = static_cast<int>(rng.UniformInt(1, 60));
+    for (int i = 0; i < count; ++i) {
+      input += kTokens[rng.UniformUint64(std::size(kTokens))];
+      input += ' ';
+    }
+    auto program = ParseProgram(input);
+    (void)program.ok();
+  }
+}
+
+TEST_P(FuzzTest, MutatedValidProgramsNeverCrash) {
+  Rng rng(0x3141 + static_cast<uint64_t>(GetParam()));
+  const std::string base = kValidProgram;
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string mutated = base;
+    const int edits = static_cast<int>(rng.UniformInt(1, 6));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.UniformUint64(mutated.size());
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // flip a character
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:  // delete a character
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate a slice
+          mutated.insert(pos, mutated.substr(
+              pos, rng.UniformUint64(8) + 1));
+          break;
+      }
+      if (mutated.empty()) {
+        mutated = "x";
+      }
+    }
+    auto program = ParseProgram(mutated);
+    if (program.ok()) {
+      // If a mutant still parses, evaluation must also fail safely or
+      // terminate within budget.
+      EvalOptions options;
+      options.max_steps = 10000;
+      options.max_call_depth = 8;
+      options.max_paths = 512;
+      Evaluator evaluator(*program, options);
+      for (const InterfaceDecl& decl : program->interfaces()) {
+        std::vector<Value> args(decl.params.size(), Value::Number(2.0));
+        (void)evaluator.Enumerate(decl.name, args, {});
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, LexerHandlesPathologicalNumbers) {
+  Rng rng(0x1e11 + static_cast<uint64_t>(GetParam()));
+  const char* kShapes[] = {
+      "1e", "1e+", "1e-", "1.", ".5", "1..2", "1.2.3", "1e999", "0x10",
+      "1_000", "1mJx", "9999999999999999999999", "1e-999", "..", "...",
+  };
+  for (const char* shape : kShapes) {
+    (void)Tokenize(shape);
+    (void)ParseExpression(shape);
+  }
+  // Random digit/dot/e strings.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s;
+    const int n = static_cast<int>(rng.UniformInt(1, 12));
+    const char alphabet[] = "0123456789.eE+-J m";
+    for (int i = 0; i < n; ++i) {
+      s += alphabet[rng.UniformUint64(sizeof(alphabet) - 1)];
+    }
+    (void)Tokenize(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,327 @@
+// Tests for the hardware substrate: GPU device + telemetry, CPU device,
+// RAPL/NVML counters, and vendor interface generation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/interp.h"
+#include "src/hw/counters.h"
+#include "src/hw/cpu.h"
+#include "src/hw/gpu.h"
+#include "src/hw/vendor.h"
+#include "src/lang/printer.h"
+
+namespace eclarity {
+namespace {
+
+KernelStats SomeKernel(double scale = 1.0) {
+  KernelStats k;
+  k.name = "k";
+  k.instructions = 1e9 * scale;
+  k.l1_wavefronts = 4e6 * scale;
+  k.l2_sectors = 8e6 * scale;
+  k.vram_sectors = 2e6 * scale;
+  return k;
+}
+
+TEST(GpuDeviceTest, KernelAdvancesTimeAndEnergy) {
+  GpuDevice device(Rtx4090LikeProfile(), 1);
+  const Duration d = device.ExecuteKernel(SomeKernel());
+  EXPECT_GT(d.seconds(), 0.0);
+  EXPECT_EQ(device.Now(), d);
+  EXPECT_GT(device.TrueEnergy().joules(), 0.0);
+  EXPECT_DOUBLE_EQ(device.Counters().kernels, 1.0);
+  EXPECT_DOUBLE_EQ(device.Counters().instructions, 1e9);
+}
+
+TEST(GpuDeviceTest, DurationIsMaxOfComputeAndMemory) {
+  GpuProfile profile = Rtx4090LikeProfile();
+  GpuDevice device(profile, 1);
+  // Memory-bound kernel: lots of VRAM traffic, few instructions.
+  KernelStats mem;
+  mem.vram_sectors = 1e9;
+  mem.instructions = 1.0;
+  const double expected_s =
+      1e9 * GpuProfile::kBytesPerSector / profile.vram_bytes_per_second +
+      GpuProfile::kLaunchOverheadSeconds;
+  EXPECT_NEAR(device.ExecuteKernel(mem).seconds(), expected_s, 1e-12);
+}
+
+TEST(GpuDeviceTest, TrueEnergyNearModeledEnergy) {
+  GpuProfile profile = Rtx4090LikeProfile();
+  GpuDevice device(profile, 42);
+  const KernelStats k = SomeKernel();
+  const Duration d = device.ExecuteKernel(k);
+  const double modeled =
+      profile.energy_per_instruction.joules() * k.instructions +
+      profile.energy_per_l1_wavefront.joules() * k.l1_wavefronts +
+      profile.energy_per_l2_sector.joules() * k.l2_sectors +
+      profile.energy_per_vram_sector.joules() * k.vram_sectors +
+      profile.static_power.watts() * d.seconds();
+  // Residuals are a few percent at most.
+  EXPECT_NEAR(device.TrueEnergy().joules() / modeled, 1.0, 0.06);
+}
+
+TEST(GpuDeviceTest, IdleConsumesStaticOnly) {
+  GpuProfile profile = Rtx4090LikeProfile();
+  GpuDevice device(profile, 1);
+  device.Idle(Duration::Seconds(2.0));
+  EXPECT_NEAR(device.TrueEnergy().joules(),
+              profile.static_power.watts() * 2.0, 1e-9);
+}
+
+TEST(GpuDeviceTest, EnergyRegisterQuantises) {
+  GpuProfile profile = Rtx4090LikeProfile();
+  profile.energy_resolution = Energy::Joules(1.0);
+  GpuDevice device(profile, 1);
+  device.Idle(Duration::Seconds(0.01));  // 0.58 J true
+  EXPECT_DOUBLE_EQ(device.ReadEnergyRegister().joules(), 0.0);
+  device.Idle(Duration::Seconds(0.01));  // 1.16 J true
+  EXPECT_DOUBLE_EQ(device.ReadEnergyRegister().joules(), 1.0);
+}
+
+TEST(GpuDeviceTest, SamplePowerSeesKernelsAndIdle) {
+  GpuProfile profile = Rtx3070LikeProfile();
+  profile.power_quantization = Power::Watts(0.0);  // disable quantisation
+  GpuDevice device(profile, 7);
+  device.Idle(Duration::Seconds(1.0));
+  device.ExecuteKernel(SomeKernel(100.0));
+  const Duration after_kernel = device.Now();
+  device.Idle(Duration::Seconds(1.0));
+
+  const Power idle_power = device.SamplePower(Duration::Seconds(0.5));
+  EXPECT_NEAR(idle_power.watts(), profile.static_power.watts(), 1e-9);
+  const Power busy_power = device.SamplePower(
+      Duration::Seconds(1.0) + (after_kernel - Duration::Seconds(1.0)) * 0.5);
+  EXPECT_GT(busy_power.watts(), idle_power.watts());
+  // Beyond history: static.
+  EXPECT_NEAR(device.SamplePower(Duration::Seconds(100.0)).watts(),
+              profile.static_power.watts(), 1e-9);
+}
+
+TEST(NvmlCounterTest, EnergyCounterModeTracksTruth) {
+  GpuDevice device(Rtx4090LikeProfile(), 3);
+  NvmlCounter counter(device);
+  device.ExecuteKernel(SomeKernel(10.0));
+  device.Idle(Duration::Seconds(0.5));
+  const Energy measured = counter.Read();
+  EXPECT_NEAR(measured.joules(), device.TrueEnergy().joules(), 1e-3 + 1e-9);
+}
+
+TEST(NvmlCounterTest, PowerSamplingConvergesOnSteadyLoad) {
+  GpuProfile profile = Rtx3070LikeProfile();
+  GpuDevice device(profile, 5);
+  NvmlCounter counter(device);
+  // One long steady kernel: sampling should measure it accurately.
+  KernelStats big = SomeKernel(2e4);  // tens of seconds of device time
+  device.ExecuteKernel(big);
+  device.Idle(profile.power_sample_period * 2.0);
+  const Energy measured = counter.Read();
+  EXPECT_NEAR(measured.joules() / device.TrueEnergy().joules(), 1.0, 0.02);
+}
+
+TEST(NvmlCounterTest, PowerSamplingMonotone) {
+  GpuProfile profile = Rtx3070LikeProfile();
+  GpuDevice device(profile, 5);
+  NvmlCounter counter(device);
+  Energy last = counter.Read();
+  for (int i = 0; i < 10; ++i) {
+    device.ExecuteKernel(SomeKernel(50.0));
+    device.Idle(Duration::Milliseconds(7.0));
+    const Energy now = counter.Read();
+    EXPECT_GE(now.joules(), last.joules());
+    last = now;
+  }
+}
+
+// --- RAPL --------------------------------------------------------------------
+
+TEST(RaplCounterTest, QuantisesToUnits) {
+  RaplCounter rapl;
+  rapl.Update(Energy::Joules(1.0));
+  const uint32_t reg = rapl.ReadRegister();
+  EXPECT_EQ(reg, 65536u);
+  rapl.Update(Energy::Joules(1.0) + Energy::Microjoules(20.0));
+  EXPECT_EQ(rapl.ReadRegister(), 65537u);  // one 15.26 uJ tick more
+}
+
+TEST(RaplCounterTest, EnergyBetweenHandlesWrap) {
+  const uint32_t before = 0xffffff00u;
+  const uint32_t after = 0x00000100u;
+  const Energy e = RaplCounter::EnergyBetween(before, after);
+  EXPECT_NEAR(e.joules(), 512.0 * RaplCounter::kJoulesPerTick, 1e-12);
+}
+
+TEST(RaplCounterTest, MonotoneUpdatesIgnoreRegression) {
+  RaplCounter rapl;
+  rapl.Update(Energy::Joules(2.0));
+  rapl.Update(Energy::Joules(1.0));  // stale reading must not move it back
+  EXPECT_EQ(rapl.ReadRegister(), 2u * 65536u);
+}
+
+// --- CPU ---------------------------------------------------------------------
+
+TEST(CpuDeviceTest, ProfileLayout) {
+  CpuDevice device(BigLittleProfile());
+  EXPECT_EQ(device.CoreCount(), 8);
+  EXPECT_EQ(device.CoreType(0), "big");
+  EXPECT_EQ(device.CoreType(7), "little");
+  EXPECT_EQ(device.OppCount(0), 4);
+  EXPECT_EQ(device.OppCount(7), 3);
+}
+
+TEST(CpuDeviceTest, QuantumExecutesAndAccountsEnergy) {
+  CpuDevice device(BigLittleProfile());
+  ASSERT_TRUE(device.SetOpp(0, 3).ok());
+  const Duration quantum = Duration::Milliseconds(10.0);
+  auto result = device.RunQuantum(0, quantum, 1e7, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->ops_executed, 1e7);
+  EXPECT_GT(result->energy.joules(), 0.0);
+  EXPECT_GT(result->utilization, 0.0);
+  EXPECT_LT(result->utilization, 1.0);
+  device.FinishQuantum(quantum);
+  EXPECT_DOUBLE_EQ(device.Now().seconds(), 0.01);
+  EXPECT_GT(device.TrueEnergy().joules(), result->energy.joules());  // idle
+}
+
+TEST(CpuDeviceTest, CapacityCapsExecution) {
+  CpuDevice device(BigLittleProfile());
+  ASSERT_TRUE(device.SetOpp(0, 0).ok());
+  const Duration quantum = Duration::Milliseconds(1.0);
+  const double capacity = device.PeakOpsPerSecond(0) * 0.001;
+  auto result = device.RunQuantum(0, quantum, capacity * 10.0, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->ops_executed, capacity, 1.0);
+  EXPECT_NEAR(result->utilization, 1.0, 1e-9);
+}
+
+TEST(CpuDeviceTest, LittleCoreMoreEfficientForLightWork) {
+  // Energy per op at max OPP: big should cost more than LITTLE.
+  CpuDevice device(BigLittleProfile());
+  ASSERT_TRUE(device.SetOpp(0, 3).ok());  // big max
+  ASSERT_TRUE(device.SetOpp(4, 2).ok());  // little max
+  const Duration quantum = Duration::Milliseconds(10.0);
+  const double ops = 1e6;
+  auto big = device.RunQuantum(0, quantum, ops, 0.0);
+  auto little = device.RunQuantum(4, quantum, ops, 0.0);
+  ASSERT_TRUE(big.ok() && little.ok());
+  EXPECT_GT(big->energy.joules(), little->energy.joules());
+}
+
+TEST(CpuDeviceTest, MemoryIntensityLowersThroughputAndPower) {
+  CpuDevice device(BigLittleProfile());
+  ASSERT_TRUE(device.SetOpp(0, 3).ok());
+  const Duration quantum = Duration::Milliseconds(1.0);
+  const double huge = 1e12;  // saturate the quantum
+  auto compute = device.RunQuantum(0, quantum, huge, 0.0);
+  auto memory = device.RunQuantum(0, quantum, huge, 1.0);
+  ASSERT_TRUE(compute.ok() && memory.ok());
+  EXPECT_LT(memory->ops_executed, compute->ops_executed);
+  EXPECT_LT(memory->energy.joules(), compute->energy.joules());
+  // But energy *per op* is higher when memory-bound.
+  EXPECT_GT(memory->energy.joules() / memory->ops_executed,
+            compute->energy.joules() / compute->ops_executed);
+}
+
+TEST(CpuDeviceTest, RaplTracksTotalEnergy) {
+  CpuDevice device(BigLittleProfile());
+  const Duration quantum = Duration::Milliseconds(10.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(device.RunQuantum(0, quantum, 1e6, 0.0).ok());
+    device.FinishQuantum(quantum);
+  }
+  EXPECT_NEAR(device.Rapl().ReadUnwrapped().joules(),
+              device.TrueEnergy().joules(), RaplCounter::kJoulesPerTick * 2);
+}
+
+TEST(CpuDeviceTest, InvalidIndicesRejected) {
+  CpuDevice device(BigLittleProfile());
+  EXPECT_FALSE(device.SetOpp(99, 0).ok());
+  EXPECT_FALSE(device.SetOpp(0, 99).ok());
+  EXPECT_FALSE(
+      device.RunQuantum(99, Duration::Milliseconds(1.0), 1.0, 0.0).ok());
+  EXPECT_FALSE(device.RunQuantum(0, Duration::Zero(), 1.0, 0.0).ok());
+}
+
+// --- Vendor interfaces ---------------------------------------------------------
+
+TEST(VendorTest, GpuInterfaceMatchesDeviceModel) {
+  const GpuProfile profile = Rtx4090LikeProfile();
+  auto program = GpuVendorInterface(profile);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Evaluator eval(*program);
+  Rng rng(1);
+  const KernelStats k = SomeKernel();
+  const double duration_s = 0.001;
+  auto v = eval.EvalSampled(
+      "E_gpu_kernel",
+      {Value::Number(k.instructions), Value::Number(k.l1_wavefronts),
+       Value::Number(k.l2_sectors), Value::Number(k.vram_sectors),
+       Value::Number(duration_s)},
+      {}, rng);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const double expected =
+      profile.energy_per_instruction.joules() * k.instructions +
+      profile.energy_per_l1_wavefront.joules() * k.l1_wavefronts +
+      profile.energy_per_l2_sector.joules() * k.l2_sectors +
+      profile.energy_per_vram_sector.joules() * k.vram_sectors +
+      profile.static_power.watts() * duration_s;
+  EXPECT_NEAR(v->energy().concrete().joules(), expected, expected * 1e-12);
+}
+
+TEST(VendorTest, CpuInterfaceMatchesDeviceModel) {
+  const CpuProfile profile = BigLittleProfile();
+  auto program = CpuVendorInterface(profile);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  CpuDevice device(profile);
+  ASSERT_TRUE(device.SetOpp(0, 2).ok());
+  const Duration quantum = Duration::Milliseconds(10.0);
+  const double ops = 5e6;
+  const double mi = 0.4;
+  auto actual = device.RunQuantum(0, quantum, ops, mi);
+  ASSERT_TRUE(actual.ok());
+
+  Evaluator eval(*program);
+  Rng rng(1);
+  auto dynamic = eval.EvalSampled(
+      "E_big_run", {Value::Number(ops), Value::Number(mi), Value::Number(2.0)},
+      {}, rng);
+  auto idle = eval.EvalSampled("E_big_idle",
+                               {Value::Number(quantum.seconds())}, {}, rng);
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+  ASSERT_TRUE(idle.ok());
+  const double predicted = dynamic->energy().concrete().joules() +
+                           idle->energy().concrete().joules();
+  EXPECT_NEAR(predicted, actual->energy.joules(),
+              actual->energy.joules() * 1e-9);
+}
+
+TEST(VendorTest, CpuInterfaceUnknownOppFallsBackToWorstCase) {
+  auto program = CpuVendorInterface(BigLittleProfile());
+  ASSERT_TRUE(program.ok());
+  Evaluator eval(*program);
+  Rng rng(1);
+  auto top = eval.EvalSampled(
+      "E_big_run",
+      {Value::Number(1e6), Value::Number(0.0), Value::Number(3.0)}, {}, rng);
+  auto unknown = eval.EvalSampled(
+      "E_big_run",
+      {Value::Number(1e6), Value::Number(0.0), Value::Number(9.0)}, {}, rng);
+  ASSERT_TRUE(top.ok() && unknown.ok());
+  EXPECT_DOUBLE_EQ(top->energy().concrete().joules(),
+                   unknown->energy().concrete().joules());
+}
+
+TEST(VendorTest, GeneratedSourceIsReadable) {
+  auto program = GpuVendorInterface(Rtx4090LikeProfile());
+  ASSERT_TRUE(program.ok());
+  const std::string source = PrintProgram(*program);
+  EXPECT_NE(source.find("E_gpu_kernel"), std::string::npos);
+  EXPECT_NE(source.find("E_gpu_idle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclarity

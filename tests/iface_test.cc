@@ -1,0 +1,273 @@
+// Tests for EnergyInterface, constraints, and perturbation analysis.
+
+#include <gtest/gtest.h>
+
+#include "src/iface/constraints.h"
+#include "src/iface/energy_interface.h"
+#include "src/iface/perturb.h"
+#include "src/lang/parser.h"
+
+namespace eclarity {
+namespace {
+
+constexpr char kCacheSource[] = R"(
+interface E_cache_lookup(response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 5mJ * response_len;
+  } else {
+    return 100mJ * response_len;
+  }
+}
+)";
+
+TEST(EnergyInterfaceTest, FromSourceAndExpected) {
+  auto iface = EnergyInterface::FromSource(kCacheSource, "E_cache_lookup");
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  EXPECT_EQ(iface->entry(), "E_cache_lookup");
+  ASSERT_EQ(iface->params().size(), 1u);
+  EXPECT_EQ(iface->params()[0], "response_len");
+  auto expected = iface->Expected({Value::Number(1.0)});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(expected->joules(), 0.8 * 0.005 + 0.2 * 0.1, 1e-12);
+}
+
+TEST(EnergyInterfaceTest, MissingEntryRejected) {
+  auto iface = EnergyInterface::FromSource(kCacheSource, "nope");
+  ASSERT_FALSE(iface.ok());
+  EXPECT_EQ(iface.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EnergyInterfaceTest, MalformedSourceRejected) {
+  EXPECT_FALSE(
+      EnergyInterface::FromSource("interface f(x) { }", "f").ok());
+  EXPECT_FALSE(
+      EnergyInterface::FromSource("interface f(x) { return y; }", "f").ok());
+}
+
+TEST(EnergyInterfaceTest, ImportsMustBeDeclaredAndSatisfied) {
+  constexpr char kApp[] =
+      "interface E_app(n) { return E_hw(n) + 1mJ; }";
+  // Undeclared import fails the check.
+  EXPECT_FALSE(EnergyInterface::FromSource(kApp, "E_app").ok());
+  // Declared import parses but refuses to evaluate.
+  auto open_iface = EnergyInterface::FromSource(kApp, "E_app", {"E_hw"});
+  ASSERT_TRUE(open_iface.ok());
+  ASSERT_EQ(open_iface->UnresolvedImports().size(), 1u);
+  auto failed = open_iface->Expected({Value::Number(1.0)});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition);
+  // Linking the missing layer makes it evaluable.
+  auto hw = ParseProgram("interface E_hw(n) { return n * 2mJ; }");
+  ASSERT_TRUE(hw.ok());
+  auto linked = open_iface->Link(*hw);
+  ASSERT_TRUE(linked.ok()) << linked.status().ToString();
+  EXPECT_TRUE(linked->UnresolvedImports().empty());
+  auto expected = linked->Expected({Value::Number(3.0)});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_NEAR(expected->joules(), 7e-3, 1e-12);
+}
+
+TEST(EnergyInterfaceTest, RebindRetargetsHardwareLayer) {
+  // Paper §3: moving to a different machine replaces only the bottom layer.
+  constexpr char kApp[] = "interface E_app(n) { return E_hw(n) + 1mJ; }";
+  auto machine_a = ParseProgram("interface E_hw(n) { return n * 2mJ; }");
+  auto machine_b = ParseProgram("interface E_hw(n) { return n * 10mJ; }");
+  ASSERT_TRUE(machine_a.ok() && machine_b.ok());
+
+  auto iface = EnergyInterface::FromSource(kApp, "E_app", {"E_hw"});
+  ASSERT_TRUE(iface.ok());
+  auto on_a = iface->Rebind(*machine_a);
+  ASSERT_TRUE(on_a.ok());
+  auto on_b = on_a->Rebind(*machine_b);
+  ASSERT_TRUE(on_b.ok());
+
+  EXPECT_NEAR(on_a->Expected({Value::Number(2.0)})->joules(), 5e-3, 1e-12);
+  EXPECT_NEAR(on_b->Expected({Value::Number(2.0)})->joules(), 21e-3, 1e-12);
+}
+
+TEST(EnergyInterfaceTest, ToSourceRoundTrips) {
+  auto iface = EnergyInterface::FromSource(kCacheSource, "E_cache_lookup");
+  ASSERT_TRUE(iface.ok());
+  auto reparsed =
+      EnergyInterface::FromSource(iface->ToSource(), "E_cache_lookup");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << iface->ToSource();
+  EXPECT_NEAR(reparsed->Expected({Value::Number(2.0)})->joules(),
+              iface->Expected({Value::Number(2.0)})->joules(), 1e-15);
+}
+
+TEST(EnergyInterfaceTest, WorstCaseCoversDistribution) {
+  auto iface = EnergyInterface::FromSource(kCacheSource, "E_cache_lookup");
+  ASSERT_TRUE(iface.ok());
+  auto dist = iface->EnergyDistribution({Value::Number(4.0)});
+  auto bounds = iface->WorstCase({IntervalValue::NumberPoint(4.0)});
+  ASSERT_TRUE(dist.ok() && bounds.ok());
+  EXPECT_GE(dist->MinValue(), bounds->lo_joules - 1e-12);
+  EXPECT_LE(dist->MaxValue(), bounds->hi_joules + 1e-12);
+}
+
+// --- Constraints ------------------------------------------------------------
+
+constexpr char kEnvelopeSource[] = R"(
+interface E_impl(n) {
+  ecv hit ~ bernoulli(0.9);
+  if (hit) { return n * 1mJ; } else { return n * 4mJ; }
+}
+interface E_bound_ok(n) { return n * 5mJ; }
+interface E_bound_tight(n) { return n * 2mJ; }
+)";
+
+TEST(ConstraintsTest, EnvelopeAtPoint) {
+  auto program = ParseProgram(kEnvelopeSource);
+  ASSERT_TRUE(program.ok());
+  auto ok_report = CheckEnvelopeAtPoint(*program, "E_impl", "E_bound_ok",
+                                        {Value::Number(3.0)});
+  ASSERT_TRUE(ok_report.ok());
+  EXPECT_TRUE(ok_report->satisfied);
+  EXPECT_NEAR(ok_report->impl_max_joules, 12e-3, 1e-12);
+  EXPECT_NEAR(ok_report->bound_joules, 15e-3, 1e-12);
+
+  auto tight_report = CheckEnvelopeAtPoint(*program, "E_impl",
+                                           "E_bound_tight",
+                                           {Value::Number(3.0)});
+  ASSERT_TRUE(tight_report.ok());
+  EXPECT_FALSE(tight_report->satisfied);
+  EXPECT_LT(tight_report->margin_joules, 0.0);
+}
+
+TEST(ConstraintsTest, EnvelopeOnBoxIsSound) {
+  auto program = ParseProgram(kEnvelopeSource);
+  ASSERT_TRUE(program.ok());
+  auto report = CheckEnvelopeOnBox(*program, "E_impl", "E_bound_ok",
+                                   {IntervalValue::Number(1.0, 10.0)});
+  ASSERT_TRUE(report.ok());
+  // impl max = 40 mJ at n=10; bound min = 5 mJ at n=1 -> the box check is
+  // conservative and must NOT claim satisfaction across the whole box.
+  EXPECT_FALSE(report->satisfied);
+  auto narrow = CheckEnvelopeOnBox(*program, "E_impl", "E_bound_ok",
+                                   {IntervalValue::Number(3.0, 3.0)});
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_TRUE(narrow->satisfied);
+}
+
+TEST(ConstraintsTest, ConstantEnergyDetectsSideChannel) {
+  auto program = ParseProgram(R"(
+interface E_crypto_bad(n) {
+  ecv key_bit ~ bernoulli(0.5);
+  if (key_bit) { return n * 2mJ; } else { return n * 1mJ; }
+}
+interface E_crypto_good(n) {
+  ecv key_bit ~ bernoulli(0.5);
+  if (key_bit) { return n * 2mJ; } else { return n * 2mJ; }
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto bad = CheckConstantEnergy(*program, "E_crypto_bad",
+                                 {Value::Number(1.0)});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->constant);
+  ASSERT_TRUE(bad->low_trace.has_value());
+  ASSERT_TRUE(bad->high_trace.has_value());
+  EXPECT_EQ((*bad->high_trace)[0].first, "E_crypto_bad.key_bit");
+
+  auto good = CheckConstantEnergy(*program, "E_crypto_good",
+                                  {Value::Number(1.0)});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->constant);
+}
+
+TEST(ConstraintsTest, ConstantEnergyToleranceApplies) {
+  auto program = ParseProgram(R"(
+interface E_nearly(n) {
+  ecv b ~ bernoulli(0.5);
+  if (b) { return 1.0mJ; } else { return 1.01mJ; }
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto strict =
+      CheckConstantEnergy(*program, "E_nearly", {Value::Number(1.0)}, 0.0);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->constant);
+  auto loose = CheckConstantEnergy(*program, "E_nearly", {Value::Number(1.0)},
+                                   2e-5);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->constant);
+}
+
+TEST(ConstraintsTest, CompatibilityBatch) {
+  auto program = ParseProgram(kEnvelopeSource);
+  ASSERT_TRUE(program.ok());
+  std::vector<EnergyConstraint> constraints = {
+      {ConstraintKind::kUpperBound, "E_impl", "E_bound_ok", 0.0},
+      {ConstraintKind::kUpperBound, "E_impl", "E_bound_tight", 0.0},
+      {ConstraintKind::kConstantEnergy, "E_impl", "", 0.0},
+  };
+  std::vector<std::vector<Value>> inputs = {{Value::Number(1.0)},
+                                            {Value::Number(8.0)}};
+  auto violations = CheckCompatibility(*program, constraints, inputs);
+  ASSERT_TRUE(violations.ok());
+  // E_bound_tight violated at both inputs; constant-energy violated at both.
+  EXPECT_EQ(violations->size(), 4u);
+}
+
+// --- Perturbation ------------------------------------------------------------
+
+TEST(PerturbTest, ZeroEpsilonIsIdentity) {
+  auto program = ParseProgram(kCacheSource);
+  ASSERT_TRUE(program.ok());
+  Rng rng(3);
+  auto perturbed = PerturbProgram(*program, 0.0, rng);
+  ASSERT_TRUE(perturbed.ok());
+  Evaluator a(*program);
+  Evaluator b(*perturbed);
+  EXPECT_DOUBLE_EQ(
+      a.ExpectedEnergy("E_cache_lookup", {Value::Number(2.0)}, {})->joules(),
+      b.ExpectedEnergy("E_cache_lookup", {Value::Number(2.0)}, {})->joules());
+}
+
+TEST(PerturbTest, EpsilonBoundsError) {
+  auto program = ParseProgram(kCacheSource);
+  ASSERT_TRUE(program.ok());
+  Rng rng(11);
+  const double eps = 0.1;
+  for (int i = 0; i < 20; ++i) {
+    auto perturbed = PerturbProgram(*program, eps, rng);
+    ASSERT_TRUE(perturbed.ok());
+    Evaluator base(*program);
+    Evaluator pert(*perturbed);
+    const double truth =
+        base.ExpectedEnergy("E_cache_lookup", {Value::Number(2.0)}, {})
+            ->joules();
+    const double est =
+        pert.ExpectedEnergy("E_cache_lookup", {Value::Number(2.0)}, {})
+            ->joules();
+    // Expectation is a convex combination of perturbed literals, so the
+    // relative error cannot exceed epsilon.
+    EXPECT_LE(RelativeError(est, truth), eps + 1e-12);
+  }
+}
+
+TEST(PerturbTest, RejectsInvalidEpsilon) {
+  auto program = ParseProgram(kCacheSource);
+  ASSERT_TRUE(program.ok());
+  Rng rng(1);
+  EXPECT_FALSE(PerturbProgram(*program, -0.1, rng).ok());
+  EXPECT_FALSE(PerturbProgram(*program, 1.0, rng).ok());
+}
+
+TEST(PerturbTest, ComposedErrorStudyProducesSummary) {
+  auto program = ParseProgram(kCacheSource);
+  ASSERT_TRUE(program.ok());
+  Rng rng(17);
+  auto study = ComposedErrorStudy(*program, "E_cache_lookup",
+                                  {Value::Number(2.0)}, 0.05, 50, rng);
+  ASSERT_TRUE(study.ok()) << study.status().ToString();
+  EXPECT_EQ(study->relative_errors.size(), 50u);
+  EXPECT_GT(study->true_expectation_joules, 0.0);
+  EXPECT_LE(study->summary.max, 0.05 + 1e-12);
+  EXPECT_GT(study->summary.average, 0.0);
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,179 @@
+// Cross-module integration tests: the full pipelines a downstream user
+// would run, exercising lang + eval + iface + stack + hw + ml together.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/counters.h"
+#include "src/hw/vendor.h"
+#include "src/iface/testing.h"
+#include "src/ml/calibrate.h"
+#include "src/ml/gpt2.h"
+#include "src/ml/gpt2_iface.h"
+#include "src/stack/stack.h"
+#include "src/util/stats.h"
+
+namespace eclarity {
+namespace {
+
+// The full Table-1 pipeline at test scale: calibrate -> generate interface
+// -> link -> predict -> run -> compare, via the generic testing utility.
+TEST(IntegrationTest, Gpt2PipelineThroughTestingUtility) {
+  const GpuProfile profile = Rtx4090LikeProfile();
+  Gpt2Model model;
+  auto calibration = CalibrateGpu(profile);
+  ASSERT_TRUE(calibration.ok());
+  auto gpt2 = Gpt2EnergyInterface(model, profile);
+  auto hw = GpuEnergyInterface(profile.name, calibration->coefficients);
+  ASSERT_TRUE(gpt2.ok() && hw.ok());
+  auto iface = EnergyInterface::FromProgram(
+      std::move(*gpt2), "E_gpt2_generate", {"E_gpu_kernel", "E_gpu_idle"});
+  ASSERT_TRUE(iface.ok());
+  auto linked = iface->Link(*hw);
+  ASSERT_TRUE(linked.ok());
+
+  // Each measurement runs the generation on a fresh device.
+  EnergyMeasureFn measure =
+      [&](const std::vector<Value>& args) -> Result<Energy> {
+    GpuDevice device(profile, 0xfeed + static_cast<uint64_t>(
+                                           args[1].number()));
+    NvmlCounter counter(device);
+    const GenerationRun run = RunGeneration(
+        model, device, counter, static_cast<int>(args[0].number()),
+        static_cast<int>(args[1].number()));
+    return run.measured_energy;
+  };
+  std::vector<std::vector<Value>> inputs;
+  for (int tokens : {10, 40, 80}) {
+    inputs.push_back({Value::Number(16.0), Value::Number(tokens)});
+  }
+  auto report = TestAgainstMeasurement(*linked, inputs, measure, 0.10);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->AllWithinThreshold())
+      << "max divergence " << report->max_divergence;
+}
+
+// A stack embedding the GPT-2 interface as an application layer over the
+// GPU hardware layer, with attribution and GPU swapping.
+TEST(IntegrationTest, Gpt2InsideSystemStack) {
+  Gpt2Model model;
+  auto gpt2_program = Gpt2EnergyInterface(model, Rtx4090LikeProfile());
+  ASSERT_TRUE(gpt2_program.ok());
+
+  SystemStack stack;
+  {
+    ResourceManager hw("hardware");
+    auto vendor = GpuVendorInterface(Rtx4090LikeProfile());
+    ASSERT_TRUE(vendor.ok());
+    ASSERT_TRUE(hw.AddResource({"gpu", std::move(*vendor)}).ok());
+    ASSERT_TRUE(stack.AddLayer(std::move(hw)).ok());
+  }
+  {
+    ResourceManager app("llm-service");
+    ASSERT_TRUE(
+        app.AddResource({"gpt2", std::move(*gpt2_program)}).ok());
+    ASSERT_TRUE(app.AddGlue(R"(
+interface E_chat_turn(prompt_len, reply_len) {
+  return E_gpt2_generate(prompt_len, reply_len) + 5mJ;
+}
+)").ok());
+    ASSERT_TRUE(stack.AddLayer(std::move(app)).ok());
+  }
+
+  auto iface = stack.Compose("E_chat_turn");
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  const std::vector<Value> args = {Value::Number(16.0), Value::Number(32.0)};
+  auto energy_4090 = iface->Expected(args);
+  ASSERT_TRUE(energy_4090.ok());
+  EXPECT_GT(energy_4090->joules(), 0.0);
+
+  auto contributions = stack.AttributeByLayer("E_chat_turn", args);
+  ASSERT_TRUE(contributions.ok()) << contributions.status().ToString();
+  double fraction_sum = 0.0;
+  for (const LayerContribution& c : *contributions) {
+    fraction_sum += c.fraction;
+  }
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
+  // All the real energy is in the hardware layer; the app adds only 5 mJ.
+  EXPECT_GT((*contributions)[0].fraction, 0.9);
+
+  // Swap the GPU.
+  ResourceManager hw_b("hardware");
+  auto vendor_b = GpuVendorInterface(Rtx3070LikeProfile());
+  ASSERT_TRUE(vendor_b.ok());
+  ASSERT_TRUE(hw_b.AddResource({"gpu", std::move(*vendor_b)}).ok());
+  ASSERT_TRUE(stack.SwapLayer("hardware", std::move(hw_b)).ok());
+  auto iface_b = stack.Compose("E_chat_turn");
+  ASSERT_TRUE(iface_b.ok());
+  auto energy_3070 = iface_b->Expected(args);
+  ASSERT_TRUE(energy_3070.ok());
+  EXPECT_NE(energy_3070->joules(), energy_4090->joules());
+}
+
+// Worst-case bounds from the composed stack must cover sampled runs.
+TEST(IntegrationTest, StackWorstCaseCoversSamples) {
+  SystemStack stack;
+  {
+    ResourceManager hw("hardware");
+    auto vendor = CpuVendorInterface(ServerCpuProfile(1));
+    ASSERT_TRUE(vendor.ok());
+    ASSERT_TRUE(hw.AddResource({"cpu", std::move(*vendor)}).ok());
+    ASSERT_TRUE(stack.AddLayer(std::move(hw)).ok());
+  }
+  {
+    ResourceManager app("app");
+    ASSERT_TRUE(app.AddGlue(R"(
+interface E_job(items) {
+  ecv retry ~ bernoulli(0.1);
+  let mut total = 0J;
+  for i in 0..items {
+    total = total + E_server_run(50000, 0.4, 1);
+  }
+  if (retry) {
+    total = total + E_server_run(200000, 0.4, 1);
+  }
+  return total + E_package(0.001) ;
+}
+)").ok());
+    ASSERT_TRUE(stack.AddLayer(std::move(app)).ok());
+  }
+  auto iface = stack.Compose("E_job");
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+
+  auto bounds = iface->WorstCase({IntervalValue::Number(1.0, 8.0)});
+  ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+  Rng rng(123);
+  for (int i = 0; i < 40; ++i) {
+    const double items = static_cast<double>(rng.UniformInt(1, 8));
+    auto sample = iface->Sample({Value::Number(items)}, {}, rng);
+    ASSERT_TRUE(sample.ok());
+    const double joules = sample->energy().concrete().joules();
+    EXPECT_GE(joules, bounds->lo_joules - 1e-12);
+    EXPECT_LE(joules, bounds->hi_joules + 1e-12);
+  }
+}
+
+// The webservice interface round-trips through eilc-style source dumping.
+TEST(IntegrationTest, ComposedStackSourceRoundTrips) {
+  SystemStack stack;
+  ResourceManager hw("hardware");
+  auto vendor = CpuVendorInterface(BigLittleProfile());
+  ASSERT_TRUE(vendor.ok());
+  ASSERT_TRUE(hw.AddResource({"cpu", std::move(*vendor)}).ok());
+  ASSERT_TRUE(stack.AddLayer(std::move(hw)).ok());
+  ResourceManager app("app");
+  ASSERT_TRUE(app.AddGlue(
+      "interface E_tick(n) { return E_big_run(n, 0.5, 2) + E_little_idle(0.01); }")
+                  .ok());
+  ASSERT_TRUE(stack.AddLayer(std::move(app)).ok());
+  auto iface = stack.Compose("E_tick");
+  ASSERT_TRUE(iface.ok());
+
+  auto reparsed = EnergyInterface::FromSource(iface->ToSource(), "E_tick");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const std::vector<Value> args = {Value::Number(1e6)};
+  EXPECT_NEAR(reparsed->Expected(args)->joules(),
+              iface->Expected(args)->joules(), 1e-15);
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,354 @@
+// Tests for the interval / worst-case evaluator, including soundness
+// property tests against the concrete interpreter.
+
+#include <gtest/gtest.h>
+
+#include "src/eval/interp.h"
+#include "src/eval/interval.h"
+#include "src/lang/parser.h"
+
+namespace eclarity {
+namespace {
+
+Program MustParse(const char* source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TEST(IntervalTest, PointInputsGivePointOutput) {
+  const Program p = MustParse("interface f(n) { return (n * 2 + 1) * 1mJ; }");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalIntervalPoint("f", {3.0});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->lo_joules, 7e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 7e-3, 1e-12);
+}
+
+TEST(IntervalTest, IntervalInputWidensOutput) {
+  const Program p = MustParse("interface f(n) { return n * 2mJ; }");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalInterval("f", {IntervalValue::Number(1.0, 10.0)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 2e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 20e-3, 1e-12);
+}
+
+TEST(IntervalTest, EcvBernoulliCoversBothArms) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  ecv hit ~ bernoulli(0.8);
+  if (hit) { return 5mJ * n; } else { return 100mJ * n; }
+}
+)");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalIntervalPoint("f", {1.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 5e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 100e-3, 1e-12);
+}
+
+TEST(IntervalTest, EcvProfileNarrowsBounds) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  ecv hit ~ bernoulli(0.8);
+  if (hit) { return 5mJ * n; } else { return 100mJ * n; }
+}
+)");
+  IntervalEvaluator eval(p);
+  EcvProfile pinned;
+  pinned.SetFixed("hit", Value::Bool(true));
+  auto r = eval.EvalIntervalPoint("f", {1.0}, pinned);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->hi_joules, 5e-3, 1e-12);
+}
+
+TEST(IntervalTest, IndefiniteConditionJoinsMutations) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  let mut bonus = 0J;
+  if (x > 5) { bonus = 10mJ; }
+  return bonus + 1mJ;
+}
+)");
+  IntervalEvaluator eval(p);
+  // x in [0, 10] straddles the branch: result must cover both outcomes.
+  auto r = eval.EvalInterval("f", {IntervalValue::Number(0.0, 10.0)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 1e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 11e-3, 1e-12);
+  // x definite on one side collapses to a point.
+  auto low = eval.EvalInterval("f", {IntervalValue::Number(0.0, 5.0)});
+  ASSERT_TRUE(low.ok());
+  EXPECT_NEAR(low->hi_joules, 1e-3, 1e-12);
+}
+
+TEST(IntervalTest, DefiniteLoopRunsExactly) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n { total = total + 2mJ; }
+  return total;
+}
+)");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalIntervalPoint("f", {5.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 10e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 10e-3, 1e-12);
+}
+
+TEST(IntervalTest, IndefiniteTripCountBoundsBothExtremes) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n { total = total + 2mJ; }
+  return total;
+}
+)");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalInterval("f", {IntervalValue::Number(3.0, 5.0)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 6e-3, 1e-12);   // 3 iterations
+  EXPECT_NEAR(r->hi_joules, 10e-3, 1e-12);  // 5 iterations
+}
+
+TEST(IntervalTest, ReturnsAcrossBranchesAreHulled) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  if (x > 0) { return 1mJ; }
+  return 9mJ;
+}
+)");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalInterval("f", {IntervalValue::Number(-1.0, 1.0)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 1e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 9e-3, 1e-12);
+}
+
+TEST(IntervalTest, NestedCallsPropagate) {
+  const Program p = MustParse(R"(
+interface leaf(n) { return n * 1mJ; }
+interface root(n) { return leaf(n) + leaf(n * 2); }
+)");
+  IntervalEvaluator eval(p);
+  auto r = eval.EvalInterval("root", {IntervalValue::Number(1.0, 2.0)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->lo_joules, 3e-3, 1e-12);
+  EXPECT_NEAR(r->hi_joules, 6e-3, 1e-12);
+}
+
+TEST(IntervalTest, DivisionThroughZeroRejected) {
+  const Program p = MustParse("interface f(n) { return 1mJ / n; }");
+  IntervalEvaluator eval(p);
+  EXPECT_FALSE(eval.EvalInterval("f", {IntervalValue::Number(-1.0, 1.0)}).ok());
+  EXPECT_TRUE(eval.EvalInterval("f", {IntervalValue::Number(1.0, 2.0)}).ok());
+}
+
+TEST(IntervalTest, AbstractUnitsResolveThroughCalibration) {
+  const Program p = MustParse(R"(
+interface E_relu(n) { return au("relu", n); }
+)");
+  EnergyCalibration cal;
+  cal.Bind("relu", Energy::Microjoules(2.0));
+  IntervalEvaluator eval(p, &cal);
+  auto r = eval.EvalInterval("E_relu", {IntervalValue::Number(1.0, 4.0)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->lo_joules, 2e-6, 1e-15);
+  EXPECT_NEAR(r->hi_joules, 8e-6, 1e-15);
+
+  IntervalEvaluator uncalibrated(p);
+  EXPECT_FALSE(
+      uncalibrated.EvalInterval("E_relu", {IntervalValue::NumberPoint(1.0)})
+          .ok());
+}
+
+TEST(IntervalTest, LoopBudgetEnforced) {
+  const Program p = MustParse(R"(
+interface f(n) {
+  let mut total = 0J;
+  for i in 0..n { total = total + 1pJ; }
+  return total;
+}
+)");
+  IntervalOptions options;
+  options.max_loop_iterations = 10;
+  IntervalEvaluator eval(p, nullptr, options);
+  EXPECT_FALSE(eval.EvalIntervalPoint("f", {100.0}).ok());
+}
+
+TEST(IntervalTest, BuiltinsOverIntervals) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  let a = min(x, 10);
+  let b = max(x, 2);
+  let c = clamp(x, 0, 5);
+  let d = abs(x - 6);
+  let e = sqrt(max(x, 0)) + floor(x / 2) + ceil(x / 2) + round(x);
+  return (a + b + c + d + e) * 1mJ;
+}
+)");
+  IntervalEvaluator interval_eval(p);
+  Evaluator concrete_eval(p);
+  auto bounds = interval_eval.EvalInterval(
+      "f", {IntervalValue::Number(1.0, 9.0)});
+  ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.UniformDouble(1.0, 9.0);
+    auto v = concrete_eval.EvalSampled("f", {Value::Number(x)}, {}, rng);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    const double joules = v->energy().concrete().joules();
+    EXPECT_GE(joules, bounds->lo_joules - 1e-12) << "x=" << x;
+    EXPECT_LE(joules, bounds->hi_joules + 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IntervalTest, ModuloSoundOverIntervals) {
+  const Program p = MustParse("interface f(x) { return (x % 7) * 1mJ; }");
+  IntervalEvaluator interval_eval(p);
+  Evaluator concrete_eval(p);
+  auto bounds = interval_eval.EvalInterval(
+      "f", {IntervalValue::Number(0.0, 30.0)});
+  ASSERT_TRUE(bounds.ok());
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    const double x = static_cast<double>(rng.UniformInt(0, 30));
+    auto v = concrete_eval.EvalSampled("f", {Value::Number(x)}, {}, rng);
+    ASSERT_TRUE(v.ok());
+    const double joules = v->energy().concrete().joules();
+    EXPECT_GE(joules, bounds->lo_joules - 1e-12);
+    EXPECT_LE(joules, bounds->hi_joules + 1e-12);
+  }
+  // Point modulo is exact.
+  auto exact = interval_eval.EvalIntervalPoint("f", {23.0});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(exact->lo_joules, 2e-3, 1e-12);
+  EXPECT_NEAR(exact->hi_joules, 2e-3, 1e-12);
+}
+
+TEST(IntervalTest, PowRequiresDefiniteExponent) {
+  const Program p = MustParse("interface f(x, y) { return pow(x, y) * 1mJ; }");
+  IntervalEvaluator eval(p);
+  auto ok = eval.EvalInterval("f", {IntervalValue::Number(1.0, 3.0),
+                                    IntervalValue::NumberPoint(2.0)});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_NEAR(ok->lo_joules, 1e-3, 1e-12);
+  EXPECT_NEAR(ok->hi_joules, 9e-3, 1e-12);
+  auto bad = eval.EvalInterval("f", {IntervalValue::Number(1.0, 3.0),
+                                     IntervalValue::Number(1.0, 2.0)});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(IntervalTest, CategoricalEcvHullCoversAllValues) {
+  const Program p = MustParse(R"(
+interface f() {
+  ecv mode ~ categorical(1: 0.2, 5: 0.5, 9: 0.3);
+  return mode * 1mJ;
+}
+)");
+  IntervalEvaluator eval(p);
+  auto bounds = eval.EvalInterval("f", {});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds->lo_joules, 1e-3, 1e-12);
+  EXPECT_NEAR(bounds->hi_joules, 9e-3, 1e-12);
+}
+
+TEST(IntervalTest, TernaryIndefiniteConditionHulls) {
+  const Program p = MustParse(
+      "interface f(x) { return (x > 5 ? 1mJ : 7mJ) + 1mJ; }");
+  IntervalEvaluator eval(p);
+  auto wide = eval.EvalInterval("f", {IntervalValue::Number(0.0, 10.0)});
+  ASSERT_TRUE(wide.ok());
+  EXPECT_NEAR(wide->lo_joules, 2e-3, 1e-12);
+  EXPECT_NEAR(wide->hi_joules, 8e-3, 1e-12);
+  auto narrow = eval.EvalInterval("f", {IntervalValue::Number(6.0, 10.0)});
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_NEAR(narrow->hi_joules, 2e-3, 1e-12);
+}
+
+// --- Soundness property: concrete results lie within interval bounds --------
+
+constexpr char kMixedSource[] = R"(
+interface f(a, b) {
+  ecv hit ~ bernoulli(0.5);
+  ecv mode ~ categorical(1: 0.2, 2: 0.3, 3: 0.5);
+  let mut total = 0J;
+  for i in 0..mode {
+    total = total + a * 1mJ;
+  }
+  if (hit && a > b) {
+    total = total + 50mJ;
+  } else {
+    total = total + b * 2mJ;
+  }
+  return total + max(a, b) * 1mJ;
+}
+)";
+
+class IntervalSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSoundnessTest, ConcreteWithinBounds) {
+  const Program p = MustParse(kMixedSource);
+  IntervalEvaluator interval_eval(p);
+  Evaluator concrete_eval(p);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+
+  // Random input box.
+  const double a_lo = rng.UniformDouble(0.0, 10.0);
+  const double a_hi = a_lo + rng.UniformDouble(0.0, 10.0);
+  const double b_lo = rng.UniformDouble(0.0, 10.0);
+  const double b_hi = b_lo + rng.UniformDouble(0.0, 10.0);
+
+  auto bounds = interval_eval.EvalInterval(
+      "f", {IntervalValue::Number(a_lo, a_hi),
+            IntervalValue::Number(b_lo, b_hi)});
+  ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+
+  // Sample concrete points inside the box; every result must lie in bounds.
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.UniformDouble(a_lo, a_hi);
+    const double b = rng.UniformDouble(b_lo, b_hi);
+    auto v = concrete_eval.EvalSampled(
+        "f", {Value::Number(a), Value::Number(b)}, {}, rng);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    const double joules = v->energy().concrete().joules();
+    EXPECT_GE(joules, bounds->lo_joules - 1e-12)
+        << "a=" << a << " b=" << b;
+    EXPECT_LE(joules, bounds->hi_joules + 1e-12)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, IntervalSoundnessTest,
+                         ::testing::Range(0, 12));
+
+// Loop trip counts driven by an ECV must also be covered.
+TEST(IntervalSoundnessTest, EcvDrivenLoopCovered) {
+  const Program p = MustParse(R"(
+interface f() {
+  ecv reps ~ uniform_int(1, 4);
+  let mut total = 0J;
+  for i in 0..reps { total = total + 3mJ; }
+  return total;
+}
+)");
+  IntervalEvaluator interval_eval(p);
+  auto bounds = interval_eval.EvalInterval("f", {});
+  ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+  EXPECT_NEAR(bounds->lo_joules, 3e-3, 1e-12);
+  EXPECT_NEAR(bounds->hi_joules, 12e-3, 1e-12);
+
+  Evaluator concrete_eval(p);
+  auto outcomes = concrete_eval.Enumerate("f", {}, {});
+  ASSERT_TRUE(outcomes.ok());
+  for (const auto& o : *outcomes) {
+    const double joules = o.value.energy().concrete().joules();
+    EXPECT_GE(joules, bounds->lo_joules - 1e-12);
+    EXPECT_LE(joules, bounds->hi_joules + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace eclarity

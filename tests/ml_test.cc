@@ -1,0 +1,313 @@
+// Tests for the ML cost models, calibration, and the GPT-2 interface
+// generator — including the end-to-end prediction-accuracy property that
+// underlies Table 1.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/counters.h"
+#include "src/iface/energy_interface.h"
+#include "src/lang/parser.h"
+#include "src/ml/calibrate.h"
+#include "src/ml/cnn.h"
+#include "src/ml/gpt2.h"
+#include "src/ml/gpt2_iface.h"
+#include "src/util/stats.h"
+
+namespace eclarity {
+namespace {
+
+TEST(Gpt2ModelTest, ParamCountMatchesGpt2Small) {
+  Gpt2Model model;
+  // GPT-2 small is ~124M parameters.
+  EXPECT_NEAR(static_cast<double>(model.ParamCount()), 124e6, 3e6);
+}
+
+TEST(Gpt2ModelTest, ParamCountsAcrossModelFamily) {
+  EXPECT_NEAR(
+      static_cast<double>(Gpt2Model(Gpt2Config::Medium355M()).ParamCount()),
+      355e6, 8e6);
+  EXPECT_NEAR(
+      static_cast<double>(Gpt2Model(Gpt2Config::Large774M()).ParamCount()),
+      774e6, 15e6);
+}
+
+TEST(Gpt2ModelTest, LargerModelsCostMoreEverywhere) {
+  const int ctx = 64;
+  auto totals = [&](const Gpt2Config& config) {
+    KernelStats t;
+    for (const KernelStats& k : Gpt2Model(config).DecodeStepKernels(ctx)) {
+      t += k;
+    }
+    return t;
+  };
+  const KernelStats small = totals(Gpt2Config::Small124M());
+  const KernelStats medium = totals(Gpt2Config::Medium355M());
+  const KernelStats large = totals(Gpt2Config::Large774M());
+  EXPECT_LT(small.instructions, medium.instructions);
+  EXPECT_LT(medium.instructions, large.instructions);
+  EXPECT_LT(small.vram_sectors, medium.vram_sectors);
+  EXPECT_LT(medium.vram_sectors, large.vram_sectors);
+}
+
+TEST(Gpt2ModelTest, DecodeCountsLinearInContext) {
+  Gpt2Model model;
+  auto totals = [&](int ctx) {
+    KernelStats t;
+    for (const KernelStats& k : model.DecodeStepKernels(ctx)) {
+      t += k;
+    }
+    return t;
+  };
+  const KernelStats a = totals(100);
+  const KernelStats b = totals(200);
+  const KernelStats c = totals(300);
+  // Second difference of a linear function is zero.
+  EXPECT_NEAR(c.instructions - b.instructions,
+              b.instructions - a.instructions,
+              1e-6 * b.instructions);
+  EXPECT_NEAR(c.vram_sectors - b.vram_sectors, b.vram_sectors - a.vram_sectors,
+              1e-6 * b.vram_sectors);
+}
+
+TEST(Gpt2ModelTest, PrefillCountsQuadraticInPrompt) {
+  Gpt2Model model;
+  auto instr = [&](int p) {
+    double total = 0.0;
+    for (const KernelStats& k : model.PrefillKernels(p)) {
+      total += k.instructions;
+    }
+    return total;
+  };
+  // Third difference of a quadratic is zero.
+  const double d1 = instr(200) - instr(100);
+  const double d2 = instr(300) - instr(200);
+  const double d3 = instr(400) - instr(300);
+  EXPECT_NEAR((d3 - d2) - (d2 - d1), 0.0, 1e-5 * d2);
+  // And it is genuinely quadratic (second difference nonzero).
+  EXPECT_GT(d2 - d1, 0.0);
+}
+
+TEST(Gpt2ModelTest, DecodeStepReadsAllWeightsOnce) {
+  Gpt2Model model;
+  KernelStats totals;
+  for (const KernelStats& k : model.DecodeStepKernels(64)) {
+    totals += k;
+  }
+  const double weight_bytes = static_cast<double>(model.ParamCount()) *
+                              model.config().bytes_per_param;
+  const double traffic_bytes = totals.vram_sectors * 32.0;
+  // VRAM traffic is dominated by streaming the weights (within 2x).
+  EXPECT_GT(traffic_bytes, weight_bytes * 0.9);
+  EXPECT_LT(traffic_bytes, weight_bytes * 2.0);
+}
+
+TEST(Gpt2ModelTest, GenerationTotalsAccumulate) {
+  Gpt2Model model;
+  const KernelStats g = model.GenerationTotals(16, 10);
+  KernelStats manual;
+  for (const KernelStats& k : model.PrefillKernels(16)) {
+    manual += k;
+  }
+  for (int t = 0; t < 10; ++t) {
+    for (const KernelStats& k : model.DecodeStepKernels(16 + t)) {
+      manual += k;
+    }
+  }
+  EXPECT_DOUBLE_EQ(g.instructions, manual.instructions);
+  EXPECT_DOUBLE_EQ(g.vram_sectors, manual.vram_sectors);
+}
+
+TEST(RunGenerationTest, ExecutesAndMeasures) {
+  Gpt2Model model;
+  GpuDevice device(Rtx4090LikeProfile(), 1);
+  NvmlCounter counter(device);
+  const GenerationRun run = RunGeneration(model, device, counter, 8, 5);
+  EXPECT_GT(run.kernels_executed, 100);
+  EXPECT_GT(run.duration.seconds(), 0.0);
+  EXPECT_GT(run.true_energy.joules(), 0.0);
+  // Energy-counter telemetry should track truth closely.
+  EXPECT_NEAR(run.measured_energy.joules() / run.true_energy.joules(), 1.0,
+              0.05);
+}
+
+// --- Calibration ---------------------------------------------------------------
+
+TEST(CalibrateTest, RecoversCoefficientsOnAccurateTelemetry) {
+  const GpuProfile profile = Rtx4090LikeProfile();
+  auto result = CalibrateGpu(profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->r_squared, 0.999);
+  EXPECT_NEAR(result->coefficients.instruction_joules,
+              profile.energy_per_instruction.joules(),
+              0.15 * profile.energy_per_instruction.joules());
+  EXPECT_NEAR(result->coefficients.vram_sector_joules,
+              profile.energy_per_vram_sector.joules(),
+              0.15 * profile.energy_per_vram_sector.joules());
+  EXPECT_NEAR(result->coefficients.static_watts, profile.static_power.watts(),
+              0.05 * profile.static_power.watts());
+}
+
+TEST(CalibrateTest, WorksThroughPowerSampling) {
+  const GpuProfile profile = Rtx3070LikeProfile();
+  auto result = CalibrateGpu(profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Sampling telemetry is coarser; coefficients land within ~25%.
+  EXPECT_GT(result->r_squared, 0.99);
+  EXPECT_NEAR(result->coefficients.vram_sector_joules,
+              profile.energy_per_vram_sector.joules(),
+              0.25 * profile.energy_per_vram_sector.joules());
+  EXPECT_GE(result->coefficients.instruction_joules, 0.0);
+}
+
+TEST(CalibrateTest, RejectsBadOptions) {
+  CalibrationOptions options;
+  options.sizes_per_pattern = 0;
+  EXPECT_FALSE(CalibrateGpu(Rtx4090LikeProfile(), options).ok());
+}
+
+// --- GPT-2 interface generator ---------------------------------------------------
+
+TEST(Gpt2IfaceTest, ClosedFormsMatchCostModelCounts) {
+  Gpt2Model model;
+  const GpuProfile profile = Rtx4090LikeProfile();
+  auto program = Gpt2EnergyInterface(model, profile);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  // Link against an "identity" hardware interface that charges 1 J per
+  // instruction only, so evaluating the interface reads back the count.
+  auto probe = EnergyInterface::FromProgram(
+      program->Clone(), "E_gpt2_step", {"E_gpu_kernel", "E_gpu_idle"});
+  ASSERT_TRUE(probe.ok());
+  auto hw = ParseProgram(R"(
+interface E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, vram_sectors, duration_s) {
+  return instructions * 1J;
+}
+interface E_gpu_idle(duration_s) { return 0J; }
+)");
+  ASSERT_TRUE(hw.ok());
+  auto linked = probe->Link(*hw);
+  ASSERT_TRUE(linked.ok());
+
+  for (int ctx : {1, 17, 239, 1023}) {
+    double expected = 0.0;
+    for (const KernelStats& k : model.DecodeStepKernels(ctx)) {
+      expected += k.instructions;
+    }
+    auto v = linked->Expected({Value::Number(static_cast<double>(ctx))});
+    ASSERT_TRUE(v.ok());
+    EXPECT_NEAR(v->joules(), expected, 1e-6 * expected) << "ctx=" << ctx;
+  }
+}
+
+TEST(Gpt2IfaceTest, PrefillQuadraticMatches) {
+  Gpt2Model model;
+  auto program = Gpt2EnergyInterface(model, Rtx4090LikeProfile());
+  ASSERT_TRUE(program.ok());
+  auto hw = ParseProgram(R"(
+interface E_gpu_kernel(instructions, l1_wavefronts, l2_sectors, vram_sectors, duration_s) {
+  return vram_sectors * 1J;
+}
+interface E_gpu_idle(duration_s) { return 0J; }
+)");
+  ASSERT_TRUE(hw.ok());
+  auto probe = EnergyInterface::FromProgram(
+      program->Clone(), "E_gpt2_prefill", {"E_gpu_kernel", "E_gpu_idle"});
+  ASSERT_TRUE(probe.ok());
+  auto linked = probe->Link(*hw);
+  ASSERT_TRUE(linked.ok());
+  for (int p : {4, 100, 700}) {
+    double expected = 0.0;
+    for (const KernelStats& k : model.PrefillKernels(p)) {
+      expected += k.vram_sectors;
+    }
+    auto v = linked->Expected({Value::Number(static_cast<double>(p))});
+    ASSERT_TRUE(v.ok());
+    EXPECT_NEAR(v->joules(), expected, 1e-6 * expected) << "p=" << p;
+  }
+}
+
+// The Table-1 property at test scale: interface prediction through the full
+// calibration + telemetry pipeline lands within 10% of measurement.
+class Gpt2AccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gpt2AccuracyTest, PredictionWithinTenPercent) {
+  const int tokens = GetParam();
+  const GpuProfile profile = Rtx4090LikeProfile();
+  Gpt2Model model;
+
+  auto calibration = CalibrateGpu(profile);
+  ASSERT_TRUE(calibration.ok());
+  auto gpt2 = Gpt2EnergyInterface(model, profile);
+  auto hw = GpuEnergyInterface(profile.name, calibration->coefficients);
+  ASSERT_TRUE(gpt2.ok() && hw.ok());
+  auto iface = EnergyInterface::FromProgram(
+      std::move(*gpt2), "E_gpt2_generate", {"E_gpu_kernel", "E_gpu_idle"});
+  ASSERT_TRUE(iface.ok());
+  auto linked = iface->Link(*hw);
+  ASSERT_TRUE(linked.ok());
+
+  GpuDevice device(profile, 1234 + static_cast<uint64_t>(tokens));
+  NvmlCounter counter(device);
+  const GenerationRun run = RunGeneration(model, device, counter, 16, tokens);
+  auto predicted = linked->Expected(
+      {Value::Number(16.0), Value::Number(static_cast<double>(tokens))});
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  EXPECT_LT(
+      RelativeError(predicted->joules(), run.measured_energy.joules()), 0.10)
+      << "predicted " << predicted->joules() << " measured "
+      << run.measured_energy.joules();
+}
+
+INSTANTIATE_TEST_SUITE_P(TokenBudgets, Gpt2AccuracyTest,
+                         ::testing::Values(5, 20, 60, 120));
+
+// --- CNN -------------------------------------------------------------------------
+
+TEST(CnnModelTest, KernelStructureMatchesFig1) {
+  CnnModel model;
+  const auto kernels = model.InferenceKernels(50176.0, 10000.0);
+  int conv = 0;
+  int relu = 0;
+  int mlp = 0;
+  for (const KernelStats& k : kernels) {
+    if (k.name == "conv2d") {
+      ++conv;
+    } else if (k.name == "relu") {
+      ++relu;
+    } else if (k.name == "mlp") {
+      ++mlp;
+    }
+  }
+  EXPECT_EQ(conv, 8);
+  EXPECT_EQ(relu, 8);
+  EXPECT_EQ(mlp, 16);
+}
+
+TEST(CnnModelTest, ZerosReduceConvWorkOnly) {
+  CnnModel model;
+  auto instr_total = [&](double zeros) {
+    double total = 0.0;
+    for (const KernelStats& k : model.InferenceKernels(50176.0, zeros)) {
+      total += k.instructions;
+    }
+    return total;
+  };
+  EXPECT_GT(instr_total(0.0), instr_total(25000.0));
+  // Fully-zero image: only relu+mlp work remains.
+  const double floor_instr = instr_total(50176.0);
+  EXPECT_GT(floor_instr, 0.0);
+  EXPECT_DOUBLE_EQ(instr_total(60000.0), floor_instr);  // clamped
+}
+
+TEST(CnnModelTest, AbstractCostMatchesFig1Formula) {
+  CnnModel model;
+  const AbstractEnergy cost = model.AbstractCost(50176.0, 10000.0);
+  EXPECT_DOUBLE_EQ(cost.Coefficient("conv2d"), 8.0 * (50176.0 - 10000.0));
+  EXPECT_DOUBLE_EQ(cost.Coefficient("relu"), 8.0 * 256.0);
+  EXPECT_DOUBLE_EQ(cost.Coefficient("mlp"), 16.0 * 256.0);
+}
+
+}  // namespace
+}  // namespace eclarity

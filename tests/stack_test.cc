@@ -1,0 +1,214 @@
+// Tests for the Fig. 2 system-stack model: resource managers as the agents
+// of composition, hardware-layer swapping, and layer attribution.
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "src/stack/stack.h"
+
+namespace eclarity {
+namespace {
+
+Program MustParse(const char* source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+// A three-layer stack: hardware -> runtime -> application.
+constexpr char kHwA[] = R"(
+interface E_cpu_op(n) { return n * 1nJ; }
+interface E_mem_read(bytes) { return bytes * 0.1nJ; }
+)";
+constexpr char kHwB[] = R"(
+interface E_cpu_op(n) { return n * 3nJ; }
+interface E_mem_read(bytes) { return bytes * 0.5nJ; }
+)";
+constexpr char kRuntime[] = R"(
+interface E_vm_dispatch(n_ops) {
+  return E_cpu_op(n_ops * 12) + 2uJ;
+}
+)";
+constexpr char kApp[] = R"(
+interface E_handle_request(size) {
+  ecv cached ~ bernoulli(0.5);
+  if (cached) {
+    return E_mem_read(size) + 1uJ;
+  }
+  return E_vm_dispatch(size * 4) + E_mem_read(size * 16) + 1uJ;
+}
+)";
+
+SystemStack BuildStack(const char* hw_source) {
+  SystemStack stack;
+  ResourceManager hw("hardware");
+  EXPECT_TRUE(hw.AddResource({"cpu+mem", MustParse(hw_source)}).ok());
+  ResourceManager runtime("runtime");
+  EXPECT_TRUE(runtime.AddGlue(kRuntime).ok());
+  ResourceManager app("application");
+  EXPECT_TRUE(app.AddGlue(kApp).ok());
+  app.policy().SetBernoulli("E_handle_request.cached", 0.5);
+  EXPECT_TRUE(stack.AddLayer(std::move(hw)).ok());
+  EXPECT_TRUE(stack.AddLayer(std::move(runtime)).ok());
+  EXPECT_TRUE(stack.AddLayer(std::move(app)).ok());
+  return stack;
+}
+
+TEST(StackTest, ComposeAndEvaluate) {
+  SystemStack stack = BuildStack(kHwA);
+  auto iface = stack.Compose("E_handle_request");
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  auto energy = iface->Expected({Value::Number(100.0)}, stack.CombinedPolicy());
+  ASSERT_TRUE(energy.ok()) << energy.status().ToString();
+  // Hand computation: cached = 100*0.1nJ + 1uJ = 1.01uJ;
+  // uncached = (400*12*1nJ + 2uJ) + 1600*0.1nJ + 1uJ = 4.8u+2u+0.16u+1u.
+  const double cached = 100 * 0.1e-9 + 1e-6;
+  const double uncached = 400 * 12 * 1e-9 + 2e-6 + 1600 * 0.1e-9 + 1e-6;
+  EXPECT_NEAR(energy->joules(), 0.5 * cached + 0.5 * uncached, 1e-15);
+}
+
+TEST(StackTest, UnresolvedCompositionRejected) {
+  SystemStack stack;
+  ResourceManager app("application");
+  ASSERT_TRUE(app.AddGlue(kApp).ok());
+  ASSERT_TRUE(stack.AddLayer(std::move(app)).ok());
+  auto iface = stack.Compose("E_handle_request");
+  ASSERT_FALSE(iface.ok());
+  EXPECT_EQ(iface.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(iface.status().message().find("E_vm_dispatch"), std::string::npos);
+}
+
+TEST(StackTest, SwapHardwareLayerChangesOnlyBottom) {
+  SystemStack stack = BuildStack(kHwA);
+  auto on_a = stack.Compose("E_handle_request");
+  ASSERT_TRUE(on_a.ok());
+  const double joules_a =
+      on_a->Expected({Value::Number(100.0)}, stack.CombinedPolicy())->joules();
+
+  ResourceManager hw_b("hardware");
+  ASSERT_TRUE(hw_b.AddResource({"cpu+mem", MustParse(kHwB)}).ok());
+  ASSERT_TRUE(stack.SwapLayer("hardware", std::move(hw_b)).ok());
+  auto on_b = stack.Compose("E_handle_request");
+  ASSERT_TRUE(on_b.ok()) << on_b.status().ToString();
+  const double joules_b =
+      on_b->Expected({Value::Number(100.0)}, stack.CombinedPolicy())->joules();
+  EXPECT_GT(joules_b, joules_a);
+
+  // The upper layers' source is untouched: only E_cpu_op/E_mem_read differ.
+  const std::string src_a = on_a->ToSource();
+  const std::string src_b = on_b->ToSource();
+  EXPECT_NE(src_a, src_b);
+  EXPECT_NE(src_a.find("E_vm_dispatch"), std::string::npos);
+  EXPECT_NE(src_b.find("E_vm_dispatch"), std::string::npos);
+}
+
+TEST(StackTest, SwapUnknownLayerFails) {
+  SystemStack stack = BuildStack(kHwA);
+  ResourceManager other("gpu");
+  EXPECT_EQ(stack.SwapLayer("gpu", std::move(other)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StackTest, DuplicateLayerRejected) {
+  SystemStack stack;
+  ASSERT_TRUE(stack.AddLayer(ResourceManager("hw")).ok());
+  EXPECT_EQ(stack.AddLayer(ResourceManager("hw")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StackTest, DuplicateResourceInterfaceRejected) {
+  ResourceManager manager("layer");
+  ASSERT_TRUE(
+      manager.AddResource({"a", MustParse("interface E_x(n) { return 1J; }")})
+          .ok());
+  EXPECT_EQ(manager
+                .AddResource(
+                    {"b", MustParse("interface E_x(n) { return 2J; }")})
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StackTest, AttributionSumsToTotal) {
+  SystemStack stack = BuildStack(kHwA);
+  auto contributions = stack.AttributeByLayer("E_handle_request",
+                                              {Value::Number(100.0)});
+  ASSERT_TRUE(contributions.ok()) << contributions.status().ToString();
+  ASSERT_EQ(contributions->size(), 3u);
+  double fraction_sum = 0.0;
+  for (const LayerContribution& c : *contributions) {
+    EXPECT_GE(c.own_energy.joules(), 0.0) << c.layer;
+    fraction_sum += c.fraction;
+  }
+  // The composition is linear in its energy literals, so own-contributions
+  // partition the total exactly.
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
+  // Hardware dominates in this stack (uncached path's cpu ops).
+  EXPECT_EQ((*contributions)[0].layer, "hardware");
+  EXPECT_GT((*contributions)[0].fraction, 0.3);
+}
+
+TEST(StackTest, PolicyProfilesFoldTopWins) {
+  SystemStack stack = BuildStack(kHwA);
+  // The app layer pinned cached ~ bernoulli(0.5); add a conflicting bottom
+  // policy and verify the top (later) layer wins.
+  ResourceManager hw("hardware");
+  ASSERT_TRUE(hw.AddResource({"cpu+mem", MustParse(kHwA)}).ok());
+  hw.policy().SetBernoulli("E_handle_request.cached", 0.0);
+  ASSERT_TRUE(stack.SwapLayer("hardware", std::move(hw)).ok());
+  const EcvProfile policy = stack.CombinedPolicy();
+  const EcvSupport* support = policy.Find("E_handle_request", "cached");
+  ASSERT_NE(support, nullptr);
+  // 0.5 from the app layer, not 0.0 from hardware.
+  ASSERT_EQ(support->outcomes.size(), 2u);
+  EXPECT_NEAR(support->outcomes[0].second, 0.5, 1e-12);
+}
+
+TEST(StackTest, RoutedAttributionOverlapsAndCoversHardware) {
+  SystemStack stack = BuildStack(kHwA);
+  auto routed = stack.AttributeByLayer("E_handle_request",
+                                       {Value::Number(100.0)});
+  auto through = stack.AttributeRoutedThrough("E_handle_request",
+                                              {Value::Number(100.0)});
+  ASSERT_TRUE(routed.ok() && through.ok()) << through.status().ToString();
+  ASSERT_EQ(through->size(), 3u);
+  // The top layer routes everything; hardware routes its own share.
+  EXPECT_NEAR((*through)[2].fraction, 1.0, 1e-9);  // application
+  EXPECT_GT((*through)[0].fraction, 0.3);          // hardware
+  // Routed-through >= own-terms for every layer (it includes callees).
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE((*through)[i].own_energy.joules() + 1e-12,
+              (*routed)[i].own_energy.joules());
+  }
+}
+
+TEST(StubOutInterfacesTest, BodiesReturnZeroKeepingSignatures) {
+  Program program = MustParse(R"(
+interface E_x(a, b) { return a * 1mJ + b * 2mJ; }
+)");
+  const Program stubbed = StubOutInterfaces(program);
+  const InterfaceDecl* decl = stubbed.FindInterface("E_x");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_EQ(decl->params.size(), 2u);
+  Evaluator eval(stubbed);
+  Rng rng(1);
+  auto v = eval.EvalSampled("E_x", {Value::Number(3.0), Value::Number(4.0)},
+                            {}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->energy().concrete().joules(), 0.0);
+}
+
+TEST(ZeroEnergyTermsTest, KillsLiteralsAndAbstractUnits) {
+  Program program = MustParse(R"(
+interface E_x(n) { return n * 5mJ + au("relu", n); }
+)");
+  const Program zeroed = ZeroEnergyTerms(program);
+  Evaluator eval(zeroed);
+  Rng rng(1);
+  auto v = eval.EvalSampled("E_x", {Value::Number(10.0)}, {}, rng);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_TRUE(v->energy().IsConcrete());
+  EXPECT_DOUBLE_EQ(v->energy().concrete().joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,117 @@
+// Tests for src/iface/testing.h: divergence testing and energy budgets.
+
+#include <gtest/gtest.h>
+
+#include "src/iface/testing.h"
+
+namespace eclarity {
+namespace {
+
+constexpr char kSource[] = R"(
+interface E_op(n) {
+  ecv hit ~ bernoulli(0.75);
+  if (hit) { return n * 1mJ; }
+  return n * 5mJ;
+}
+)";
+
+EnergyInterface MakeIface() {
+  auto iface = EnergyInterface::FromSource(kSource, "E_op");
+  EXPECT_TRUE(iface.ok());
+  return std::move(iface).value();
+}
+
+TEST(TestAgainstMeasurementTest, FlagsOnlyDivergentRows) {
+  const EnergyInterface iface = MakeIface();
+  // Expected energy: n * (0.75*1 + 0.25*5) mJ = n * 2 mJ.
+  EnergyMeasureFn measure = [](const std::vector<Value>& args) -> Result<Energy> {
+    const double n = args[0].number();
+    // Inputs above 10 have a 30% regression.
+    const double factor = n > 10.0 ? 1.3 : 1.0;
+    return Energy::Millijoules(n * 2.0 * factor);
+  };
+  std::vector<std::vector<Value>> inputs = {
+      {Value::Number(2.0)}, {Value::Number(8.0)}, {Value::Number(20.0)}};
+  auto report = TestAgainstMeasurement(iface, inputs, measure, 0.10);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->rows.size(), 3u);
+  EXPECT_FALSE(report->rows[0].flagged);
+  EXPECT_FALSE(report->rows[1].flagged);
+  EXPECT_TRUE(report->rows[2].flagged);
+  EXPECT_EQ(report->flagged_count, 1);
+  EXPECT_NEAR(report->max_divergence, 0.3, 1e-9);
+  EXPECT_FALSE(report->AllWithinThreshold());
+}
+
+TEST(TestAgainstMeasurementTest, PerfectSystemPasses) {
+  const EnergyInterface iface = MakeIface();
+  EnergyMeasureFn measure = [](const std::vector<Value>& args) -> Result<Energy> {
+    return Energy::Millijoules(args[0].number() * 2.0);
+  };
+  auto report = TestAgainstMeasurement(iface, {{Value::Number(4.0)}}, measure);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->AllWithinThreshold());
+  EXPECT_LT(report->max_divergence, 1e-9);
+}
+
+TEST(TestAgainstMeasurementTest, InputValidationAndErrorPropagation) {
+  const EnergyInterface iface = MakeIface();
+  EnergyMeasureFn ok_measure = [](const std::vector<Value>&) -> Result<Energy> {
+    return Energy::Joules(1.0);
+  };
+  EXPECT_FALSE(TestAgainstMeasurement(iface, {}, ok_measure).ok());
+  EXPECT_FALSE(
+      TestAgainstMeasurement(iface, {{Value::Number(1.0)}}, ok_measure, -0.1)
+          .ok());
+  EnergyMeasureFn bad_measure = [](const std::vector<Value>&) -> Result<Energy> {
+    return InternalError("sensor offline");
+  };
+  auto report =
+      TestAgainstMeasurement(iface, {{Value::Number(1.0)}}, bad_measure);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(CheckEnergyBudgetTest, ExactExceedProbability) {
+  const EnergyInterface iface = MakeIface();
+  // At n=2: 2 mJ with p=0.75, 10 mJ with p=0.25.
+  auto tight = CheckEnergyBudget(iface, {Value::Number(2.0)},
+                                 Energy::Millijoules(5.0), 0.20);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(tight->satisfied);  // exceed probability 0.25 > 0.20
+  EXPECT_NEAR(tight->exceed_probability, 0.25, 1e-12);
+  EXPECT_NEAR(tight->worst_case.millijoules(), 10.0, 1e-9);
+
+  auto loose = CheckEnergyBudget(iface, {Value::Number(2.0)},
+                                 Energy::Millijoules(5.0), 0.30);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->satisfied);
+
+  auto generous = CheckEnergyBudget(iface, {Value::Number(2.0)},
+                                    Energy::Millijoules(50.0), 0.0);
+  ASSERT_TRUE(generous.ok());
+  EXPECT_TRUE(generous->satisfied);
+  EXPECT_EQ(generous->exceed_probability, 0.0);
+}
+
+TEST(CheckEnergyBudgetTest, BudgetExactlyAtAtomIsInclusive) {
+  const EnergyInterface iface = MakeIface();
+  // Budget exactly 10 mJ: P(X > 10 mJ) = 0.
+  auto report = CheckEnergyBudget(iface, {Value::Number(2.0)},
+                                  Energy::Millijoules(10.0), 0.0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied);
+}
+
+TEST(CheckEnergyBudgetTest, RejectsBadProbability) {
+  const EnergyInterface iface = MakeIface();
+  EXPECT_FALSE(CheckEnergyBudget(iface, {Value::Number(1.0)},
+                                 Energy::Joules(1.0), -0.1)
+                   .ok());
+  EXPECT_FALSE(CheckEnergyBudget(iface, {Value::Number(1.0)},
+                                 Energy::Joules(1.0), 1.5)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,159 @@
+// Unit tests for src/units: physical quantities and abstract energy units.
+
+#include <gtest/gtest.h>
+
+#include "src/units/abstract_energy.h"
+#include "src/units/units.h"
+
+namespace eclarity {
+namespace {
+
+TEST(EnergyTest, ConstructorsAgree) {
+  EXPECT_DOUBLE_EQ(Energy::Millijoules(1500.0).joules(), 1.5);
+  EXPECT_DOUBLE_EQ(Energy::Microjoules(2e6).joules(), 2.0);
+  EXPECT_DOUBLE_EQ(Energy::Nanojoules(1e9).joules(), 1.0);
+  EXPECT_DOUBLE_EQ(Energy::Picojoules(1e12).joules(), 1.0);
+  EXPECT_DOUBLE_EQ(Energy::KilowattHours(1.0).joules(), 3.6e6);
+}
+
+TEST(EnergyTest, Arithmetic) {
+  const Energy a = Energy::Joules(3.0);
+  const Energy b = Energy::Joules(1.5);
+  EXPECT_DOUBLE_EQ((a + b).joules(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).joules(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).joules(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).joules(), 1.5);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((-a).joules(), -3.0);
+}
+
+TEST(EnergyTest, Comparisons) {
+  EXPECT_LT(Energy::Joules(1.0), Energy::Joules(2.0));
+  EXPECT_EQ(Energy::Millijoules(1000.0), Energy::Joules(1.0));
+  EXPECT_GE(Energy::Joules(2.0), Energy::Joules(2.0));
+}
+
+TEST(EnergyTest, CompoundAssignment) {
+  Energy e = Energy::Joules(1.0);
+  e += Energy::Joules(2.0);
+  EXPECT_DOUBLE_EQ(e.joules(), 3.0);
+  e -= Energy::Joules(0.5);
+  EXPECT_DOUBLE_EQ(e.joules(), 2.5);
+  e *= 4.0;
+  EXPECT_DOUBLE_EQ(e.joules(), 10.0);
+}
+
+TEST(PowerDurationTest, DimensionalAlgebra) {
+  const Power p = Power::Watts(10.0);
+  const Duration d = Duration::Seconds(3.0);
+  EXPECT_DOUBLE_EQ((p * d).joules(), 30.0);
+  EXPECT_DOUBLE_EQ((d * p).joules(), 30.0);
+  const Energy e = Energy::Joules(30.0);
+  EXPECT_DOUBLE_EQ((e / d).watts(), 10.0);
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::Milliseconds(1500.0).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Minutes(2.0).seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::Hours(1.0).seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(7200.0).hours(), 2.0);
+}
+
+TEST(UnitsTest, ToStringPicksScale) {
+  EXPECT_EQ(Energy::Joules(0.0124).ToString(), "12.4 mJ");
+  EXPECT_EQ(Energy::Joules(1500.0).ToString(), "1.5 kJ");
+  EXPECT_EQ(Power::Watts(0.002).ToString(), "2 mW");
+  EXPECT_EQ(Duration::Seconds(0.000003).ToString(), "3 us");
+}
+
+// --- AbstractEnergy ----------------------------------------------------------
+
+TEST(AbstractEnergyTest, ConcreteRoundTrip) {
+  const AbstractEnergy e = AbstractEnergy::FromConcrete(Energy::Joules(2.5));
+  EXPECT_TRUE(e.IsConcrete());
+  EXPECT_DOUBLE_EQ(e.concrete().joules(), 2.5);
+}
+
+TEST(AbstractEnergyTest, UnitArithmetic) {
+  const AbstractEnergy two_relu = AbstractEnergy::Unit("relu", 2.0);
+  const AbstractEnergy mixed =
+      two_relu + AbstractEnergy::Unit("conv2d", 3.0) * 2.0;
+  EXPECT_DOUBLE_EQ(mixed.Coefficient("relu"), 2.0);
+  EXPECT_DOUBLE_EQ(mixed.Coefficient("conv2d"), 6.0);
+  EXPECT_DOUBLE_EQ(mixed.Coefficient("absent"), 0.0);
+  EXPECT_FALSE(mixed.IsConcrete());
+}
+
+TEST(AbstractEnergyTest, SubtractionCancelsTerms) {
+  const AbstractEnergy a = AbstractEnergy::Unit("relu", 2.0);
+  const AbstractEnergy diff = a - a;
+  EXPECT_TRUE(diff.IsConcrete());  // term pruned to zero
+  EXPECT_EQ(diff.concrete(), Energy::Zero());
+}
+
+TEST(AbstractEnergyTest, RatioOfSameUnit) {
+  // Paper §3: "if a function consumes 2 ReLUs' worth and another 4 ReLUs'
+  // worth, the latter consumes twice as much, regardless of Joules".
+  const AbstractEnergy two = AbstractEnergy::Unit("relu", 2.0);
+  const AbstractEnergy four = AbstractEnergy::Unit("relu", 4.0);
+  auto ratio = four.RatioTo(two);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_DOUBLE_EQ(ratio.value(), 2.0);
+}
+
+TEST(AbstractEnergyTest, RatioOfDifferentUnitsFails) {
+  const AbstractEnergy relu = AbstractEnergy::Unit("relu");
+  const AbstractEnergy conv = AbstractEnergy::Unit("conv2d");
+  EXPECT_FALSE(relu.RatioTo(conv).ok());
+}
+
+TEST(AbstractEnergyTest, RatioOfConcrete) {
+  const AbstractEnergy a = AbstractEnergy::FromConcrete(Energy::Joules(6.0));
+  const AbstractEnergy b = AbstractEnergy::FromConcrete(Energy::Joules(2.0));
+  EXPECT_DOUBLE_EQ(a.RatioTo(b).value(), 3.0);
+  EXPECT_FALSE(b.RatioTo(AbstractEnergy::FromConcrete(Energy::Zero())).ok());
+}
+
+TEST(AbstractEnergyTest, ResolveThroughCalibration) {
+  EnergyCalibration cal;
+  cal.Bind("relu", Energy::Microjoules(0.5));
+  cal.Bind("conv2d", Energy::Microjoules(20.0));
+  const AbstractEnergy e = AbstractEnergy::Unit("relu", 8.0) +
+                           AbstractEnergy::Unit("conv2d", 2.0) +
+                           AbstractEnergy::FromConcrete(Energy::Microjoules(1.0));
+  auto resolved = e.Resolve(cal);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_NEAR(resolved.value().microjoules(), 8.0 * 0.5 + 2.0 * 20.0 + 1.0,
+              1e-12);
+}
+
+TEST(AbstractEnergyTest, ResolveFailsOnUnboundUnit) {
+  EnergyCalibration cal;
+  cal.Bind("relu", Energy::Microjoules(0.5));
+  const AbstractEnergy e = AbstractEnergy::Unit("mlp", 1.0);
+  auto resolved = e.Resolve(cal);
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AbstractEnergyTest, CalibrationListsUnits) {
+  EnergyCalibration cal;
+  cal.Bind("b", Energy::Joules(1.0));
+  cal.Bind("a", Energy::Joules(2.0));
+  EXPECT_TRUE(cal.Has("a"));
+  EXPECT_FALSE(cal.Has("c"));
+  const auto units = cal.Units();
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0], "a");
+  EXPECT_EQ(units[1], "b");
+}
+
+TEST(AbstractEnergyTest, ToStringShowsTermsAndConcrete) {
+  const AbstractEnergy e = AbstractEnergy::Unit("relu", 3.0) +
+                           AbstractEnergy::FromConcrete(Energy::Millijoules(2.0));
+  EXPECT_EQ(e.ToString(), "3 relu + 2 mJ");
+  EXPECT_EQ(AbstractEnergy().ToString(), "0 J");
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -1,0 +1,350 @@
+// Unit tests for src/util: Status/Result, Rng, stats and linear algebra.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubler(Result<int> input) {
+  ECLARITY_ASSIGN_OR_RETURN(int v, input);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  Result<int> failed = Doubler(InternalError("boom"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return OkStatus();
+}
+
+Status Chain(int v) {
+  ECLARITY_RETURN_IF_ERROR(FailIfNegative(v));
+  return OkStatus();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_FALSE(Chain(-1).ok());
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliRespectsEdgeProbabilities) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMeanNearP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(Mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(Stddev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ones += rng.Categorical(weights) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(static_cast<double>(rng.Poisson(4.5)));
+  }
+  EXPECT_NEAR(Mean(xs), 4.5, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(static_cast<double>(rng.Poisson(100.0)));
+  }
+  EXPECT_NEAR(Mean(xs), 100.0, 1.0);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(rng.Exponential(2.0));
+  }
+  EXPECT_NEAR(Mean(xs), 0.5, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng forked = a.Fork();
+  // The fork must not replay the parent's sequence.
+  Rng b(41);
+  b.NextUint64();  // consume the draw Fork() used
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (forked.NextUint64() == b.NextUint64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostPopular) {
+  Rng rng(43);
+  ZipfSampler sampler(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[sampler.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(ZipfSamplerTest, SingleElementAlwaysZero) {
+  Rng rng(47);
+  ZipfSampler sampler(1, 1.2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.Sample(rng), 0u);
+  }
+}
+
+// --- Stats -------------------------------------------------------------------
+
+TEST(StatsTest, MeanVarianceStddev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingletonDegenerate) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({1.0}), 0.0);
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 2.5);
+}
+
+TEST(StatsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 5.0);
+}
+
+TEST(StatsTest, SummarizeErrors) {
+  const ErrorSummary s = SummarizeErrors({0.01, 0.02, 0.03, 0.10});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.average, 0.04);
+  EXPECT_DOUBLE_EQ(s.max, 0.10);
+  EXPECT_DOUBLE_EQ(s.p50, 0.025);
+}
+
+TEST(LinearAlgebraTest, SolvesSquareSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2.0; a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0; a.At(1, 1) = -1.0;
+  auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(LinearAlgebraTest, RejectsSingularSystem) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0; a.At(0, 1) = 2.0;
+  a.At(1, 0) = 2.0; a.At(1, 1) = 4.0;
+  auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LinearAlgebraTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 0.0; a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0; a.At(1, 1) = 0.0;
+  auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 4.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(LinearAlgebraTest, LeastSquaresRecoversCoefficients) {
+  // y = 3*x0 + 2*x1 with exact data (overdetermined).
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  const double xs[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 3}};
+  for (int r = 0; r < 4; ++r) {
+    a.At(r, 0) = xs[r][0];
+    a.At(r, 1) = xs[r][1];
+    b[r] = 3.0 * xs[r][0] + 2.0 * xs[r][1];
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 1e-9);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-9);
+}
+
+TEST(LinearAlgebraTest, NonNegativeLeastSquaresClampsNegatives) {
+  // Model would prefer a negative coefficient; NNLS must keep it >= 0.
+  Matrix a(3, 2);
+  a.At(0, 0) = 1.0; a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0; a.At(1, 1) = 0.0;
+  a.At(2, 0) = 0.0; a.At(2, 1) = 1.0;
+  const std::vector<double> b = {1.0, 2.0, -1.0};
+  auto x = NonNegativeLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_GE(x.value()[0], 0.0);
+  EXPECT_GE(x.value()[1], 0.0);
+}
+
+TEST(LinearAlgebraTest, NonNegativeLeastSquaresExactFit) {
+  Matrix a(3, 2);
+  a.At(0, 0) = 2.0; a.At(0, 1) = 0.0;
+  a.At(1, 0) = 0.0; a.At(1, 1) = 3.0;
+  a.At(2, 0) = 1.0; a.At(2, 1) = 1.0;
+  std::vector<double> b = {4.0, 6.0, 4.0};  // x = {2, 2}
+  auto x = NonNegativeLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-6);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-6);
+}
+
+TEST(StatsTest, PearsonCorrelationPerfectAndInverse) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> up = {2, 4, 6, 8, 10};
+  std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+  EXPECT_EQ(PearsonCorrelation(xs, {1, 1, 1, 1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace eclarity

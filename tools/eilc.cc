@@ -1,0 +1,285 @@
+// eilc — command-line driver for EIL energy interfaces.
+//
+//   eilc check  FILE                     parse + static checks + summary
+//   eilc print  FILE                     canonical pretty-printed source
+//   eilc eval   FILE ENTRY ARGS... [--ecv NAME=VALUE|NAME~P]
+//                                        expectation + exact distribution
+//   eilc paths  FILE ENTRY ARGS...       enumerate ECV draw sequences
+//   eilc bounds FILE ENTRY LO:HI...      guaranteed worst-case interval
+//
+// Numeric ARGS are numbers; `true`/`false` are booleans. --ecv NAME=VALUE
+// pins an ECV (VALUE in {true,false} or a number); --ecv NAME~P sets a
+// Bernoulli probability.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/eval/interp.h"
+#include "src/eval/interval.h"
+#include "src/lang/checker.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace eclarity {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eilc check|print FILE\n"
+               "       eilc eval  FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
+               "       eilc paths FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
+               "       eilc bounds FILE ENTRY LO:HI...\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+Result<Value> ParseValueArg(const std::string& text) {
+  if (text == "true") {
+    return Value::Bool(true);
+  }
+  if (text == "false") {
+    return Value::Bool(false);
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return InvalidArgumentError("cannot parse argument '" + text + "'");
+  }
+  return Value::Number(v);
+}
+
+// Parses trailing --ecv options into a profile; removes them from args.
+Result<EcvProfile> ExtractProfile(std::vector<std::string>& args) {
+  EcvProfile profile;
+  std::vector<std::string> kept;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--ecv") {
+      kept.push_back(args[i]);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return InvalidArgumentError("--ecv needs an argument");
+    }
+    const std::string spec = args[++i];
+    const size_t eq = spec.find('=');
+    const size_t tilde = spec.find('~');
+    if (eq != std::string::npos) {
+      ECLARITY_ASSIGN_OR_RETURN(Value v, ParseValueArg(spec.substr(eq + 1)));
+      profile.SetFixed(spec.substr(0, eq), v);
+    } else if (tilde != std::string::npos) {
+      char* end = nullptr;
+      const double p = std::strtod(spec.c_str() + tilde + 1, &end);
+      if (end == nullptr || *end != '\0') {
+        return InvalidArgumentError("bad probability in '" + spec + "'");
+      }
+      profile.SetBernoulli(spec.substr(0, tilde), p);
+    } else {
+      return InvalidArgumentError("--ecv expects NAME=VALUE or NAME~P");
+    }
+  }
+  args = std::move(kept);
+  return profile;
+}
+
+int Check(const std::string& path) {
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  CheckOptions options;
+  options.allow_any_unresolved = true;
+  const auto problems = CheckProgram(*program, options);
+  for (const Status& p : problems) {
+    std::fprintf(stderr, "%s\n", p.ToString().c_str());
+  }
+  std::printf("%zu interface(s), %zu const(s)\n",
+              program->interfaces().size(), program->consts().size());
+  for (const InterfaceDecl& decl : program->interfaces()) {
+    const auto ecvs = CollectEcvNames(decl);
+    std::printf("  %s(%zu args)", decl.name.c_str(), decl.params.size());
+    if (!ecvs.empty()) {
+      std::printf("  ECVs:");
+      for (const std::string& name : ecvs) {
+        std::printf(" %s", name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  const auto imports = program->UnresolvedCallees();
+  if (!imports.empty()) {
+    std::printf("imports:");
+    for (const std::string& name : imports) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  return problems.empty() ? 0 : 1;
+}
+
+int Print(const std::string& path) {
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", PrintProgram(*program).c_str());
+  return 0;
+}
+
+int EvalOrPaths(const std::string& mode, const std::string& path,
+                const std::string& entry, std::vector<std::string> rest) {
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto profile = ExtractProfile(rest);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Value> args;
+  for (const std::string& text : rest) {
+    auto v = ParseValueArg(text);
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    args.push_back(*v);
+  }
+  Evaluator evaluator(*program);
+  if (mode == "paths") {
+    auto outcomes = evaluator.Enumerate(entry, args, *profile);
+    if (!outcomes.ok()) {
+      std::fprintf(stderr, "%s\n", outcomes.status().ToString().c_str());
+      return 1;
+    }
+    for (const WeightedOutcome& o : *outcomes) {
+      std::printf("p=%-10.6g %-16s", o.probability,
+                  o.value.ToString().c_str());
+      for (const auto& [name, value] : o.ecv_assignments) {
+        std::printf(" %s=%s", name.c_str(), value.ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  auto dist = evaluator.EvalDistribution(entry, args, *profile);
+  if (!dist.ok()) {
+    std::fprintf(stderr, "%s\n", dist.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("expected:     %s\n",
+              Energy::Joules(dist->Mean()).ToString().c_str());
+  std::printf("stddev:       %s\n",
+              Energy::Joules(dist->Stddev()).ToString().c_str());
+  std::printf("range:        [%s, %s]\n",
+              Energy::Joules(dist->MinValue()).ToString().c_str(),
+              Energy::Joules(dist->MaxValue()).ToString().c_str());
+  std::printf("p95:          %s\n",
+              Energy::Joules(dist->Quantile(0.95)).ToString().c_str());
+  std::printf("distribution: %s\n", dist->ToString().c_str());
+  return 0;
+}
+
+int Bounds(const std::string& path, const std::string& entry,
+           const std::vector<std::string>& rest) {
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<IntervalValue> args;
+  for (const std::string& text : rest) {
+    const size_t colon = text.find(':');
+    if (colon == std::string::npos) {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "bad interval argument '%s'\n", text.c_str());
+        return 1;
+      }
+      args.push_back(IntervalValue::NumberPoint(v));
+    } else {
+      const double lo = std::strtod(text.substr(0, colon).c_str(), nullptr);
+      const double hi = std::strtod(text.substr(colon + 1).c_str(), nullptr);
+      args.push_back(IntervalValue::Number(lo, hi));
+    }
+  }
+  IntervalEvaluator evaluator(*program);
+  auto bounds = evaluator.EvalInterval(entry, args);
+  if (!bounds.ok()) {
+    std::fprintf(stderr, "%s\n", bounds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("guaranteed bounds: [%s, %s]\n",
+              Energy::Joules(bounds->lo_joules).ToString().c_str(),
+              Energy::Joules(bounds->hi_joules).ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  if (command == "check") {
+    return Check(path);
+  }
+  if (command == "print") {
+    return Print(path);
+  }
+  if (argc < 4) {
+    return Usage();
+  }
+  const std::string entry = argv[3];
+  std::vector<std::string> rest(argv + 4, argv + argc);
+  if (command == "eval" || command == "paths") {
+    return EvalOrPaths(command, path, entry, std::move(rest));
+  }
+  if (command == "bounds") {
+    return Bounds(path, entry, rest);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace eclarity
+
+int main(int argc, char** argv) { return eclarity::Main(argc, argv); }
