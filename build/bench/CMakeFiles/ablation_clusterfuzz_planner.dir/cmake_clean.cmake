@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clusterfuzz_planner.dir/ablation_clusterfuzz_planner.cc.o"
+  "CMakeFiles/ablation_clusterfuzz_planner.dir/ablation_clusterfuzz_planner.cc.o.d"
+  "ablation_clusterfuzz_planner"
+  "ablation_clusterfuzz_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clusterfuzz_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

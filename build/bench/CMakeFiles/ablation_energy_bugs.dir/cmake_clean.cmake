@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_bugs.dir/ablation_energy_bugs.cc.o"
+  "CMakeFiles/ablation_energy_bugs.dir/ablation_energy_bugs.cc.o.d"
+  "ablation_energy_bugs"
+  "ablation_energy_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

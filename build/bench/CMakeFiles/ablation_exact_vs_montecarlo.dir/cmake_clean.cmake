@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact_vs_montecarlo.dir/ablation_exact_vs_montecarlo.cc.o"
+  "CMakeFiles/ablation_exact_vs_montecarlo.dir/ablation_exact_vs_montecarlo.cc.o.d"
+  "ablation_exact_vs_montecarlo"
+  "ablation_exact_vs_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_vs_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

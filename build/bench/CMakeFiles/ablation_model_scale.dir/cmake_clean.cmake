@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_scale.dir/ablation_model_scale.cc.o"
+  "CMakeFiles/ablation_model_scale.dir/ablation_model_scale.cc.o.d"
+  "ablation_model_scale"
+  "ablation_model_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_worstcase_bounds.dir/ablation_worstcase_bounds.cc.o"
+  "CMakeFiles/ablation_worstcase_bounds.dir/ablation_worstcase_bounds.cc.o.d"
+  "ablation_worstcase_bounds"
+  "ablation_worstcase_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_worstcase_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_webservice.dir/fig1_webservice.cc.o"
+  "CMakeFiles/fig1_webservice.dir/fig1_webservice.cc.o.d"
+  "fig1_webservice"
+  "fig1_webservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_webservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

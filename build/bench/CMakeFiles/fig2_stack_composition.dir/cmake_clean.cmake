@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stack_composition.dir/fig2_stack_composition.cc.o"
+  "CMakeFiles/fig2_stack_composition.dir/fig2_stack_composition.cc.o.d"
+  "fig2_stack_composition"
+  "fig2_stack_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stack_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_gpt2_error.cc" "bench/CMakeFiles/table1_gpt2_error.dir/table1_gpt2_error.cc.o" "gcc" "bench/CMakeFiles/table1_gpt2_error.dir/table1_gpt2_error.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/eclarity_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eclarity_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/iface/CMakeFiles/eclarity_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/eclarity_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eclarity_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/eclarity_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/eclarity_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eclarity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

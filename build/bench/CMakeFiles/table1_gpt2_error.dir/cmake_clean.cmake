@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_gpt2_error.dir/table1_gpt2_error.cc.o"
+  "CMakeFiles/table1_gpt2_error.dir/table1_gpt2_error.cc.o.d"
+  "table1_gpt2_error"
+  "table1_gpt2_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gpt2_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_gpt2_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterfuzz_planner.dir/clusterfuzz_planner.cpp.o"
+  "CMakeFiles/clusterfuzz_planner.dir/clusterfuzz_planner.cpp.o.d"
+  "clusterfuzz_planner"
+  "clusterfuzz_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterfuzz_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

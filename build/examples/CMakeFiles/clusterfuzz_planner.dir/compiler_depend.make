@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clusterfuzz_planner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_interface.dir/extract_interface.cpp.o"
+  "CMakeFiles/extract_interface.dir/extract_interface.cpp.o.d"
+  "extract_interface"
+  "extract_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

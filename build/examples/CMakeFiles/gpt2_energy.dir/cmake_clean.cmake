@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt2_energy.dir/gpt2_energy.cpp.o"
+  "CMakeFiles/gpt2_energy.dir/gpt2_energy.cpp.o.d"
+  "gpt2_energy"
+  "gpt2_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt2_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_example.dir/scheduler.cpp.o"
+  "CMakeFiles/scheduler_example.dir/scheduler.cpp.o.d"
+  "scheduler_example"
+  "scheduler_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webservice_example.dir/webservice.cpp.o"
+  "CMakeFiles/webservice_example.dir/webservice.cpp.o.d"
+  "webservice_example"
+  "webservice_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webservice_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

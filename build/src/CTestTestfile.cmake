@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("units")
+subdirs("dist")
+subdirs("lang")
+subdirs("eval")
+subdirs("iface")
+subdirs("stack")
+subdirs("extract")
+subdirs("hw")
+subdirs("sim")
+subdirs("ml")
+subdirs("apps")
+subdirs("sched")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_apps.dir/fuzzing.cc.o"
+  "CMakeFiles/eclarity_apps.dir/fuzzing.cc.o.d"
+  "CMakeFiles/eclarity_apps.dir/lru_cache.cc.o"
+  "CMakeFiles/eclarity_apps.dir/lru_cache.cc.o.d"
+  "CMakeFiles/eclarity_apps.dir/webservice.cc.o"
+  "CMakeFiles/eclarity_apps.dir/webservice.cc.o.d"
+  "libeclarity_apps.a"
+  "libeclarity_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

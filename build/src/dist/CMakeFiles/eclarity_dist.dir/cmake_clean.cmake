@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_dist.dir/distribution.cc.o"
+  "CMakeFiles/eclarity_dist.dir/distribution.cc.o.d"
+  "libeclarity_dist.a"
+  "libeclarity_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

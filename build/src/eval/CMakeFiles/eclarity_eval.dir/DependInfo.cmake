@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/builtins.cc" "src/eval/CMakeFiles/eclarity_eval.dir/builtins.cc.o" "gcc" "src/eval/CMakeFiles/eclarity_eval.dir/builtins.cc.o.d"
+  "/root/repo/src/eval/ecv_profile.cc" "src/eval/CMakeFiles/eclarity_eval.dir/ecv_profile.cc.o" "gcc" "src/eval/CMakeFiles/eclarity_eval.dir/ecv_profile.cc.o.d"
+  "/root/repo/src/eval/env.cc" "src/eval/CMakeFiles/eclarity_eval.dir/env.cc.o" "gcc" "src/eval/CMakeFiles/eclarity_eval.dir/env.cc.o.d"
+  "/root/repo/src/eval/interp.cc" "src/eval/CMakeFiles/eclarity_eval.dir/interp.cc.o" "gcc" "src/eval/CMakeFiles/eclarity_eval.dir/interp.cc.o.d"
+  "/root/repo/src/eval/interval.cc" "src/eval/CMakeFiles/eclarity_eval.dir/interval.cc.o" "gcc" "src/eval/CMakeFiles/eclarity_eval.dir/interval.cc.o.d"
+  "/root/repo/src/eval/pure_expr.cc" "src/eval/CMakeFiles/eclarity_eval.dir/pure_expr.cc.o" "gcc" "src/eval/CMakeFiles/eclarity_eval.dir/pure_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/eclarity_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/eclarity_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/eclarity_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eclarity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

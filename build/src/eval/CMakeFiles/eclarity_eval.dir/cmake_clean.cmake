@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_eval.dir/builtins.cc.o"
+  "CMakeFiles/eclarity_eval.dir/builtins.cc.o.d"
+  "CMakeFiles/eclarity_eval.dir/ecv_profile.cc.o"
+  "CMakeFiles/eclarity_eval.dir/ecv_profile.cc.o.d"
+  "CMakeFiles/eclarity_eval.dir/env.cc.o"
+  "CMakeFiles/eclarity_eval.dir/env.cc.o.d"
+  "CMakeFiles/eclarity_eval.dir/interp.cc.o"
+  "CMakeFiles/eclarity_eval.dir/interp.cc.o.d"
+  "CMakeFiles/eclarity_eval.dir/interval.cc.o"
+  "CMakeFiles/eclarity_eval.dir/interval.cc.o.d"
+  "CMakeFiles/eclarity_eval.dir/pure_expr.cc.o"
+  "CMakeFiles/eclarity_eval.dir/pure_expr.cc.o.d"
+  "libeclarity_eval.a"
+  "libeclarity_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_extract.dir/empirical.cc.o"
+  "CMakeFiles/eclarity_extract.dir/empirical.cc.o.d"
+  "CMakeFiles/eclarity_extract.dir/extract.cc.o"
+  "CMakeFiles/eclarity_extract.dir/extract.cc.o.d"
+  "CMakeFiles/eclarity_extract.dir/mir.cc.o"
+  "CMakeFiles/eclarity_extract.dir/mir.cc.o.d"
+  "libeclarity_extract.a"
+  "libeclarity_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

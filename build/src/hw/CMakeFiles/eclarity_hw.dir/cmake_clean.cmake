@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_hw.dir/counters.cc.o"
+  "CMakeFiles/eclarity_hw.dir/counters.cc.o.d"
+  "CMakeFiles/eclarity_hw.dir/cpu.cc.o"
+  "CMakeFiles/eclarity_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/eclarity_hw.dir/gpu.cc.o"
+  "CMakeFiles/eclarity_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/eclarity_hw.dir/vendor.cc.o"
+  "CMakeFiles/eclarity_hw.dir/vendor.cc.o.d"
+  "libeclarity_hw.a"
+  "libeclarity_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

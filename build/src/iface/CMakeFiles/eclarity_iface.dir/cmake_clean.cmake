@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_iface.dir/constraints.cc.o"
+  "CMakeFiles/eclarity_iface.dir/constraints.cc.o.d"
+  "CMakeFiles/eclarity_iface.dir/energy_interface.cc.o"
+  "CMakeFiles/eclarity_iface.dir/energy_interface.cc.o.d"
+  "CMakeFiles/eclarity_iface.dir/perturb.cc.o"
+  "CMakeFiles/eclarity_iface.dir/perturb.cc.o.d"
+  "CMakeFiles/eclarity_iface.dir/testing.cc.o"
+  "CMakeFiles/eclarity_iface.dir/testing.cc.o.d"
+  "libeclarity_iface.a"
+  "libeclarity_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

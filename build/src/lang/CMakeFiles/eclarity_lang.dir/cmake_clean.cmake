@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_lang.dir/ast.cc.o"
+  "CMakeFiles/eclarity_lang.dir/ast.cc.o.d"
+  "CMakeFiles/eclarity_lang.dir/checker.cc.o"
+  "CMakeFiles/eclarity_lang.dir/checker.cc.o.d"
+  "CMakeFiles/eclarity_lang.dir/lexer.cc.o"
+  "CMakeFiles/eclarity_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/eclarity_lang.dir/parser.cc.o"
+  "CMakeFiles/eclarity_lang.dir/parser.cc.o.d"
+  "CMakeFiles/eclarity_lang.dir/printer.cc.o"
+  "CMakeFiles/eclarity_lang.dir/printer.cc.o.d"
+  "CMakeFiles/eclarity_lang.dir/token.cc.o"
+  "CMakeFiles/eclarity_lang.dir/token.cc.o.d"
+  "CMakeFiles/eclarity_lang.dir/value.cc.o"
+  "CMakeFiles/eclarity_lang.dir/value.cc.o.d"
+  "libeclarity_lang.a"
+  "libeclarity_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

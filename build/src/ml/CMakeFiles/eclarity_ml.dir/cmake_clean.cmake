@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_ml.dir/calibrate.cc.o"
+  "CMakeFiles/eclarity_ml.dir/calibrate.cc.o.d"
+  "CMakeFiles/eclarity_ml.dir/cnn.cc.o"
+  "CMakeFiles/eclarity_ml.dir/cnn.cc.o.d"
+  "CMakeFiles/eclarity_ml.dir/gpt2.cc.o"
+  "CMakeFiles/eclarity_ml.dir/gpt2.cc.o.d"
+  "CMakeFiles/eclarity_ml.dir/gpt2_iface.cc.o"
+  "CMakeFiles/eclarity_ml.dir/gpt2_iface.cc.o.d"
+  "libeclarity_ml.a"
+  "libeclarity_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster.cc" "src/sched/CMakeFiles/eclarity_sched.dir/cluster.cc.o" "gcc" "src/sched/CMakeFiles/eclarity_sched.dir/cluster.cc.o.d"
+  "/root/repo/src/sched/eas.cc" "src/sched/CMakeFiles/eclarity_sched.dir/eas.cc.o" "gcc" "src/sched/CMakeFiles/eclarity_sched.dir/eas.cc.o.d"
+  "/root/repo/src/sched/planner.cc" "src/sched/CMakeFiles/eclarity_sched.dir/planner.cc.o" "gcc" "src/sched/CMakeFiles/eclarity_sched.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eclarity_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/eclarity_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/eclarity_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eclarity_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eclarity_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eclarity_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eclarity_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/eclarity_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/eclarity_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_sched.dir/cluster.cc.o"
+  "CMakeFiles/eclarity_sched.dir/cluster.cc.o.d"
+  "CMakeFiles/eclarity_sched.dir/eas.cc.o"
+  "CMakeFiles/eclarity_sched.dir/eas.cc.o.d"
+  "CMakeFiles/eclarity_sched.dir/planner.cc.o"
+  "CMakeFiles/eclarity_sched.dir/planner.cc.o.d"
+  "libeclarity_sched.a"
+  "libeclarity_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

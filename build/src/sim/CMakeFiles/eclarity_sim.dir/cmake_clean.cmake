@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_sim.dir/task.cc.o"
+  "CMakeFiles/eclarity_sim.dir/task.cc.o.d"
+  "libeclarity_sim.a"
+  "libeclarity_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

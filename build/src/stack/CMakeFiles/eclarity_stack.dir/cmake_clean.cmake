@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_stack.dir/stack.cc.o"
+  "CMakeFiles/eclarity_stack.dir/stack.cc.o.d"
+  "libeclarity_stack.a"
+  "libeclarity_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/units/abstract_energy.cc" "src/units/CMakeFiles/eclarity_units.dir/abstract_energy.cc.o" "gcc" "src/units/CMakeFiles/eclarity_units.dir/abstract_energy.cc.o.d"
+  "/root/repo/src/units/units.cc" "src/units/CMakeFiles/eclarity_units.dir/units.cc.o" "gcc" "src/units/CMakeFiles/eclarity_units.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eclarity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_units.dir/abstract_energy.cc.o"
+  "CMakeFiles/eclarity_units.dir/abstract_energy.cc.o.d"
+  "CMakeFiles/eclarity_units.dir/units.cc.o"
+  "CMakeFiles/eclarity_units.dir/units.cc.o.d"
+  "libeclarity_units.a"
+  "libeclarity_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

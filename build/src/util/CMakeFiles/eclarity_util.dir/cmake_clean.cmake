@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclarity_util.dir/logging.cc.o"
+  "CMakeFiles/eclarity_util.dir/logging.cc.o.d"
+  "CMakeFiles/eclarity_util.dir/rng.cc.o"
+  "CMakeFiles/eclarity_util.dir/rng.cc.o.d"
+  "CMakeFiles/eclarity_util.dir/stats.cc.o"
+  "CMakeFiles/eclarity_util.dir/stats.cc.o.d"
+  "CMakeFiles/eclarity_util.dir/status.cc.o"
+  "CMakeFiles/eclarity_util.dir/status.cc.o.d"
+  "libeclarity_util.a"
+  "libeclarity_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclarity_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

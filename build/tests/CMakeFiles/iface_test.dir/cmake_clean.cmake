@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iface_test.dir/iface_test.cc.o"
+  "CMakeFiles/iface_test.dir/iface_test.cc.o.d"
+  "iface_test"
+  "iface_test.pdb"
+  "iface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_util_test.dir/testing_util_test.cc.o"
+  "CMakeFiles/testing_util_test.dir/testing_util_test.cc.o.d"
+  "testing_util_test"
+  "testing_util_test.pdb"
+  "testing_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eilc.dir/eilc.cc.o"
+  "CMakeFiles/eilc.dir/eilc.cc.o.d"
+  "eilc"
+  "eilc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eilc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(eilc_check_fig1 "/root/repo/build/tools/eilc" "check" "/root/repo/examples/eil/fig1_webservice.eil")
+set_tests_properties(eilc_check_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(eilc_check_crypto "/root/repo/build/tools/eilc" "check" "/root/repo/examples/eil/crypto_constant_energy.eil")
+set_tests_properties(eilc_check_crypto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(eilc_eval_fig1 "/root/repo/build/tools/eilc" "eval" "/root/repo/examples/eil/fig1_webservice.eil" "E_ml_webservice_handle" "50176" "10000")
+set_tests_properties(eilc_eval_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(eilc_paths_with_profile "/root/repo/build/tools/eilc" "paths" "/root/repo/examples/eil/fig1_webservice.eil" "E_ml_webservice_handle" "50176" "10000" "--ecv" "request_hit=true")
+set_tests_properties(eilc_paths_with_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(eilc_bounds_fig1 "/root/repo/build/tools/eilc" "bounds" "/root/repo/examples/eil/fig1_webservice.eil" "E_ml_webservice_handle" "1000:60000" "0:30000")
+set_tests_properties(eilc_bounds_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(eilc_rejects_garbage "/root/repo/build/tools/eilc" "check" "/root/repo/README.md")
+set_tests_properties(eilc_rejects_garbage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(eilc_eval_gpt2 "/root/repo/build/tools/eilc" "eval" "/root/repo/examples/eil/gpt2_rtx4090.eil" "E_gpt2_generate" "16" "200")
+set_tests_properties(eilc_eval_gpt2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
