@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "src/eval/interp.h"
 #include "src/eval/interval.h"
 #include "src/hw/vendor.h"
@@ -11,6 +13,7 @@
 #include "src/lang/parser.h"
 #include "src/ml/gpt2.h"
 #include "src/ml/gpt2_iface.h"
+#include "src/sched/eas.h"
 
 namespace eclarity {
 namespace {
@@ -106,13 +109,39 @@ BENCHMARK(BM_Gpt2Prediction)->Arg(10)->Arg(100)->Arg(200);
 
 void BM_TaskInterfaceGeneration(benchmark::State& state) {
   const CpuProfile profile = BigLittleProfile();
+  const Task task = Task::Transcode("video", 2, 6, 2.2e7, 5e4);
+  const Duration quantum = Duration::Milliseconds(10.0);
   for (auto _ : state) {
-    auto program = Gpt2EnergyInterface(Gpt2Model(), Rtx4090LikeProfile());
+    auto program = TaskEnergyInterface(task, profile, quantum);
     benchmark::DoNotOptimize(program.ok());
   }
-  (void)profile;
 }
 BENCHMARK(BM_TaskInterfaceGeneration);
+
+// Raw enumeration cost as the choice tree deepens: `depth` boolean ECVs give
+// 2^depth paths. The enumeration cache is disabled so every iteration pays
+// the full depth-first sweep.
+void BM_EnumerateDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  std::string source = "interface E_deep(x) {\n  let mut acc = 0J;\n";
+  for (int i = 0; i < depth; ++i) {
+    const std::string b = "b" + std::to_string(i);
+    source += "  ecv " + b + " ~ bernoulli(0.5);\n";
+    source += "  if (" + b + ") { acc = acc + 1mJ * x; }\n";
+  }
+  source += "  return acc;\n}\n";
+  auto program = ParseProgram(source);
+  EvalOptions options;
+  options.enum_cache_capacity = 0;
+  Evaluator evaluator(*program, options);
+  const std::vector<Value> args = {Value::Number(3.0)};
+  for (auto _ : state) {
+    auto outcomes = evaluator.Enumerate("E_deep", args, {});
+    benchmark::DoNotOptimize(outcomes.ok());
+  }
+  state.SetComplexityN(int64_t{1} << depth);
+}
+BENCHMARK(BM_EnumerateDepth)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 }  // namespace eclarity

@@ -4,48 +4,43 @@
 // the remote (Redis-like) cache tier. The hit statistics a cache keeps are
 // exactly the knowledge its resource manager contributes as ECV
 // probabilities when composing energy interfaces (paper §3).
+//
+// This is a key-presence view over the generic LruMap (src/util/lru.h),
+// which the evaluator's enumeration memo and the scheduler's candidate
+// memo share.
 
 #ifndef ECLARITY_SRC_APPS_LRU_CACHE_H_
 #define ECLARITY_SRC_APPS_LRU_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <variant>
+
+#include "src/util/lru.h"
 
 namespace eclarity {
 
 class LruCache {
  public:
-  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+  explicit LruCache(size_t capacity) : map_(capacity) {}
 
   // True on hit (entry promoted to most-recent).
-  bool Get(uint64_t key);
+  bool Get(uint64_t key) { return map_.Get(key) != nullptr; }
 
   // Inserts (or refreshes) an entry, evicting the least-recent on overflow.
-  void Put(uint64_t key);
+  void Put(uint64_t key) { map_.Put(key, std::monostate{}); }
 
-  bool Contains(uint64_t key) const { return index_.count(key) > 0; }
-  size_t size() const { return order_.size(); }
-  size_t capacity() const { return capacity_; }
+  bool Contains(uint64_t key) const { return map_.Contains(key); }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return map_.capacity(); }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  double HitRate() const {
-    const uint64_t total = hits_ + misses_;
-    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
-  }
-  void ResetStats() {
-    hits_ = 0;
-    misses_ = 0;
-  }
+  uint64_t hits() const { return map_.hits(); }
+  uint64_t misses() const { return map_.misses(); }
+  double HitRate() const { return map_.HitRate(); }
+  void ResetStats() { map_.ResetStats(); }
 
  private:
-  size_t capacity_;
-  std::list<uint64_t> order_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  LruMap<uint64_t, std::monostate> map_;
 };
 
 }  // namespace eclarity

@@ -1,6 +1,8 @@
 #include "src/eval/ecv_profile.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 namespace eclarity {
 
@@ -61,6 +63,36 @@ void EcvProfile::MergeFrom(const EcvProfile& other) {
   for (const auto& [key, support] : other.overrides_) {
     overrides_[key] = support;
   }
+}
+
+const EcvSupport* EcvProfile::FindQualified(const std::string& qualified,
+                                            const std::string& bare) const {
+  const auto q = overrides_.find(qualified);
+  if (q != overrides_.end()) {
+    return &q->second;
+  }
+  const auto b = overrides_.find(bare);
+  if (b != overrides_.end()) {
+    return &b->second;
+  }
+  return nullptr;
+}
+
+std::string EcvProfile::Fingerprint() const {
+  std::string out;
+  for (const auto& [key, support] : overrides_) {  // map order: sorted keys
+    out += key;
+    out.push_back('=');
+    for (const auto& [value, prob] : support.outcomes) {
+      value.AppendFingerprint(out);
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(prob));
+      std::memcpy(&bits, &prob, sizeof(bits));
+      out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+    }
+    out.push_back(';');
+  }
+  return out;
 }
 
 const EcvSupport* EcvProfile::Find(const std::string& iface_name,

@@ -45,7 +45,17 @@ class EcvProfile {
   const EcvSupport* Find(const std::string& iface_name,
                          const std::string& ecv_name) const;
 
+  // As Find(), but takes the pre-joined qualified key ("iface.ecv") so hot
+  // paths avoid re-concatenating it on every draw.
+  const EcvSupport* FindQualified(const std::string& qualified,
+                                  const std::string& bare) const;
+
   bool empty() const { return overrides_.empty(); }
+
+  // Canonical byte string over all overrides (sorted keys, bit-exact
+  // values/probabilities): equal profiles yield equal fingerprints. Used to
+  // key enumeration caches; not meant for display.
+  std::string Fingerprint() const;
 
   // Copies every override from `other` into this profile, overwriting
   // colliding keys (used to fold layer policies into one profile).

@@ -1,11 +1,15 @@
 #include "src/eval/interp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "src/eval/builtins.h"
 #include "src/eval/env.h"
+#include "src/eval/lower.h"
 
 namespace eclarity {
 namespace {
@@ -109,7 +113,10 @@ class EnumeratingChooser : public Chooser {
   std::vector<std::pair<std::string, Value>> assignments_;
 };
 
-// One execution of an interface under a given chooser.
+// ---------------------------------------------------------------------------
+// Reference engine: one execution of an interface, walking the AST.
+// ---------------------------------------------------------------------------
+
 class Execution {
  public:
   Execution(const Program& program, const EvalOptions& options,
@@ -396,33 +403,373 @@ class Execution {
   int depth_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Fast-path engine: one execution of a lowered interface over slot frames.
+//
+// Mirrors Execution statement for statement; any observable difference
+// between the two engines is a bug (tests/fastpath_test.cc holds the line).
+// ---------------------------------------------------------------------------
+
+class FastExecution {
+ public:
+  FastExecution(const LoweredProgram& lowered, const EvalOptions& options,
+                const EcvProfile& profile, Chooser& chooser)
+      : lowered_(lowered),
+        options_(options),
+        profile_(profile),
+        chooser_(chooser) {}
+
+  // Reuses this execution (and its frame storage) for another run.
+  void Reset() {
+    steps_ = 0;
+    depth_ = 0;
+  }
+
+  Result<Value> CallByName(const std::string& name,
+                           const std::vector<Value>& args) {
+    const LoweredInterface* iface = lowered_.Find(name);
+    if (iface == nullptr) {
+      return NotFoundError("call to undefined interface '" + name + "'");
+    }
+    return Call(*iface, args);
+  }
+
+  Result<Value> Call(const LoweredInterface& iface,
+                     const std::vector<Value>& args) {
+    if (iface.param_slots.size() != args.size()) {
+      std::ostringstream os;
+      os << "interface '" << iface.decl->name << "' takes "
+         << iface.param_slots.size() << " arguments, got " << args.size();
+      return InvalidArgumentError(os.str());
+    }
+    if (++depth_ > options_.max_call_depth) {
+      return ResourceExhaustedError("interface call depth limit exceeded at '" +
+                                    iface.decl->name + "'");
+    }
+    if (!iface.entry_error.ok()) {
+      return iface.entry_error;
+    }
+    const size_t base = frames_.PushFrame(iface.frame_size);
+    for (size_t i = 0; i < args.size(); ++i) {
+      frames_.At(base, iface.param_slots[i]) = args[i];
+    }
+    Result<std::optional<Value>> result = ExecBlock(iface.body, base, iface);
+    frames_.PopFrame(base);
+    --depth_;
+    if (!result.ok()) {
+      return result.status();
+    }
+    if (!result.value().has_value()) {
+      return InternalError("interface '" + iface.decl->name +
+                           "' fell off the end without returning");
+    }
+    return *std::move(result).value();
+  }
+
+ private:
+  std::string Ctx(const LoweredInterface& iface, int line, int column) const {
+    return PosContext(*iface.decl, line, column);
+  }
+
+  Status BudgetError(const LoweredInterface& iface, const LStmt& stmt) const {
+    return ResourceExhaustedError("statement budget exhausted " +
+                                  Ctx(iface, stmt.line, stmt.column));
+  }
+
+  Result<std::optional<Value>> ExecBlock(const std::vector<LStmtPtr>& block,
+                                         size_t base,
+                                         const LoweredInterface& iface) {
+    for (const LStmtPtr& stmt : block) {
+      if (++steps_ > options_.max_steps) {
+        return BudgetError(iface, *stmt);
+      }
+      switch (stmt->kind) {
+        case LStmtKind::kStore: {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*stmt->a, base, iface));
+          if (stmt->slot < 0) {
+            return stmt->error;
+          }
+          frames_.At(base, stmt->slot) = std::move(v);
+          break;
+        }
+        case LStmtKind::kAssign: {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*stmt->a, base, iface));
+          if (stmt->slot < 0) {
+            return stmt->error;
+          }
+          frames_.At(base, stmt->slot) = std::move(v);
+          break;
+        }
+        case LStmtKind::kEcv: {
+          ECLARITY_RETURN_IF_ERROR(ExecEcv(*stmt, base, iface));
+          break;
+        }
+        case LStmtKind::kIf: {
+          ECLARITY_ASSIGN_OR_RETURN(Value cond, Eval(*stmt->a, base, iface));
+          Result<bool> truth = cond.AsBool();
+          if (!truth.ok()) {
+            return InvalidArgumentError(Ctx(iface, stmt->line, stmt->column) +
+                                        ": if condition: " +
+                                        truth.status().message());
+          }
+          const std::vector<LStmtPtr>& branch =
+              truth.value() ? stmt->then_block : stmt->else_block;
+          ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> r,
+                                    ExecBlock(branch, base, iface));
+          if (r.has_value()) {
+            return r;
+          }
+          break;
+        }
+        case LStmtKind::kFor: {
+          ECLARITY_ASSIGN_OR_RETURN(Value begin_v, Eval(*stmt->a, base, iface));
+          ECLARITY_ASSIGN_OR_RETURN(Value end_v, Eval(*stmt->b, base, iface));
+          ECLARITY_ASSIGN_OR_RETURN(double begin_n, begin_v.AsNumber());
+          ECLARITY_ASSIGN_OR_RETURN(double end_n, end_v.AsNumber());
+          const int64_t lo = static_cast<int64_t>(std::llround(begin_n));
+          const int64_t hi = static_cast<int64_t>(std::llround(end_n));
+          for (int64_t i = lo; i < hi; ++i) {
+            if (++steps_ > options_.max_steps) {
+              return BudgetError(iface, *stmt);
+            }
+            frames_.At(base, stmt->slot) =
+                Value::Number(static_cast<double>(i));
+            ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> r,
+                                      ExecBlock(stmt->then_block, base, iface));
+            if (r.has_value()) {
+              return r;
+            }
+          }
+          break;
+        }
+        case LStmtKind::kReturn: {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*stmt->a, base, iface));
+          return std::optional<Value>(std::move(v));
+        }
+      }
+    }
+    return std::optional<Value>();
+  }
+
+  Status ExecEcv(const LStmt& stmt, size_t base,
+                 const LoweredInterface& iface) {
+    const LEcv& ecv = *stmt.ecv;
+    const EcvSupport* support = nullptr;
+    EcvSupport dynamic;
+    if (!profile_.empty()) {
+      support = profile_.FindQualified(ecv.qualified, ecv.bare);
+    }
+    if (support == nullptr) {
+      if (!ecv.static_error.ok()) {
+        return ecv.static_error;
+      }
+      if (ecv.static_support.has_value()) {
+        support = &*ecv.static_support;
+      } else {
+        ECLARITY_ASSIGN_OR_RETURN(dynamic,
+                                  ResolveDynamic(ecv, stmt, base, iface));
+        support = &dynamic;
+      }
+    }
+    ECLARITY_ASSIGN_OR_RETURN(size_t idx,
+                              chooser_.Choose(ecv.qualified, *support));
+    if (idx >= support->outcomes.size()) {
+      return InternalError("chooser returned out-of-range index");
+    }
+    // Order matters: the reference engine resolves and draws before the
+    // redefinition error surfaces.
+    if (stmt.slot < 0) {
+      return stmt.error;
+    }
+    frames_.At(base, stmt.slot) = support->outcomes[idx].first;
+    return OkStatus();
+  }
+
+  // Declared distribution with non-constant parameters: evaluate per run,
+  // exactly like Execution::ResolveSupport.
+  Result<EcvSupport> ResolveDynamic(const LEcv& ecv, const LStmt& stmt,
+                                    size_t base,
+                                    const LoweredInterface& iface) {
+    switch (ecv.dist_kind) {
+      case EcvDistKind::kBernoulli: {
+        ECLARITY_ASSIGN_OR_RETURN(Value p_v, Eval(*ecv.params[0], base, iface));
+        ECLARITY_ASSIGN_OR_RETURN(double p, p_v.AsNumber());
+        if (p < 0.0 || p > 1.0) {
+          return InvalidArgumentError(Ctx(iface, stmt.line, stmt.column) +
+                                      ": bernoulli probability out of [0,1]");
+        }
+        return EcvSupport::Bernoulli(p);
+      }
+      case EcvDistKind::kUniformInt: {
+        ECLARITY_ASSIGN_OR_RETURN(Value lo_v,
+                                  Eval(*ecv.params[0], base, iface));
+        ECLARITY_ASSIGN_OR_RETURN(Value hi_v,
+                                  Eval(*ecv.params[1], base, iface));
+        ECLARITY_ASSIGN_OR_RETURN(double lo_n, lo_v.AsNumber());
+        ECLARITY_ASSIGN_OR_RETURN(double hi_n, hi_v.AsNumber());
+        const int64_t lo = static_cast<int64_t>(std::llround(lo_n));
+        const int64_t hi = static_cast<int64_t>(std::llround(hi_n));
+        if (hi < lo) {
+          return InvalidArgumentError(Ctx(iface, stmt.line, stmt.column) +
+                                      ": uniform_int with inverted bounds");
+        }
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span > options_.max_ecv_support) {
+          return ResourceExhaustedError(Ctx(iface, stmt.line, stmt.column) +
+                                        ": uniform_int support too large");
+        }
+        std::vector<std::pair<Value, double>> outcomes;
+        outcomes.reserve(span);
+        for (int64_t v = lo; v <= hi; ++v) {
+          outcomes.emplace_back(Value::Number(static_cast<double>(v)), 1.0);
+        }
+        return EcvSupport::Make(std::move(outcomes));
+      }
+      case EcvDistKind::kCategorical: {
+        std::vector<std::pair<Value, double>> outcomes;
+        for (size_t i = 0; i + 1 < ecv.params.size(); i += 2) {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*ecv.params[i], base, iface));
+          ECLARITY_ASSIGN_OR_RETURN(Value p_v,
+                                    Eval(*ecv.params[i + 1], base, iface));
+          ECLARITY_ASSIGN_OR_RETURN(double p, p_v.AsNumber());
+          outcomes.emplace_back(std::move(v), p);
+        }
+        Result<EcvSupport> support = EcvSupport::Make(std::move(outcomes));
+        if (!support.ok()) {
+          return InvalidArgumentError(Ctx(iface, stmt.line, stmt.column) +
+                                      ": " + support.status().message());
+        }
+        return support;
+      }
+    }
+    return InternalError("unknown ECV distribution kind");
+  }
+
+  Result<Value> Eval(const LExpr& e, size_t base,
+                     const LoweredInterface& iface) {
+    switch (e.kind) {
+      case LExprKind::kConst:
+        return e.constant;
+      case LExprKind::kSlot:
+        return frames_.At(base, e.slot);
+      case LExprKind::kError:
+        return e.error;
+      case LExprKind::kUnary: {
+        ECLARITY_ASSIGN_OR_RETURN(Value operand,
+                                  Eval(*e.children[0], base, iface));
+        return ApplyUnary(e.uop, operand, e.context);
+      }
+      case LExprKind::kBinary: {
+        if (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr) {
+          ECLARITY_ASSIGN_OR_RETURN(Value lhs,
+                                    Eval(*e.children[0], base, iface));
+          ECLARITY_ASSIGN_OR_RETURN(bool lv, lhs.AsBool());
+          if (e.bop == BinaryOp::kAnd && !lv) {
+            return Value::Bool(false);
+          }
+          if (e.bop == BinaryOp::kOr && lv) {
+            return Value::Bool(true);
+          }
+          ECLARITY_ASSIGN_OR_RETURN(Value rhs,
+                                    Eval(*e.children[1], base, iface));
+          ECLARITY_ASSIGN_OR_RETURN(bool rv, rhs.AsBool());
+          return Value::Bool(rv);
+        }
+        ECLARITY_ASSIGN_OR_RETURN(Value lhs, Eval(*e.children[0], base, iface));
+        ECLARITY_ASSIGN_OR_RETURN(Value rhs, Eval(*e.children[1], base, iface));
+        return ApplyBinary(e.bop, lhs, rhs, e.context);
+      }
+      case LExprKind::kConditional: {
+        ECLARITY_ASSIGN_OR_RETURN(Value cond, Eval(*e.children[0], base, iface));
+        ECLARITY_ASSIGN_OR_RETURN(bool truth, cond.AsBool());
+        return Eval(*e.children[truth ? 1 : 2], base, iface);
+      }
+      case LExprKind::kBuiltin: {
+        std::vector<Value> args;
+        args.reserve(e.children.size());
+        for (const LExprPtr& child : e.children) {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*child, base, iface));
+          args.push_back(std::move(v));
+        }
+        return ApplyBuiltin(e.call_src->callee, args, e.call_src->string_args,
+                            e.context);
+      }
+      case LExprKind::kCall: {
+        std::vector<Value> args;
+        args.reserve(e.children.size());
+        for (const LExprPtr& child : e.children) {
+          ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*child, base, iface));
+          args.push_back(std::move(v));
+        }
+        // Arguments evaluate before resolution errors, as in the tree walk.
+        if (!e.call_error.ok()) {
+          return e.call_error;
+        }
+        return Call(*e.callee, args);
+      }
+    }
+    return InternalError("unknown expression kind");
+  }
+
+  const LoweredProgram& lowered_;
+  const EvalOptions& options_;
+  const EcvProfile& profile_;
+  Chooser& chooser_;
+  FrameStack frames_;
+  size_t steps_ = 0;
+  int depth_ = 0;
+};
+
 }  // namespace
 
 Evaluator::Evaluator(const Program& program, EvalOptions options)
-    : program_(&program), options_(options) {}
+    : program_(&program),
+      options_(options),
+      enum_cache_(options.enum_cache_capacity) {
+  if (options_.engine == EvalEngine::kFastPath) {
+    lowered_ = std::make_unique<LoweredProgram>(
+        LoweredProgram::Lower(program, options_.max_ecv_support));
+  }
+}
+
+Evaluator::~Evaluator() = default;
 
 Result<Value> Evaluator::EvalSampled(const std::string& interface_name,
                                      const std::vector<Value>& args,
                                      const EcvProfile& profile,
                                      Rng& rng) const {
   SamplingChooser chooser(rng);
+  if (lowered_ != nullptr) {
+    FastExecution exec(*lowered_, options_, profile, chooser);
+    return exec.CallByName(interface_name, args);
+  }
   Execution exec(*program_, options_, profile, chooser);
   return exec.CallInterface(interface_name, args);
 }
 
-Result<std::vector<WeightedOutcome>> Evaluator::Enumerate(
+Result<std::vector<WeightedOutcome>> Evaluator::EnumerateUncached(
     const std::string& interface_name, const std::vector<Value>& args,
     const EcvProfile& profile) const {
   EnumeratingChooser chooser;
   std::vector<WeightedOutcome> outcomes;
+  std::optional<FastExecution> fast;
+  if (lowered_ != nullptr) {
+    fast.emplace(*lowered_, options_, profile, chooser);
+  }
   for (;;) {
     if (outcomes.size() >= options_.max_paths) {
       return ResourceExhaustedError(
           "ECV assignment enumeration exceeded max_paths");
     }
-    Execution exec(*program_, options_, profile, chooser);
-    ECLARITY_ASSIGN_OR_RETURN(Value value,
-                              exec.CallInterface(interface_name, args));
+    Value value;
+    if (fast.has_value()) {
+      fast->Reset();
+      ECLARITY_ASSIGN_OR_RETURN(value, fast->CallByName(interface_name, args));
+    } else {
+      Execution exec(*program_, options_, profile, chooser);
+      ECLARITY_ASSIGN_OR_RETURN(value,
+                                exec.CallInterface(interface_name, args));
+    }
     WeightedOutcome outcome;
     outcome.value = std::move(value);
     outcome.probability = chooser.probability();
@@ -433,6 +780,54 @@ Result<std::vector<WeightedOutcome>> Evaluator::Enumerate(
     }
   }
   return outcomes;
+}
+
+Result<Evaluator::SharedOutcomes> Evaluator::EnumerateShared(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile) const {
+  const bool use_cache = options_.enum_cache_capacity > 0;
+  std::string key;
+  if (use_cache) {
+    key.reserve(64);
+    key += interface_name;
+    key.push_back('\x1f');
+    for (const Value& arg : args) {
+      arg.AppendFingerprint(key);
+    }
+    key.push_back('\x1f');
+    key += profile.Fingerprint();
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (const SharedOutcomes* hit = enum_cache_.Get(key)) {
+      return *hit;
+    }
+  }
+  ECLARITY_ASSIGN_OR_RETURN(std::vector<WeightedOutcome> outcomes,
+                            EnumerateUncached(interface_name, args, profile));
+  auto shared = std::make_shared<const std::vector<WeightedOutcome>>(
+      std::move(outcomes));
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    enum_cache_.Put(std::move(key), shared);
+  }
+  return shared;
+}
+
+Result<std::vector<WeightedOutcome>> Evaluator::Enumerate(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile) const {
+  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes shared,
+                            EnumerateShared(interface_name, args, profile));
+  return *shared;
+}
+
+size_t Evaluator::enum_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return enum_cache_.hits();
+}
+
+size_t Evaluator::enum_cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return enum_cache_.misses();
 }
 
 Result<double> OutcomeJoules(const Value& value,
@@ -453,11 +848,11 @@ Result<double> OutcomeJoules(const Value& value,
 Result<Distribution> Evaluator::EvalDistribution(
     const std::string& interface_name, const std::vector<Value>& args,
     const EcvProfile& profile, const EnergyCalibration* calibration) const {
-  ECLARITY_ASSIGN_OR_RETURN(std::vector<WeightedOutcome> outcomes,
-                            Enumerate(interface_name, args, profile));
+  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
+                            EnumerateShared(interface_name, args, profile));
   std::vector<Atom> atoms;
-  atoms.reserve(outcomes.size());
-  for (const WeightedOutcome& o : outcomes) {
+  atoms.reserve(outcomes->size());
+  for (const WeightedOutcome& o : *outcomes) {
     ECLARITY_ASSIGN_OR_RETURN(double joules,
                               OutcomeJoules(o.value, calibration));
     atoms.push_back({joules, o.probability});
@@ -481,12 +876,85 @@ Result<Energy> Evaluator::MonteCarloMean(
   if (samples == 0) {
     return InvalidArgumentError("MonteCarloMean: zero samples");
   }
+  // The chunk layout is a function of `samples` alone, and each chunk's RNG
+  // stream is forked from `rng` in chunk order, so the set of draws — and
+  // the fixed-order reduction below — do not depend on how many workers run.
+  constexpr size_t kTargetChunk = 256;
+  const size_t num_chunks = std::clamp<size_t>(
+      (samples + kTargetChunk - 1) / kTargetChunk, size_t{1}, size_t{64});
+  struct Chunk {
+    Rng rng;
+    size_t count = 0;
+    double sum = 0.0;
+    Status status;
+  };
+  std::vector<Chunk> chunks;
+  chunks.reserve(num_chunks);
+  const size_t base_count = samples / num_chunks;
+  const size_t remainder = samples % num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    Chunk chunk{rng.Fork()};
+    chunk.count = base_count + (c < remainder ? 1 : 0);
+    chunks.push_back(std::move(chunk));
+  }
+
+  const auto run_chunk = [&](Chunk& chunk) {
+    SamplingChooser chooser(chunk.rng);
+    std::optional<FastExecution> fast;
+    if (lowered_ != nullptr) {
+      fast.emplace(*lowered_, options_, profile, chooser);
+    }
+    for (size_t i = 0; i < chunk.count; ++i) {
+      Result<Value> value = [&]() -> Result<Value> {
+        if (fast.has_value()) {
+          fast->Reset();
+          return fast->CallByName(interface_name, args);
+        }
+        Execution exec(*program_, options_, profile, chooser);
+        return exec.CallInterface(interface_name, args);
+      }();
+      if (!value.ok()) {
+        chunk.status = value.status();
+        return;
+      }
+      Result<double> joules = OutcomeJoules(value.value(), calibration);
+      if (!joules.ok()) {
+        chunk.status = joules.status();
+        return;
+      }
+      chunk.sum += joules.value();
+    }
+  };
+
+  size_t workers = options_.mc_workers != 0
+                       ? options_.mc_workers
+                       : static_cast<size_t>(std::thread::hardware_concurrency());
+  workers = std::clamp<size_t>(workers, 1, num_chunks);
+  if (workers == 1) {
+    for (Chunk& chunk : chunks) {
+      run_chunk(chunk);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (size_t c = w; c < num_chunks; c += workers) {
+          run_chunk(chunks[c]);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
   double total = 0.0;
-  for (size_t i = 0; i < samples; ++i) {
-    ECLARITY_ASSIGN_OR_RETURN(Value v,
-                              EvalSampled(interface_name, args, profile, rng));
-    ECLARITY_ASSIGN_OR_RETURN(double joules, OutcomeJoules(v, calibration));
-    total += joules;
+  for (const Chunk& chunk : chunks) {  // fixed reduction order
+    if (!chunk.status.ok()) {
+      return chunk.status;
+    }
+    total += chunk.sum;
   }
   return Energy::Joules(total / static_cast<double>(samples));
 }

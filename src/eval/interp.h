@@ -15,12 +15,25 @@
 //                       numeric distribution / expectation over Joules,
 //                       resolving abstract units through a calibration.
 //
+// Two execution engines implement the same semantics (see DESIGN.md,
+// "Evaluation fast path"):
+//
+//   * kFastPath (default) — runs a lowered form of the program (eval/lower)
+//     with slot-indexed frames, pre-bound calls, folded constants, and an
+//     LRU cache over enumeration results. Observable behaviour — values,
+//     probabilities, draw order, error codes and messages — is identical to
+//     the tree walk.
+//   * kTreeWalk — the original AST interpreter, kept as the executable
+//     specification the fast path is tested against.
+//
 // The interval/worst-case evaluator lives in interval.h; the shared AST and
 // value semantics keep the two consistent.
 
 #ifndef ECLARITY_SRC_EVAL_INTERP_H_
 #define ECLARITY_SRC_EVAL_INTERP_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,10 +42,18 @@
 #include "src/lang/ast.h"
 #include "src/lang/value.h"
 #include "src/units/abstract_energy.h"
+#include "src/util/lru.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace eclarity {
+
+class LoweredProgram;
+
+enum class EvalEngine {
+  kFastPath,  // lowered IR + slot frames + enumeration cache
+  kTreeWalk,  // reference AST interpreter
+};
 
 struct EvalOptions {
   // Statement-execution budget per evaluation (guards runaway loops).
@@ -43,6 +64,16 @@ struct EvalOptions {
   size_t max_paths = 200'000;
   // Guard on the size of a single ECV's support (e.g. wide uniform_int).
   size_t max_ecv_support = 4096;
+  // Which execution engine runs the program. Both produce identical results.
+  EvalEngine engine = EvalEngine::kFastPath;
+  // Capacity of the per-evaluator enumeration cache, in entries keyed by
+  // (interface, arguments, ECV profile). 0 disables caching.
+  size_t enum_cache_capacity = 128;
+  // Worker threads for MonteCarloMean. 0 means hardware concurrency. The
+  // result for a fixed seed does not depend on this setting.
+  size_t mc_workers = 0;
+
+  bool operator==(const EvalOptions&) const = default;
 };
 
 // One enumerated outcome: the energy produced under a specific sequence of
@@ -56,10 +87,18 @@ struct WeightedOutcome {
 
 class Evaluator {
  public:
-  // The program must outlive the evaluator.
+  // The program must outlive the evaluator. With the default fast-path
+  // engine the program is lowered here, once.
   explicit Evaluator(const Program& program, EvalOptions options = {});
+  ~Evaluator();
+
+  // Not copyable or movable: holds lowered state pointing into `program`
+  // plus a mutex-guarded cache. Every current use constructs in place.
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   const Program& program() const { return *program_; }
+  const EvalOptions& options() const { return options_; }
 
   // Runs `interface_name` once on `args`; each ECV encountered is sampled
   // from its profile override or declared distribution using `rng`.
@@ -74,6 +113,14 @@ class Evaluator {
   Result<std::vector<WeightedOutcome>> Enumerate(
       const std::string& interface_name, const std::vector<Value>& args,
       const EcvProfile& profile) const;
+
+  // As Enumerate(), but returns a shared, immutable result that may come
+  // from (and feeds) the evaluator's enumeration cache without copying.
+  // Thread-safe. Errors are never cached.
+  using SharedOutcomes = std::shared_ptr<const std::vector<WeightedOutcome>>;
+  Result<SharedOutcomes> EnumerateShared(const std::string& interface_name,
+                                         const std::vector<Value>& args,
+                                         const EcvProfile& profile) const;
 
   // Enumerate() folded to a Distribution over Joules. Abstract energy
   // returns are resolved through `calibration` (pass nullptr to require
@@ -90,7 +137,10 @@ class Evaluator {
       const EnergyCalibration* calibration = nullptr) const;
 
   // Monte Carlo: mean of `samples` sampled evaluations, in Joules. Used by
-  // property tests to cross-validate Enumerate().
+  // property tests to cross-validate Enumerate(). Samples run in parallel
+  // (options.mc_workers); per-chunk RNG streams are forked from `rng` and
+  // sums are reduced in a fixed order, so the result for a given seed and
+  // sample count is deterministic regardless of worker count.
   Result<Energy> MonteCarloMean(const std::string& interface_name,
                                 const std::vector<Value>& args,
                                 const EcvProfile& profile, Rng& rng,
@@ -98,9 +148,21 @@ class Evaluator {
                                 const EnergyCalibration* calibration = nullptr)
       const;
 
+  // Enumeration-cache observability (tests, benchmarks).
+  size_t enum_cache_hits() const;
+  size_t enum_cache_misses() const;
+
  private:
+  Result<std::vector<WeightedOutcome>> EnumerateUncached(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile) const;
+
   const Program* program_;
   EvalOptions options_;
+  std::unique_ptr<LoweredProgram> lowered_;  // null when engine == kTreeWalk
+
+  mutable std::mutex cache_mu_;
+  mutable LruMap<std::string, SharedOutcomes> enum_cache_;
 };
 
 // Resolves an outcome's energy value to Joules (through `calibration` when

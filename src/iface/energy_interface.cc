@@ -46,6 +46,32 @@ Result<EnergyInterface> EnergyInterface::FromProgram(
   return Build(std::move(program), entry, imports);
 }
 
+EnergyInterface::EnergyInterface(EnergyInterface&& other) noexcept
+    : program_(std::move(other.program_)),
+      entry_(std::move(other.entry_)),
+      params_(std::move(other.params_)),
+      memo_(std::make_shared<EvaluatorMemo>()) {}
+
+EnergyInterface& EnergyInterface::operator=(EnergyInterface&& other) noexcept {
+  if (this != &other) {
+    program_ = std::move(other.program_);
+    entry_ = std::move(other.entry_);
+    params_ = std::move(other.params_);
+    memo_ = std::make_shared<EvaluatorMemo>();
+  }
+  return *this;
+}
+
+std::shared_ptr<Evaluator> EnergyInterface::EvaluatorFor(
+    const EvalOptions& options) const {
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  if (memo_->evaluator == nullptr || !(memo_->options == options)) {
+    memo_->evaluator = std::make_shared<Evaluator>(program_, options);
+    memo_->options = options;
+  }
+  return memo_->evaluator;
+}
+
 std::vector<std::string> EnergyInterface::UnresolvedImports() const {
   return program_.UnresolvedCallees();
 }
@@ -71,24 +97,23 @@ Result<Energy> EnergyInterface::Expected(const std::vector<Value>& args,
                                          const EnergyCalibration* calibration,
                                          const EvalOptions& options) const {
   ECLARITY_RETURN_IF_ERROR(RequireClosed());
-  Evaluator evaluator(program_, options);
-  return evaluator.ExpectedEnergy(entry_, args, profile, calibration);
+  return EvaluatorFor(options)->ExpectedEnergy(entry_, args, profile,
+                                               calibration);
 }
 
 Result<Distribution> EnergyInterface::EnergyDistribution(
     const std::vector<Value>& args, const EcvProfile& profile,
     const EnergyCalibration* calibration, const EvalOptions& options) const {
   ECLARITY_RETURN_IF_ERROR(RequireClosed());
-  Evaluator evaluator(program_, options);
-  return evaluator.EvalDistribution(entry_, args, profile, calibration);
+  return EvaluatorFor(options)->EvalDistribution(entry_, args, profile,
+                                                 calibration);
 }
 
 Result<std::vector<WeightedOutcome>> EnergyInterface::Paths(
     const std::vector<Value>& args, const EcvProfile& profile,
     const EvalOptions& options) const {
   ECLARITY_RETURN_IF_ERROR(RequireClosed());
-  Evaluator evaluator(program_, options);
-  return evaluator.Enumerate(entry_, args, profile);
+  return EvaluatorFor(options)->Enumerate(entry_, args, profile);
 }
 
 Result<EnergyInterval> EnergyInterface::WorstCase(
@@ -104,8 +129,7 @@ Result<Value> EnergyInterface::Sample(const std::vector<Value>& args,
                                       const EcvProfile& profile, Rng& rng,
                                       const EvalOptions& options) const {
   ECLARITY_RETURN_IF_ERROR(RequireClosed());
-  Evaluator evaluator(program_, options);
-  return evaluator.EvalSampled(entry_, args, profile, rng);
+  return EvaluatorFor(options)->EvalSampled(entry_, args, profile, rng);
 }
 
 Result<EnergyInterface> EnergyInterface::Rebind(const Program& layer) const {

@@ -15,6 +15,8 @@
 #ifndef ECLARITY_SRC_IFACE_ENERGY_INTERFACE_H_
 #define ECLARITY_SRC_IFACE_ENERGY_INTERFACE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,11 @@ class EnergyInterface {
   static Result<EnergyInterface> FromProgram(
       Program program, const std::string& entry,
       const std::vector<std::string>& imports = {});
+
+  // Moving transfers the program; the evaluator memo is rebuilt lazily in
+  // the destination (it holds pointers into the program's old storage).
+  EnergyInterface(EnergyInterface&& other) noexcept;
+  EnergyInterface& operator=(EnergyInterface&& other) noexcept;
 
   const std::string& entry() const { return entry_; }
   const Program& program() const { return program_; }
@@ -92,13 +99,26 @@ class EnergyInterface {
                   std::vector<std::string> params)
       : program_(std::move(program)),
         entry_(std::move(entry)),
-        params_(std::move(params)) {}
+        params_(std::move(params)),
+        memo_(std::make_shared<EvaluatorMemo>()) {}
 
   Status RequireClosed() const;
+
+  // The memoised evaluator for the most recent EvalOptions. Keeping it
+  // across calls preserves the lowered program (interface pre-binding, slot
+  // tables) and the enumeration cache, so repeated Expected()/Paths()
+  // queries — the resource-manager usage pattern — skip all setup work.
+  struct EvaluatorMemo {
+    std::mutex mu;
+    std::shared_ptr<Evaluator> evaluator;
+    EvalOptions options;
+  };
+  std::shared_ptr<Evaluator> EvaluatorFor(const EvalOptions& options) const;
 
   Program program_;
   std::string entry_;
   std::vector<std::string> params_;
+  mutable std::shared_ptr<EvaluatorMemo> memo_;
 };
 
 }  // namespace eclarity

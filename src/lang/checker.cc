@@ -238,6 +238,156 @@ class InterfaceChecker {
   std::set<std::string> ecv_names_;
 };
 
+// Scope walker for ResolveSlots. Mirrors the dynamic semantics of the
+// tree-walking evaluator's Environment: a stack of scopes, innermost-first
+// lookup, Define rejecting only same-scope redefinition.
+class SlotResolver {
+ public:
+  explicit SlotResolver(const InterfaceDecl& decl) : decl_(decl) {}
+
+  SlotTable Run() {
+    PushScope();  // the frame scope holding parameters
+    for (const std::string& param : decl_.params) {
+      table_.param_slots.push_back(Define(param, /*is_mut=*/false));
+    }
+    WalkBlock(decl_.body);
+    PopScope();
+    return std::move(table_);
+  }
+
+ private:
+  struct Binding {
+    int slot;
+    bool is_mut;
+  };
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  // Allocates a slot for `name` in the innermost scope; -1 when the dynamic
+  // semantics would reject the definition (same-scope redefinition).
+  int Define(const std::string& name, bool is_mut) {
+    auto& scope = scopes_.back();
+    if (scope.count(name) > 0) {
+      return -1;
+    }
+    const int slot = static_cast<int>(table_.frame_size++);
+    scope[name] = Binding{slot, is_mut};
+    return slot;
+  }
+
+  const Binding* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto binding = it->find(name);
+      if (binding != it->end()) {
+        return &binding->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void WalkExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumberLit:
+      case ExprKind::kEnergyLit:
+      case ExprKind::kBoolLit:
+        return;
+      case ExprKind::kVarRef: {
+        const Binding* binding = Lookup(static_cast<const VarRef&>(e).name);
+        if (binding != nullptr) {
+          table_.ref_slots[&e] = binding->slot;
+        }
+        return;
+      }
+      case ExprKind::kUnary:
+        WalkExpr(*static_cast<const UnaryExpr&>(e).operand);
+        return;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        WalkExpr(*b.lhs);
+        WalkExpr(*b.rhs);
+        return;
+      }
+      case ExprKind::kConditional: {
+        const auto& c = static_cast<const ConditionalExpr&>(e);
+        WalkExpr(*c.condition);
+        WalkExpr(*c.then_value);
+        WalkExpr(*c.else_value);
+        return;
+      }
+      case ExprKind::kCall:
+        for (const ExprPtr& arg : static_cast<const CallExpr&>(e).args) {
+          WalkExpr(*arg);
+        }
+        return;
+    }
+  }
+
+  void WalkBlock(const Block& block) {
+    PushScope();
+    for (const StmtPtr& stmt : block.statements) {
+      switch (stmt->kind) {
+        case StmtKind::kLet: {
+          const auto& s = static_cast<const LetStmt&>(*stmt);
+          WalkExpr(*s.init);
+          table_.decl_slots[stmt.get()] = Define(s.name, s.is_mut);
+          break;
+        }
+        case StmtKind::kAssign: {
+          const auto& s = static_cast<const AssignStmt&>(*stmt);
+          WalkExpr(*s.value);
+          const Binding* binding = Lookup(s.name);
+          if (binding == nullptr) {
+            table_.assigns[stmt.get()] = {AssignResolution::kUndefined, -1};
+          } else if (!binding->is_mut) {
+            table_.assigns[stmt.get()] = {AssignResolution::kImmutable, -1};
+          } else {
+            table_.assigns[stmt.get()] = {AssignResolution::kOk, binding->slot};
+          }
+          break;
+        }
+        case StmtKind::kEcv: {
+          const auto& s = static_cast<const EcvStmt&>(*stmt);
+          for (const ExprPtr& p : s.dist.params) {
+            WalkExpr(*p);
+          }
+          table_.decl_slots[stmt.get()] = Define(s.name, /*is_mut=*/false);
+          break;
+        }
+        case StmtKind::kIf: {
+          const auto& s = static_cast<const IfStmt&>(*stmt);
+          WalkExpr(*s.condition);
+          WalkBlock(s.then_block);
+          if (s.else_block.has_value()) {
+            WalkBlock(*s.else_block);
+          }
+          break;
+        }
+        case StmtKind::kFor: {
+          const auto& s = static_cast<const ForStmt&>(*stmt);
+          WalkExpr(*s.begin);
+          WalkExpr(*s.end);
+          // Each iteration gets a fresh scope holding the loop variable,
+          // with the body block nested inside it.
+          PushScope();
+          table_.decl_slots[stmt.get()] = Define(s.var, /*is_mut=*/false);
+          WalkBlock(s.body);
+          PopScope();
+          break;
+        }
+        case StmtKind::kReturn:
+          WalkExpr(*static_cast<const ReturnStmt&>(*stmt).value);
+          break;
+      }
+    }
+    PopScope();
+  }
+
+  const InterfaceDecl& decl_;
+  SlotTable table_;
+  std::vector<std::map<std::string, Binding>> scopes_;
+};
+
 void CollectEcvsFromBlock(const Block& block, std::vector<std::string>& out) {
   for (const StmtPtr& stmt : block.statements) {
     switch (stmt->kind) {
@@ -278,6 +428,10 @@ Status CheckProgramOk(const Program& program, const CheckOptions& options) {
     return OkStatus();
   }
   return problems.front();
+}
+
+SlotTable ResolveSlots(const InterfaceDecl& decl) {
+  return SlotResolver(decl).Run();
 }
 
 std::vector<std::string> CollectEcvNames(const InterfaceDecl& decl) {

@@ -18,6 +18,8 @@
 
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/lang/ast.h"
@@ -42,6 +44,41 @@ Status CheckProgramOk(const Program& program, const CheckOptions& options = {});
 
 // Collects the names of all ECVs declared anywhere in `decl`.
 std::vector<std::string> CollectEcvNames(const InterfaceDecl& decl);
+
+// --- Slot resolution (symbol tables for the evaluation fast path) ----------
+//
+// Assigns every local binding in an interface (parameter, let, ecv, loop
+// variable) a dense frame-slot index so the evaluator can replace
+// string-keyed scope lookups with O(1) indexed loads. The walk mirrors the
+// *dynamic* scoping rules of the tree-walking evaluator exactly — shadowing
+// an outer scope allocates a fresh slot, a same-scope redefinition is a
+// runtime error (encoded in the table, not reported here), and a `for` body
+// gets a fresh scope per iteration — so a lowered program binds names to
+// precisely the storage the tree walk would have used.
+
+// How an assignment target resolves under the dynamic scoping rules.
+enum class AssignResolution { kOk, kUndefined, kImmutable };
+
+struct SlotTable {
+  // Total number of value slots the interface's frame needs.
+  size_t frame_size = 0;
+  // Slot of each parameter, in declaration order. A repeated parameter name
+  // maps to -1: binding it fails at call time in the dynamic semantics.
+  std::vector<int> param_slots;
+  // let / ecv / for statements -> slot of the variable they bind. -1 marks a
+  // binding the dynamic semantics rejects (same-scope redefinition).
+  std::unordered_map<const Stmt*, int> decl_slots;
+  // VarRef -> slot. Absent means the name is not a local binding at that
+  // point (a top-level const, or undefined — the consumer decides which).
+  std::unordered_map<const Expr*, int> ref_slots;
+  // AssignStmt -> (how the target resolves, slot when kOk).
+  std::unordered_map<const Stmt*, std::pair<AssignResolution, int>> assigns;
+};
+
+// Builds the symbol table for one interface. Never fails: name errors are
+// encoded in the table, because they must surface at evaluation time and
+// only if the offending statement actually executes.
+SlotTable ResolveSlots(const InterfaceDecl& decl);
 
 // Collects names of interfaces called (transitively, within `program`)
 // starting from `root`. Includes `root` itself. Unknown callees are skipped.

@@ -1,6 +1,8 @@
 #include "src/lang/value.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 namespace eclarity {
@@ -203,6 +205,38 @@ Result<Value> ApplyUnary(UnaryOp op, const Value& operand,
     }
   }
   return TypeError(context, "unknown unary operator");
+}
+
+namespace {
+
+void AppendDoubleBits(double v, std::string& out) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+}  // namespace
+
+void Value::AppendFingerprint(std::string& out) const {
+  if (is_number()) {
+    out.push_back('N');
+    AppendDoubleBits(number(), out);
+    return;
+  }
+  if (is_bool()) {
+    out.push_back(boolean() ? 'T' : 'F');
+    return;
+  }
+  const AbstractEnergy& e = energy();
+  out.push_back('E');
+  AppendDoubleBits(e.concrete().joules(), out);
+  for (const std::string& unit : e.Units()) {
+    out += unit;
+    out.push_back('=');
+    AppendDoubleBits(e.Coefficient(unit), out);
+    out.push_back(',');
+  }
 }
 
 }  // namespace eclarity

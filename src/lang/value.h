@@ -60,6 +60,12 @@ class Value {
 
   std::string ToString() const;
 
+  // Appends a canonical byte encoding of this value to `out`: a kind tag
+  // followed by the bit-exact payload (doubles as raw bits, energies as
+  // joules + sorted unit terms). Equal values produce equal encodings —
+  // used to build evaluation-cache keys, not for display.
+  void AppendFingerprint(std::string& out) const;
+
  private:
   explicit Value(double v) : data_(v) {}
   explicit Value(bool v) : data_(v) {}

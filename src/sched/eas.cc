@@ -200,9 +200,8 @@ Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
   const int phase = quantum % static_cast<int>(task.pattern.size());
   std::ostringstream key;
   key << task.name << "/" << phase << "/" << core_kind << "/" << opp;
-  const auto cached = cache_.find(key.str());
-  if (cached != cache_.end()) {
-    return cached->second;
+  if (const double* cached = cache_.Get(key.str())) {
+    return *cached;
   }
   ECLARITY_ASSIGN_OR_RETURN(
       Energy energy,
@@ -212,7 +211,7 @@ Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
            Value::Number(static_cast<double>(core_kind)),
            Value::Number(static_cast<double>(opp))},
           {}));
-  cache_[key.str()] = energy.joules();
+  cache_.Put(key.str(), energy.joules());
   return energy.joules();
 }
 

@@ -213,5 +213,132 @@ interface f() {
   EXPECT_NEAR(dist->Mean(), 0.2 * 1e-3 + 0.8 * 2e-3, 1e-12);
 }
 
+// --- Budget exhaustion, on both engines ------------------------------------------
+
+EvalOptions WithEngine(EvalEngine engine) {
+  EvalOptions options;
+  options.engine = engine;
+  return options;
+}
+
+TEST(EvalEdgeTest, MaxPathsExhaustedOnBothEngines) {
+  // 12 Bernoullis -> 4096 assignments, over a 100-path budget.
+  std::string source = "interface f(x) {\n  let mut acc = 0J;\n";
+  for (int i = 0; i < 12; ++i) {
+    source += "  ecv b" + std::to_string(i) + " ~ bernoulli(0.5);\n";
+    source += "  if (b" + std::to_string(i) + ") { acc = acc + 1mJ; }\n";
+  }
+  source += "  return acc;\n}\n";
+  const Program p = MustParse(source.c_str());
+  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+    EvalOptions options = WithEngine(engine);
+    options.max_paths = 100;
+    Evaluator eval(p, options);
+    auto outcomes = eval.Enumerate("f", {Value::Number(0.0)}, {});
+    ASSERT_FALSE(outcomes.ok());
+    EXPECT_EQ(outcomes.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(EvalEdgeTest, MaxCallDepthExhaustedOnBothEngines) {
+  const Program p = MustParse("interface f(x) { return f(x); }");
+  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+    EvalOptions options = WithEngine(engine);
+    options.max_call_depth = 8;
+    Evaluator eval(p, options);
+    Rng rng(1);
+    auto v = eval.EvalSampled("f", {Value::Number(0.0)}, {}, rng);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(EvalEdgeTest, MaxEcvSupportExhaustedOnBothEngines) {
+  const Program p = MustParse(
+      "interface f(x) { ecv e ~ uniform_int(0, 10); return e * 1J; }");
+  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+    EvalOptions options = WithEngine(engine);
+    options.max_ecv_support = 4;
+    Evaluator eval(p, options);
+    Rng rng(1);
+    auto v = eval.EvalSampled("f", {Value::Number(0.0)}, {}, rng);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(EvalEdgeTest, MaxStepsExhaustedOnBothEngines) {
+  const Program p = MustParse(
+      "interface f(x) { let mut t = 0J; for i in 0..100000 { t = t + 1J; } "
+      "return t; }");
+  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+    EvalOptions options = WithEngine(engine);
+    options.max_steps = 50;
+    Evaluator eval(p, options);
+    Rng rng(1);
+    auto v = eval.EvalSampled("f", {Value::Number(0.0)}, {}, rng);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+// --- Enumeration cache ------------------------------------------------------------
+
+TEST(EvalEdgeTest, CachedEnumerationMatchesColdPath) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  ecv hit ~ bernoulli(0.5);
+  return hit ? 1mJ * x : 3mJ * x;
+}
+)");
+  Evaluator cached(p);  // default engine, cache enabled
+  EvalOptions cold_options;
+  cold_options.enum_cache_capacity = 0;
+  Evaluator cold(p, cold_options);
+
+  EcvProfile biased;
+  ASSERT_TRUE(biased
+                  .Set("hit", {{Value::Bool(true), 0.9},
+                               {Value::Bool(false), 0.1}})
+                  .ok());
+  const std::vector<Value> args = {Value::Number(2.0)};
+
+  const EcvProfile base;
+  for (const EcvProfile* profile :
+       {&base, static_cast<const EcvProfile*>(&biased)}) {
+    const EcvProfile& prof = *profile;
+    auto first = cached.Enumerate("f", args, prof);
+    auto second = cached.Enumerate("f", args, prof);  // served from cache
+    auto reference = cold.Enumerate("f", args, prof);
+    ASSERT_TRUE(first.ok() && second.ok() && reference.ok());
+    ASSERT_EQ(second->size(), reference->size());
+    for (size_t i = 0; i < second->size(); ++i) {
+      EXPECT_TRUE((*second)[i].value == (*reference)[i].value);
+      EXPECT_EQ((*second)[i].probability, (*reference)[i].probability);
+      EXPECT_EQ((*second)[i].ecv_assignments, (*reference)[i].ecv_assignments);
+      EXPECT_TRUE((*first)[i].value == (*second)[i].value);
+    }
+  }
+  // Two distinct keys (base + biased profile), each enumerated twice.
+  EXPECT_EQ(cached.enum_cache_misses(), 2u);
+  EXPECT_EQ(cached.enum_cache_hits(), 2u);
+  EXPECT_EQ(cold.enum_cache_hits(), 0u);
+}
+
+TEST(EvalEdgeTest, CacheKeyDistinguishesArguments) {
+  const Program p = MustParse(R"(
+interface f(x) {
+  ecv hit ~ bernoulli(0.5);
+  return hit ? 1mJ * x : 3mJ * x;
+}
+)");
+  Evaluator eval(p);
+  auto a = eval.ExpectedEnergy("f", {Value::Number(1.0)}, {});
+  auto b = eval.ExpectedEnergy("f", {Value::Number(2.0)}, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->joules(), b->joules());
+  EXPECT_EQ(eval.enum_cache_misses(), 2u);
+}
+
 }  // namespace
 }  // namespace eclarity

@@ -1,0 +1,288 @@
+// Parity tests for the two evaluation engines: the lowered fast path
+// (EvalEngine::kFastPath) must be observationally identical to the
+// tree-walking reference interpreter (EvalEngine::kTreeWalk) — same
+// outcome values (bit-exact), probabilities, draw order, and error codes
+// and messages. Also covers the determinism guarantee of the parallel
+// Monte Carlo reduction.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/eval/interp.h"
+#include "src/lang/parser.h"
+
+namespace eclarity {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::string Fingerprint(const Value& v) {
+  std::string out;
+  v.AppendFingerprint(out);
+  return out;
+}
+
+EvalOptions FastOptions() {
+  EvalOptions options;
+  options.engine = EvalEngine::kFastPath;
+  return options;
+}
+
+EvalOptions TreeOptions() {
+  EvalOptions options;
+  options.engine = EvalEngine::kTreeWalk;
+  return options;
+}
+
+// Enumerates `entry` on both engines and requires bit-identical results:
+// same outcome order, values, probability bits, and ECV draw sequences —
+// or the same error code and message.
+void ExpectEnumerationParity(const Program& program, const std::string& entry,
+                             const std::vector<Value>& args,
+                             const EcvProfile& profile = {}) {
+  Evaluator fast(program, FastOptions());
+  Evaluator tree(program, TreeOptions());
+  auto fast_out = fast.Enumerate(entry, args, profile);
+  auto tree_out = tree.Enumerate(entry, args, profile);
+  ASSERT_EQ(fast_out.ok(), tree_out.ok())
+      << "fast: " << fast_out.status().ToString()
+      << "\ntree: " << tree_out.status().ToString();
+  if (!fast_out.ok()) {
+    EXPECT_EQ(fast_out.status().code(), tree_out.status().code());
+    EXPECT_EQ(fast_out.status().message(), tree_out.status().message());
+    return;
+  }
+  ASSERT_EQ(fast_out->size(), tree_out->size());
+  for (size_t i = 0; i < fast_out->size(); ++i) {
+    const WeightedOutcome& f = (*fast_out)[i];
+    const WeightedOutcome& t = (*tree_out)[i];
+    EXPECT_EQ(Fingerprint(f.value), Fingerprint(t.value)) << "outcome " << i;
+    EXPECT_EQ(Bits(f.probability), Bits(t.probability)) << "outcome " << i;
+    ASSERT_EQ(f.ecv_assignments.size(), t.ecv_assignments.size())
+        << "outcome " << i;
+    for (size_t j = 0; j < f.ecv_assignments.size(); ++j) {
+      EXPECT_EQ(f.ecv_assignments[j].first, t.ecv_assignments[j].first);
+      EXPECT_EQ(Fingerprint(f.ecv_assignments[j].second),
+                Fingerprint(t.ecv_assignments[j].second));
+    }
+  }
+}
+
+// Samples `entry` on both engines from identically seeded RNGs and requires
+// the same value (or the same error).
+void ExpectSampleParity(const Program& program, const std::string& entry,
+                        const std::vector<Value>& args,
+                        const EcvProfile& profile = {}) {
+  Evaluator fast(program, FastOptions());
+  Evaluator tree(program, TreeOptions());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng fast_rng(seed);
+    Rng tree_rng(seed);
+    auto f = fast.EvalSampled(entry, args, profile, fast_rng);
+    auto t = tree.EvalSampled(entry, args, profile, tree_rng);
+    ASSERT_EQ(f.ok(), t.ok()) << "seed " << seed << "\nfast: "
+                              << f.status().ToString()
+                              << "\ntree: " << t.status().ToString();
+    if (!f.ok()) {
+      EXPECT_EQ(f.status().code(), t.status().code());
+      EXPECT_EQ(f.status().message(), t.status().message());
+    } else {
+      EXPECT_EQ(Fingerprint(*f), Fingerprint(*t)) << "seed " << seed;
+    }
+  }
+}
+
+constexpr char kFig1Source[] = R"(
+const max_response_len = 1024;
+interface E_ml_webservice_handle(image_size, n_zeros) {
+  ecv request_hit ~ bernoulli(0.3);
+  if (request_hit) {
+    return E_cache_lookup(image_size, max_response_len);
+  } else {
+    return E_cnn_forward(image_size, n_zeros);
+  }
+}
+interface E_cache_lookup(key_size, response_len) {
+  ecv local_cache_hit ~ bernoulli(0.8);
+  if (local_cache_hit) {
+    return 0.001mJ * response_len;
+  } else {
+    return 0.1mJ * response_len;
+  }
+}
+interface E_cnn_forward(image_size, n_zeros) {
+  let n_embedding = 256;
+  return 8 * (image_size - n_zeros) * 20nJ +
+         8 * n_embedding * 0.1nJ +
+         16 * n_embedding * 1.5nJ;
+}
+)";
+
+TEST(FastPathTest, Fig1EnumerationParity) {
+  const Program p = MustParse(kFig1Source);
+  ExpectEnumerationParity(p, "E_ml_webservice_handle",
+                          {Value::Number(50176.0), Value::Number(10000.0)});
+  ExpectSampleParity(p, "E_ml_webservice_handle",
+                     {Value::Number(50176.0), Value::Number(10000.0)});
+}
+
+TEST(FastPathTest, LoopsConstsAndBuiltinsParity) {
+  const Program p = MustParse(R"(
+const k_iters = 4;
+const k_unit = 2mJ;
+interface f(x) {
+  let mut total = 0J;
+  for i in 0..k_iters {
+    ecv spike ~ bernoulli(0.25);
+    let step = spike ? k_unit * (i + 1) : k_unit;
+    total = total + step;
+  }
+  return total + min(x, k_iters) * 1mJ;
+}
+)");
+  ExpectEnumerationParity(p, "f", {Value::Number(7.0)});
+  ExpectSampleParity(p, "f", {Value::Number(7.0)});
+}
+
+TEST(FastPathTest, NestedCallsAndCategoricalParity) {
+  const Program p = MustParse(R"(
+interface outer(n) {
+  ecv tier ~ categorical(0: 0.5, 1: 0.3, 2: 0.2);
+  return inner(tier) * n;
+}
+interface inner(tier) {
+  ecv burst ~ uniform_int(1, 3);
+  return (tier + 1) * burst * 1uJ;
+}
+)");
+  ExpectEnumerationParity(p, "outer", {Value::Number(2.0)});
+  ExpectSampleParity(p, "outer", {Value::Number(2.0)});
+}
+
+TEST(FastPathTest, ProfileOverrideParity) {
+  const Program p = MustParse(R"(
+interface f() {
+  ecv mode ~ bernoulli(0.5);
+  return mode ? 1mJ : 2mJ;
+}
+)");
+  EcvProfile profile;
+  ASSERT_TRUE(profile
+                  .Set("mode", {{Value::Bool(true), 0.2},
+                                {Value::Bool(false), 0.8}})
+                  .ok());
+  ExpectEnumerationParity(p, "f", {}, profile);
+  ExpectSampleParity(p, "f", {}, profile);
+}
+
+TEST(FastPathTest, ErrorParity) {
+  // Each program/entry pair hits a different failure path; both engines must
+  // agree on the status code and the exact message.
+  const struct {
+    const char* source;
+    const char* entry;
+    std::vector<Value> args;
+  } cases[] = {
+      // Undefined variable.
+      {"interface f(x) { return ghost + x; }", "f", {Value::Number(1.0)}},
+      // Call to an undefined interface.
+      {"interface f(x) { return E_missing(x); }", "f", {Value::Number(1.0)}},
+      // Arity mismatch.
+      {"interface f(x) { return g(x, x); }\n"
+       "interface g(a) { return a * 1J; }",
+       "f",
+       {Value::Number(1.0)}},
+      // Non-bool condition.
+      {"interface f(x) { if (x) { return 1J; } return 2J; }", "f",
+       {Value::Number(1.0)}},
+      // Assignment to an immutable binding.
+      {"interface f(x) { let y = 1; y = 2; return y * 1J; }", "f",
+       {Value::Number(1.0)}},
+      // Bernoulli parameter out of range.
+      {"interface f(p) { ecv e ~ bernoulli(p); return e ? 1J : 2J; }", "f",
+       {Value::Number(1.5)}},
+      // Mixed-kind arithmetic.
+      {"interface f(x) { return x + 1J; }", "f", {Value::Number(2.0)}},
+      // Unknown entry interface.
+      {"interface f(x) { return x * 1J; }", "nope", {Value::Number(1.0)}},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.source);
+    const Program p = MustParse(c.source);
+    ExpectEnumerationParity(p, c.entry, c.args);
+    ExpectSampleParity(p, c.entry, c.args);
+  }
+}
+
+TEST(FastPathTest, ConstantFoldingPreservesRuntimeErrors) {
+  // The folder sees `log(-1)` with constant arguments; the failure must
+  // still surface at evaluation time with the tree-walk's message.
+  const Program p = MustParse(
+      "const bad = log(0 - 1);\n"
+      "interface f(x) { return bad * 1J; }");
+  ExpectEnumerationParity(p, "f", {Value::Number(1.0)});
+}
+
+TEST(FastPathTest, MonteCarloDeterministicAcrossWorkerCounts) {
+  const Program p = MustParse(kFig1Source);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+  double reference = 0.0;
+  bool have_reference = false;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    EvalOptions options;
+    options.mc_workers = workers;
+    Evaluator eval(p, options);
+    Rng rng(42);
+    auto mean = eval.MonteCarloMean("E_ml_webservice_handle", args, {}, rng,
+                                    2000);
+    ASSERT_TRUE(mean.ok()) << mean.status().ToString();
+    if (!have_reference) {
+      reference = mean->joules();
+      have_reference = true;
+    } else {
+      EXPECT_EQ(Bits(mean->joules()), Bits(reference))
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(FastPathTest, MonteCarloAgreesWithExactExpectation) {
+  const Program p = MustParse(kFig1Source);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+  Evaluator eval(p);
+  auto exact = eval.ExpectedEnergy("E_ml_webservice_handle", args, {});
+  ASSERT_TRUE(exact.ok());
+  Rng rng(7);
+  auto mc = eval.MonteCarloMean("E_ml_webservice_handle", args, {}, rng,
+                                20000);
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  EXPECT_NEAR(mc->joules() / exact->joules(), 1.0, 0.05);
+}
+
+TEST(FastPathTest, MonteCarloSurfacesSampleErrors) {
+  const Program p = MustParse(
+      "interface f(x) { ecv e ~ bernoulli(2); return e ? 1J : 2J; }");
+  Evaluator eval(p);
+  Rng rng(1);
+  auto mc = eval.MonteCarloMean("f", {Value::Number(0.0)}, {}, rng, 100);
+  EXPECT_FALSE(mc.ok());
+}
+
+}  // namespace
+}  // namespace eclarity
