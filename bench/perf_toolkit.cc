@@ -13,6 +13,7 @@
 #include "src/lang/parser.h"
 #include "src/ml/gpt2.h"
 #include "src/ml/gpt2_iface.h"
+#include "src/obs/trace.h"
 #include "src/sched/eas.h"
 
 namespace eclarity {
@@ -63,6 +64,35 @@ void BM_EnumerateFig1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnumerateFig1);
+
+// The same evaluation with tracing attached: measures the full cost of the
+// observability path (preserve-terms lowering, per-event sink calls, and the
+// enumeration-cache bypass). Compare against BM_EnumerateFig1 for the
+// overhead; with no sink installed the hot path is untouched.
+void BM_TracedEval(benchmark::State& state) {
+  // Counts events without storing them, so iterations don't accumulate.
+  class CountingSink : public TraceSink {
+   public:
+    void OnEvent(const TraceEvent&) override { ++events_; }
+    size_t events() const { return events_; }
+
+   private:
+    size_t events_ = 0;
+  };
+  auto program = ParseProgram(kFig1Source);
+  CountingSink sink;
+  EvalOptions options;
+  options.trace = &sink;
+  Evaluator evaluator(*program, options);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+  for (auto _ : state) {
+    auto dist = evaluator.EvalDistribution("E_ml_webservice_handle", args, {});
+    benchmark::DoNotOptimize(dist.ok());
+  }
+  benchmark::DoNotOptimize(sink.events());
+}
+BENCHMARK(BM_TracedEval);
 
 void BM_SampleFig1(benchmark::State& state) {
   auto program = ParseProgram(kFig1Source);

@@ -1,14 +1,26 @@
 // Energy-aware scheduling on big.LITTLE: the Linux-EAS-style utilisation
 // proxy vs a scheduler that consults task energy interfaces (paper §1).
+//
+// Pass --metrics to dump the toolkit metrics registry (Prometheus text) and
+// the prediction-accuracy audit trail after the runs.
 
 #include <cstdio>
+#include <cstring>
 
+#include "src/obs/accuracy.h"
+#include "src/obs/metrics.h"
 #include "src/sched/eas.h"
 #include "src/sim/task.h"
 
 using namespace eclarity;
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+    }
+  }
   const CpuProfile profile = BigLittleProfile();
   const Duration quantum = Duration::Milliseconds(10.0);
   // A bimodal video transcoder (compute peaks, I/O troughs) plus steady
@@ -62,5 +74,13 @@ int main() {
       "compute peaks (dropped frames) and over-provisions the I/O troughs\n"
       "(wasted energy). The interface scheduler knows the next quantum's\n"
       "energy on every core a priori.\n");
+
+  if (want_metrics) {
+    AccuracyMonitor::Global().ExportTo(MetricsRegistry::Global());
+    std::printf("\n--- metrics (Prometheus text) ---\n%s",
+                MetricsRegistry::Global().ToPrometheusText().c_str());
+    std::printf("\n--- prediction accuracy ---\n%s",
+                AccuracyMonitor::Global().Report().c_str());
+  }
   return 0;
 }

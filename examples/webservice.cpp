@@ -1,17 +1,29 @@
 // The Fig. 1 web service end to end: run the system, read the interface,
 // and answer a "what if" question — how much energy would a bigger cache
 // save? — without redeploying anything.
+//
+// Pass --metrics to dump the toolkit metrics registry (Prometheus text) and
+// the prediction-accuracy audit trail after the run.
 
 #include <cstdio>
+#include <cstring>
 
 #include "src/apps/webservice.h"
 #include "src/hw/vendor.h"
 #include "src/iface/energy_interface.h"
+#include "src/obs/accuracy.h"
+#include "src/obs/metrics.h"
 #include "src/util/stats.h"
 
 using namespace eclarity;
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+    }
+  }
   WebServiceConfig config;
   WebService service(config, /*seed=*/2026);
 
@@ -58,6 +70,10 @@ int main() {
   auto predicted = iface->Expected(args, observed);
   std::printf("interface predicts:      %.3f mJ/request\n",
               1e3 * predicted->joules());
+  // Feed the audit trail: the interface's a-priori prediction against the
+  // simulated measurement (paper Table 1, run continuously).
+  AccuracyMonitor::Global().Record("webservice", predicted->joules(),
+                                   Mean(run->per_request_joules));
 
   // The "what if": push the request-cache hit rate to 90% (bigger cache /
   // better admission) — evaluated from the interface alone, no deployment.
@@ -78,5 +94,13 @@ int main() {
   const std::string source = iface->ToSource();
   std::printf("%s\n", source.substr(0, source.find("interface E_cnn_forward"))
                           .c_str());
+
+  if (want_metrics) {
+    AccuracyMonitor::Global().ExportTo(MetricsRegistry::Global());
+    std::printf("\n--- metrics (Prometheus text) ---\n%s",
+                MetricsRegistry::Global().ToPrometheusText().c_str());
+    std::printf("\n--- prediction accuracy ---\n%s",
+                AccuracyMonitor::Global().Report().c_str());
+  }
   return 0;
 }

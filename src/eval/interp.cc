@@ -10,6 +10,8 @@
 #include "src/eval/builtins.h"
 #include "src/eval/env.h"
 #include "src/eval/lower.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace eclarity {
 namespace {
@@ -17,6 +19,90 @@ namespace {
 std::string PosContext(const InterfaceDecl& iface, int line, int column) {
   std::ostringstream os;
   os << "in '" << iface.name << "' at " << line << ":" << column;
+  return os.str();
+}
+
+// Built-in instrumentation. The references are resolved once; every update
+// afterwards is a single relaxed atomic increment, and all of them sit on
+// cold paths (construction, cache boundaries, budget failures).
+struct EvalCounters {
+  Counter& engine_fastpath;
+  Counter& engine_treewalk;
+  Counter& budget_steps;
+  Counter& budget_depth;
+  Counter& budget_paths;
+  Counter& enum_cache_hits;
+  Counter& enum_cache_misses;
+  Counter& enum_cache_evictions;
+  Counter& enum_cache_trace_bypass;
+  Counter& mc_samples;
+
+  static EvalCounters& Get() {
+    static EvalCounters* counters = new EvalCounters{
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_engine_fastpath_total",
+            "evaluators constructed with the fast-path engine"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_engine_treewalk_total",
+            "evaluators constructed with the tree-walk engine"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_budget_steps_exhausted_total",
+            "evaluations aborted by the max_steps statement budget"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_budget_depth_exhausted_total",
+            "evaluations aborted by the max_call_depth budget"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_budget_paths_exhausted_total",
+            "enumerations aborted by the max_paths budget"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_hits_total",
+            "enumeration-cache hits across all evaluators"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_misses_total",
+            "enumeration-cache misses across all evaluators"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_evictions_total",
+            "enumeration-cache evictions across all evaluators"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_trace_bypass_total",
+            "enumerations that skipped the cache because tracing was on"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_mc_samples_total",
+            "Monte Carlo samples drawn by MonteCarloMean"),
+    };
+    return *counters;
+  }
+};
+
+const char* DistKindName(EcvDistKind kind) {
+  switch (kind) {
+    case EcvDistKind::kBernoulli:
+      return "bernoulli";
+    case EcvDistKind::kUniformInt:
+      return "uniform_int";
+    case EcvDistKind::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+// Renders a resolved support for kEcvDraw events. Both engines resolve the
+// same support by construction, so rendering from it is parity-safe.
+std::string DescribeSupport(const char* kind, const EcvSupport& support) {
+  std::ostringstream os;
+  os << kind << '{';
+  const size_t shown = std::min<size_t>(support.outcomes.size(), 4);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << support.outcomes[i].first.ToString() << ':'
+       << support.outcomes[i].second;
+  }
+  if (shown < support.outcomes.size()) {
+    os << ", ... " << support.outcomes.size() << " outcomes";
+  }
+  os << '}';
   return os.str();
 }
 
@@ -113,6 +199,73 @@ class EnumeratingChooser : public Chooser {
   std::vector<std::pair<std::string, Value>> assignments_;
 };
 
+// Shared trace-event constructors: both engines must emit byte-identical
+// events, so every field is filled in exactly one place.
+
+void EmitEnter(TraceSink& trace, const std::string& name, int line, int depth,
+               size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kInterfaceEnter;
+  event.name = name;
+  event.line = line;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+void EmitExit(TraceSink& trace, const std::string& name, const Value& value,
+              int depth, size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kInterfaceExit;
+  event.name = name;
+  event.value = value;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+void EmitDraw(TraceSink& trace, const std::string& qualified,
+              std::string detail, const Value& outcome, double probability,
+              int line, int column, int depth, size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kEcvDraw;
+  event.name = qualified;
+  event.detail = std::move(detail);
+  event.value = outcome;
+  event.probability = probability;
+  event.line = line;
+  event.column = column;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+void EmitBranch(TraceSink& trace, bool taken, int line, int column, int depth,
+                size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kBranch;
+  event.branch_taken = taken;
+  event.line = line;
+  event.column = column;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+void EmitTerm(TraceSink& trace, const std::string& iface_name,
+              const Value& value, int line, int column, int depth,
+              size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kEnergyTerm;
+  event.name = iface_name;  // the enclosing interface: provenance's site key
+  event.value = value;
+  event.line = line;
+  event.column = column;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
 // ---------------------------------------------------------------------------
 // Reference engine: one execution of an interface, walking the AST.
 // ---------------------------------------------------------------------------
@@ -124,7 +277,11 @@ class Execution {
       : program_(program),
         options_(options),
         profile_(profile),
-        chooser_(chooser) {}
+        chooser_(chooser),
+        trace_(options.trace) {}
+
+  // Labels trace events with the enumeration path being executed.
+  void set_path_index(size_t index) { path_index_ = index; }
 
   Result<Value> CallInterface(const std::string& name,
                               const std::vector<Value>& args) {
@@ -139,8 +296,12 @@ class Execution {
       return InvalidArgumentError(os.str());
     }
     if (++depth_ > options_.max_call_depth) {
+      EvalCounters::Get().budget_depth.Increment();
       return ResourceExhaustedError("interface call depth limit exceeded at '" +
                                     name + "'");
+    }
+    if (trace_ != nullptr) {
+      EmitEnter(*trace_, name, decl->line, depth_, path_index_);
     }
     Environment env;
     for (size_t i = 0; i < args.size(); ++i) {
@@ -154,12 +315,16 @@ class Execution {
       return InternalError("interface '" + name +
                            "' fell off the end without returning");
     }
+    if (trace_ != nullptr) {
+      EmitExit(*trace_, name, *result, depth_ + 1, path_index_);
+    }
     return *result;
   }
 
  private:
   Status Budget(const InterfaceDecl& iface, const Stmt& stmt) {
     if (++steps_ > options_.max_steps) {
+      EvalCounters::Get().budget_steps.Increment();
       return ResourceExhaustedError(
           "statement budget exhausted " +
           PosContext(iface, stmt.line, stmt.column));
@@ -196,6 +361,16 @@ class Execution {
           if (idx >= support.outcomes.size()) {
             return InternalError("chooser returned out-of-range index");
           }
+          if (trace_ != nullptr) {
+            const bool overridden =
+                profile_.Find(iface.name, s.name) != nullptr;
+            EmitDraw(*trace_, qualified,
+                     DescribeSupport(
+                         overridden ? "profile" : DistKindName(s.dist.kind),
+                         support),
+                     support.outcomes[idx].first, support.outcomes[idx].second,
+                     stmt->line, stmt->column, depth_, path_index_);
+          }
           ECLARITY_RETURN_IF_ERROR(
               env.Define(s.name, support.outcomes[idx].first, false));
           break;
@@ -208,6 +383,10 @@ class Execution {
             return InvalidArgumentError(
                 PosContext(iface, stmt->line, stmt->column) +
                 ": if condition: " + truth.status().message());
+          }
+          if (trace_ != nullptr) {
+            EmitBranch(*trace_, truth.value(), stmt->line, stmt->column,
+                       depth_, path_index_);
           }
           if (truth.value()) {
             ECLARITY_ASSIGN_OR_RETURN(std::optional<Value> r,
@@ -328,8 +507,14 @@ class Execution {
     switch (e.kind) {
       case ExprKind::kNumberLit:
         return Value::Number(static_cast<const NumberLit&>(e).value);
-      case ExprKind::kEnergyLit:
-        return Value::Joules(static_cast<const EnergyLit&>(e).joules);
+      case ExprKind::kEnergyLit: {
+        Value v = Value::Joules(static_cast<const EnergyLit&>(e).joules);
+        if (trace_ != nullptr) {
+          EmitTerm(*trace_, iface.name, v, e.line, e.column, depth_,
+                   path_index_);
+        }
+        return v;
+      }
       case ExprKind::kBoolLit:
         return Value::Bool(static_cast<const BoolLit&>(e).value);
       case ExprKind::kVarRef: {
@@ -386,8 +571,15 @@ class Execution {
           args.push_back(std::move(v));
         }
         if (IsBuiltinName(call.callee)) {
-          return ApplyBuiltin(call.callee, args, call.string_args,
-                              PosContext(iface, e.line, e.column));
+          Result<Value> result =
+              ApplyBuiltin(call.callee, args, call.string_args,
+                           PosContext(iface, e.line, e.column));
+          // au(...) mints abstract energy: an energy term for the trace.
+          if (trace_ != nullptr && result.ok() && call.callee == "au") {
+            EmitTerm(*trace_, iface.name, result.value(), e.line, e.column,
+                     depth_, path_index_);
+          }
+          return result;
         }
         return CallInterface(call.callee, args);
       }
@@ -399,8 +591,10 @@ class Execution {
   const EvalOptions& options_;
   const EcvProfile& profile_;
   Chooser& chooser_;
+  TraceSink* const trace_;
   size_t steps_ = 0;
   int depth_ = 0;
+  size_t path_index_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -417,13 +611,17 @@ class FastExecution {
       : lowered_(lowered),
         options_(options),
         profile_(profile),
-        chooser_(chooser) {}
+        chooser_(chooser),
+        trace_(options.trace) {}
 
   // Reuses this execution (and its frame storage) for another run.
   void Reset() {
     steps_ = 0;
     depth_ = 0;
   }
+
+  // Labels trace events with the enumeration path being executed.
+  void set_path_index(size_t index) { path_index_ = index; }
 
   Result<Value> CallByName(const std::string& name,
                            const std::vector<Value>& args) {
@@ -443,8 +641,15 @@ class FastExecution {
       return InvalidArgumentError(os.str());
     }
     if (++depth_ > options_.max_call_depth) {
+      EvalCounters::Get().budget_depth.Increment();
       return ResourceExhaustedError("interface call depth limit exceeded at '" +
                                     iface.decl->name + "'");
+    }
+    // The reference engine reports entry before its parameter defines, so
+    // the enter event precedes entry_error (a duplicated-parameter define).
+    if (trace_ != nullptr) {
+      EmitEnter(*trace_, iface.decl->name, iface.decl->line, depth_,
+                path_index_);
     }
     if (!iface.entry_error.ok()) {
       return iface.entry_error;
@@ -463,6 +668,10 @@ class FastExecution {
       return InternalError("interface '" + iface.decl->name +
                            "' fell off the end without returning");
     }
+    if (trace_ != nullptr) {
+      EmitExit(*trace_, iface.decl->name, *result.value(), depth_ + 1,
+               path_index_);
+    }
     return *std::move(result).value();
   }
 
@@ -472,6 +681,7 @@ class FastExecution {
   }
 
   Status BudgetError(const LoweredInterface& iface, const LStmt& stmt) const {
+    EvalCounters::Get().budget_steps.Increment();
     return ResourceExhaustedError("statement budget exhausted " +
                                   Ctx(iface, stmt.line, stmt.column));
   }
@@ -511,6 +721,10 @@ class FastExecution {
             return InvalidArgumentError(Ctx(iface, stmt->line, stmt->column) +
                                         ": if condition: " +
                                         truth.status().message());
+          }
+          if (trace_ != nullptr) {
+            EmitBranch(*trace_, truth.value(), stmt->line, stmt->column,
+                       depth_, path_index_);
           }
           const std::vector<LStmtPtr>& branch =
               truth.value() ? stmt->then_block : stmt->else_block;
@@ -559,6 +773,7 @@ class FastExecution {
     if (!profile_.empty()) {
       support = profile_.FindQualified(ecv.qualified, ecv.bare);
     }
+    const bool overridden = support != nullptr;
     if (support == nullptr) {
       if (!ecv.static_error.ok()) {
         return ecv.static_error;
@@ -575,6 +790,14 @@ class FastExecution {
                               chooser_.Choose(ecv.qualified, *support));
     if (idx >= support->outcomes.size()) {
       return InternalError("chooser returned out-of-range index");
+    }
+    if (trace_ != nullptr) {
+      EmitDraw(*trace_, ecv.qualified,
+               DescribeSupport(
+                   overridden ? "profile" : DistKindName(ecv.dist_kind),
+                   *support),
+               support->outcomes[idx].first, support->outcomes[idx].second,
+               stmt.line, stmt.column, depth_, path_index_);
     }
     // Order matters: the reference engine resolves and draws before the
     // redefinition error surfaces.
@@ -649,6 +872,13 @@ class FastExecution {
                      const LoweredInterface& iface) {
     switch (e.kind) {
       case LExprKind::kConst:
+        // is_energy_term is only ever set in preserve-energy-terms lowering
+        // (i.e. when tracing), so the untraced hot path pays one predictable
+        // branch here and nothing else.
+        if (e.is_energy_term && trace_ != nullptr) {
+          EmitTerm(*trace_, iface.decl->name, e.constant, e.line, e.column,
+                   depth_, path_index_);
+        }
         return e.constant;
       case LExprKind::kSlot:
         return frames_.At(base, e.slot);
@@ -691,8 +921,14 @@ class FastExecution {
           ECLARITY_ASSIGN_OR_RETURN(Value v, Eval(*child, base, iface));
           args.push_back(std::move(v));
         }
-        return ApplyBuiltin(e.call_src->callee, args, e.call_src->string_args,
-                            e.context);
+        Result<Value> result = ApplyBuiltin(
+            e.call_src->callee, args, e.call_src->string_args, e.context);
+        // au(...) mints abstract energy: an energy term for the trace.
+        if (trace_ != nullptr && result.ok() && e.call_src->callee == "au") {
+          EmitTerm(*trace_, iface.decl->name, result.value(), e.line,
+                   e.column, depth_, path_index_);
+        }
+        return result;
       }
       case LExprKind::kCall: {
         std::vector<Value> args;
@@ -715,9 +951,11 @@ class FastExecution {
   const EvalOptions& options_;
   const EcvProfile& profile_;
   Chooser& chooser_;
+  TraceSink* const trace_;
   FrameStack frames_;
   size_t steps_ = 0;
   int depth_ = 0;
+  size_t path_index_ = 0;
 };
 
 }  // namespace
@@ -727,8 +965,12 @@ Evaluator::Evaluator(const Program& program, EvalOptions options)
       options_(options),
       enum_cache_(options.enum_cache_capacity) {
   if (options_.engine == EvalEngine::kFastPath) {
-    lowered_ = std::make_unique<LoweredProgram>(
-        LoweredProgram::Lower(program, options_.max_ecv_support));
+    lowered_ = std::make_unique<LoweredProgram>(LoweredProgram::Lower(
+        program, options_.max_ecv_support,
+        /*preserve_energy_terms=*/options_.trace != nullptr));
+    EvalCounters::Get().engine_fastpath.Increment();
+  } else {
+    EvalCounters::Get().engine_treewalk.Increment();
   }
 }
 
@@ -752,21 +994,32 @@ Result<std::vector<WeightedOutcome>> Evaluator::EnumerateUncached(
     const EcvProfile& profile) const {
   EnumeratingChooser chooser;
   std::vector<WeightedOutcome> outcomes;
+  TraceSink* const trace = options_.trace;
   std::optional<FastExecution> fast;
   if (lowered_ != nullptr) {
     fast.emplace(*lowered_, options_, profile, chooser);
   }
   for (;;) {
     if (outcomes.size() >= options_.max_paths) {
+      EvalCounters::Get().budget_paths.Increment();
       return ResourceExhaustedError(
           "ECV assignment enumeration exceeded max_paths");
+    }
+    const size_t path_index = outcomes.size();
+    if (trace != nullptr) {
+      TraceEvent start;
+      start.kind = TraceEventKind::kPathStart;
+      start.path_index = path_index;
+      trace->OnEvent(start);
     }
     Value value;
     if (fast.has_value()) {
       fast->Reset();
+      fast->set_path_index(path_index);
       ECLARITY_ASSIGN_OR_RETURN(value, fast->CallByName(interface_name, args));
     } else {
       Execution exec(*program_, options_, profile, chooser);
+      exec.set_path_index(path_index);
       ECLARITY_ASSIGN_OR_RETURN(value,
                                 exec.CallInterface(interface_name, args));
     }
@@ -774,6 +1027,13 @@ Result<std::vector<WeightedOutcome>> Evaluator::EnumerateUncached(
     outcome.value = std::move(value);
     outcome.probability = chooser.probability();
     outcome.ecv_assignments = chooser.assignments();
+    if (trace != nullptr) {
+      TraceEvent end;
+      end.kind = TraceEventKind::kPathEnd;
+      end.path_index = path_index;
+      end.probability = outcome.probability;
+      trace->OnEvent(end);
+    }
     outcomes.push_back(std::move(outcome));
     if (!chooser.Advance()) {
       break;
@@ -785,7 +1045,12 @@ Result<std::vector<WeightedOutcome>> Evaluator::EnumerateUncached(
 Result<Evaluator::SharedOutcomes> Evaluator::EnumerateShared(
     const std::string& interface_name, const std::vector<Value>& args,
     const EcvProfile& profile) const {
-  const bool use_cache = options_.enum_cache_capacity > 0;
+  // Cached replays would emit no events, so tracing bypasses the cache.
+  const bool tracing = options_.trace != nullptr;
+  const bool use_cache = options_.enum_cache_capacity > 0 && !tracing;
+  if (tracing && options_.enum_cache_capacity > 0) {
+    EvalCounters::Get().enum_cache_trace_bypass.Increment();
+  }
   std::string key;
   if (use_cache) {
     key.reserve(64);
@@ -798,8 +1063,10 @@ Result<Evaluator::SharedOutcomes> Evaluator::EnumerateShared(
     key += profile.Fingerprint();
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (const SharedOutcomes* hit = enum_cache_.Get(key)) {
+      EvalCounters::Get().enum_cache_hits.Increment();
       return *hit;
     }
+    EvalCounters::Get().enum_cache_misses.Increment();
   }
   ECLARITY_ASSIGN_OR_RETURN(std::vector<WeightedOutcome> outcomes,
                             EnumerateUncached(interface_name, args, profile));
@@ -807,7 +1074,9 @@ Result<Evaluator::SharedOutcomes> Evaluator::EnumerateShared(
       std::move(outcomes));
   if (use_cache) {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    enum_cache_.Put(std::move(key), shared);
+    if (enum_cache_.Put(std::move(key), shared)) {
+      EvalCounters::Get().enum_cache_evictions.Increment();
+    }
   }
   return shared;
 }
@@ -876,6 +1145,7 @@ Result<Energy> Evaluator::MonteCarloMean(
   if (samples == 0) {
     return InvalidArgumentError("MonteCarloMean: zero samples");
   }
+  EvalCounters::Get().mc_samples.Increment(samples);
   // The chunk layout is a function of `samples` alone, and each chunk's RNG
   // stream is forked from `rng` in chunk order, so the set of draws — and
   // the fixed-order reduction below — do not depend on how many workers run.

@@ -49,6 +49,7 @@
 namespace eclarity {
 
 class LoweredProgram;
+class TraceSink;
 
 enum class EvalEngine {
   kFastPath,  // lowered IR + slot frames + enumeration cache
@@ -72,6 +73,14 @@ struct EvalOptions {
   // Worker threads for MonteCarloMean. 0 means hardware concurrency. The
   // result for a fixed seed does not depend on this setting.
   size_t mc_workers = 0;
+  // Evaluation tracing (src/obs/trace.h). When set, both engines report
+  // structured events — interface enter/exit, ECV draws, branches, energy
+  // terms, enumeration path markers — to the sink, bit-for-bit identically.
+  // Tracing bypasses the enumeration cache (cached replays would emit no
+  // events) and, on the fast path, switches lowering to preserve-energy-terms
+  // mode. The sink must outlive the evaluator. nullptr (default) keeps
+  // evaluation at full speed: the engines only test this pointer.
+  TraceSink* trace = nullptr;
 
   bool operator==(const EvalOptions&) const = default;
 };

@@ -19,8 +19,12 @@ std::string PosContext(const std::string& iface_name, int line, int column) {
   return os.str();
 }
 
-const Value* AsConst(const LExprPtr& e) {
-  return e->kind == LExprKind::kConst ? &e->constant : nullptr;
+// A constant the folder may consume. Energy-term constants (preserve mode)
+// must survive to evaluation time so they can be traced, so they are not
+// foldable even though their value is known.
+const Value* FoldableConst(const LExprPtr& e) {
+  return e->kind == LExprKind::kConst && !e->is_energy_term ? &e->constant
+                                                            : nullptr;
 }
 
 // Lowers one interface body. Folding is conservative: a subexpression is
@@ -32,11 +36,12 @@ const Value* AsConst(const LExprPtr& e) {
 class Lowerer {
  public:
   Lowerer(const Program& program, const LoweredProgram& lowered,
-          size_t max_ecv_support, const InterfaceDecl& iface,
-          const SlotTable& table)
+          size_t max_ecv_support, bool preserve_energy_terms,
+          const InterfaceDecl& iface, const SlotTable& table)
       : program_(program),
         lowered_(lowered),
         max_ecv_support_(max_ecv_support),
+        preserve_energy_terms_(preserve_energy_terms),
         iface_(iface),
         table_(table) {}
 
@@ -74,9 +79,12 @@ class Lowerer {
       case ExprKind::kNumberLit:
         return MakeConst(Value::Number(static_cast<const NumberLit&>(e).value),
                          e);
-      case ExprKind::kEnergyLit:
-        return MakeConst(Value::Joules(static_cast<const EnergyLit&>(e).joules),
-                         e);
+      case ExprKind::kEnergyLit: {
+        LExprPtr c = MakeConst(
+            Value::Joules(static_cast<const EnergyLit&>(e).joules), e);
+        c->is_energy_term = preserve_energy_terms_;
+        return c;
+      }
       case ExprKind::kBoolLit:
         return MakeConst(Value::Bool(static_cast<const BoolLit&>(e).value), e);
       case ExprKind::kVarRef:
@@ -129,7 +137,7 @@ class Lowerer {
     e->uop = u.op;
     e->context = Ctx(u.line, u.column);
     e->children.push_back(LowerExpr(*u.operand, in_const));
-    if (const Value* operand = AsConst(e->children[0])) {
+    if (const Value* operand = FoldableConst(e->children[0])) {
       Result<Value> folded = ApplyUnary(u.op, *operand, e->context);
       if (folded.ok()) {
         return MakeConst(std::move(folded).value(), u);
@@ -144,8 +152,8 @@ class Lowerer {
     e->context = Ctx(b.line, b.column);
     e->children.push_back(LowerExpr(*b.lhs, in_const));
     e->children.push_back(LowerExpr(*b.rhs, in_const));
-    const Value* lhs = AsConst(e->children[0]);
-    const Value* rhs = AsConst(e->children[1]);
+    const Value* lhs = FoldableConst(e->children[0]);
+    const Value* rhs = FoldableConst(e->children[1]);
     if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr) {
       // Mirror the short-circuit: a constant deciding lhs folds the whole
       // expression even when the rhs is dynamic (it would never evaluate).
@@ -182,7 +190,7 @@ class Lowerer {
     e->children.push_back(LowerExpr(*c.condition, in_const));
     e->children.push_back(LowerExpr(*c.then_value, in_const));
     e->children.push_back(LowerExpr(*c.else_value, in_const));
-    if (const Value* cond = AsConst(e->children[0])) {
+    if (const Value* cond = FoldableConst(e->children[0])) {
       Result<bool> truth = cond->AsBool();
       if (truth.ok()) {
         // The untaken branch never evaluates in the tree walk; drop it.
@@ -200,9 +208,11 @@ class Lowerer {
       bool all_const = true;
       for (const ExprPtr& arg : call.args) {
         e->children.push_back(LowerExpr(*arg, in_const));
-        all_const = all_const && e->children.back()->kind == LExprKind::kConst;
+        all_const = all_const && FoldableConst(e->children.back()) != nullptr;
       }
-      if (all_const) {
+      // au(...) mints abstract energy — it is itself an energy term, so in
+      // preserve mode it must stay live for the trace.
+      if (all_const && !(preserve_energy_terms_ && call.callee == "au")) {
         std::vector<Value> args;
         args.reserve(e->children.size());
         for (const LExprPtr& child : e->children) {
@@ -334,7 +344,10 @@ class Lowerer {
     bool all_const = true;
     for (const ExprPtr& p : s.dist.params) {
       ecv->params.push_back(LowerExpr(*p, /*in_const=*/false));
-      all_const = all_const && ecv->params.back()->kind == LExprKind::kConst;
+      // Energy-valued parameters (categorical outcomes) stay dynamic in
+      // preserve mode so their term events fire per execution, exactly as
+      // the tree walk's per-run support resolution does.
+      all_const = all_const && FoldableConst(ecv->params.back()) != nullptr;
     }
     if (all_const) {
       ResolveStaticSupport(*ecv, s);
@@ -417,6 +430,7 @@ class Lowerer {
   const Program& program_;
   const LoweredProgram& lowered_;
   const size_t max_ecv_support_;
+  const bool preserve_energy_terms_;
   const InterfaceDecl& iface_;
   const SlotTable& table_;
   std::set<const ConstDecl*> consts_in_flight_;
@@ -425,7 +439,8 @@ class Lowerer {
 }  // namespace
 
 LoweredProgram LoweredProgram::Lower(const Program& program,
-                                     size_t max_ecv_support) {
+                                     size_t max_ecv_support,
+                                     bool preserve_energy_terms) {
   LoweredProgram lowered;
   // Phase 1: shells + symbol tables, so calls can bind to any interface
   // (including mutually recursive ones) in phase 2.
@@ -450,7 +465,8 @@ LoweredProgram LoweredProgram::Lower(const Program& program,
   // Phase 2: lower bodies.
   for (size_t i = 0; i < lowered.interfaces_.size(); ++i) {
     LoweredInterface& iface = *lowered.interfaces_[i];
-    Lowerer lowerer(program, lowered, max_ecv_support, *iface.decl, tables[i]);
+    Lowerer lowerer(program, lowered, max_ecv_support, preserve_energy_terms,
+                    *iface.decl, tables[i]);
     iface.body = lowerer.LowerBody();
   }
   return lowered;

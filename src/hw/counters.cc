@@ -2,11 +2,30 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace eclarity {
+namespace {
+
+Counter& NvmlReads() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "eclarity_hw_nvml_reads_total", "NVML-style counter reads");
+  return counter;
+}
+
+Counter& RaplWraps() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "eclarity_hw_rapl_wraps_total",
+      "RAPL register wraparounds observed across deltas");
+  return counter;
+}
+
+}  // namespace
 
 NvmlCounter::NvmlCounter(const GpuDevice& device) : device_(&device) {}
 
 Energy NvmlCounter::Read() {
+  NvmlReads().Increment();
   if (device_->profile().telemetry == GpuTelemetryKind::kEnergyCounter) {
     return device_->ReadEnergyRegister();
   }
@@ -33,6 +52,9 @@ void RaplCounter::Update(Energy cumulative_true) {
 
 Energy RaplCounter::EnergyBetween(uint32_t before, uint32_t after) {
   // Unsigned subtraction handles a single wraparound.
+  if (after < before) {
+    RaplWraps().Increment();
+  }
   const uint32_t delta = after - before;
   return Energy::Joules(static_cast<double>(delta) * kJoulesPerTick);
 }

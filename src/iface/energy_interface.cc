@@ -132,6 +132,13 @@ Result<Value> EnergyInterface::Sample(const std::vector<Value>& args,
   return EvaluatorFor(options)->EvalSampled(entry_, args, profile, rng);
 }
 
+Result<ProvenanceTree> EnergyInterface::Provenance(
+    const std::vector<Value>& args, const EcvProfile& profile,
+    const ProvenanceOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  return ComputeProvenance(program_, entry_, args, profile, options);
+}
+
 Result<EnergyInterface> EnergyInterface::Rebind(const Program& layer) const {
   Program merged = program_.Clone();
   ECLARITY_RETURN_IF_ERROR(merged.Merge(layer, /*overwrite=*/true));

@@ -24,6 +24,7 @@
 #include "src/eval/interp.h"
 #include "src/eval/interval.h"
 #include "src/lang/ast.h"
+#include "src/obs/provenance.h"
 #include "src/units/abstract_energy.h"
 #include "src/util/status.h"
 
@@ -78,6 +79,12 @@ class EnergyInterface {
   Result<Value> Sample(const std::vector<Value>& args,
                        const EcvProfile& profile, Rng& rng,
                        const EvalOptions& options = {}) const;
+
+  // Energy provenance of one entry call (src/obs/provenance.h): the merged
+  // call tree with the expectation attributed to individual energy terms.
+  Result<ProvenanceTree> Provenance(
+      const std::vector<Value>& args, const EcvProfile& profile = {},
+      const ProvenanceOptions& options = {}) const;
 
   // --- Composition ----------------------------------------------------------
 

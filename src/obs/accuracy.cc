@@ -1,0 +1,179 @@
+#include "src/obs/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+
+namespace eclarity {
+namespace {
+
+// Source names become metric-name segments; Prometheus only allows
+// [a-zA-Z0-9_:], so anything else maps to '_'.
+std::string SanitizeMetricSegment(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AccuracyMonitor::AccuracyMonitor(double drift_threshold, size_t window)
+    : drift_threshold_(drift_threshold), window_(window == 0 ? 1 : window) {}
+
+AccuracyMonitor& AccuracyMonitor::Global() {
+  static AccuracyMonitor* monitor = new AccuracyMonitor();
+  return *monitor;
+}
+
+void AccuracyMonitor::Record(const std::string& source,
+                             double predicted_joules, double measured_joules) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SourceState& state = sources_[source];
+  ++state.samples;
+  state.predicted_total_j += predicted_joules;
+  state.measured_total_j += measured_joules;
+  if (measured_joules == 0.0 || !std::isfinite(measured_joules) ||
+      !std::isfinite(predicted_joules)) {
+    return;
+  }
+  const double err =
+      std::fabs(predicted_joules - measured_joules) /
+      std::fabs(measured_joules);
+  ++state.error_samples;
+  state.abs_rel_error_sum += err;
+  state.max_abs_rel_error = std::max(state.max_abs_rel_error, err);
+  state.window.push_back(err);
+  while (state.window.size() > window_) {
+    state.window.pop_front();
+  }
+}
+
+AccuracyMonitor::SourceStats AccuracyMonitor::StatsLocked(
+    const SourceState& state) const {
+  SourceStats out;
+  out.samples = state.samples;
+  out.predicted_total_j = state.predicted_total_j;
+  out.measured_total_j = state.measured_total_j;
+  out.max_abs_rel_error = state.max_abs_rel_error;
+  if (state.error_samples > 0) {
+    out.mean_abs_rel_error =
+        state.abs_rel_error_sum / static_cast<double>(state.error_samples);
+  }
+  if (!state.window.empty()) {
+    double sum = 0.0;
+    for (double e : state.window) {
+      sum += e;
+    }
+    out.windowed_abs_rel_error =
+        sum / static_cast<double>(state.window.size());
+    out.drift_alarm = out.windowed_abs_rel_error > drift_threshold_;
+  }
+  return out;
+}
+
+AccuracyMonitor::SourceStats AccuracyMonitor::Stats(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    return {};
+  }
+  return StatsLocked(it->second);
+}
+
+std::vector<std::string> AccuracyMonitor::Sources() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, state] : sources_) {
+    (void)state;
+    out.push_back(name);
+  }
+  return out;
+}
+
+bool AccuracyMonitor::AnyDrift() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, state] : sources_) {
+    (void)name;
+    if (StatsLocked(state).drift_alarm) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AccuracyMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "prediction accuracy (drift threshold "
+     << drift_threshold_ * 100.0 << "%):\n";
+  if (sources_.empty()) {
+    os << "  (no samples recorded)\n";
+    return os.str();
+  }
+  for (const auto& [name, state] : sources_) {
+    const SourceStats s = StatsLocked(state);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s n=%llu mean|err|=%.2f%% window|err|=%.2f%% "
+                  "max|err|=%.2f%%%s\n",
+                  name.c_str(), static_cast<unsigned long long>(s.samples),
+                  s.mean_abs_rel_error * 100.0,
+                  s.windowed_abs_rel_error * 100.0,
+                  s.max_abs_rel_error * 100.0,
+                  s.drift_alarm ? "  [DRIFT]" : "");
+    os << line;
+  }
+  return os.str();
+}
+
+void AccuracyMonitor::ExportTo(MetricsRegistry& registry) const {
+  // Snapshot under our lock, then publish without holding it (registry has
+  // its own lock; never nest the two).
+  std::vector<std::pair<std::string, SourceStats>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(sources_.size());
+    for (const auto& [name, state] : sources_) {
+      snapshot.emplace_back(name, StatsLocked(state));
+    }
+  }
+  for (const auto& [name, s] : snapshot) {
+    const std::string prefix =
+        "eclarity_accuracy_" + SanitizeMetricSegment(name);
+    registry.GetGauge(prefix + "_samples", "prediction/measurement pairs")
+        .Set(static_cast<double>(s.samples));
+    registry
+        .GetGauge(prefix + "_mean_abs_rel_error",
+                  "mean |predicted-measured|/|measured|")
+        .Set(s.mean_abs_rel_error);
+    registry
+        .GetGauge(prefix + "_windowed_abs_rel_error",
+                  "windowed mean absolute relative error")
+        .Set(s.windowed_abs_rel_error);
+    registry.GetGauge(prefix + "_max_abs_rel_error",
+                      "max absolute relative error")
+        .Set(s.max_abs_rel_error);
+    registry
+        .GetGauge(prefix + "_drift_alarm",
+                  "1 when windowed error exceeds the drift threshold")
+        .Set(s.drift_alarm ? 1.0 : 0.0);
+  }
+}
+
+void AccuracyMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.clear();
+}
+
+}  // namespace eclarity

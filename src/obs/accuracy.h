@@ -1,0 +1,92 @@
+// Prediction-accuracy audit trail.
+//
+// Table 1 of the paper validates energy interfaces by comparing predicted
+// against counter-measured energy and requiring < 10 % relative error. That
+// check is only trustworthy if it keeps running: a calibration that held at
+// validation time can drift as workloads or hardware change. AccuracyMonitor
+// turns the one-off table into a continuous metric — every component that
+// both predicts and measures energy (resource managers, the EAS simulation,
+// the CPU/GPU hardware sims) feeds it (predicted, measured) pairs, and it
+// maintains running relative-error statistics plus a windowed drift alarm
+// per source.
+
+#ifndef ECLARITY_SRC_OBS_ACCURACY_H_
+#define ECLARITY_SRC_OBS_ACCURACY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eclarity {
+
+class MetricsRegistry;
+
+class AccuracyMonitor {
+ public:
+  struct SourceStats {
+    uint64_t samples = 0;
+    double mean_abs_rel_error = 0.0;      // over all samples
+    double max_abs_rel_error = 0.0;
+    double windowed_abs_rel_error = 0.0;  // over the last `window` samples
+    bool drift_alarm = false;             // windowed error > threshold
+    double predicted_total_j = 0.0;
+    double measured_total_j = 0.0;
+  };
+
+  // `drift_threshold` is the paper's Table 1 bound by default; the alarm
+  // trips when the windowed mean |relative error| of a source exceeds it.
+  explicit AccuracyMonitor(double drift_threshold = 0.10,
+                           size_t window = 64);
+
+  // Process-wide monitor that the toolkit's built-in feeds use.
+  static AccuracyMonitor& Global();
+
+  // Records one prediction/measurement pair for `source` (e.g. "eas_sim",
+  // "webservice", "gpt2"). Relative error is |p - m| / |m|; pairs with
+  // measured == 0 count toward totals but not toward error statistics.
+  void Record(const std::string& source, double predicted_joules,
+              double measured_joules);
+
+  SourceStats Stats(const std::string& source) const;
+  std::vector<std::string> Sources() const;
+
+  // True if any source's drift alarm is currently tripped.
+  bool AnyDrift() const;
+
+  double drift_threshold() const { return drift_threshold_; }
+
+  // Human-readable per-source summary table.
+  std::string Report() const;
+
+  // Publishes per-source gauges (samples, mean/windowed/max error, alarm)
+  // into `registry` under eclarity_accuracy_<source>_*.
+  void ExportTo(MetricsRegistry& registry) const;
+
+  // Drops all recorded samples (tests).
+  void Reset();
+
+ private:
+  struct SourceState {
+    uint64_t samples = 0;
+    uint64_t error_samples = 0;
+    double abs_rel_error_sum = 0.0;
+    double max_abs_rel_error = 0.0;
+    double predicted_total_j = 0.0;
+    double measured_total_j = 0.0;
+    std::deque<double> window;  // most recent abs relative errors
+  };
+
+  SourceStats StatsLocked(const SourceState& state) const;
+
+  const double drift_threshold_;
+  const size_t window_;
+  mutable std::mutex mu_;
+  std::map<std::string, SourceState> sources_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_OBS_ACCURACY_H_

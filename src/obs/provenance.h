@@ -1,0 +1,105 @@
+// Energy provenance: attributing an expectation to the terms that caused it.
+//
+// The paper argues an energy interface should make energy *legible* — not
+// just "this call costs 12.3 J" but *which* terms, in which interfaces,
+// contribute how much. ComputeProvenance answers that by combining two
+// views the toolkit already has:
+//
+//   * a traced enumeration (src/obs/trace.h) yields the merged call tree of
+//     the entry interface and the expected number of times each energy-term
+//     site executes under each callee;
+//   * per-site ablation (the src/stack attribution idiom, applied to a
+//     single term instead of a whole layer) yields each site's exact
+//     marginal energy: delta = E_total - E_with_that_term_zeroed. For
+//     programs linear in their energy literals the deltas partition the
+//     total, which makes the per-layer sums agree with
+//     SystemStack::AttributeByLayer by construction.
+//
+// A term *site* is an energy literal or au(...) call identified by source
+// location. Sites inside a `const` initializer are shared by every interface
+// that references the const; their delta is measured once and split across
+// referencing interfaces proportionally to expected hits (exact when the
+// const is used additively; an approximation when it scales other terms).
+// Location-less generated nodes (line 0, column 0) coalesce into one site.
+
+#ifndef ECLARITY_SRC_OBS_PROVENANCE_H_
+#define ECLARITY_SRC_OBS_PROVENANCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/eval/ecv_profile.h"
+#include "src/eval/interp.h"
+#include "src/lang/ast.h"
+#include "src/lang/value.h"
+#include "src/units/abstract_energy.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct ProvenanceOptions {
+  // Engine / budget options for the underlying evaluations. The trace field
+  // is ignored (provenance installs its own sink).
+  EvalOptions eval;
+  // Resolves abstract energy units; nullptr requires concrete returns.
+  const EnergyCalibration* calibration = nullptr;
+};
+
+// One energy-term site: an energy literal or au(...) call at a source
+// location, owned by an interface ("E_dram_read") or a shared constant
+// ("const:C_row_activate").
+struct TermSite {
+  std::string owner;
+  int line = 0;
+  int column = 0;
+  double delta_joules = 0.0;   // E_total - E_with_site_zeroed (exact)
+  double expected_hits = 0.0;  // expected executions per entry call
+};
+
+// A site's share at one call-tree node.
+struct ProvenanceSiteShare {
+  size_t site = 0;  // index into ProvenanceTree::sites
+  double joules = 0.0;
+  double expected_hits = 0.0;
+};
+
+// One interface in the merged call tree. Children appear in first-call
+// order; a callee reached along several paths is merged into one node per
+// parent.
+struct ProvenanceNode {
+  std::string name;
+  double expected_calls = 0.0;  // expected calls per entry invocation
+  double own_joules = 0.0;      // Σ site shares at this node
+  double subtree_joules = 0.0;  // own + children
+  std::vector<ProvenanceSiteShare> sites;
+  std::vector<ProvenanceNode> children;
+};
+
+struct ProvenanceTree {
+  std::string entry;
+  double expected_joules = 0.0;      // exact expectation, Σ p_i * E_i
+  double attributed_joules = 0.0;    // Σ site deltas
+  double unattributed_joules = 0.0;  // expected - attributed (non-linearity)
+  size_t path_count = 0;             // enumerated ECV assignments
+  std::vector<TermSite> sites;
+  ProvenanceNode root;
+};
+
+// Builds the provenance tree for one entry call. Runs one exact expectation,
+// one traced enumeration, and one ablated expectation per distinct term
+// site, so cost is O(sites) evaluations — an offline analysis, not a hot
+// path.
+Result<ProvenanceTree> ComputeProvenance(const Program& program,
+                                         const std::string& entry,
+                                         const std::vector<Value>& args,
+                                         const EcvProfile& profile,
+                                         const ProvenanceOptions& options = {});
+
+// Human-readable rendering: header, indented call tree with per-node energy
+// and term sites, unattributed remainder.
+std::string RenderProvenanceTree(const ProvenanceTree& tree);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_OBS_PROVENANCE_H_

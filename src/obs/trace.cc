@@ -1,0 +1,231 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace eclarity {
+namespace {
+
+void AppendU64(std::string& out, uint64_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out.append(bytes, sizeof(bytes));
+}
+
+void AppendDoubleBits(std::string& out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string& out, const std::string& s) {
+  AppendU64(out, s.size());
+  out += s;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPathStart:
+      return "path_start";
+    case TraceEventKind::kInterfaceEnter:
+      return "enter";
+    case TraceEventKind::kInterfaceExit:
+      return "exit";
+    case TraceEventKind::kEcvDraw:
+      return "ecv_draw";
+    case TraceEventKind::kBranch:
+      return "branch";
+    case TraceEventKind::kEnergyTerm:
+      return "energy_term";
+    case TraceEventKind::kPathEnd:
+      return "path_end";
+  }
+  return "unknown";
+}
+
+std::string TraceEventFingerprint(const TraceEvent& event) {
+  std::string out;
+  out.push_back(static_cast<char>(event.kind));
+  AppendString(out, event.name);
+  AppendString(out, event.detail);
+  AppendU64(out, static_cast<uint64_t>(event.line));
+  AppendU64(out, static_cast<uint64_t>(event.column));
+  AppendU64(out, static_cast<uint64_t>(event.depth));
+  event.value.AppendFingerprint(out);
+  AppendDoubleBits(out, event.probability);
+  out.push_back(event.branch_taken ? '\1' : '\0');
+  AppendU64(out, event.path_index);
+  return out;
+}
+
+std::string FormatTraceEvent(const TraceEvent& event) {
+  std::ostringstream os;
+  // kPathStart/kPathEnd sit at depth 0; everything else is indented by its
+  // call depth so nested interfaces read as a tree.
+  const int indent = event.depth > 0 ? (event.depth - 1) * 2 : 0;
+  os << std::string(static_cast<size_t>(indent), ' ');
+  switch (event.kind) {
+    case TraceEventKind::kPathStart:
+      os << "path #" << event.path_index << " {";
+      break;
+    case TraceEventKind::kPathEnd:
+      os << "} p=" << event.probability;
+      break;
+    case TraceEventKind::kInterfaceEnter:
+      os << "-> " << event.name;
+      break;
+    case TraceEventKind::kInterfaceExit:
+      os << "<- " << event.name << " = " << event.value.ToString();
+      break;
+    case TraceEventKind::kEcvDraw:
+      os << "ecv " << event.name << " ~ " << event.detail << " => "
+         << event.value.ToString() << " (p=" << event.probability << ")";
+      break;
+    case TraceEventKind::kBranch:
+      os << "if => " << (event.branch_taken ? "then" : "else");
+      break;
+    case TraceEventKind::kEnergyTerm:
+      os << "term " << event.name << " = " << event.value.ToString();
+      break;
+  }
+  if (event.line > 0) {
+    os << "  [" << event.line << ':' << event.column << ']';
+  }
+  return os.str();
+}
+
+std::string FormatTrace(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += FormatTraceEvent(event);
+    out += '\n';
+  }
+  return out;
+}
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      const std::string& process_name, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {" << body << '}';
+  };
+  emit("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"" +
+       JsonEscape(process_name) + "\"}");
+  size_t ts = 0;
+  for (const TraceEvent& event : events) {
+    std::string ph = "i";
+    std::string name;
+    std::string cat;
+    std::vector<std::string> args;
+    switch (event.kind) {
+      case TraceEventKind::kPathStart:
+        name = "path " + std::to_string(event.path_index);
+        cat = "path";
+        break;
+      case TraceEventKind::kPathEnd:
+        name = "path " + std::to_string(event.path_index) + " end";
+        cat = "path";
+        args.push_back("\"probability\":" +
+                       std::to_string(event.probability));
+        break;
+      case TraceEventKind::kInterfaceEnter:
+        ph = "B";
+        name = event.name;
+        cat = "interface";
+        break;
+      case TraceEventKind::kInterfaceExit:
+        ph = "E";
+        name = event.name;
+        cat = "interface";
+        args.push_back("\"return\":\"" + JsonEscape(event.value.ToString()) +
+                       '"');
+        break;
+      case TraceEventKind::kEcvDraw:
+        name = "ecv " + event.name;
+        cat = "ecv";
+        args.push_back("\"distribution\":\"" + JsonEscape(event.detail) +
+                       '"');
+        args.push_back("\"outcome\":\"" + JsonEscape(event.value.ToString()) +
+                       '"');
+        args.push_back("\"probability\":" +
+                       std::to_string(event.probability));
+        break;
+      case TraceEventKind::kBranch:
+        name = std::string("branch ") +
+               (event.branch_taken ? "then" : "else");
+        cat = "branch";
+        break;
+      case TraceEventKind::kEnergyTerm:
+        name = "term " + event.name;
+        cat = "energy";
+        args.push_back("\"value\":\"" + JsonEscape(event.value.ToString()) +
+                       '"');
+        break;
+    }
+    if (event.line > 0) {
+      args.push_back("\"line\":" + std::to_string(event.line));
+      args.push_back("\"column\":" + std::to_string(event.column));
+    }
+    std::ostringstream body;
+    // One synthetic microsecond per event keeps ordering visible; each
+    // enumeration path renders as its own track.
+    body << "\"pid\":1,\"tid\":" << event.path_index + 1 << ",\"ts\":" << ts++
+         << ",\"ph\":\"" << ph << '"';
+    if (ph == "i") {
+      body << ",\"s\":\"t\"";
+    }
+    body << ",\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat
+         << '"';
+    if (!args.empty()) {
+      body << ",\"args\":{";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) body << ',';
+        body << args[i];
+      }
+      body << '}';
+    }
+    emit(body.str());
+  }
+  os << "\n]\n";
+}
+
+}  // namespace eclarity

@@ -7,6 +7,7 @@
 
 #include "src/hw/vendor.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
 
 namespace eclarity {
 namespace {
@@ -16,6 +17,28 @@ std::string Num(double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+// Candidate-energy memo instrumentation (resolved once, relaxed increments).
+struct SchedCounters {
+  Counter& memo_hits;
+  Counter& memo_misses;
+  Counter& memo_evictions;
+
+  static SchedCounters& Get() {
+    static SchedCounters* counters = new SchedCounters{
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_sched_memo_hits_total",
+            "scheduler candidate-energy memo hits"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_sched_memo_misses_total",
+            "scheduler candidate-energy memo misses"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_sched_memo_evictions_total",
+            "scheduler candidate-energy memo evictions"),
+    };
+    return *counters;
+  }
+};
 
 // Keep in sync with CpuDevice's MemoryStallModel defaults.
 constexpr double kThroughputFloor = 0.25;
@@ -159,7 +182,7 @@ Result<Placement> UtilizationEasScheduler::Place(
       }
       if (energy < best_energy) {
         best_energy = energy;
-        best = {core, static_cast<int>(opp)};
+        best = {core, static_cast<int>(opp), energy};
       }
     }
   }
@@ -201,8 +224,10 @@ Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
   std::ostringstream key;
   key << task.name << "/" << phase << "/" << core_kind << "/" << opp;
   if (const double* cached = cache_.Get(key.str())) {
+    SchedCounters::Get().memo_hits.Increment();
     return *cached;
   }
+  SchedCounters::Get().memo_misses.Increment();
   ECLARITY_ASSIGN_OR_RETURN(
       Energy energy,
       evaluator_->ExpectedEnergy(
@@ -211,7 +236,9 @@ Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
            Value::Number(static_cast<double>(core_kind)),
            Value::Number(static_cast<double>(opp))},
           {}));
-  cache_.Put(key.str(), energy.joules());
+  if (cache_.Put(key.str(), energy.joules())) {
+    SchedCounters::Get().memo_evictions.Increment();
+  }
   return energy.joules();
 }
 
@@ -242,7 +269,7 @@ Result<Placement> InterfaceEasScheduler::Place(
                           static_cast<int>(opp)));
       if (energy < best_energy) {
         best_energy = energy;
-        best = {core, static_cast<int>(opp)};
+        best = {core, static_cast<int>(opp), energy};
       }
     }
   }

@@ -1,5 +1,7 @@
 #include "src/sim/task.h"
 
+#include "src/obs/accuracy.h"
+
 namespace eclarity {
 
 Task Task::Transcode(std::string name, int peak_quanta, int trough_quanta,
@@ -53,6 +55,13 @@ Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
           QuantumResult executed,
           device.RunQuantum(placement.core, quantum, demand.ops,
                             demand.memory_intensity));
+      // Audit the scheduler's energy prediction against what the quantum
+      // actually cost — the paper's Table 1 check, run continuously.
+      if (placement.predicted_joules > 0.0) {
+        AccuracyMonitor::Global().Record(scheduler.name(),
+                                         placement.predicted_joules,
+                                         executed.energy.joules());
+      }
       result.total_ops_requested += demand.ops;
       result.total_ops_executed += executed.ops_executed;
       if (executed.ops_executed + 1e-6 < demand.ops) {

@@ -46,10 +46,14 @@ struct Task {
   static Task Steady(std::string name, double ops, double memory_intensity);
 };
 
-// A placement decision for one task in one quantum.
+// A placement decision for one task in one quantum. Schedulers that predict
+// the quantum's energy record the prediction so the run loop can audit it
+// against the device's measured energy (src/obs/accuracy.h); 0 means "no
+// prediction made".
 struct Placement {
   int core = 0;
   int opp = 0;
+  double predicted_joules = 0.0;
 };
 
 // Scheduling policy interface. Called once per (task, quantum); the

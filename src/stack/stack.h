@@ -98,6 +98,9 @@ class SystemStack {
 
   size_t LayerCount() const { return layers_.size(); }
   const ResourceManager* FindLayer(const std::string& name) const;
+  // Bottom-up layer list (observability: maps provenance-tree interfaces
+  // back to the layer whose manager exports them).
+  const std::vector<ResourceManager>& layers() const { return layers_; }
 
   // Replaces the named layer (typically the bottom/hardware layer) and
   // leaves every other layer untouched.

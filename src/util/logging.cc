@@ -3,11 +3,24 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace eclarity {
 namespace {
 
 std::atomic<LogSeverity> g_threshold{LogSeverity::kWarning};
+
+// Serialises record emission; also protects the sink (a std::function is
+// not atomically swappable).
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -34,6 +47,11 @@ void SetLogThreshold(LogSeverity severity) { g_threshold.store(severity); }
 
 LogSeverity GetLogThreshold() { return g_threshold.load(); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink() = std::move(sink);
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity), file_(file), line_(line) {}
 
@@ -41,8 +59,23 @@ LogMessage::~LogMessage() {
   if (severity_ < g_threshold.load()) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LogSeverityName(severity_),
-               Basename(file_), line_, stream_.str().c_str());
+  // Format the whole record first, then emit it in one write so concurrent
+  // records never interleave mid-line.
+  std::string record = "[";
+  record += LogSeverityName(severity_);
+  record += ' ';
+  record += Basename(file_);
+  record += ':';
+  record += std::to_string(line_);
+  record += "] ";
+  record += stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (Sink()) {
+    Sink()(severity_, record);
+    return;
+  }
+  record += '\n';
+  std::fwrite(record.data(), 1, record.size(), stderr);
 }
 
 }  // namespace eclarity

@@ -45,23 +45,27 @@ class LruMap {
   bool Contains(const K& key) const { return index_.count(key) > 0; }
 
   // Inserts (or refreshes) an entry, evicting the least-recent on overflow.
-  // A capacity of zero disables storage entirely.
-  void Put(K key, V value) {
+  // A capacity of zero disables storage entirely. Returns true when the
+  // insertion displaced a resident entry (observability hooks count these).
+  bool Put(K key, V value) {
     if (capacity_ == 0) {
-      return;
+      return false;
     }
     const auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return false;
     }
     order_.emplace_front(key, std::move(value));
     index_[std::move(key)] = order_.begin();
     if (order_.size() > capacity_) {
       index_.erase(order_.back().first);
       order_.pop_back();
+      ++evictions_;
+      return true;
     }
+    return false;
   }
 
   void Clear() {
@@ -74,6 +78,7 @@ class LruMap {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
   double HitRate() const {
     const uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
@@ -81,6 +86,7 @@ class LruMap {
   void ResetStats() {
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
   }
 
  private:
@@ -90,6 +96,7 @@ class LruMap {
       index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace eclarity

@@ -14,6 +14,7 @@
 
 #include "src/eval/interp.h"
 #include "src/lang/parser.h"
+#include "src/obs/trace.h"
 
 namespace eclarity {
 namespace {
@@ -48,12 +49,46 @@ EvalOptions TreeOptions() {
   return options;
 }
 
+// Enumerates `entry` traced on both engines and requires bit-identical
+// event streams — the trace-parity contract of src/obs/trace.h. Runs on
+// error programs too: events emitted before the failure must also match.
+void ExpectTraceParity(const Program& program, const std::string& entry,
+                       const std::vector<Value>& args,
+                       const EcvProfile& profile = {}) {
+  RecordingTraceSink fast_sink;
+  RecordingTraceSink tree_sink;
+  EvalOptions fast_options = FastOptions();
+  fast_options.trace = &fast_sink;
+  EvalOptions tree_options = TreeOptions();
+  tree_options.trace = &tree_sink;
+  Evaluator fast(program, fast_options);
+  Evaluator tree(program, tree_options);
+  auto fast_out = fast.Enumerate(entry, args, profile);
+  auto tree_out = tree.Enumerate(entry, args, profile);
+  ASSERT_EQ(fast_out.ok(), tree_out.ok())
+      << "traced fast: " << fast_out.status().ToString()
+      << "\ntraced tree: " << tree_out.status().ToString();
+  const std::vector<TraceEvent> fast_events = fast_sink.TakeEvents();
+  const std::vector<TraceEvent> tree_events = tree_sink.TakeEvents();
+  ASSERT_EQ(fast_events.size(), tree_events.size())
+      << "fast trace:\n" << FormatTrace(fast_events) << "tree trace:\n"
+      << FormatTrace(tree_events);
+  for (size_t i = 0; i < fast_events.size(); ++i) {
+    EXPECT_EQ(TraceEventFingerprint(fast_events[i]),
+              TraceEventFingerprint(tree_events[i]))
+        << "event " << i << "\nfast: " << FormatTraceEvent(fast_events[i])
+        << "\ntree: " << FormatTraceEvent(tree_events[i]);
+  }
+}
+
 // Enumerates `entry` on both engines and requires bit-identical results:
 // same outcome order, values, probability bits, and ECV draw sequences —
-// or the same error code and message.
+// or the same error code and message. Also checks trace parity, so the
+// whole parity corpus exercises the event stream.
 void ExpectEnumerationParity(const Program& program, const std::string& entry,
                              const std::vector<Value>& args,
                              const EcvProfile& profile = {}) {
+  ExpectTraceParity(program, entry, args, profile);
   Evaluator fast(program, FastOptions());
   Evaluator tree(program, TreeOptions());
   auto fast_out = fast.Enumerate(entry, args, profile);

@@ -6,10 +6,16 @@
 //                                        expectation + exact distribution
 //   eilc paths  FILE ENTRY ARGS...       enumerate ECV draw sequences
 //   eilc bounds FILE ENTRY LO:HI...      guaranteed worst-case interval
+//   eilc trace  FILE ENTRY ARGS... [--chrome-trace OUT.json]
+//                                        energy provenance tree; optionally
+//                                        a Chrome trace_event JSON dump
 //
 // Numeric ARGS are numbers; `true`/`false` are booleans. --ecv NAME=VALUE
 // pins an ECV (VALUE in {true,false} or a number); --ecv NAME~P sets a
 // Bernoulli probability.
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 evaluation budget exhausted
+// (max_steps / max_call_depth / max_paths).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,8 @@
 #include "src/lang/checker.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
+#include "src/obs/provenance.h"
+#include "src/obs/trace.h"
 
 namespace eclarity {
 namespace {
@@ -33,8 +41,25 @@ int Usage() {
                "usage: eilc check|print FILE\n"
                "       eilc eval  FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
                "       eilc paths FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
-               "       eilc bounds FILE ENTRY LO:HI...\n");
+               "       eilc bounds FILE ENTRY LO:HI...\n"
+               "       eilc trace FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
+               " [--chrome-trace OUT.json]\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 budget exhausted\n");
   return 2;
+}
+
+// Evaluation budgets (max_steps, max_call_depth, max_paths) exhausting is a
+// distinct failure mode — the program may be fine but too big to analyse
+// with the current limits — so it gets its own exit code.
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  if (status.code() == StatusCode::kResourceExhausted) {
+    std::fprintf(stderr,
+                 "evaluation budget exhausted (exit 3); raise the relevant "
+                 "budget or simplify the entry call\n");
+    return 3;
+  }
+  return 1;
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -181,8 +206,7 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
   if (mode == "paths") {
     auto outcomes = evaluator.Enumerate(entry, args, *profile);
     if (!outcomes.ok()) {
-      std::fprintf(stderr, "%s\n", outcomes.status().ToString().c_str());
-      return 1;
+      return FailWith(outcomes.status());
     }
     for (const WeightedOutcome& o : *outcomes) {
       std::printf("p=%-10.6g %-16s", o.probability,
@@ -196,8 +220,7 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
   }
   auto dist = evaluator.EvalDistribution(entry, args, *profile);
   if (!dist.ok()) {
-    std::fprintf(stderr, "%s\n", dist.status().ToString().c_str());
-    return 1;
+    return FailWith(dist.status());
   }
   std::printf("expected:     %s\n",
               Energy::Joules(dist->Mean()).ToString().c_str());
@@ -209,6 +232,71 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
   std::printf("p95:          %s\n",
               Energy::Joules(dist->Quantile(0.95)).ToString().c_str());
   std::printf("distribution: %s\n", dist->ToString().c_str());
+  return 0;
+}
+
+int Trace(const std::string& path, const std::string& entry,
+          std::vector<std::string> rest) {
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::string chrome_out;
+  std::vector<std::string> kept;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--chrome-trace") {
+      if (i + 1 >= rest.size()) {
+        std::fprintf(stderr, "--chrome-trace needs an output path\n");
+        return 2;
+      }
+      chrome_out = rest[++i];
+    } else {
+      kept.push_back(rest[i]);
+    }
+  }
+  rest = std::move(kept);
+  auto profile = ExtractProfile(rest);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Value> args;
+  for (const std::string& text : rest) {
+    auto v = ParseValueArg(text);
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    args.push_back(*v);
+  }
+  auto tree = ComputeProvenance(*program, entry, args, *profile);
+  if (!tree.ok()) {
+    return FailWith(tree.status());
+  }
+  std::printf("%s", RenderProvenanceTree(*tree).c_str());
+  if (!chrome_out.empty()) {
+    RecordingTraceSink sink;
+    EvalOptions options;
+    options.trace = &sink;
+    Evaluator evaluator(*program, options);
+    auto outcomes = evaluator.Enumerate(entry, args, *profile);
+    if (!outcomes.ok()) {
+      return FailWith(outcomes.status());
+    }
+    std::ofstream out(chrome_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", chrome_out.c_str());
+      return 1;
+    }
+    WriteChromeTrace(sink.TakeEvents(), entry, out);
+    std::printf("chrome trace: %s\n", chrome_out.c_str());
+  }
   return 0;
 }
 
@@ -272,6 +360,9 @@ int Main(int argc, char** argv) {
   std::vector<std::string> rest(argv + 4, argv + argc);
   if (command == "eval" || command == "paths") {
     return EvalOrPaths(command, path, entry, std::move(rest));
+  }
+  if (command == "trace") {
+    return Trace(path, entry, std::move(rest));
   }
   if (command == "bounds") {
     return Bounds(path, entry, rest);
