@@ -2,11 +2,16 @@
 // proxy vs a scheduler that consults task energy interfaces (paper §1).
 //
 // Pass --metrics to dump the toolkit metrics registry (Prometheus text) and
-// the prediction-accuracy audit trail after the runs.
+// the prediction-accuracy audit trail after the runs. Pass
+// --chaos[=PLAN.json] to re-run the interface scheduler under a fault plan
+// (default: RAPL glitches + DVFS throttling) and report how the pipeline
+// degrades and recovers.
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "src/fault/chaos.h"
 #include "src/obs/accuracy.h"
 #include "src/obs/metrics.h"
 #include "src/sched/eas.h"
@@ -14,11 +19,71 @@
 
 using namespace eclarity;
 
+namespace {
+
+int RunChaos(const std::string& plan_path) {
+  EasChaosOptions options;
+  if (plan_path.empty()) {
+    options.plan.seed = 11;
+    options.plan.rapl_jump_p = 0.04;
+    options.plan.rapl_reset_p = 0.01;
+    options.plan.dvfs_throttle_p = 0.03;
+    options.plan.throttle_scale = 0.6;
+    options.plan.throttle_quanta = 6;
+    options.plan.max_consecutive = 4;
+  } else {
+    auto loaded = LoadFaultPlan(plan_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    options.plan = *loaded;
+  }
+  auto report = RunEasChaos(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n--- chaos: interface scheduler under faults ---\n");
+  std::printf("plan:            %s\n", FaultPlanToJson(options.plan).c_str());
+  std::printf("energy:          %.3f J over %d quanta\n",
+              report->run.total_energy.joules(), report->run.quanta);
+  std::printf("injected:        %llu rapl faults, %llu throttle events\n",
+              static_cast<unsigned long long>(report->injected_rapl),
+              static_cast<unsigned long long>(report->throttle_events));
+  std::printf("degraded quanta: %d (throttled %d)\n",
+              report->run.degraded_quanta, report->run.throttled_quanta);
+  std::printf("rapl audit:      %d implausible deltas dropped, %d reads "
+              "rejected by the breaker\n",
+              report->run.implausible_deltas,
+              report->run.guard_rejected_reads);
+  std::printf("breaker:         %s after %llu transitions\n",
+              TelemetryGuard::StateName(report->final_guard_state),
+              static_cast<unsigned long long>(report->guard_transitions));
+  for (const std::string& line : report->guard_log) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("package audit:   window|err|=%.2f%%%s%s\n",
+              report->package_stats.windowed_abs_rel_error * 100.0,
+              report->package_stats.drift_alarm ? "  [DRIFT]" : "",
+              report->package_stats.quarantined ? "  [QUARANTINED]" : "");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool want_metrics = false;
+  bool want_chaos = false;
+  std::string chaos_plan;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       want_metrics = true;
+    } else if (std::strncmp(argv[i], "--chaos", 7) == 0) {
+      want_chaos = true;
+      if (argv[i][7] == '=') {
+        chaos_plan = argv[i] + 8;
+      }
     }
   }
   const CpuProfile profile = BigLittleProfile();
@@ -81,6 +146,9 @@ int main(int argc, char** argv) {
                 MetricsRegistry::Global().ToPrometheusText().c_str());
     std::printf("\n--- prediction accuracy ---\n%s",
                 AccuracyMonitor::Global().Report().c_str());
+  }
+  if (want_chaos) {
+    return RunChaos(chaos_plan);
   }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/fault/guard.h"
+#include "src/fault/inject.h"
 #include "src/lang/parser.h"
 #include "src/ml/gpt2_iface.h"  // TraceDuration
 
@@ -46,6 +48,18 @@ double NodeJoulesPerOp(const CpuProfile& profile, int opp_index,
              busy_per_op;
 }
 
+// Fallback estimate for a GPU span when telemetry is out: the linear
+// counter model plus static power, without the residuals only a counter
+// read could see.
+Energy ModeledKernelEnergy(const GpuProfile& profile, const KernelStats& k,
+                           Duration duration) {
+  return profile.energy_per_instruction * k.instructions +
+         profile.energy_per_l1_wavefront * k.l1_wavefronts +
+         profile.energy_per_l2_sector * k.l2_sectors +
+         profile.energy_per_vram_sector * k.vram_sectors +
+         profile.static_power * duration;
+}
+
 }  // namespace
 
 double WebService::ZeroFraction(uint64_t image_id) const {
@@ -70,6 +84,14 @@ WebService::WebService(WebServiceConfig config, uint64_t seed)
   (void)remote_node_.SetOpp(0, config_.node_opp);
 }
 
+void WebService::ArmFaults(FaultInjector* injector, TelemetryGuard* gpu_guard) {
+  fault_ = injector;
+  gpu_guard_ = gpu_guard;
+  nvml_.ArmFaults(injector);
+  node_.ArmRaplFaults(injector);
+  remote_node_.ArmRaplFaults(injector);
+}
+
 Result<Energy> WebService::ChargeNode(CpuDevice& device, double ops) {
   const double rate =
       device.PeakOpsPerSecond(0) *
@@ -82,7 +104,38 @@ Result<Energy> WebService::ChargeNode(CpuDevice& device, double ops) {
       device.RunQuantum(0, quantum, ops, config_.memory_intensity).status());
   device.FinishQuantum(quantum);
   const uint32_t after = device.Rapl().ReadRegister();
-  return RaplCounter::EnergyBetween(before, after);
+  if (fault_ == nullptr) {
+    return RaplCounter::EnergyBetween(before, after);
+  }
+  const Result<Energy> span = RaplCounter::EnergyBetween(
+      before, after, quantum, device.MaxPlausiblePower());
+  if (span.ok()) {
+    return span;
+  }
+  // Register glitch (injected jump or reset): bill the modeled cost rather
+  // than garbage.
+  ++node_fallbacks_;
+  return Energy::Joules(ops * NodeJoulesPerOp(device.profile(),
+                                              config_.node_opp,
+                                              config_.memory_intensity));
+}
+
+Result<Energy> WebService::ReadGpuEnergy() {
+  if (gpu_guard_ != nullptr && !gpu_guard_->AllowRead()) {
+    ++gpu_guard_rejections_;
+    return UnavailableError("gpu telemetry circuit open");
+  }
+  Result<Energy> read = (fault_ != nullptr && fault_->armed())
+                            ? nvml_.ReadWithRetry()
+                            : Result<Energy>(nvml_.Read());
+  if (gpu_guard_ != nullptr) {
+    if (read.ok()) {
+      gpu_guard_->RecordSuccess();
+    } else {
+      gpu_guard_->RecordFailure();
+    }
+  }
+  return read;
 }
 
 Result<ServiceRunResult> WebService::Run(size_t n) {
@@ -126,12 +179,34 @@ Result<ServiceRunResult> WebService::Run(size_t n) {
       // Full miss: CNN inference on the GPU, then insert into both tiers.
       ++counters_.cnn_misses;
       const double zeros = config_.image_elements * ZeroFraction(image_id);
-      const Energy gpu_before = nvml_.Read();
-      for (const KernelStats& k :
-           cnn_.InferenceKernels(config_.image_elements, zeros)) {
-        gpu_.ExecuteKernel(k);
+      const bool armed = fault_ != nullptr || gpu_guard_ != nullptr;
+      Energy gpu;
+      if (!armed) {
+        const Energy gpu_before = nvml_.Read();
+        for (const KernelStats& k :
+             cnn_.InferenceKernels(config_.image_elements, zeros)) {
+          gpu_.ExecuteKernel(k);
+        }
+        gpu = nvml_.Read() - gpu_before;
+      } else {
+        const Result<Energy> gpu_before = ReadGpuEnergy();
+        Energy modeled;
+        for (const KernelStats& k :
+             cnn_.InferenceKernels(config_.image_elements, zeros)) {
+          const Duration ran = gpu_.ExecuteKernel(k);
+          modeled += ModeledKernelEnergy(gpu_.profile(), k, ran);
+        }
+        const Result<Energy> gpu_after = ReadGpuEnergy();
+        if (gpu_before.ok() && gpu_after.ok() &&
+            gpu_after.value().joules() >= gpu_before.value().joules()) {
+          gpu = gpu_after.value() - gpu_before.value();
+        } else {
+          // Telemetry out (or a stale repeat crossed the span): bill the
+          // kernel model so the request is never free and never negative.
+          ++gpu_fallbacks_;
+          gpu = modeled;
+        }
       }
-      const Energy gpu = nvml_.Read() - gpu_before;
       const double node_ops = config_.lookup_ops_base +
                               config_.insert_ops_per_byte * response_bytes;
       ECLARITY_ASSIGN_OR_RETURN(Energy node, ChargeNode(node_, node_ops));
@@ -145,6 +220,9 @@ Result<ServiceRunResult> WebService::Run(size_t n) {
     result.measured_energy += request_energy;
   }
   result.counters = counters_;
+  result.gpu_fallbacks = gpu_fallbacks_;
+  result.node_fallbacks = node_fallbacks_;
+  result.gpu_guard_rejections = gpu_guard_rejections_;
   return result;
 }
 

@@ -29,6 +29,8 @@
 
 namespace eclarity {
 
+class TelemetryGuard;
+
 struct WebServiceConfig {
   // Request stream.
   size_t corpus_images = 10000;
@@ -84,6 +86,11 @@ struct ServiceRunResult {
   Energy nic_energy;
   Energy gpu_energy;          // NVML share
   std::vector<double> per_request_joules;  // measured, per request
+  // Degraded-telemetry tallies (cumulative over the service's lifetime,
+  // like `counters`; all zero without ArmFaults).
+  uint64_t gpu_fallbacks = 0;          // CNN spans billed from the kernel model
+  uint64_t node_fallbacks = 0;         // node charges billed from the ops model
+  uint64_t gpu_guard_rejections = 0;   // NVML reads the circuit breaker skipped
 };
 
 class WebService {
@@ -99,10 +106,22 @@ class WebService {
   // Image properties, deterministic in the id.
   double ZeroFraction(uint64_t image_id) const;
 
+  // Arms fault injection on the GPU NVML counter and both nodes' RAPL
+  // registers, with an optional circuit breaker over the NVML source.
+  // While armed, GPU spans read through retry + the breaker and fall back
+  // to the kernel energy model when telemetry is unavailable; node RAPL
+  // deltas pass the elapsed-time plausibility bound and fall back to the
+  // ops cost model when they don't. Both pointers are borrowed and must
+  // outlive the service; nullptrs disarm.
+  void ArmFaults(FaultInjector* injector, TelemetryGuard* gpu_guard);
+
  private:
   // Charges `ops` of service work to `device`, advancing it exactly the
   // busy time (no idle padding). Returns the RAPL-measured delta.
   Result<Energy> ChargeNode(CpuDevice& device, double ops);
+
+  // One guarded GPU energy read (retry while armed, breaker if present).
+  Result<Energy> ReadGpuEnergy();
 
   WebServiceConfig config_;
   Rng rng_;
@@ -115,6 +134,11 @@ class WebService {
   GpuDevice gpu_;
   NvmlCounter nvml_;
   ServiceCounters counters_;
+  FaultInjector* fault_ = nullptr;
+  TelemetryGuard* gpu_guard_ = nullptr;
+  uint64_t gpu_fallbacks_ = 0;
+  uint64_t node_fallbacks_ = 0;
+  uint64_t gpu_guard_rejections_ = 0;
 };
 
 // Emits the Fig. 1 interface for this service configuration:

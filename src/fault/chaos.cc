@@ -1,0 +1,74 @@
+#include "src/fault/chaos.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/fault/inject.h"
+#include "src/sched/eas.h"
+
+namespace eclarity {
+
+// The §1 scenario: a bimodal transcode task next to a steady background
+// task on big.LITTLE. 2e7 ops per 4 ms peak quantum needs a big core
+// (11.2e9 ops/s at top OPP), so placements exercise both clusters.
+std::vector<Task> EasChaosTasks() {
+  return {
+      Task::Transcode("transcode", 3, 5, 2.0e7, 5.0e5),
+      Task::Steady("background", 3.0e6, 0.4),
+  };
+}
+
+Result<EasChaosReport> RunEasChaos(const EasChaosOptions& options) {
+  ECLARITY_RETURN_IF_ERROR(options.plan.Validate());
+  CpuDevice device(BigLittleProfile());
+  const std::vector<Task> tasks = EasChaosTasks();
+  ECLARITY_ASSIGN_OR_RETURN(
+      std::unique_ptr<InterfaceEasScheduler> scheduler,
+      InterfaceEasScheduler::Create(tasks, device.profile(), options.quantum));
+
+  FaultInjector injector(options.plan);
+  TelemetryGuard guard("package_rapl", options.guard);
+  // Local monitor so chaos runs never pollute the process-wide audit trail
+  // (and so two runs of the same options are exactly comparable).
+  AccuracyMonitor monitor;
+  device.ArmRaplFaults(&injector);
+
+  EasChaosReport report;
+  ScheduleTelemetry telemetry;
+  telemetry.faults = &injector;
+  telemetry.guard = &guard;
+  telemetry.monitor = &monitor;
+  telemetry.placement_log = &report.placements;
+
+  ECLARITY_ASSIGN_OR_RETURN(
+      report.run, RunSchedule(device, tasks, *scheduler, options.quanta,
+                              options.quantum, &telemetry));
+  report.scheduler_stats = monitor.Stats(scheduler->name());
+  report.package_stats = monitor.Stats(guard.source());
+  report.final_guard_state = guard.state();
+  report.guard_transitions = guard.transitions();
+  report.guard_log = guard.transition_log();
+  report.injected_rapl = injector.injected_rapl();
+  report.throttle_events = injector.throttle_events();
+  return report;
+}
+
+Result<ServiceChaosReport> RunWebserviceChaos(
+    const ServiceChaosOptions& options) {
+  ECLARITY_RETURN_IF_ERROR(options.plan.Validate());
+  WebService service(WebServiceConfig{}, options.service_seed);
+  FaultInjector injector(options.plan);
+  TelemetryGuard guard("gpu_nvml", options.guard);
+  service.ArmFaults(&injector, &guard);
+
+  ServiceChaosReport report;
+  ECLARITY_ASSIGN_OR_RETURN(report.run, service.Run(options.requests));
+  report.final_guard_state = guard.state();
+  report.guard_transitions = guard.transitions();
+  report.guard_log = guard.transition_log();
+  report.injected_nvml = injector.injected_nvml();
+  report.injected_rapl = injector.injected_rapl();
+  return report;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,83 @@
+// Deterministic chaos harness: full pipelines under fault plans.
+//
+// Each scenario wires a FaultInjector, a TelemetryGuard, and a *local*
+// AccuracyMonitor into one of the toolkit's end-to-end pipelines and runs
+// it to completion, returning every signal the chaos tests assert on: the
+// run result, the placement log, guard state/transitions, audit-trail
+// statistics, and injection tallies. Everything is seeded — the same
+// options always produce the same report — and a zero-fault plan is
+// bit-identical to the un-instrumented pipeline.
+
+#ifndef ECLARITY_SRC_FAULT_CHAOS_H_
+#define ECLARITY_SRC_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/webservice.h"
+#include "src/fault/guard.h"
+#include "src/fault/plan.h"
+#include "src/obs/accuracy.h"
+#include "src/sim/task.h"
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// --- EAS scheduling under faults -------------------------------------------
+
+struct EasChaosOptions {
+  FaultPlanSpec plan;
+  int quanta = 200;
+  Duration quantum = Duration::Milliseconds(4.0);
+  TelemetryGuard::Options guard;
+};
+
+struct EasChaosReport {
+  ScheduleRunResult run;
+  std::vector<Placement> placements;  // every decision, in order
+  // Audit-trail statistics: the per-quantum task audit (scheduler source)
+  // and the package-RAPL audit (guard source).
+  AccuracyMonitor::SourceStats scheduler_stats;
+  AccuracyMonitor::SourceStats package_stats;
+  TelemetryGuard::State final_guard_state = TelemetryGuard::State::kClosed;
+  uint64_t guard_transitions = 0;
+  std::vector<std::string> guard_log;
+  uint64_t injected_rapl = 0;
+  uint64_t throttle_events = 0;
+};
+
+// Runs the bimodal-transcode EAS scenario (big.LITTLE, interface-driven
+// scheduler) for `options.quanta` quanta under the plan.
+Result<EasChaosReport> RunEasChaos(const EasChaosOptions& options);
+
+// The task set RunEasChaos schedules, exposed so tests can reproduce the
+// un-instrumented pipeline exactly.
+std::vector<Task> EasChaosTasks();
+
+// --- The Fig. 1 webservice under faults ------------------------------------
+
+struct ServiceChaosOptions {
+  FaultPlanSpec plan;
+  size_t requests = 300;
+  uint64_t service_seed = 42;
+  TelemetryGuard::Options guard;
+};
+
+struct ServiceChaosReport {
+  ServiceRunResult run;
+  TelemetryGuard::State final_guard_state = TelemetryGuard::State::kClosed;
+  uint64_t guard_transitions = 0;
+  std::vector<std::string> guard_log;
+  uint64_t injected_nvml = 0;
+  uint64_t injected_rapl = 0;
+};
+
+// Serves `options.requests` Zipf requests with the GPU NVML counter and
+// both nodes' RAPL registers armed, the NVML source behind a breaker.
+Result<ServiceChaosReport> RunWebserviceChaos(const ServiceChaosOptions& options);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_FAULT_CHAOS_H_

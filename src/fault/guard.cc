@@ -1,0 +1,115 @@
+#include "src/fault/guard.h"
+
+#include "src/obs/metrics.h"
+
+namespace eclarity {
+namespace {
+
+// Mirrors AccuracyMonitor: source names become metric-name segments.
+std::string SanitizeMetricSegment(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+Counter& GlobalTransitions() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "eclarity_telemetry_guard_transitions_total",
+      "circuit-breaker state transitions across all telemetry guards");
+  return counter;
+}
+
+}  // namespace
+
+TelemetryGuard::TelemetryGuard(std::string source, Options options)
+    : source_(std::move(source)), options_(options) {}
+
+const char* TelemetryGuard::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kHalfOpen:
+      return "half-open";
+    case State::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+void TelemetryGuard::TransitionTo(State next) {
+  if (next == state_) {
+    return;
+  }
+  transition_log_.push_back(source_ + ": " + StateName(state_) + "->" +
+                            StateName(next));
+  state_ = next;
+  ++transitions_;
+  GlobalTransitions().Increment();
+  if (next == State::kOpen) {
+    cooldown_left_ = options_.open_cooldown;
+  }
+  if (next == State::kHalfOpen) {
+    half_open_streak_ = 0;
+  }
+  if (next == State::kClosed) {
+    consecutive_failures_ = 0;
+  }
+}
+
+bool TelemetryGuard::AllowRead() {
+  if (state_ != State::kOpen) {
+    return true;
+  }
+  ++rejected_;
+  if (--cooldown_left_ <= 0) {
+    TransitionTo(State::kHalfOpen);
+  }
+  return false;
+}
+
+void TelemetryGuard::RecordSuccess() {
+  ++successes_;
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_streak_ >= options_.half_open_successes) {
+      TransitionTo(State::kClosed);
+    }
+  }
+}
+
+void TelemetryGuard::RecordFailure() {
+  ++failures_;
+  if (state_ == State::kHalfOpen) {
+    TransitionTo(State::kOpen);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    TransitionTo(State::kOpen);
+  }
+}
+
+void TelemetryGuard::ExportTo(MetricsRegistry& registry) const {
+  const std::string prefix =
+      "eclarity_telemetry_guard_" + SanitizeMetricSegment(source_);
+  registry
+      .GetGauge(prefix + "_state",
+                "breaker state: 0 closed, 1 half-open, 2 open")
+      .Set(static_cast<double>(state_));
+  registry.GetGauge(prefix + "_transitions", "breaker state transitions")
+      .Set(static_cast<double>(transitions_));
+  registry.GetGauge(prefix + "_failures", "recorded read failures")
+      .Set(static_cast<double>(failures_));
+  registry.GetGauge(prefix + "_successes", "recorded read successes")
+      .Set(static_cast<double>(successes_));
+  registry.GetGauge(prefix + "_rejected", "reads rejected while open")
+      .Set(static_cast<double>(rejected_));
+}
+
+}  // namespace eclarity

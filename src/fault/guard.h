@@ -1,0 +1,87 @@
+// TelemetryGuard: a circuit breaker per counter source.
+//
+// When a telemetry source (the GPU's NVML counter, a package RAPL register)
+// starts failing, consumers must neither crash nor keep trusting garbage.
+// The guard implements the classic three-state breaker:
+//
+//   closed     reads flow; N consecutive failures trip the breaker
+//   open       reads are rejected outright; after `open_cooldown` rejected
+//              requests the breaker half-opens
+//   half-open  probe reads are admitted; `half_open_successes` consecutive
+//              successes re-close the breaker, any failure re-opens it
+//
+// Time in the simulation is virtual, so the open-state cooldown counts
+// rejected requests rather than wall seconds. State and transition counts
+// export through MetricsRegistry like every other toolkit signal.
+
+#ifndef ECLARITY_SRC_FAULT_GUARD_H_
+#define ECLARITY_SRC_FAULT_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eclarity {
+
+class MetricsRegistry;
+
+class TelemetryGuard {
+ public:
+  enum class State { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  struct Options {
+    int failure_threshold = 3;    // closed -> open after N consecutive fails
+    int open_cooldown = 4;        // rejected reads before half-opening
+    int half_open_successes = 2;  // successes needed to close again
+  };
+
+  explicit TelemetryGuard(std::string source)
+      : TelemetryGuard(std::move(source), Options()) {}
+  TelemetryGuard(std::string source, Options options);
+
+  const std::string& source() const { return source_; }
+  State state() const { return state_; }
+  bool closed() const { return state_ == State::kClosed; }
+  bool open() const { return state_ == State::kOpen; }
+
+  // True when a read should be attempted. In the open state this rejects
+  // (and counts toward the cooldown); in half-open it admits probes.
+  bool AllowRead();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  uint64_t failures() const { return failures_; }
+  uint64_t successes() const { return successes_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t transitions() const { return transitions_; }
+  // "<source>: closed->open" entries, in order.
+  const std::vector<std::string>& transition_log() const {
+    return transition_log_;
+  }
+
+  // Publishes eclarity_telemetry_guard_<source>_{state,transitions,...}
+  // gauges into `registry`.
+  void ExportTo(MetricsRegistry& registry) const;
+
+  static const char* StateName(State state);
+
+ private:
+  void TransitionTo(State next);
+
+  const std::string source_;
+  const Options options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int cooldown_left_ = 0;
+  int half_open_streak_ = 0;
+  uint64_t failures_ = 0;
+  uint64_t successes_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t transitions_ = 0;
+  std::vector<std::string> transition_log_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_FAULT_GUARD_H_

@@ -1,0 +1,96 @@
+#include "src/fault/inject.h"
+
+namespace eclarity {
+
+FaultInjector::FaultInjector(FaultPlanSpec spec)
+    : spec_(spec), armed_(spec.armed()), rng_(spec.seed) {}
+
+bool FaultInjector::MayInject() {
+  ++decisions_;
+  if (spec_.stop_after > 0 && decisions_ > spec_.stop_after) {
+    return false;  // the episode has healed
+  }
+  if (spec_.max_consecutive > 0 && consecutive_ >= spec_.max_consecutive) {
+    consecutive_ = 0;  // force a success so retry loops can make progress
+    return false;
+  }
+  return true;
+}
+
+ReadFault FaultInjector::NextNvmlFault() {
+  if (!armed_) {
+    return ReadFault::kNone;
+  }
+  const double u = rng_.UniformDouble();
+  if (!MayInject()) {
+    return ReadFault::kNone;
+  }
+  ReadFault fault = ReadFault::kNone;
+  if (u < spec_.nvml_fail_p) {
+    fault = ReadFault::kFail;
+  } else if (u < spec_.nvml_fail_p + spec_.nvml_timeout_p) {
+    fault = ReadFault::kTimeout;
+  } else if (u < spec_.nvml_fail_p + spec_.nvml_timeout_p +
+                     spec_.nvml_stale_p) {
+    fault = ReadFault::kStale;
+  }
+  if (fault == ReadFault::kNone) {
+    consecutive_ = 0;
+    return fault;
+  }
+  ++consecutive_;
+  ++injected_nvml_;
+  return fault;
+}
+
+RaplFault FaultInjector::NextRaplFault() {
+  RaplFault fault;
+  if (!armed_) {
+    return fault;
+  }
+  const double u = rng_.UniformDouble();
+  if (!MayInject()) {
+    return fault;
+  }
+  if (u < spec_.rapl_reset_p) {
+    fault.reset = true;
+  } else if (u < spec_.rapl_reset_p + spec_.rapl_jump_p) {
+    // A large forward jump: between ~2^28 and ~2^31 ticks (4 kJ .. 32 kJ
+    // equivalent), far beyond what one quantum's power budget allows, so the
+    // elapsed-time plausibility bound catches it.
+    fault.jump_ticks =
+        (1ULL << 28) + rng_.UniformUint64((1ULL << 31) - (1ULL << 28));
+  }
+  if (!fault.reset && fault.jump_ticks == 0) {
+    consecutive_ = 0;
+    return fault;
+  }
+  ++consecutive_;
+  ++injected_rapl_;
+  return fault;
+}
+
+bool FaultInjector::NextThrottleEvent() {
+  if (!armed_ || spec_.dvfs_throttle_p <= 0.0) {
+    return false;
+  }
+  const double u = rng_.UniformDouble();
+  if (!MayInject()) {
+    return false;
+  }
+  if (u < spec_.dvfs_throttle_p) {
+    ++throttle_events_;
+    consecutive_ = 0;  // throttling is not a read failure
+    return true;
+  }
+  return false;
+}
+
+Duration FaultInjector::NextLatencyJitter() {
+  if (!armed_ || spec_.latency_jitter <= Duration::Zero()) {
+    return Duration::Zero();
+  }
+  return spec_.latency_jitter * rng_.UniformDouble();
+}
+
+}  // namespace eclarity

@@ -1,0 +1,72 @@
+// Deterministic fault injector: turns a FaultPlanSpec into a concrete,
+// replayable sequence of fault decisions.
+//
+// Consumers (NvmlCounter, RaplCounter, the schedule runner) hold a
+// FaultInjector* that is null in fault-free operation — arming is a single
+// pointer check on the hot path, so the layer is zero-cost when no plan is
+// armed. All randomness flows through the injector's private Rng stream,
+// never the substrate's, so a plan perturbs *telemetry* without perturbing
+// the simulated workload itself: a zero-fault plan is bit-identical to the
+// un-instrumented pipeline.
+
+#ifndef ECLARITY_SRC_FAULT_INJECT_H_
+#define ECLARITY_SRC_FAULT_INJECT_H_
+
+#include <cstdint>
+
+#include "src/fault/plan.h"
+#include "src/units/units.h"
+#include "src/util/rng.h"
+
+namespace eclarity {
+
+// Outcome of one NVML-style read decision.
+enum class ReadFault {
+  kNone,     // read succeeds
+  kFail,     // read returns an error
+  kTimeout,  // read times out
+  kStale,    // read repeats the previous sample
+};
+
+// Outcome of one RAPL-style register update decision.
+struct RaplFault {
+  bool reset = false;       // register baseline resets to zero
+  uint64_t jump_ticks = 0;  // register jumps forward by this many ticks
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlanSpec spec);
+
+  const FaultPlanSpec& spec() const { return spec_; }
+  bool armed() const { return armed_; }
+
+  // One decision per telemetry event. Deterministic in (seed, call order).
+  ReadFault NextNvmlFault();
+  RaplFault NextRaplFault();
+  bool NextThrottleEvent();
+  Duration NextLatencyJitter();
+
+  // Injection tallies, for chaos reports.
+  uint64_t decisions() const { return decisions_; }
+  uint64_t injected_nvml() const { return injected_nvml_; }
+  uint64_t injected_rapl() const { return injected_rapl_; }
+  uint64_t throttle_events() const { return throttle_events_; }
+
+ private:
+  // Applies the consecutive-fault cap and the stop_after healing point.
+  bool MayInject();
+
+  FaultPlanSpec spec_;
+  bool armed_;
+  Rng rng_;
+  uint64_t decisions_ = 0;
+  int consecutive_ = 0;
+  uint64_t injected_nvml_ = 0;
+  uint64_t injected_rapl_ = 0;
+  uint64_t throttle_events_ = 0;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_FAULT_INJECT_H_

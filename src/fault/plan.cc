@@ -1,0 +1,187 @@
+#include "src/fault/plan.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace eclarity {
+namespace {
+
+// Minimal scanner for the flat plan schema: one JSON object whose values are
+// all numbers. Tolerates arbitrary whitespace; rejects nesting and strings.
+struct PlanScanner {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> Key() {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != '"') {
+      return InvalidArgumentError("fault plan: expected a quoted key");
+    }
+    const size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) {
+      return InvalidArgumentError("fault plan: unterminated key");
+    }
+    std::string key = text.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    return key;
+  }
+
+  Result<double> Number() {
+    SkipSpace();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      return InvalidArgumentError("fault plan: expected a number");
+    }
+    pos += static_cast<size_t>(end - start);
+    return v;
+  }
+};
+
+Status CheckProbability(const char* name, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return InvalidArgumentError(std::string("fault plan: ") + name +
+                                " must be in [0, 1]");
+  }
+  return OkStatus();
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool FaultPlanSpec::armed() const {
+  return nvml_fail_p > 0.0 || nvml_timeout_p > 0.0 || nvml_stale_p > 0.0 ||
+         rapl_jump_p > 0.0 || rapl_reset_p > 0.0 || dvfs_throttle_p > 0.0 ||
+         latency_jitter > Duration::Zero();
+}
+
+Status FaultPlanSpec::Validate() const {
+  ECLARITY_RETURN_IF_ERROR(CheckProbability("nvml_fail_p", nvml_fail_p));
+  ECLARITY_RETURN_IF_ERROR(CheckProbability("nvml_timeout_p", nvml_timeout_p));
+  ECLARITY_RETURN_IF_ERROR(CheckProbability("nvml_stale_p", nvml_stale_p));
+  ECLARITY_RETURN_IF_ERROR(CheckProbability("rapl_jump_p", rapl_jump_p));
+  ECLARITY_RETURN_IF_ERROR(CheckProbability("rapl_reset_p", rapl_reset_p));
+  ECLARITY_RETURN_IF_ERROR(
+      CheckProbability("dvfs_throttle_p", dvfs_throttle_p));
+  if (throttle_scale <= 0.0 || throttle_scale > 1.0) {
+    return InvalidArgumentError("fault plan: throttle_scale must be in (0, 1]");
+  }
+  if (throttle_quanta < 1) {
+    return InvalidArgumentError("fault plan: throttle_quanta must be >= 1");
+  }
+  if (latency_jitter < Duration::Zero()) {
+    return InvalidArgumentError("fault plan: latency_jitter must be >= 0");
+  }
+  return OkStatus();
+}
+
+Result<FaultPlanSpec> ParseFaultPlan(const std::string& json) {
+  FaultPlanSpec spec;
+  PlanScanner scan{json};
+  if (!scan.Consume('{')) {
+    return InvalidArgumentError("fault plan: expected '{'");
+  }
+  if (!scan.Consume('}')) {
+    while (true) {
+      ECLARITY_ASSIGN_OR_RETURN(std::string key, scan.Key());
+      if (!scan.Consume(':')) {
+        return InvalidArgumentError("fault plan: expected ':' after \"" + key +
+                                    "\"");
+      }
+      ECLARITY_ASSIGN_OR_RETURN(double v, scan.Number());
+      if (key == "seed") {
+        spec.seed = static_cast<uint64_t>(v);
+      } else if (key == "nvml_fail_p") {
+        spec.nvml_fail_p = v;
+      } else if (key == "nvml_timeout_p") {
+        spec.nvml_timeout_p = v;
+      } else if (key == "nvml_stale_p") {
+        spec.nvml_stale_p = v;
+      } else if (key == "rapl_jump_p") {
+        spec.rapl_jump_p = v;
+      } else if (key == "rapl_reset_p") {
+        spec.rapl_reset_p = v;
+      } else if (key == "dvfs_throttle_p") {
+        spec.dvfs_throttle_p = v;
+      } else if (key == "throttle_scale") {
+        spec.throttle_scale = v;
+      } else if (key == "throttle_quanta") {
+        spec.throttle_quanta = static_cast<int>(v);
+      } else if (key == "latency_jitter_ms") {
+        spec.latency_jitter = Duration::Milliseconds(v);
+      } else if (key == "max_consecutive") {
+        spec.max_consecutive = static_cast<int>(v);
+      } else if (key == "stop_after") {
+        spec.stop_after = static_cast<uint64_t>(v);
+      } else {
+        return InvalidArgumentError("fault plan: unknown key \"" + key + "\"");
+      }
+      if (scan.Consume(',')) {
+        continue;
+      }
+      if (scan.Consume('}')) {
+        break;
+      }
+      return InvalidArgumentError("fault plan: expected ',' or '}'");
+    }
+  }
+  scan.SkipSpace();
+  if (scan.pos != json.size()) {
+    return InvalidArgumentError("fault plan: trailing garbage after '}'");
+  }
+  ECLARITY_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+Result<FaultPlanSpec> LoadFaultPlan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open fault plan '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return ParseFaultPlan(contents.str());
+}
+
+std::string FaultPlanToJson(const FaultPlanSpec& spec) {
+  std::ostringstream os;
+  os << "{\"seed\": " << spec.seed
+     << ", \"nvml_fail_p\": " << Num(spec.nvml_fail_p)
+     << ", \"nvml_timeout_p\": " << Num(spec.nvml_timeout_p)
+     << ", \"nvml_stale_p\": " << Num(spec.nvml_stale_p)
+     << ", \"rapl_jump_p\": " << Num(spec.rapl_jump_p)
+     << ", \"rapl_reset_p\": " << Num(spec.rapl_reset_p)
+     << ", \"dvfs_throttle_p\": " << Num(spec.dvfs_throttle_p)
+     << ", \"throttle_scale\": " << Num(spec.throttle_scale)
+     << ", \"throttle_quanta\": " << spec.throttle_quanta
+     << ", \"latency_jitter_ms\": " << Num(spec.latency_jitter.milliseconds())
+     << ", \"max_consecutive\": " << spec.max_consecutive
+     << ", \"stop_after\": " << spec.stop_after << "}";
+  return os.str();
+}
+
+}  // namespace eclarity

@@ -1,0 +1,77 @@
+// Fault plans: the scriptable description of how telemetry misbehaves.
+//
+// The paper validates energy interfaces against counter measurements
+// (Table 1), but real RAPL/NVML telemetry drops reads, returns stale
+// samples, wraps, resets, and throttles. A FaultPlanSpec describes the
+// *statistics* of such an episode — per-read failure probabilities, DVFS
+// throttle events, latency jitter, and an optional healing point — and a
+// seed that makes every episode deterministic. Plans are scriptable from a
+// small flat JSON format (see ParseFaultPlan) so `eilc chaos` and the chaos
+// tests can share fault scenarios as files.
+
+#ifndef ECLARITY_SRC_FAULT_PLAN_H_
+#define ECLARITY_SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+struct FaultPlanSpec {
+  // Seed for the plan's private RNG stream; the same spec always injects
+  // the same fault sequence.
+  uint64_t seed = 0x5eedULL;
+
+  // NVML-side per-read fault probabilities.
+  double nvml_fail_p = 0.0;     // read returns an error
+  double nvml_timeout_p = 0.0;  // read times out (distinct message, same cost)
+  double nvml_stale_p = 0.0;    // read repeats the previous sample
+
+  // RAPL-side per-update fault probabilities.
+  double rapl_jump_p = 0.0;   // register jumps by a large tick count
+                              // (missed wraps / SMM corruption)
+  double rapl_reset_p = 0.0;  // register resets to zero
+
+  // DVFS throttle events (per scheduling quantum).
+  double dvfs_throttle_p = 0.0;  // probability a throttle episode starts
+  double throttle_scale = 0.5;   // effective frequency scale while throttled
+  int throttle_quanta = 4;       // episode length in quanta
+
+  // Telemetry latency jitter: each read may be delayed by up to this much
+  // device time (uniform), smearing which activity a sample attributes.
+  Duration latency_jitter = Duration::Zero();
+
+  // Cap on consecutive injected faults, so retry loops can heal; <= 0
+  // disables the cap.
+  int max_consecutive = 16;
+
+  // Stop injecting after this many fault decisions (0 = never stop). Lets a
+  // plan model an outage that heals, for "error re-converges" assertions.
+  uint64_t stop_after = 0;
+
+  // True when any fault has a chance of firing.
+  bool armed() const;
+
+  // Range-checks probabilities and knobs.
+  Status Validate() const;
+};
+
+// Parses the flat JSON plan format:
+//   {"seed": 7, "nvml_fail_p": 0.2, "rapl_jump_p": 0.05,
+//    "dvfs_throttle_p": 0.02, "throttle_scale": 0.5, "throttle_quanta": 6,
+//    "latency_jitter_ms": 2.0, "max_consecutive": 8, "stop_after": 500}
+// Unknown keys are errors; omitted keys keep their defaults.
+Result<FaultPlanSpec> ParseFaultPlan(const std::string& json);
+
+// Reads and parses a plan file.
+Result<FaultPlanSpec> LoadFaultPlan(const std::string& path);
+
+// Serialises a spec back to the JSON plan format (round-trips ParseFaultPlan).
+std::string FaultPlanToJson(const FaultPlanSpec& spec);
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_FAULT_PLAN_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/fault/inject.h"
 #include "src/obs/metrics.h"
 
 namespace eclarity {
@@ -13,6 +14,20 @@ Counter& NvmlReads() {
   return counter;
 }
 
+Counter& NvmlFailures() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "eclarity_hw_nvml_read_failures_total",
+      "NVML-style reads that failed, timed out, or were detected stale");
+  return counter;
+}
+
+Counter& NvmlRetries() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "eclarity_hw_nvml_retries_total",
+      "NVML-style read retry attempts (beyond the first)");
+  return counter;
+}
+
 Counter& RaplWraps() {
   static Counter& counter = MetricsRegistry::Global().GetCounter(
       "eclarity_hw_rapl_wraps_total",
@@ -20,12 +35,18 @@ Counter& RaplWraps() {
   return counter;
 }
 
+Counter& RaplImplausible() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "eclarity_hw_rapl_implausible_deltas_total",
+      "RAPL deltas rejected by the elapsed-time plausibility bound");
+  return counter;
+}
+
 }  // namespace
 
 NvmlCounter::NvmlCounter(const GpuDevice& device) : device_(&device) {}
 
-Energy NvmlCounter::Read() {
-  NvmlReads().Increment();
+Energy NvmlCounter::ReadFresh() {
   if (device_->profile().telemetry == GpuTelemetryKind::kEnergyCounter) {
     return device_->ReadEnergyRegister();
   }
@@ -41,13 +62,85 @@ Energy NvmlCounter::Read() {
   return integrated_;
 }
 
+Energy NvmlCounter::Read() {
+  NvmlReads().Increment();
+  return ReadFresh();
+}
+
+Result<Energy> NvmlCounter::TryRead() {
+  NvmlReads().Increment();
+  const ReadFault fault = (fault_ != nullptr && fault_->armed())
+                              ? fault_->NextNvmlFault()
+                              : ReadFault::kNone;
+  switch (fault) {
+    case ReadFault::kFail:
+      NvmlFailures().Increment();
+      return UnavailableError("nvml: counter read failed");
+    case ReadFault::kTimeout:
+      NvmlFailures().Increment();
+      return UnavailableError("nvml: counter read timed out");
+    case ReadFault::kStale: {
+      // The driver hands back the previous sample. Detectably stale when the
+      // device must have accrued at least one resolution step of static
+      // energy since the last read; otherwise indistinguishable from a
+      // legitimately idle device, so return the (monotone) repeat.
+      const Energy provable_accrual =
+          device_->profile().static_power * (device_->Now() - last_read_time_);
+      if (provable_accrual > device_->profile().energy_resolution) {
+        NvmlFailures().Increment();
+        return UnavailableError("nvml: stale sample detected");
+      }
+      return last_value_;
+    }
+    case ReadFault::kNone:
+      break;
+  }
+  const Energy value = ReadFresh();
+  last_value_ = value;
+  last_read_time_ = device_->Now();
+  return value;
+}
+
+Result<Energy> NvmlCounter::ReadWithRetry(const RetryPolicy& policy) {
+  Duration backoff = policy.initial_backoff;
+  Status last_error = UnavailableError("nvml: no read attempted");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      NvmlRetries().Increment();
+      backoff_spent_ += backoff;
+      backoff = backoff * policy.backoff_multiplier;
+    }
+    Result<Energy> read = TryRead();
+    if (read.ok()) {
+      return read;
+    }
+    last_error = read.status();
+  }
+  return last_error;
+}
+
 void RaplCounter::Update(Energy cumulative_true) {
   if (cumulative_true.joules() > true_joules_) {
     true_joules_ = cumulative_true.joules();
   }
-  const double ticks = std::floor(true_joules_ / kJoulesPerTick);
+  if (fault_ != nullptr && fault_->armed()) {
+    const RaplFault fault = fault_->NextRaplFault();
+    if (fault.reset) {
+      // The register loses its contents (package reset, MSR glitch): the
+      // visible count restarts from zero while true energy keeps accruing.
+      reset_offset_joules_ = true_joules_;
+      jump_ticks_ = 0;
+      ++injected_resets_;
+    } else if (fault.jump_ticks != 0) {
+      jump_ticks_ += fault.jump_ticks;
+      ++injected_jumps_;
+    }
+  }
+  const double ticks =
+      std::floor((true_joules_ - reset_offset_joules_) / kJoulesPerTick);
   register_ = static_cast<uint32_t>(
-      static_cast<uint64_t>(ticks) & 0xffffffffULL);
+      (static_cast<uint64_t>(ticks) + jump_ticks_) & 0xffffffffULL);
 }
 
 Energy RaplCounter::EnergyBetween(uint32_t before, uint32_t after) {
@@ -57,6 +150,31 @@ Energy RaplCounter::EnergyBetween(uint32_t before, uint32_t after) {
   }
   const uint32_t delta = after - before;
   return Energy::Joules(static_cast<double>(delta) * kJoulesPerTick);
+}
+
+Result<Energy> RaplCounter::EnergyBetween(uint32_t before, uint32_t after,
+                                          Duration elapsed, Power max_power) {
+  if (elapsed < Duration::Zero()) {
+    return InvalidArgumentError("rapl: negative elapsed time");
+  }
+  const double bound_joules = (max_power * elapsed).joules();
+  if (bound_joules >= kWrapSpanJoules) {
+    // The span could legitimately cover more than one full wrap; the 32-bit
+    // delta is ambiguous and no single-wrap correction is trustworthy.
+    RaplImplausible().Increment();
+    return OutOfRangeError(
+        "rapl: possible multi-wrap span (elapsed-time bound covers a full "
+        "register wrap); sample the register more often");
+  }
+  const Energy delta = EnergyBetween(before, after);
+  // Tiny slack absorbs quantisation of the register edges.
+  if (delta.joules() > bound_joules + 2.0 * kJoulesPerTick) {
+    RaplImplausible().Increment();
+    return OutOfRangeError(
+        "rapl: delta exceeds the elapsed-time power bound (register jump, "
+        "reset, or missed wraps)");
+  }
+  return delta;
 }
 
 Energy RaplCounter::ReadUnwrapped() const {

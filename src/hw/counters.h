@@ -14,6 +14,12 @@
 //   * RaplCounter — an MSR-style cumulative energy register: 2^-16 J
 //     (~15.3 uJ) units in a 32-bit register that wraps around every
 //     ~65536 J, as the RAPL MSR does.
+//
+// Both counters also reproduce *failure*: armed with a FaultInjector
+// (src/fault), NVML reads can fail, time out, or repeat stale samples, and
+// the RAPL register can reset or jump. The infallible Read()/Update() API
+// is untouched for fault-free use; fallible consumers use TryRead /
+// ReadWithRetry and the elapsed-time-bounded EnergyBetween overload.
 
 #ifndef ECLARITY_SRC_HW_COUNTERS_H_
 #define ECLARITY_SRC_HW_COUNTERS_H_
@@ -22,8 +28,20 @@
 
 #include "src/hw/gpu.h"
 #include "src/units/units.h"
+#include "src/util/status.h"
 
 namespace eclarity {
+
+class FaultInjector;
+
+// Bounded retry with exponential backoff for fallible counter reads. The
+// backoff is simulated (accumulated, not slept) so chaos runs stay
+// deterministic and fast.
+struct RetryPolicy {
+  int max_attempts = 4;
+  Duration initial_backoff = Duration::Microseconds(50.0);
+  double backoff_multiplier = 2.0;
+};
 
 class NvmlCounter {
  public:
@@ -32,36 +50,89 @@ class NvmlCounter {
 
   // Cumulative measured energy up to the device's current time. Successive
   // reads are monotone; callers measure a span by differencing two reads.
+  // Infallible: ignores any armed fault plan (fault-free fast path).
   Energy Read();
 
+  // Arms fault injection for the fallible read paths. Pass nullptr to
+  // disarm. The injector must outlive the counter.
+  void ArmFaults(FaultInjector* injector) { fault_ = injector; }
+
+  // One fallible read attempt. Returns kUnavailable on an injected read
+  // failure or timeout, and on a *detected* stale sample — a repeat of the
+  // previous value even though the device has provably accrued at least the
+  // counter's resolution of static energy since. An undetectable stale
+  // repeat (no provable accrual) is returned as a normal, monotone value.
+  Result<Energy> TryRead();
+
+  // TryRead with bounded retry and exponential backoff. Returns the last
+  // error when all attempts fail. Backoff time accumulates in
+  // backoff_spent() instead of sleeping.
+  Result<Energy> ReadWithRetry(const RetryPolicy& policy = {});
+
+  Duration backoff_spent() const { return backoff_spent_; }
+  uint64_t retries() const { return retries_; }
+
  private:
+  // The actual telemetry read (shared by Read and TryRead).
+  Energy ReadFresh();
+
   const GpuDevice* device_;
+  FaultInjector* fault_ = nullptr;
   Duration cursor_;    // power-sampling mode: integrated up to here
   Energy integrated_;  // power-sampling mode: accumulated estimate
+  Energy last_value_;  // last value returned by a successful read
+  Duration last_read_time_;
+  Duration backoff_spent_;
+  uint64_t retries_ = 0;
 };
 
 class RaplCounter {
  public:
   // RAPL energy-status unit: 2^-16 J.
   static constexpr double kJoulesPerTick = 1.0 / 65536.0;
+  // Energy span of one full 32-bit wrap: 2^32 ticks = 65536 J.
+  static constexpr double kWrapSpanJoules = 4294967296.0 * kJoulesPerTick;
 
   RaplCounter() = default;
 
-  // Feeds the counter the new cumulative true energy (monotone).
+  // Feeds the counter the new cumulative true energy (monotone). An armed
+  // fault plan may reset the register or jump it forward here.
   void Update(Energy cumulative_true);
+
+  // Arms fault injection on register updates. Pass nullptr to disarm. The
+  // injector must outlive the counter.
+  void ArmFaults(FaultInjector* injector) { fault_ = injector; }
 
   // Raw 32-bit register value (ticks, wraps at 2^32).
   uint32_t ReadRegister() const { return register_; }
 
-  // Measured energy between two register reads, handling one wrap.
+  // Measured energy between two register reads, handling one wrap. Silently
+  // mis-measures spans covering more than one wrap — callers that can bound
+  // the span should use the four-argument overload.
   static Energy EnergyBetween(uint32_t before, uint32_t after);
 
-  // Convenience: quantised cumulative energy (no wrap).
+  // Wrap-safe measurement with an elapsed-time plausibility bound: the span
+  // cannot have consumed more than `max_power * elapsed`. Returns
+  // kOutOfRange when more than one wrap may have occurred within the bound
+  // (the delta is ambiguous) or when the single-wrap delta exceeds the
+  // bound (register jump, reset, or a missed wrap).
+  static Result<Energy> EnergyBetween(uint32_t before, uint32_t after,
+                                      Duration elapsed, Power max_power);
+
+  // Convenience: quantised cumulative energy (no wrap, no faults).
   Energy ReadUnwrapped() const;
+
+  uint64_t injected_resets() const { return injected_resets_; }
+  uint64_t injected_jumps() const { return injected_jumps_; }
 
  private:
   double true_joules_ = 0.0;
   uint32_t register_ = 0;
+  FaultInjector* fault_ = nullptr;
+  double reset_offset_joules_ = 0.0;  // true energy at the last reset
+  uint64_t jump_ticks_ = 0;           // accumulated injected forward jumps
+  uint64_t injected_resets_ = 0;
+  uint64_t injected_jumps_ = 0;
 };
 
 }  // namespace eclarity

@@ -115,12 +115,13 @@ Result<QuantumResult> CpuDevice::RunQuantum(int idx, Duration quantum,
       core.type->opps[static_cast<size_t>(core.opp_index)];
 
   // Memory-bound work stalls the pipeline and draws less switching power.
+  // An active DVFS throttle scales both (multiplying by 1.0 when none is).
   const double throughput_scale =
       1.0 - memory_intensity * (1.0 - stall_.throughput_floor);
   const double power_scale =
-      1.0 - memory_intensity * (1.0 - stall_.power_floor);
-  const double rate =
-      opp.frequency_hz * core.type->ops_per_cycle * throughput_scale;
+      (1.0 - memory_intensity * (1.0 - stall_.power_floor)) * throttle_;
+  const double rate = opp.frequency_hz * core.type->ops_per_cycle *
+                      throughput_scale * throttle_;
   const double capacity = rate * quantum.seconds();
 
   QuantumResult result;
@@ -154,6 +155,25 @@ void CpuDevice::FinishQuantum(Duration quantum) {
 
 Energy CpuDevice::CoreEnergy(int idx) const {
   return cores_[static_cast<size_t>(idx)].energy;
+}
+
+void CpuDevice::SetThrottle(double scale) {
+  throttle_ = std::clamp(scale, 0.05, 1.0);
+}
+
+Power CpuDevice::MaxPlausiblePower() const {
+  Power max = profile_.package_power;
+  for (const CpuCluster& cluster : profile_.clusters) {
+    Power core_max = cluster.type.idle_power;
+    for (const OperatingPoint& opp : cluster.type.opps) {
+      const Power candidate = cluster.type.idle_power + opp.dynamic_power;
+      if (candidate > core_max) {
+        core_max = candidate;
+      }
+    }
+    max += core_max * static_cast<double>(cluster.core_count);
+  }
+  return max;
 }
 
 }  // namespace eclarity

@@ -104,6 +104,20 @@ class CpuDevice {
   // Package-level RAPL view (updated at FinishQuantum).
   const RaplCounter& Rapl() const { return rapl_; }
 
+  // Arms fault injection on the package RAPL register (nullptr disarms).
+  void ArmRaplFaults(FaultInjector* injector) { rapl_.ArmFaults(injector); }
+
+  // DVFS throttle events (thermal/power capping): scales effective core
+  // frequency and dynamic power by `scale` in (0, 1]. Deliberately NOT
+  // reflected in PeakOpsPerSecond — throttling is transparent to schedulers,
+  // which is exactly why their predictions drift while it lasts.
+  void SetThrottle(double scale);
+  double throttle() const { return throttle_; }
+
+  // Conservative package power ceiling: package + every core at its
+  // hungriest OPP plus idle. Plausibility bound for RAPL deltas.
+  Power MaxPlausiblePower() const;
+
  private:
   struct Core {
     const CoreTypeSpec* type;
@@ -118,6 +132,7 @@ class CpuDevice {
   Duration now_;
   Energy total_energy_;
   RaplCounter rapl_;
+  double throttle_ = 1.0;
 };
 
 }  // namespace eclarity

@@ -39,6 +39,12 @@ void AccuracyMonitor::Record(const std::string& source,
   std::lock_guard<std::mutex> lock(mu_);
   SourceState& state = sources_[source];
   ++state.samples;
+  if (state.quarantined) {
+    // Telemetry for this source is currently untrustworthy; count the pair
+    // but keep it out of every error statistic.
+    ++state.quarantined_samples;
+    return;
+  }
   state.predicted_total_j += predicted_joules;
   state.measured_total_j += measured_joules;
   if (measured_joules == 0.0 || !std::isfinite(measured_joules) ||
@@ -64,6 +70,8 @@ AccuracyMonitor::SourceStats AccuracyMonitor::StatsLocked(
   out.predicted_total_j = state.predicted_total_j;
   out.measured_total_j = state.measured_total_j;
   out.max_abs_rel_error = state.max_abs_rel_error;
+  out.quarantined = state.quarantined;
+  out.quarantined_samples = state.quarantined_samples;
   if (state.error_samples > 0) {
     out.mean_abs_rel_error =
         state.abs_rel_error_sum / static_cast<double>(state.error_samples);
@@ -101,6 +109,29 @@ std::vector<std::string> AccuracyMonitor::Sources() const {
   return out;
 }
 
+void AccuracyMonitor::Quarantine(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_[source].quarantined = true;
+}
+
+void AccuracyMonitor::Unquarantine(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sources_.find(source);
+  if (it == sources_.end() || !it->second.quarantined) {
+    return;
+  }
+  it->second.quarantined = false;
+  // The window predates or spans the quarantine; start drift detection
+  // fresh on healed telemetry.
+  it->second.window.clear();
+}
+
+bool AccuracyMonitor::IsQuarantined(const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sources_.find(source);
+  return it != sources_.end() && it->second.quarantined;
+}
+
 bool AccuracyMonitor::AnyDrift() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, state] : sources_) {
@@ -131,7 +162,9 @@ std::string AccuracyMonitor::Report() const {
                   s.mean_abs_rel_error * 100.0,
                   s.windowed_abs_rel_error * 100.0,
                   s.max_abs_rel_error * 100.0,
-                  s.drift_alarm ? "  [DRIFT]" : "");
+                  s.quarantined  ? "  [QUARANTINED]"
+                  : s.drift_alarm ? "  [DRIFT]"
+                                  : "");
     os << line;
   }
   return os.str();
@@ -168,6 +201,10 @@ void AccuracyMonitor::ExportTo(MetricsRegistry& registry) const {
         .GetGauge(prefix + "_drift_alarm",
                   "1 when windowed error exceeds the drift threshold")
         .Set(s.drift_alarm ? 1.0 : 0.0);
+    registry
+        .GetGauge(prefix + "_quarantined",
+                  "1 while the source's telemetry is quarantined")
+        .Set(s.quarantined ? 1.0 : 0.0);
   }
 }
 

@@ -34,6 +34,8 @@ class AccuracyMonitor {
     bool drift_alarm = false;             // windowed error > threshold
     double predicted_total_j = 0.0;
     double measured_total_j = 0.0;
+    bool quarantined = false;             // samples currently being dropped
+    uint64_t quarantined_samples = 0;     // samples dropped while quarantined
   };
 
   // `drift_threshold` is the paper's Table 1 bound by default; the alarm
@@ -56,6 +58,15 @@ class AccuracyMonitor {
   // True if any source's drift alarm is currently tripped.
   bool AnyDrift() const;
 
+  // Quarantine: while a source's telemetry is untrustworthy (circuit open,
+  // implausible counter deltas) its pairs are counted but kept out of the
+  // error statistics, so garbage measurements cannot pollute global stats
+  // or latch the drift alarm. Lifting the quarantine also clears the
+  // windowed history — it was recorded under suspect telemetry.
+  void Quarantine(const std::string& source);
+  void Unquarantine(const std::string& source);
+  bool IsQuarantined(const std::string& source) const;
+
   double drift_threshold() const { return drift_threshold_; }
 
   // Human-readable per-source summary table.
@@ -77,6 +88,8 @@ class AccuracyMonitor {
     double predicted_total_j = 0.0;
     double measured_total_j = 0.0;
     std::deque<double> window;  // most recent abs relative errors
+    bool quarantined = false;
+    uint64_t quarantined_samples = 0;
   };
 
   SourceStats StatsLocked(const SourceState& state) const;

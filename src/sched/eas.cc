@@ -276,6 +276,9 @@ Result<Placement> InterfaceEasScheduler::Place(
   if (best.core < 0) {
     return ResourceExhaustedError("no free core for task '" + task.name + "'");
   }
+  best.uncertainty_joules =
+      best.predicted_joules *
+      (telemetry_degraded_ ? kDegradedUncertainty : kBaseUncertainty);
   (void)device;
   return best;
 }

@@ -1,8 +1,32 @@
 #include "src/sim/task.h"
 
+#include "src/fault/guard.h"
+#include "src/fault/inject.h"
 #include "src/obs/accuracy.h"
 
 namespace eclarity {
+namespace {
+
+// Predicted package energy the schedulers cannot see per task: idle power of
+// cores that ran nothing plus the uncore/package draw.
+double UnscheduledJoules(const CpuDevice& device,
+                         const std::vector<bool>& used_cores,
+                         Duration quantum) {
+  double joules =
+      (device.profile().package_power * quantum).joules();
+  int base = 0;
+  for (const CpuCluster& cluster : device.profile().clusters) {
+    for (int c = base; c < base + cluster.core_count; ++c) {
+      if (!used_cores[static_cast<size_t>(c)]) {
+        joules += (cluster.type.idle_power * quantum).joules();
+      }
+    }
+    base += cluster.core_count;
+  }
+  return joules;
+}
+
+}  // namespace
 
 Task Task::Transcode(std::string name, int peak_quanta, int trough_quanta,
                      double peak_ops, double trough_ops) {
@@ -28,6 +52,14 @@ Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
                                       const std::vector<Task>& tasks,
                                       Scheduler& scheduler, int quanta,
                                       Duration quantum) {
+  return RunSchedule(device, tasks, scheduler, quanta, quantum, nullptr);
+}
+
+Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
+                                      const std::vector<Task>& tasks,
+                                      Scheduler& scheduler, int quanta,
+                                      Duration quantum,
+                                      const ScheduleTelemetry* telemetry) {
   if (tasks.empty()) {
     return InvalidArgumentError("RunSchedule: no tasks");
   }
@@ -37,8 +69,64 @@ Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
   ScheduleRunResult result;
   std::vector<double> history(tasks.size(), 0.0);
 
+  AccuracyMonitor& monitor = (telemetry != nullptr &&
+                              telemetry->monitor != nullptr)
+                                 ? *telemetry->monitor
+                                 : AccuracyMonitor::Global();
+  TelemetryGuard* guard =
+      telemetry != nullptr ? telemetry->guard : nullptr;
+  FaultInjector* faults =
+      (telemetry != nullptr && telemetry->faults != nullptr &&
+       telemetry->faults->armed())
+          ? telemetry->faults
+          : nullptr;
+  const Power max_power = (telemetry != nullptr &&
+                           telemetry->max_power.watts() > 0.0)
+                              ? telemetry->max_power
+                              : device.MaxPlausiblePower();
+
+  // Package-RAPL audit state: deltas are taken between guarded register
+  // reads; spans extend across rejected reads until the next admitted one.
+  uint32_t rapl_baseline = 0;
+  bool have_baseline = false;
+  double pending_predicted_j = 0.0;
+  Duration pending_elapsed;
+  int throttle_left = 0;
+  bool degraded = false;
+
   for (int q = 0; q < quanta; ++q) {
+    // Telemetry health, as of the end of the previous quantum, drives this
+    // quantum's scheduling mode.
+    if (guard != nullptr) {
+      const bool now_degraded =
+          !guard->closed() || monitor.Stats(guard->source()).drift_alarm;
+      if (now_degraded != degraded) {
+        degraded = now_degraded;
+        scheduler.SetTelemetryDegraded(degraded);
+      }
+      if (degraded) {
+        ++result.degraded_quanta;
+      }
+    }
+
+    // DVFS throttle episodes: invisible to the schedulers by design.
+    if (faults != nullptr) {
+      if (throttle_left > 0) {
+        --throttle_left;
+        if (throttle_left == 0) {
+          device.SetThrottle(1.0);
+        }
+      } else if (faults->NextThrottleEvent()) {
+        device.SetThrottle(faults->spec().throttle_scale);
+        throttle_left = faults->spec().throttle_quanta;
+      }
+      if (device.throttle() < 1.0) {
+        ++result.throttled_quanta;
+      }
+    }
+
     std::vector<bool> used(static_cast<size_t>(device.CoreCount()), false);
+    double quantum_predicted_j = 0.0;
     for (size_t t = 0; t < tasks.size(); ++t) {
       const QuantumDemand& demand = tasks[t].DemandAt(q);
       ECLARITY_ASSIGN_OR_RETURN(
@@ -58,9 +146,12 @@ Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
       // Audit the scheduler's energy prediction against what the quantum
       // actually cost — the paper's Table 1 check, run continuously.
       if (placement.predicted_joules > 0.0) {
-        AccuracyMonitor::Global().Record(scheduler.name(),
-                                         placement.predicted_joules,
-                                         executed.energy.joules());
+        monitor.Record(scheduler.name(), placement.predicted_joules,
+                       executed.energy.joules());
+      }
+      quantum_predicted_j += placement.predicted_joules;
+      if (telemetry != nullptr && telemetry->placement_log != nullptr) {
+        telemetry->placement_log->push_back(placement);
       }
       result.total_ops_requested += demand.ops;
       result.total_ops_executed += executed.ops_executed;
@@ -70,6 +161,52 @@ Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
       history[t] = executed.utilization;
     }
     device.FinishQuantum(quantum);
+
+    // Package-level measurement audit through the circuit breaker.
+    if (guard != nullptr) {
+      pending_predicted_j +=
+          quantum_predicted_j + UnscheduledJoules(device, used, quantum);
+      pending_elapsed += quantum;
+      if (!guard->AllowRead()) {
+        ++result.guard_rejected_reads;
+      } else {
+        const uint32_t reg = device.Rapl().ReadRegister();
+        if (!have_baseline) {
+          have_baseline = true;
+          guard->RecordSuccess();
+        } else {
+          const Result<Energy> span = RaplCounter::EnergyBetween(
+              rapl_baseline, reg, pending_elapsed, max_power);
+          if (span.ok()) {
+            guard->RecordSuccess();
+            monitor.Record(guard->source(), pending_predicted_j,
+                           span.value().joules());
+          } else {
+            // The register content is untrustworthy (jump, reset, or an
+            // ambiguous multi-wrap span): drop the span, re-baseline.
+            ++result.implausible_deltas;
+            guard->RecordFailure();
+          }
+        }
+        rapl_baseline = reg;
+        pending_predicted_j = 0.0;
+        pending_elapsed = Duration::Zero();
+      }
+      // Keep garbage measurements out of the audit trail while the breaker
+      // is open; lifting the quarantine also clears the drift window.
+      if (guard->open()) {
+        monitor.Quarantine(guard->source());
+      } else if (guard->closed() &&
+                 monitor.IsQuarantined(guard->source())) {
+        monitor.Unquarantine(guard->source());
+      }
+    }
+  }
+  if (faults != nullptr) {
+    device.SetThrottle(1.0);
+  }
+  if (degraded) {
+    scheduler.SetTelemetryDegraded(false);
   }
   result.total_energy = device.TrueEnergy();
   result.quanta = quanta;

@@ -23,6 +23,10 @@
 
 namespace eclarity {
 
+class AccuracyMonitor;
+class FaultInjector;
+class TelemetryGuard;
+
 // Work a task wants to execute during one quantum.
 struct QuantumDemand {
   double ops = 0.0;
@@ -54,6 +58,9 @@ struct Placement {
   int core = 0;
   int opp = 0;
   double predicted_joules = 0.0;
+  // The scheduler's own error bar on the prediction; widened while its
+  // telemetry feeds are degraded. 0 means "no bar provided".
+  double uncertainty_joules = 0.0;
 };
 
 // Scheduling policy interface. Called once per (task, quantum); the
@@ -70,6 +77,11 @@ class Scheduler {
                                   double history_utilization,
                                   const CpuDevice& device,
                                   const std::vector<bool>& used_cores) = 0;
+  // The run loop flips this while the measurement side is untrustworthy
+  // (circuit open, drift alarm). Schedulers that lean on measured feedback
+  // should fall back to their a-priori model and widen uncertainty; the
+  // default is to ignore it.
+  virtual void SetTelemetryDegraded(bool /*degraded*/) {}
 };
 
 struct ScheduleRunResult {
@@ -80,6 +92,29 @@ struct ScheduleRunResult {
   int missed_quanta = 0;
   int quanta = 0;
   Duration wall_time;
+  // Telemetry-resilience tallies (all zero without a ScheduleTelemetry).
+  int degraded_quanta = 0;        // quanta run with degraded telemetry
+  int throttled_quanta = 0;       // quanta under an injected DVFS throttle
+  int guard_rejected_reads = 0;   // package-RAPL reads the breaker rejected
+  int implausible_deltas = 0;     // RAPL spans dropped by the power bound
+};
+
+// Optional telemetry-resilience wiring for RunSchedule. When provided, the
+// run loop audits the schedulers' summed per-quantum predictions against
+// the package RAPL register (through `guard`'s circuit breaker and the
+// elapsed-time plausibility bound), quarantines the audit source while the
+// breaker is open, injects DVFS throttle episodes from `faults`, and flips
+// Scheduler::SetTelemetryDegraded while measurements are untrustworthy.
+// All pointers are borrowed and optional; a default-constructed struct (or
+// the five-argument overload) changes nothing.
+struct ScheduleTelemetry {
+  FaultInjector* faults = nullptr;   // DVFS throttle episodes (RAPL/NVML
+                                     // faults arm on the counters directly)
+  TelemetryGuard* guard = nullptr;   // breaker over the package RAPL source
+  AccuracyMonitor* monitor = nullptr;  // audit sink; nullptr -> Global()
+  Power max_power;                   // RAPL plausibility bound; default-
+                                     // constructed -> device ceiling
+  std::vector<Placement>* placement_log = nullptr;  // every decision, in order
 };
 
 // Runs `tasks` for `quanta` scheduling quanta of length `quantum` on
@@ -88,6 +123,14 @@ Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
                                       const std::vector<Task>& tasks,
                                       Scheduler& scheduler, int quanta,
                                       Duration quantum);
+
+// As above, with fault injection and degraded-telemetry resilience.
+// `telemetry` may be nullptr (identical to the five-argument overload).
+Result<ScheduleRunResult> RunSchedule(CpuDevice& device,
+                                      const std::vector<Task>& tasks,
+                                      Scheduler& scheduler, int quanta,
+                                      Duration quantum,
+                                      const ScheduleTelemetry* telemetry);
 
 }  // namespace eclarity
 

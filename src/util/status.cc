@@ -1,5 +1,8 @@
 #include "src/util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace eclarity {
 
 const char* StatusCodeName(StatusCode code) {
@@ -22,6 +25,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -65,6 +70,15 @@ Status ResourceExhaustedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result::value() called on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
 }
 
 }  // namespace eclarity

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnimplemented,     // feature intentionally not supported
   kResourceExhausted, // step / recursion / iteration limits hit
   kInternal,          // invariant violation (bug in eclarity itself)
+  kUnavailable,       // transient telemetry/resource failure; retry may help
 };
 
 // Human-readable name for a status code, e.g. "InvalidArgument".
@@ -71,6 +72,12 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+
+// Prints the status and aborts. Result<T>::value() calls this on error-state
+// access so the failure is a loud, deterministic abort on every build type
+// (the std::get path would be UB in NDEBUG builds).
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
 
 // A value of type T or an error Status. Accessing value() on an error, or
 // status() semantics, mirror absl::StatusOr.
@@ -95,15 +102,21 @@ class Result {
   }
 
   const T& value() const& {
-    assert(ok() && "Result::value() called on error");
+    if (!ok()) {
+      DieOnBadResultAccess(std::get<Status>(data_));
+    }
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok() && "Result::value() called on error");
+    if (!ok()) {
+      DieOnBadResultAccess(std::get<Status>(data_));
+    }
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok() && "Result::value() called on error");
+    if (!ok()) {
+      DieOnBadResultAccess(std::get<Status>(data_));
+    }
     return std::get<T>(std::move(data_));
   }
 

@@ -1,0 +1,315 @@
+// Chaos harness tests: the measurement → monitoring → scheduling pipeline
+// under deterministic fault plans. The load-bearing properties:
+//
+//   * determinism — the same plan yields bit-identical reports twice;
+//   * zero-cost disarm — a zero-fault plan is bit-identical to the
+//     un-instrumented pipeline;
+//   * no crash, placements stay feasible, counters stay monotone after
+//     recovery, drift alarms fire under sustained throttling, and the
+//     prediction error re-converges once telemetry heals.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/chaos.h"
+#include "src/fault/inject.h"
+#include "src/fault/plan.h"
+#include "src/hw/counters.h"
+#include "src/hw/gpu.h"
+#include "src/sched/eas.h"
+
+namespace eclarity {
+namespace {
+
+FaultPlanSpec ZeroPlan() {
+  FaultPlanSpec plan;
+  plan.seed = 1;
+  return plan;
+}
+
+FaultPlanSpec RaplGlitchPlan() {
+  FaultPlanSpec plan;
+  plan.seed = 11;
+  plan.rapl_jump_p = 0.04;
+  plan.rapl_reset_p = 0.01;
+  plan.dvfs_throttle_p = 0.03;
+  plan.throttle_scale = 0.6;
+  plan.throttle_quanta = 6;
+  plan.max_consecutive = 4;
+  return plan;
+}
+
+FaultPlanSpec SustainedThrottlePlan() {
+  FaultPlanSpec plan;
+  plan.seed = 17;
+  plan.dvfs_throttle_p = 0.9;
+  plan.throttle_scale = 0.4;
+  plan.throttle_quanta = 10;
+  plan.max_consecutive = 0;
+  return plan;
+}
+
+FaultPlanSpec HealingOutagePlan() {
+  FaultPlanSpec plan;
+  plan.seed = 23;
+  plan.rapl_jump_p = 0.5;
+  plan.max_consecutive = 0;
+  plan.stop_after = 120;
+  return plan;
+}
+
+void ExpectReportsIdentical(const EasChaosReport& a, const EasChaosReport& b) {
+  // Bit-level equality on the energies: determinism means the same floats,
+  // not merely close ones.
+  EXPECT_EQ(a.run.total_energy.joules(), b.run.total_energy.joules());
+  EXPECT_EQ(a.run.total_ops_executed, b.run.total_ops_executed);
+  EXPECT_EQ(a.run.missed_quanta, b.run.missed_quanta);
+  EXPECT_EQ(a.run.degraded_quanta, b.run.degraded_quanta);
+  EXPECT_EQ(a.run.throttled_quanta, b.run.throttled_quanta);
+  EXPECT_EQ(a.run.guard_rejected_reads, b.run.guard_rejected_reads);
+  EXPECT_EQ(a.run.implausible_deltas, b.run.implausible_deltas);
+  EXPECT_EQ(a.injected_rapl, b.injected_rapl);
+  EXPECT_EQ(a.throttle_events, b.throttle_events);
+  EXPECT_EQ(a.guard_log, b.guard_log);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].core, b.placements[i].core);
+    EXPECT_EQ(a.placements[i].opp, b.placements[i].opp);
+    EXPECT_EQ(a.placements[i].predicted_joules, b.placements[i].predicted_joules);
+  }
+  EXPECT_EQ(a.package_stats.samples, b.package_stats.samples);
+  EXPECT_EQ(a.package_stats.mean_abs_rel_error,
+            b.package_stats.mean_abs_rel_error);
+}
+
+TEST(EasChaosTest, DeterministicUnderEveryPlan) {
+  for (const FaultPlanSpec& plan :
+       {ZeroPlan(), RaplGlitchPlan(), SustainedThrottlePlan(),
+        HealingOutagePlan()}) {
+    EasChaosOptions options;
+    options.plan = plan;
+    auto first = RunEasChaos(options);
+    auto second = RunEasChaos(options);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    ExpectReportsIdentical(*first, *second);
+  }
+}
+
+TEST(EasChaosTest, ZeroFaultPlanIsBitIdenticalToPlainPipeline) {
+  EasChaosOptions options;
+  options.plan = ZeroPlan();
+  auto chaos = RunEasChaos(options);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+
+  // The un-instrumented pipeline: same tasks, device, scheduler, quanta —
+  // no injector, no guard, no telemetry struct at all.
+  CpuDevice device(BigLittleProfile());
+  const std::vector<Task> tasks = EasChaosTasks();
+  auto scheduler =
+      InterfaceEasScheduler::Create(tasks, device.profile(), options.quantum);
+  ASSERT_TRUE(scheduler.ok());
+  auto plain =
+      RunSchedule(device, tasks, **scheduler, options.quanta, options.quantum);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  EXPECT_EQ(chaos->run.total_energy.joules(), plain->total_energy.joules());
+  EXPECT_EQ(chaos->run.total_ops_executed, plain->total_ops_executed);
+  EXPECT_EQ(chaos->run.missed_quanta, plain->missed_quanta);
+  // And nothing fault-related fired.
+  EXPECT_EQ(chaos->injected_rapl, 0u);
+  EXPECT_EQ(chaos->throttle_events, 0u);
+  EXPECT_EQ(chaos->run.implausible_deltas, 0);
+  EXPECT_EQ(chaos->run.guard_rejected_reads, 0);
+  EXPECT_EQ(chaos->final_guard_state, TelemetryGuard::State::kClosed);
+}
+
+TEST(EasChaosTest, PlacementsStayFeasibleUnderFaults) {
+  for (const FaultPlanSpec& plan :
+       {RaplGlitchPlan(), SustainedThrottlePlan(), HealingOutagePlan()}) {
+    EasChaosOptions options;
+    options.plan = plan;
+    auto report = RunEasChaos(options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const CpuDevice device(BigLittleProfile());
+    ASSERT_FALSE(report->placements.empty());
+    for (const Placement& p : report->placements) {
+      EXPECT_GE(p.core, 0);
+      EXPECT_LT(p.core, device.CoreCount());
+      EXPECT_GE(p.opp, 0);
+      EXPECT_LT(p.opp, device.OppCount(p.core));
+      EXPECT_TRUE(std::isfinite(p.predicted_joules));
+      EXPECT_GE(p.uncertainty_joules, 0.0);
+    }
+    // Work still gets done under faults.
+    EXPECT_GT(report->run.total_ops_executed, 0.0);
+  }
+}
+
+TEST(EasChaosTest, SustainedThrottleTripsDriftAlarmAndWidensUncertainty) {
+  EasChaosOptions options;
+  options.plan = SustainedThrottlePlan();
+  auto report = RunEasChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->throttle_events, 0u);
+  EXPECT_GT(report->run.throttled_quanta, 0);
+  // Throttling is invisible to the scheduler, so its predictions drift and
+  // the continuous Table-1 audit catches it within the window.
+  EXPECT_TRUE(report->scheduler_stats.drift_alarm);
+  EXPECT_GT(report->run.degraded_quanta, 0);
+  // Degraded mode widens the uncertainty the scheduler attaches. Both bars
+  // must appear in the log: healthy early quanta and degraded later ones.
+  bool saw_base = false;
+  bool saw_widened = false;
+  for (const Placement& p : report->placements) {
+    if (p.predicted_joules <= 0.0) {
+      continue;
+    }
+    const double rel = p.uncertainty_joules / p.predicted_joules;
+    if (std::fabs(rel - InterfaceEasScheduler::kBaseUncertainty) < 1e-12) {
+      saw_base = true;
+    }
+    if (std::fabs(rel - InterfaceEasScheduler::kDegradedUncertainty) < 1e-12) {
+      saw_widened = true;
+    }
+  }
+  EXPECT_TRUE(saw_base);
+  EXPECT_TRUE(saw_widened);
+}
+
+TEST(EasChaosTest, RaplGlitchesAreCaughtNotTrusted) {
+  EasChaosOptions options;
+  options.plan = RaplGlitchPlan();
+  auto report = RunEasChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->injected_rapl, 0u);
+  // Every injected glitch that lands in a measured span is dropped by the
+  // plausibility bound rather than polluting the audit trail.
+  EXPECT_GT(report->run.implausible_deltas, 0);
+  // The audited (non-quarantined) package error stays sane: a single
+  // trusted 4 kJ+ jump would blow this up by orders of magnitude.
+  EXPECT_LT(report->package_stats.mean_abs_rel_error, 0.5);
+}
+
+TEST(EasChaosTest, ErrorReconvergesOnceTelemetryHeals) {
+  EasChaosOptions options;
+  options.plan = HealingOutagePlan();
+  options.quanta = 300;  // ~half the run is post-heal
+  auto report = RunEasChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The outage was real: the breaker tripped and spans were dropped.
+  EXPECT_GT(report->run.implausible_deltas, 0);
+  EXPECT_GT(report->guard_transitions, 0u);
+  // But after stop_after the plan heals; the breaker re-closes, the
+  // quarantine lifts, and the windowed prediction error is back within the
+  // paper's Table-1 bound.
+  EXPECT_EQ(report->final_guard_state, TelemetryGuard::State::kClosed);
+  EXPECT_FALSE(report->package_stats.quarantined);
+  EXPECT_FALSE(report->package_stats.drift_alarm);
+  EXPECT_LT(report->package_stats.windowed_abs_rel_error, 0.10);
+}
+
+TEST(NvmlChaosTest, ReadsStayMonotoneThroughFaultsAndRecovery) {
+  FaultPlanSpec plan;
+  plan.seed = 5;
+  plan.nvml_fail_p = 0.3;
+  plan.nvml_stale_p = 0.2;
+  plan.max_consecutive = 4;
+  plan.stop_after = 60;
+  FaultInjector injector(plan);
+  GpuDevice gpu(Rtx4090LikeProfile(), 9);
+  NvmlCounter nvml(gpu);
+  nvml.ArmFaults(&injector);
+
+  KernelStats k;
+  k.name = "span";
+  k.instructions = 5e8;
+  k.vram_sectors = 1e6;
+
+  double last = -1.0;
+  int successes = 0;
+  for (int i = 0; i < 120; ++i) {
+    gpu.ExecuteKernel(k);
+    const Result<Energy> read = nvml.ReadWithRetry();
+    if (!read.ok()) {
+      continue;
+    }
+    ++successes;
+    EXPECT_GE(read.value().joules(), last)
+        << "non-monotone read at span " << i;
+    last = read.value().joules();
+  }
+  // The plan heals at decision 60, so the tail must be all successes.
+  EXPECT_GT(successes, 50);
+  EXPECT_GT(nvml.retries(), 0u);
+  EXPECT_GT(nvml.backoff_spent().seconds(), 0.0);
+}
+
+TEST(ServiceChaosTest, DeterministicAndSurvivesFlakyTelemetry) {
+  ServiceChaosOptions options;
+  options.plan.seed = 7;
+  options.plan.nvml_fail_p = 0.15;
+  options.plan.nvml_timeout_p = 0.05;
+  options.plan.nvml_stale_p = 0.10;
+  options.plan.rapl_jump_p = 0.02;
+  options.plan.max_consecutive = 6;
+  auto first = RunWebserviceChaos(options);
+  auto second = RunWebserviceChaos(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->run.measured_energy.joules(),
+            second->run.measured_energy.joules());
+  EXPECT_EQ(first->run.gpu_fallbacks, second->run.gpu_fallbacks);
+  EXPECT_EQ(first->run.node_fallbacks, second->run.node_fallbacks);
+  EXPECT_EQ(first->guard_log, second->guard_log);
+
+  EXPECT_GT(first->injected_nvml, 0u);
+  EXPECT_GT(first->run.measured_energy.joules(), 0.0);
+  // Every request got billed something finite and non-negative even when
+  // its telemetry was out.
+  for (double j : first->run.per_request_joules) {
+    EXPECT_TRUE(std::isfinite(j));
+    EXPECT_GE(j, 0.0);
+  }
+}
+
+TEST(ServiceChaosTest, ZeroFaultPlanMatchesPlainService) {
+  ServiceChaosOptions options;
+  options.plan = ZeroPlan();
+  options.requests = 200;
+  auto chaos = RunWebserviceChaos(options);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+
+  WebService plain(WebServiceConfig{}, options.service_seed);
+  auto expected = plain.Run(options.requests);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  EXPECT_EQ(chaos->run.measured_energy.joules(),
+            expected->measured_energy.joules());
+  EXPECT_EQ(chaos->run.gpu_energy.joules(), expected->gpu_energy.joules());
+  EXPECT_EQ(chaos->run.node_energy.joules(), expected->node_energy.joules());
+  EXPECT_EQ(chaos->run.gpu_fallbacks, 0u);
+  EXPECT_EQ(chaos->run.node_fallbacks, 0u);
+  EXPECT_EQ(chaos->run.gpu_guard_rejections, 0u);
+  EXPECT_EQ(chaos->final_guard_state, TelemetryGuard::State::kClosed);
+}
+
+TEST(ServiceChaosTest, TotalOutageFallsBackToModeledEnergy) {
+  ServiceChaosOptions options;
+  options.plan.seed = 3;
+  options.plan.nvml_fail_p = 1.0;
+  options.plan.max_consecutive = 0;  // never forced back to success
+  options.requests = 150;
+  auto report = RunWebserviceChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // All CNN misses were billed from the kernel model; the breaker opened.
+  EXPECT_GT(report->run.gpu_fallbacks, 0u);
+  EXPECT_EQ(report->run.gpu_fallbacks, report->run.counters.cnn_misses);
+  EXPECT_GT(report->guard_transitions, 0u);
+  EXPECT_GT(report->run.gpu_guard_rejections, 0u);
+  EXPECT_GT(report->run.gpu_energy.joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -135,6 +135,64 @@ TEST(NvmlCounterTest, PowerSamplingMonotone) {
   }
 }
 
+TEST(NvmlCounterTest, ZeroElapsedSpanMeasuresZero) {
+  // Energy-counter mode: back-to-back reads with no device time in between
+  // must diff to exactly zero.
+  GpuDevice ec(Rtx4090LikeProfile(), 3);
+  NvmlCounter ec_counter(ec);
+  ec.ExecuteKernel(SomeKernel());
+  const Energy a = ec_counter.Read();
+  EXPECT_DOUBLE_EQ(ec_counter.Read().joules() - a.joules(), 0.0);
+  // Power-sampling mode: a zero-elapsed span between grid points likewise
+  // must not move the integral.
+  GpuDevice ps(Rtx3070LikeProfile(), 3);
+  NvmlCounter ps_counter(ps);
+  ps.ExecuteKernel(SomeKernel(50.0));
+  const Energy b = ps_counter.Read();
+  EXPECT_DOUBLE_EQ(ps_counter.Read().joules() - b.joules(), 0.0);
+}
+
+TEST(NvmlCounterTest, PowerSamplingAliasesSubPeriodBursts) {
+  // A compute burst much shorter than the 10 ms sample period, placed
+  // between grid points, is invisible to the sampler: every sample lands on
+  // idle, so the integral reports roughly static draw and the burst's
+  // dynamic energy is lost. This is the aliasing the header warns about.
+  GpuProfile profile = Rtx3070LikeProfile();
+  GpuDevice device(profile, 9);
+  NvmlCounter counter(device);
+  device.Idle(Duration::Milliseconds(2.0));
+  device.ExecuteKernel(SomeKernel(8.0));  // ~1 ms of work, ends before 10 ms
+  ASSERT_LT(device.Now().seconds(), profile.power_sample_period.seconds());
+  device.Idle(Duration::Milliseconds(32.0) - device.Now());
+  const Energy measured = counter.Read();
+  const Energy truth = device.TrueEnergy();
+  // Samples at t = 0, 10, 20 ms all see the idle device.
+  EXPECT_NEAR(measured.joules(), profile.static_power.watts() * 0.030, 0.05);
+  EXPECT_LT(measured.joules(), truth.joules() * 0.85);
+}
+
+TEST(NvmlCounterTest, PowerSamplingMonotoneUnderCursorJitter) {
+  // Reads at irregular times — mid-period, on grid edges, after long and
+  // sub-period idles — must still be non-decreasing, and re-reading with no
+  // elapsed time must not move the counter.
+  GpuProfile profile = Rtx3070LikeProfile();
+  GpuDevice device(profile, 11);
+  NvmlCounter counter(device);
+  Energy last = counter.Read();
+  const double idles_ms[] = {0.5, 13.0, 0.0, 7.0, 29.0, 3.0, 10.0, 0.25};
+  int i = 0;
+  for (const double idle_ms : idles_ms) {
+    device.ExecuteKernel(SomeKernel(0.5 + 3.0 * (i++ % 3)));
+    if (idle_ms > 0.0) {
+      device.Idle(Duration::Milliseconds(idle_ms));
+    }
+    const Energy now = counter.Read();
+    EXPECT_GE(now.joules(), last.joules());
+    EXPECT_DOUBLE_EQ(counter.Read().joules(), now.joules());
+    last = now;
+  }
+}
+
 // --- RAPL --------------------------------------------------------------------
 
 TEST(RaplCounterTest, QuantisesToUnits) {
@@ -151,6 +209,58 @@ TEST(RaplCounterTest, EnergyBetweenHandlesWrap) {
   const uint32_t after = 0x00000100u;
   const Energy e = RaplCounter::EnergyBetween(before, after);
   EXPECT_NEAR(e.joules(), 512.0 * RaplCounter::kJoulesPerTick, 1e-12);
+}
+
+TEST(RaplCounterTest, RegisterWrapsAtExactBoundary) {
+  // Drive the register to 0xffffffff through Update(), then across the wrap:
+  // the visible value restarts near zero and the delta stays exact.
+  RaplCounter rapl;
+  const double tick = RaplCounter::kJoulesPerTick;
+  rapl.Update(Energy::Joules(4294967295.0 * tick));
+  EXPECT_EQ(rapl.ReadRegister(), 0xffffffffu);
+  const uint32_t before = rapl.ReadRegister();
+  rapl.Update(Energy::Joules(4294967297.0 * tick));  // two ticks later
+  EXPECT_EQ(rapl.ReadRegister(), 1u);
+  EXPECT_NEAR(RaplCounter::EnergyBetween(before, rapl.ReadRegister()).joules(),
+              2.0 * tick, 1e-15);
+  // The 0xffffffff -> 0 edge itself is one tick, not -2^32 ticks.
+  EXPECT_NEAR(RaplCounter::EnergyBetween(0xffffffffu, 0u).joules(), tick,
+              1e-15);
+}
+
+TEST(RaplCounterTest, BoundedEnergyBetweenAcceptsPlausibleWrap) {
+  const uint32_t before = 0xffffff00u;
+  const uint32_t after = 0x00000100u;  // 512 ticks across the wrap
+  const auto span = RaplCounter::EnergyBetween(
+      before, after, Duration::Seconds(1.0), Power::Watts(1.0));
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  EXPECT_DOUBLE_EQ(span->joules(),
+                   RaplCounter::EnergyBetween(before, after).joules());
+}
+
+TEST(RaplCounterTest, BoundedEnergyBetweenRejectsImplausibleDelta) {
+  // A 1 J delta in 1 ms at a 10 W ceiling is physically impossible: the
+  // register jumped, reset, or wrapped unseen.
+  const auto span = RaplCounter::EnergyBetween(
+      0u, 65536u, Duration::Milliseconds(1.0), Power::Watts(10.0));
+  ASSERT_FALSE(span.ok());
+  EXPECT_EQ(span.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RaplCounterTest, BoundedEnergyBetweenFlagsMultiWrapAmbiguity) {
+  // 100 kW for 1000 s could wrap the 65536 J register more than once; any
+  // single-wrap correction of the 32-bit delta would be a guess.
+  const auto span = RaplCounter::EnergyBetween(
+      0u, 1u, Duration::Seconds(1000.0), Power::Watts(100000.0));
+  ASSERT_FALSE(span.ok());
+  EXPECT_EQ(span.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RaplCounterTest, BoundedEnergyBetweenRejectsNegativeElapsed) {
+  const auto span = RaplCounter::EnergyBetween(
+      0u, 1u, Duration::Seconds(-1.0), Power::Watts(10.0));
+  ASSERT_FALSE(span.ok());
+  EXPECT_EQ(span.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(RaplCounterTest, MonotoneUpdatesIgnoreRegression) {

@@ -265,6 +265,51 @@ TEST(AccuracyTest, ZeroMeasuredCountsTowardTotalsOnly) {
   EXPECT_DOUBLE_EQ(stats.predicted_total_j, 5.0);
 }
 
+TEST(AccuracyTest, QuarantineSkipsErrorStatsButCountsSamples) {
+  AccuracyMonitor monitor(/*drift_threshold=*/0.10, /*window=*/4);
+  monitor.Record("s", 100.0, 100.0);
+  monitor.Quarantine("s");
+  EXPECT_TRUE(monitor.IsQuarantined("s"));
+  // Garbage while quarantined must not pollute error statistics or totals.
+  monitor.Record("s", 100.0, 1e6);
+  const auto stats = monitor.Stats("s");
+  EXPECT_EQ(stats.samples, 2u);
+  EXPECT_EQ(stats.quarantined_samples, 1u);
+  EXPECT_TRUE(stats.quarantined);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.measured_total_j, 100.0);
+  EXPECT_FALSE(stats.drift_alarm);
+}
+
+TEST(AccuracyTest, UnquarantineClearsTheDriftWindow) {
+  AccuracyMonitor monitor(/*drift_threshold=*/0.10, /*window=*/4);
+  for (int i = 0; i < 4; ++i) {
+    monitor.Record("s", 130.0, 100.0);  // 30% error: alarm trips
+  }
+  EXPECT_TRUE(monitor.Stats("s").drift_alarm);
+  monitor.Quarantine("s");
+  monitor.Unquarantine("s");
+  // The pre-quarantine window is stale evidence; healing starts clean.
+  EXPECT_FALSE(monitor.IsQuarantined("s"));
+  EXPECT_FALSE(monitor.Stats("s").drift_alarm);
+  monitor.Record("s", 101.0, 100.0);
+  EXPECT_FALSE(monitor.Stats("s").drift_alarm);
+}
+
+TEST(AccuracyTest, QuarantineShowsInReportAndExport) {
+  AccuracyMonitor monitor;
+  monitor.Record("flaky", 10.0, 10.0);
+  monitor.Quarantine("flaky");
+  EXPECT_NE(monitor.Report().find("[QUARANTINED]"), std::string::npos)
+      << monitor.Report();
+  MetricsRegistry registry;
+  monitor.ExportTo(registry);
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("eclarity_accuracy_flaky_quarantined"),
+            std::string::npos)
+      << prom;
+}
+
 TEST(AccuracyTest, ExportSanitizesSourceNames) {
   AccuracyMonitor monitor;
   monitor.Record("energy-interface", 1.0, 1.0);

@@ -41,6 +41,13 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, UnavailableIsRetryableTelemetryFailure) {
+  Status s = UnavailableError("nvml: counter read timed out");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: nvml: counter read timed out");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());
@@ -54,6 +61,14 @@ TEST(ResultTest, HoldsError) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  // The abort is unconditional (not assert-based), so release builds die
+  // just as loudly — and the message names the status that was dropped.
+  Result<int> r = UnavailableError("telemetry gone");
+  EXPECT_DEATH(r.value(), "Unavailable: telemetry gone");
+  EXPECT_DEATH(*r, "Unavailable: telemetry gone");
 }
 
 Result<int> Doubler(Result<int> input) {

@@ -9,13 +9,17 @@
 //   eilc trace  FILE ENTRY ARGS... [--chrome-trace OUT.json]
 //                                        energy provenance tree; optionally
 //                                        a Chrome trace_event JSON dump
+//   eilc chaos  FILE ENTRY ARGS... [--plan=PLAN.json] [--reads=N]
+//                                        audit the entry's prediction against
+//                                        a fault-injected telemetry counter
 //
 // Numeric ARGS are numbers; `true`/`false` are booleans. --ecv NAME=VALUE
 // pins an ECV (VALUE in {true,false} or a number); --ecv NAME~P sets a
 // Bernoulli probability.
 //
 // Exit codes: 0 success, 1 error, 2 usage, 3 evaluation budget exhausted
-// (max_steps / max_call_depth / max_paths).
+// (max_steps / max_call_depth / max_paths), 4 telemetry unavailable (the
+// chaos run ended with the counter's circuit breaker open).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +31,15 @@
 
 #include "src/eval/interp.h"
 #include "src/eval/interval.h"
+#include "src/fault/guard.h"
+#include "src/fault/inject.h"
+#include "src/fault/plan.h"
+#include "src/hw/counters.h"
+#include "src/hw/gpu.h"
 #include "src/lang/checker.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
+#include "src/obs/accuracy.h"
 #include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 
@@ -44,7 +54,16 @@ int Usage() {
                "       eilc bounds FILE ENTRY LO:HI...\n"
                "       eilc trace FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
                " [--chrome-trace OUT.json]\n"
-               "exit codes: 0 ok, 1 error, 2 usage, 3 budget exhausted\n");
+               "       eilc chaos FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
+               " [--plan=PLAN.json] [--reads=N]\n"
+               "exit codes:\n"
+               "  0  success\n"
+               "  1  error (I/O, parse, static check, evaluation)\n"
+               "  2  usage\n"
+               "  3  evaluation budget exhausted (max_steps / max_call_depth"
+               " / max_paths)\n"
+               "  4  telemetry unavailable (chaos ended with the counter's"
+               " circuit open)\n");
   return 2;
 }
 
@@ -300,6 +319,151 @@ int Trace(const std::string& path, const std::string& entry,
   return 0;
 }
 
+// Audits the entry's predicted energy against a fault-injected telemetry
+// counter: a synthetic GPU runs one kernel sized so its modeled energy is
+// the prediction, and an NVML-style counter — armed with the fault plan,
+// wrapped in retry and a circuit breaker — measures each span. The run is
+// fully deterministic in the plan's seed. Exits 4 when the breaker is open
+// at the end (telemetry unavailable).
+int Chaos(const std::string& path, const std::string& entry,
+          std::vector<std::string> rest) {
+  std::string plan_path;
+  long reads = 200;
+  std::vector<std::string> kept;
+  for (const std::string& arg : rest) {
+    if (arg.rfind("--plan=", 0) == 0) {
+      plan_path = arg.substr(7);
+    } else if (arg.rfind("--reads=", 0) == 0) {
+      char* end = nullptr;
+      reads = std::strtol(arg.c_str() + 8, &end, 10);
+      if (end == nullptr || *end != '\0' || reads <= 0) {
+        std::fprintf(stderr, "--reads expects a positive integer\n");
+        return 2;
+      }
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  rest = std::move(kept);
+
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto profile = ExtractProfile(rest);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Value> args;
+  for (const std::string& text : rest) {
+    auto v = ParseValueArg(text);
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    args.push_back(*v);
+  }
+  Evaluator evaluator(*program);
+  auto dist = evaluator.EvalDistribution(entry, args, *profile);
+  if (!dist.ok()) {
+    return FailWith(dist.status());
+  }
+  const double predicted = dist->Mean();
+  if (predicted <= 0.0) {
+    std::fprintf(stderr, "entry predicts non-positive energy; nothing to "
+                         "audit under faults\n");
+    return 1;
+  }
+
+  FaultPlanSpec plan;  // default: zero faults
+  if (!plan_path.empty()) {
+    auto loaded = LoadFaultPlan(plan_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    plan = *loaded;
+  }
+
+  FaultInjector injector(plan);
+  GpuDevice gpu(Rtx4090LikeProfile(), plan.seed ^ 0x6a09e667ULL);
+  NvmlCounter nvml(gpu);
+  nvml.ArmFaults(&injector);
+  TelemetryGuard guard("gpu_nvml");
+  AccuracyMonitor monitor;
+
+  // One synthetic kernel whose modeled energy equals the prediction.
+  KernelStats kernel;
+  kernel.name = "chaos_span";
+  kernel.instructions =
+      predicted / gpu.profile().energy_per_instruction.joules();
+
+  long measured_spans = 0;
+  long rejected_spans = 0;
+  long failed_spans = 0;
+  Energy last_read;
+  bool have_baseline = false;
+  for (long i = 0; i < reads; ++i) {
+    gpu.ExecuteKernel(kernel);
+    if (!guard.AllowRead()) {
+      ++rejected_spans;
+      have_baseline = false;  // the span is lost; re-baseline when healed
+      continue;
+    }
+    Result<Energy> read = nvml.ReadWithRetry();
+    if (!read.ok()) {
+      guard.RecordFailure();
+      ++failed_spans;
+      have_baseline = false;
+      continue;
+    }
+    guard.RecordSuccess();
+    if (have_baseline) {
+      monitor.Record(entry, predicted, (read.value() - last_read).joules());
+      ++measured_spans;
+    }
+    last_read = read.value();
+    have_baseline = true;
+  }
+
+  const AccuracyMonitor::SourceStats stats = monitor.Stats(entry);
+  std::printf("plan:          %s\n",
+              plan.armed() ? (plan_path.empty() ? "(armed)" : plan_path.c_str())
+                           : "(zero faults)");
+  std::printf("predicted:     %s per span\n",
+              Energy::Joules(predicted).ToString().c_str());
+  std::printf("spans:         %ld measured, %ld failed, %ld rejected by the "
+              "breaker (of %ld)\n",
+              measured_spans, failed_spans, rejected_spans, reads);
+  std::printf("retries:       %llu (backoff %s)\n",
+              static_cast<unsigned long long>(nvml.retries()),
+              nvml.backoff_spent().ToString().c_str());
+  std::printf("mean |error|:  %.3f%%  (window %.3f%%, max %.3f%%)%s\n",
+              stats.mean_abs_rel_error * 100.0,
+              stats.windowed_abs_rel_error * 100.0,
+              stats.max_abs_rel_error * 100.0,
+              stats.drift_alarm ? "  [DRIFT]" : "");
+  std::printf("breaker:       %s (%llu transitions)\n",
+              TelemetryGuard::StateName(guard.state()),
+              static_cast<unsigned long long>(guard.transitions()));
+  for (const std::string& line : guard.transition_log()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  if (guard.open()) {
+    std::fprintf(stderr, "telemetry unavailable: circuit open at end of run "
+                         "(exit 4)\n");
+    return 4;
+  }
+  return 0;
+}
+
 int Bounds(const std::string& path, const std::string& entry,
            const std::vector<std::string>& rest) {
   auto source = ReadFile(path);
@@ -363,6 +527,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "trace") {
     return Trace(path, entry, std::move(rest));
+  }
+  if (command == "chaos") {
+    return Chaos(path, entry, std::move(rest));
   }
   if (command == "bounds") {
     return Bounds(path, entry, rest);
