@@ -2,6 +2,12 @@
 // and answer a "what if" question — how much energy would a bigger cache
 // save? — without redeploying anything.
 //
+// The queries go through the concurrent QueryService (src/svc): the linked
+// interface becomes an immutable snapshot whose base profile is the cache
+// manager's observed hit rates, and the what-if is a per-query profile
+// override — the shape a production resource manager would use, where many
+// threads ask while the observed rates keep being republished.
+//
 // Pass --metrics to dump the toolkit metrics registry (Prometheus text) and
 // the prediction-accuracy audit trail after the run.
 
@@ -13,6 +19,7 @@
 #include "src/iface/energy_interface.h"
 #include "src/obs/accuracy.h"
 #include "src/obs/metrics.h"
+#include "src/svc/query_service.h"
 #include "src/util/stats.h"
 
 using namespace eclarity;
@@ -62,12 +69,23 @@ int main(int argc, char** argv) {
   observed.SetBernoulli("request_hit", run->counters.RequestHitRate());
   observed.SetBernoulli("local_cache_hit", run->counters.LocalHitRate());
 
+  // Publish the linked interface + observed hit rates as a query-service
+  // snapshot. Later rate updates would go through UpdateProfile() without
+  // blocking in-flight queries.
+  auto svc = QueryService::Create(iface->program().Clone(), {}, observed);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "%s\n", svc.status().ToString().c_str());
+    return 1;
+  }
+
   const double mean_zeros = config.image_elements *
                             (config.zero_fraction_lo + config.zero_fraction_hi) /
                             2.0;
-  const std::vector<Value> args = {Value::Number(config.image_elements),
-                                   Value::Number(mean_zeros)};
-  auto predicted = iface->Expected(args, observed);
+  Query query;
+  query.interface = "E_ml_webservice_handle";
+  query.args = {Value::Number(config.image_elements),
+                Value::Number(mean_zeros)};
+  auto predicted = (*svc)->Expected(query);
   std::printf("interface predicts:      %.3f mJ/request\n",
               1e3 * predicted->joules());
   // Feed the audit trail: the interface's a-priori prediction against the
@@ -77,9 +95,10 @@ int main(int argc, char** argv) {
 
   // The "what if": push the request-cache hit rate to 90% (bigger cache /
   // better admission) — evaluated from the interface alone, no deployment.
-  EcvProfile what_if = observed;
-  what_if.SetBernoulli("request_hit", 0.90);
-  auto improved = iface->Expected(args, what_if);
+  // A per-query profile override, merged over the published snapshot.
+  Query what_if = query;
+  what_if.profile.SetBernoulli("request_hit", 0.90);
+  auto improved = (*svc)->Expected(what_if);
   std::printf(
       "\nWhat if the request hit rate were 90%%?  %.3f mJ/request "
       "(-%.0f%%)\n",
@@ -96,6 +115,15 @@ int main(int argc, char** argv) {
                           .c_str());
 
   if (want_metrics) {
+    const QueryService::CacheStats stats = (*svc)->TotalCacheStats();
+    std::printf(
+        "\n--- query-service cache (%zu shards) ---\n"
+        "lookups %llu  hits %llu  misses %llu  evictions %llu  resident %zu\n",
+        (*svc)->cache_shard_count(),
+        static_cast<unsigned long long>(stats.lookups()),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions), stats.size);
     AccuracyMonitor::Global().ExportTo(MetricsRegistry::Global());
     std::printf("\n--- metrics (Prometheus text) ---\n%s",
                 MetricsRegistry::Global().ToPrometheusText().c_str());

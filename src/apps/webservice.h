@@ -18,12 +18,12 @@
 
 #include <cstdint>
 
-#include "src/apps/lru_cache.h"
 #include "src/hw/counters.h"
 #include "src/hw/cpu.h"
 #include "src/hw/gpu.h"
 #include "src/lang/ast.h"
 #include "src/ml/cnn.h"
+#include "src/util/lru.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -126,8 +126,8 @@ class WebService {
   WebServiceConfig config_;
   Rng rng_;
   ZipfSampler zipf_;
-  LruCache local_;
-  LruCache remote_;
+  LruSet<uint64_t> local_;
+  LruSet<uint64_t> remote_;
   CnnModel cnn_;
   CpuDevice node_;
   CpuDevice remote_node_;

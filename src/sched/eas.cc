@@ -196,11 +196,9 @@ Result<Placement> UtilizationEasScheduler::Place(
 
 // --- Interface-driven scheduler -----------------------------------------------
 
-InterfaceEasScheduler::InterfaceEasScheduler(CpuProfile profile,
-                                             Program linked)
-    : profile_(std::move(profile)), program_(std::move(linked)) {
-  evaluator_ = std::make_unique<Evaluator>(program_);
-}
+InterfaceEasScheduler::InterfaceEasScheduler(
+    CpuProfile profile, std::unique_ptr<QueryService> service)
+    : profile_(std::move(profile)), service_(std::move(service)) {}
 
 Result<std::unique_ptr<InterfaceEasScheduler>> InterfaceEasScheduler::Create(
     const std::vector<Task>& tasks, const CpuProfile& profile,
@@ -213,8 +211,10 @@ Result<std::unique_ptr<InterfaceEasScheduler>> InterfaceEasScheduler::Create(
     // the identical definitions.
     ECLARITY_RETURN_IF_ERROR(merged.Merge(task_program, /*overwrite=*/true));
   }
+  ECLARITY_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                            QueryService::Create(std::move(merged)));
   return std::unique_ptr<InterfaceEasScheduler>(
-      new InterfaceEasScheduler(profile, std::move(merged)));
+      new InterfaceEasScheduler(profile, std::move(service)));
 }
 
 Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
@@ -223,20 +223,18 @@ Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
   const int phase = quantum % static_cast<int>(task.pattern.size());
   std::ostringstream key;
   key << task.name << "/" << phase << "/" << core_kind << "/" << opp;
-  if (const double* cached = cache_.Get(key.str())) {
+  if (const std::optional<double> cached = memo_.Get(key.str())) {
     SchedCounters::Get().memo_hits.Increment();
     return *cached;
   }
   SchedCounters::Get().memo_misses.Increment();
-  ECLARITY_ASSIGN_OR_RETURN(
-      Energy energy,
-      evaluator_->ExpectedEnergy(
-          "E_task_" + task.name + "_quantum",
-          {Value::Number(static_cast<double>(phase)),
-           Value::Number(static_cast<double>(core_kind)),
-           Value::Number(static_cast<double>(opp))},
-          {}));
-  if (cache_.Put(key.str(), energy.joules())) {
+  Query query;
+  query.interface = "E_task_" + task.name + "_quantum";
+  query.args = {Value::Number(static_cast<double>(phase)),
+                Value::Number(static_cast<double>(core_kind)),
+                Value::Number(static_cast<double>(opp))};
+  ECLARITY_ASSIGN_OR_RETURN(Energy energy, service_->Expected(query));
+  if (memo_.Put(key.str(), energy.joules())) {
     SchedCounters::Get().memo_evictions.Increment();
   }
   return energy.joules();

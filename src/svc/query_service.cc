@@ -1,0 +1,554 @@
+#include "src/svc/query_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace eclarity {
+namespace {
+
+// Service instrumentation: resolved once, relaxed increments afterwards.
+struct SvcCounters {
+  Counter& queries;
+  Counter& batches;
+  Counter& batch_queries;
+  Counter& cache_hits;
+  Counter& cache_misses;
+  Counter& cache_evictions;
+  Counter& snapshot_swaps;
+  Counter& mc_requests;
+
+  static SvcCounters& Get() {
+    static SvcCounters* counters = new SvcCounters{
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_queries_total",
+            "queries dispatched through QueryService"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_batches_total", "EvaluateBatch calls"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_batch_queries_total",
+            "queries submitted via EvaluateBatch"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_cache_hits_total",
+            "QueryService enumeration-cache hits (all shards)"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_cache_misses_total",
+            "QueryService enumeration-cache misses (all shards)"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_cache_evictions_total",
+            "QueryService enumeration-cache evictions (all shards)"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_snapshot_swaps_total",
+            "profile/program snapshots published"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_mc_requests_total",
+            "Monte Carlo requests run on the service pool"),
+    };
+    return *counters;
+  }
+};
+
+void AppendBits(std::string& out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  out.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+}  // namespace
+
+std::string QueryOutcome::Fingerprint() const {
+  std::string out;
+  out.push_back(static_cast<char>(kind));
+  AppendBits(out, joules);
+  if (distribution.has_value()) {
+    for (const Atom& atom : distribution->atoms()) {
+      AppendBits(out, atom.value);
+      AppendBits(out, atom.probability);
+    }
+  }
+  if (sample.has_value()) {
+    sample->AppendFingerprint(out);
+  }
+  return out;
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+// An immutable (program, profile) world. The evaluator is constructed once
+// per program publication — lowering, interface pre-binding, and slot
+// tables are paid at publish time, never on the query path — and shared by
+// every snapshot that merely changes the profile.
+class QueryService::Snapshot {
+ public:
+  // Program + evaluator bundle, shared across profile updates.
+  struct Bundle {
+    Bundle(Program p, uint64_t gen, const EvalOptions& eval)
+        : program(std::move(p)), generation(gen), evaluator(program, eval) {}
+    Program program;
+    uint64_t generation;
+    Evaluator evaluator;
+  };
+
+  Snapshot(std::shared_ptr<const Bundle> bundle, EcvProfile profile)
+      : bundle_(std::move(bundle)),
+        profile_(std::move(profile)),
+        profile_fingerprint_(profile_.Fingerprint()) {}
+
+  const Bundle& bundle() const { return *bundle_; }
+  std::shared_ptr<const Bundle> bundle_ptr() const { return bundle_; }
+  uint64_t generation() const { return bundle_->generation; }
+  const EcvProfile& profile() const { return profile_; }
+  const std::string& profile_fingerprint() const {
+    return profile_fingerprint_;
+  }
+
+ private:
+  std::shared_ptr<const Bundle> bundle_;
+  EcvProfile profile_;
+  std::string profile_fingerprint_;
+};
+
+// --- Bounded Monte Carlo worker pool ----------------------------------------
+
+class QueryService::McPool {
+ public:
+  McPool(size_t threads, size_t queue_limit)
+      : queue_limit_(queue_limit == 0 ? 4 * std::max<size_t>(threads, 1)
+                                      : queue_limit) {
+    threads = std::max<size_t>(threads, 1);
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { Run(); });
+    }
+  }
+
+  ~McPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+
+  // Runs `task` on a pool worker and waits for it. Blocks while the queue
+  // is at its bound (backpressure instead of unbounded growth).
+  void RunAndWait(std::function<void()> task) {
+    struct Done {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+    };
+    auto done = std::make_shared<Done>();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < queue_limit_ || stopping_; });
+      if (stopping_) {
+        // Destruction while submitting: run inline rather than dropping.
+        lock.unlock();
+        task();
+        return;
+      }
+      queue_.push_back([task = std::move(task), done] {
+        task();
+        std::lock_guard<std::mutex> lock(done->mu);
+        done->done = true;
+        done->cv.notify_all();
+      });
+    }
+    not_empty_.notify_one();
+    std::unique_lock<std::mutex> lock(done->mu);
+    done->cv.wait(lock, [&] { return done->done; });
+  }
+
+ private:
+  void Run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+        if (queue_.empty()) {
+          return;  // stopping
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      not_full_.notify_one();
+      task();
+    }
+  }
+
+  const size_t queue_limit_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// --- QueryService -----------------------------------------------------------
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    Program program, Options options, EcvProfile base_profile) {
+  const std::vector<std::string> imports = program.UnresolvedCallees();
+  if (!imports.empty()) {
+    std::string list;
+    for (const std::string& name : imports) {
+      if (!list.empty()) {
+        list += ", ";
+      }
+      list += name;
+    }
+    return FailedPreconditionError(
+        "QueryService needs a closed program; unresolved imports: " + list);
+  }
+  // The service's sharded cache replaces the per-evaluator one, and MC
+  // sampling runs on the service pool: one inline worker per request.
+  EvalOptions eval = options.eval;
+  eval.enum_cache_capacity = 0;
+  eval.mc_workers = 1;
+  options.eval = eval;
+  auto bundle = std::make_shared<const Snapshot::Bundle>(std::move(program),
+                                                         /*gen=*/0, eval);
+  auto snapshot =
+      std::make_shared<const Snapshot>(std::move(bundle),
+                                       std::move(base_profile));
+  return std::unique_ptr<QueryService>(
+      new QueryService(std::move(snapshot), std::move(options)));
+}
+
+QueryService::QueryService(std::shared_ptr<const Snapshot> initial,
+                           Options options)
+    : options_(options),
+      snapshot_(std::move(initial)),
+      next_generation_(1),
+      cache_(options.cache_capacity, options.cache_shards),
+      mc_pool_(std::make_unique<McPool>(options.mc_pool_threads,
+                                        options.mc_queue_limit)) {}
+
+QueryService::~QueryService() = default;
+
+std::shared_ptr<const QueryService::Snapshot> QueryService::AcquireSnapshot()
+    const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+void QueryService::UpdateProfile(EcvProfile profile) {
+  // Readers that already hold the old snapshot keep it alive through their
+  // shared_ptr; the store only redirects *future* acquisitions.
+  auto current = snapshot_.load(std::memory_order_acquire);
+  auto next = std::make_shared<const Snapshot>(current->bundle_ptr(),
+                                               std::move(profile));
+  snapshot_.store(std::move(next), std::memory_order_release);
+  SvcCounters::Get().snapshot_swaps.Increment();
+}
+
+Status QueryService::UpdateProgram(Program program) {
+  if (!program.UnresolvedCallees().empty()) {
+    return FailedPreconditionError(
+        "UpdateProgram needs a closed program (unresolved imports remain)");
+  }
+  const uint64_t generation =
+      next_generation_.fetch_add(1, std::memory_order_relaxed);
+  auto bundle = std::make_shared<const Snapshot::Bundle>(
+      std::move(program), generation, options_.eval);
+  auto current = snapshot_.load(std::memory_order_acquire);
+  auto next =
+      std::make_shared<const Snapshot>(std::move(bundle), current->profile());
+  snapshot_.store(std::move(next), std::memory_order_release);
+  SvcCounters::Get().snapshot_swaps.Increment();
+  return OkStatus();
+}
+
+uint64_t QueryService::snapshot_generation() const {
+  return AcquireSnapshot()->generation();
+}
+
+std::string QueryService::CacheKey(const Snapshot& snapshot,
+                                   const Query& query) const {
+  std::string key;
+  key.reserve(96);
+  key.append(reinterpret_cast<const char*>(&snapshot.bundle().generation),
+             sizeof(uint64_t));
+  key += query.interface;
+  key.push_back('\x1f');
+  for (const Value& arg : query.args) {
+    arg.AppendFingerprint(key);
+  }
+  key.push_back('\x1f');
+  if (query.profile.empty()) {
+    key += snapshot.profile_fingerprint();
+  } else {
+    EcvProfile merged = snapshot.profile();
+    merged.MergeFrom(query.profile);
+    key += merged.Fingerprint();
+  }
+  return key;
+}
+
+Result<QueryService::SharedOutcomes> QueryService::EnumerateCached(
+    const Snapshot& snapshot, const Query& query,
+    const std::string* key_hint) const {
+  std::string key_storage;
+  const std::string* key = key_hint;
+  if (key == nullptr) {
+    key_storage = CacheKey(snapshot, query);
+    key = &key_storage;
+  }
+  if (std::optional<SharedOutcomes> hit = cache_.Get(*key)) {
+    SvcCounters::Get().cache_hits.Increment();
+    return *hit;
+  }
+  SvcCounters::Get().cache_misses.Increment();
+  const Evaluator& evaluator = snapshot.bundle().evaluator;
+  Result<SharedOutcomes> outcomes = [&]() -> Result<SharedOutcomes> {
+    if (query.profile.empty()) {
+      return evaluator.EnumerateShared(query.interface, query.args,
+                                       snapshot.profile());
+    }
+    EcvProfile merged = snapshot.profile();
+    merged.MergeFrom(query.profile);
+    return evaluator.EnumerateShared(query.interface, query.args, merged);
+  }();
+  if (!outcomes.ok()) {
+    return outcomes.status();  // errors are never cached
+  }
+  if (cache_.Put(*key, *outcomes)) {
+    SvcCounters::Get().cache_evictions.Increment();
+  }
+  return *outcomes;
+}
+
+Result<Energy> QueryService::ExpectedOn(const Snapshot& snapshot,
+                                        const Query& query) const {
+  // Folds through Distribution's canonical atom order — the exact path
+  // Evaluator::ExpectedEnergy takes — so service answers are bit-identical
+  // to the single-threaded engine's.
+  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
+                            EnumerateCached(snapshot, query, nullptr));
+  std::vector<Atom> atoms;
+  atoms.reserve(outcomes->size());
+  for (const WeightedOutcome& o : *outcomes) {
+    ECLARITY_ASSIGN_OR_RETURN(double joules,
+                              OutcomeJoules(o.value, options_.calibration));
+    atoms.push_back({joules, o.probability});
+  }
+  ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
+                            Distribution::Categorical(std::move(atoms)));
+  return Energy::Joules(dist.Mean());
+}
+
+Result<Energy> QueryService::Expected(const Query& query) const {
+  SvcCounters::Get().queries.Increment();
+  auto snapshot = AcquireSnapshot();
+  return ExpectedOn(*snapshot, query);
+}
+
+Result<Distribution> QueryService::EvalDistribution(const Query& query) const {
+  SvcCounters::Get().queries.Increment();
+  auto snapshot = AcquireSnapshot();
+  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
+                            EnumerateCached(*snapshot, query, nullptr));
+  std::vector<Atom> atoms;
+  atoms.reserve(outcomes->size());
+  for (const WeightedOutcome& o : *outcomes) {
+    ECLARITY_ASSIGN_OR_RETURN(double joules,
+                              OutcomeJoules(o.value, options_.calibration));
+    atoms.push_back({joules, o.probability});
+  }
+  return Distribution::Categorical(std::move(atoms));
+}
+
+Result<Energy> QueryService::MonteCarloOn(const Snapshot& snapshot,
+                                          const Query& query) const {
+  SvcCounters::Get().mc_requests.Increment();
+  Result<Energy> result = InternalError("MC task never ran");
+  mc_pool_->RunAndWait([&] {
+    // The stream is a pure function of the query's seed: concurrent
+    // execution and single-threaded replay draw identical samples.
+    Rng rng(query.seed);
+    const Evaluator& evaluator = snapshot.bundle().evaluator;
+    if (query.profile.empty()) {
+      result = evaluator.MonteCarloMean(query.interface, query.args,
+                                        snapshot.profile(), rng, query.samples,
+                                        options_.calibration);
+      return;
+    }
+    EcvProfile merged = snapshot.profile();
+    merged.MergeFrom(query.profile);
+    result = evaluator.MonteCarloMean(query.interface, query.args, merged, rng,
+                                      query.samples, options_.calibration);
+  });
+  return result;
+}
+
+Result<Energy> QueryService::MonteCarlo(const Query& query) const {
+  SvcCounters::Get().queries.Increment();
+  auto snapshot = AcquireSnapshot();
+  return MonteCarloOn(*snapshot, query);
+}
+
+Result<Value> QueryService::Sample(const Query& query) const {
+  SvcCounters::Get().queries.Increment();
+  auto snapshot = AcquireSnapshot();
+  Rng rng(query.seed);
+  const Evaluator& evaluator = snapshot->bundle().evaluator;
+  if (query.profile.empty()) {
+    return evaluator.EvalSampled(query.interface, query.args,
+                                 snapshot->profile(), rng);
+  }
+  EcvProfile merged = snapshot->profile();
+  merged.MergeFrom(query.profile);
+  return evaluator.EvalSampled(query.interface, query.args, merged, rng);
+}
+
+Result<QueryOutcome> QueryService::DispatchOn(const Snapshot& snapshot,
+                                              const Query& query) const {
+  QueryOutcome outcome;
+  outcome.kind = query.kind;
+  switch (query.kind) {
+    case QueryKind::kExpected: {
+      ECLARITY_ASSIGN_OR_RETURN(Energy energy, ExpectedOn(snapshot, query));
+      outcome.joules = energy.joules();
+      return outcome;
+    }
+    case QueryKind::kDistribution: {
+      ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
+                                EnumerateCached(snapshot, query, nullptr));
+      std::vector<Atom> atoms;
+      atoms.reserve(outcomes->size());
+      for (const WeightedOutcome& o : *outcomes) {
+        ECLARITY_ASSIGN_OR_RETURN(
+            double joules, OutcomeJoules(o.value, options_.calibration));
+        atoms.push_back({joules, o.probability});
+      }
+      ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
+                                Distribution::Categorical(std::move(atoms)));
+      outcome.joules = dist.Mean();
+      outcome.distribution = std::move(dist);
+      return outcome;
+    }
+    case QueryKind::kMonteCarlo: {
+      ECLARITY_ASSIGN_OR_RETURN(Energy energy, MonteCarloOn(snapshot, query));
+      outcome.joules = energy.joules();
+      return outcome;
+    }
+    case QueryKind::kSample: {
+      Rng rng(query.seed);
+      const Evaluator& evaluator = snapshot.bundle().evaluator;
+      Result<Value> value = [&]() -> Result<Value> {
+        if (query.profile.empty()) {
+          return evaluator.EvalSampled(query.interface, query.args,
+                                       snapshot.profile(), rng);
+        }
+        EcvProfile merged = snapshot.profile();
+        merged.MergeFrom(query.profile);
+        return evaluator.EvalSampled(query.interface, query.args, merged, rng);
+      }();
+      if (!value.ok()) {
+        return value.status();
+      }
+      outcome.sample = *value;
+      return outcome;
+    }
+  }
+  return InternalError("unknown query kind");
+}
+
+Result<QueryOutcome> QueryService::Dispatch(const Query& query) const {
+  SvcCounters::Get().queries.Increment();
+  auto snapshot = AcquireSnapshot();
+  return DispatchOn(*snapshot, query);
+}
+
+std::vector<Result<QueryOutcome>> QueryService::EvaluateBatch(
+    const std::vector<Query>& batch) const {
+  SvcCounters::Get().batches.Increment();
+  SvcCounters::Get().batch_queries.Increment(batch.size());
+  auto snapshot = AcquireSnapshot();
+
+  // Fingerprint exact queries once, and enumerate each distinct key once.
+  // The map holds positions so later duplicates reuse the first result.
+  std::vector<Result<QueryOutcome>> results;
+  results.reserve(batch.size());
+  std::vector<std::string> keys(batch.size());
+  std::unordered_map<std::string, Result<SharedOutcomes>> enumerated;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Query& query = batch[i];
+    if (query.kind != QueryKind::kExpected &&
+        query.kind != QueryKind::kDistribution) {
+      results.push_back(DispatchOn(*snapshot, query));
+      continue;
+    }
+    keys[i] = CacheKey(*snapshot, query);
+    auto [it, fresh] = enumerated.try_emplace(
+        keys[i], InternalError("batch slot never filled"));
+    if (fresh) {
+      it->second = EnumerateCached(*snapshot, query, &keys[i]);
+    }
+    const Result<SharedOutcomes>& outcomes = it->second;
+    if (!outcomes.ok()) {
+      results.push_back(outcomes.status());
+      continue;
+    }
+    QueryOutcome outcome;
+    outcome.kind = query.kind;
+    Status fold = OkStatus();
+    std::vector<Atom> atoms;
+    atoms.reserve((*outcomes)->size());
+    for (const WeightedOutcome& o : **outcomes) {
+      Result<double> joules = OutcomeJoules(o.value, options_.calibration);
+      if (!joules.ok()) {
+        fold = joules.status();
+        break;
+      }
+      atoms.push_back({*joules, o.probability});
+    }
+    if (fold.ok()) {
+      // Same canonical fold as the single-query paths, so batch results
+      // are bit-identical to dispatching each query alone.
+      Result<Distribution> dist = Distribution::Categorical(std::move(atoms));
+      if (dist.ok()) {
+        outcome.joules = dist->Mean();
+        if (query.kind == QueryKind::kDistribution) {
+          outcome.distribution = *std::move(dist);
+        }
+      } else {
+        fold = dist.status();
+      }
+    }
+    if (!fold.ok()) {
+      results.push_back(fold);
+    } else {
+      results.push_back(std::move(outcome));
+    }
+  }
+  return results;
+}
+
+QueryService::CacheStats QueryService::TotalCacheStats() const {
+  return cache_.TotalStats();
+}
+
+std::vector<QueryService::CacheStats> QueryService::PerShardCacheStats()
+    const {
+  std::vector<CacheStats> stats;
+  stats.reserve(cache_.shard_count());
+  for (size_t i = 0; i < cache_.shard_count(); ++i) {
+    stats.push_back(cache_.StatsForShard(i));
+  }
+  return stats;
+}
+
+size_t QueryService::cache_shard_count() const { return cache_.shard_count(); }
+
+}  // namespace eclarity

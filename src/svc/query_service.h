@@ -1,0 +1,197 @@
+// QueryService: a thread-safe, concurrent energy-query front end.
+//
+// The paper's resource managers consult energy interfaces continuously —
+// an OS scheduler or datacenter manager issues thousands of "how much
+// energy would this input cost?" queries per second, from many threads.
+// This service makes that usage pattern first-class:
+//
+//   * Immutable snapshots, RCU-style. The checked program (with its
+//     lowered fast-path form) and the base ECV profile live in an
+//     atomically swappable std::shared_ptr<const Snapshot>. Readers
+//     acquire a snapshot with one atomic load and keep evaluating against
+//     it even while a writer publishes a new profile or program — the old
+//     snapshot stays valid until its last reader drops it, so profile
+//     updates never block queries.
+//
+//   * Sharded enumeration cache. Exact enumeration results are cached in a
+//     ShardedLruMap keyed on (program generation, interface, argument
+//     fingerprints, effective-profile fingerprint); concurrent queries on
+//     different keys take different shard locks. Errors are never cached.
+//
+//   * Deterministic concurrency. Expected / Distribution queries are exact
+//     folds of the enumeration and therefore bit-reproducible regardless
+//     of thread interleaving. Monte Carlo and Sample queries derive their
+//     RNG stream from the query's seed alone (never from shared mutable
+//     state), so a concurrent run is bit-identical to a single-threaded
+//     replay of the same request log.
+//
+//   * Bounded Monte Carlo pool. MC requests run on a fixed-size worker
+//     pool with a bounded queue (submitters block when it is full), so a
+//     burst of heavy sampling queries cannot spawn unbounded threads.
+//
+// See DESIGN.md, "Concurrent query service".
+
+#ifndef ECLARITY_SRC_SVC_QUERY_SERVICE_H_
+#define ECLARITY_SRC_SVC_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dist/distribution.h"
+#include "src/eval/ecv_profile.h"
+#include "src/eval/interp.h"
+#include "src/lang/ast.h"
+#include "src/svc/sharded_cache.h"
+#include "src/units/units.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+enum class QueryKind {
+  kExpected,      // exact expectation (Joules)
+  kDistribution,  // exact distribution over Joules
+  kMonteCarlo,    // sampled mean on the worker pool (seeded by the query)
+  kSample,        // one sampled outcome (seeded by the query)
+};
+
+struct Query {
+  std::string interface;    // entry interface to evaluate
+  std::vector<Value> args;  // call arguments
+  // Per-query ECV overrides, merged over the snapshot's base profile
+  // (query keys win). Leave empty to use the snapshot profile as-is.
+  EcvProfile profile;
+  QueryKind kind = QueryKind::kExpected;
+  uint64_t seed = 0;     // RNG seed for kMonteCarlo / kSample
+  size_t samples = 1024;  // sample count for kMonteCarlo
+};
+
+// One query's answer. `joules` is filled for kExpected / kMonteCarlo (and
+// for kDistribution, as the mean); `distribution` only for kDistribution;
+// `sample` only for kSample.
+struct QueryOutcome {
+  QueryKind kind = QueryKind::kExpected;
+  double joules = 0.0;
+  std::optional<Distribution> distribution;
+  std::optional<Value> sample;
+
+  // Canonical byte encoding (bit-exact doubles); equal outcomes produce
+  // equal fingerprints. The concurrency tests compare these.
+  std::string Fingerprint() const;
+};
+
+// Namespace-scope (not nested) so `Options options = {}` default arguments
+// work around GCC bug 88165; spelled QueryService::Options at use sites.
+struct QueryServiceOptions {
+  // Total enumeration-cache capacity in entries, split across shards.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 16;
+  // Monte Carlo worker pool: thread count and queue bound (0 means
+  // 4 * mc_pool_threads). Submitters block while the queue is full.
+  size_t mc_pool_threads = 2;
+  size_t mc_queue_limit = 0;
+  // Evaluation budgets / engine. The per-evaluator enumeration cache and
+  // MC worker spawning are disabled internally: the service's sharded
+  // cache and bounded pool replace them.
+  EvalOptions eval;
+  // Calibration for abstract-energy returns (borrowed; may be null).
+  const EnergyCalibration* calibration = nullptr;
+};
+
+class QueryService {
+ public:
+  using Options = QueryServiceOptions;
+
+  // Checks nothing beyond what evaluation will check: the program must be
+  // closed (callers resolve imports first, e.g. via EnergyInterface::Link).
+  static Result<std::unique_ptr<QueryService>> Create(
+      Program program, Options options = {}, EcvProfile base_profile = {});
+
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Queries (all thread-safe, any number of concurrent callers) --------
+
+  Result<Energy> Expected(const Query& query) const;
+  Result<Distribution> EvalDistribution(const Query& query) const;
+  // Runs on the bounded worker pool; blocks until the result is ready.
+  Result<Energy> MonteCarlo(const Query& query) const;
+  Result<Value> Sample(const Query& query) const;
+
+  // Dispatches on query.kind; the mixed-workload entry point.
+  Result<QueryOutcome> Dispatch(const Query& query) const;
+
+  // Evaluates a batch against ONE snapshot, amortising the snapshot
+  // acquisition and deduplicating enumeration work: exact queries sharing
+  // (interface, args, profile) are fingerprinted once and enumerated once.
+  // Results are positionally aligned with `batch` and bit-identical to
+  // dispatching each query alone.
+  std::vector<Result<QueryOutcome>> EvaluateBatch(
+      const std::vector<Query>& batch) const;
+
+  // --- Snapshot publication (writers; never blocks readers) ---------------
+
+  // Swaps the base ECV profile. In-flight queries finish on the snapshot
+  // they acquired; the enumeration cache needs no flush because keys carry
+  // the effective-profile fingerprint.
+  void UpdateProfile(EcvProfile profile);
+
+  // Swaps the whole program (re-lowered under a fresh generation, so stale
+  // cache entries can never be returned for the new program).
+  Status UpdateProgram(Program program);
+
+  // --- Observability -------------------------------------------------------
+
+  using CacheStats =
+      ShardedLruMap<std::string, Evaluator::SharedOutcomes>::ShardStats;
+  CacheStats TotalCacheStats() const;
+  std::vector<CacheStats> PerShardCacheStats() const;
+  size_t cache_shard_count() const;
+  uint64_t snapshot_generation() const;
+
+  // The snapshot type is opaque to callers; tests hold one to pin the old
+  // world across a swap.
+  class Snapshot;
+  std::shared_ptr<const Snapshot> AcquireSnapshot() const;
+  // Expected energy evaluated against a pinned snapshot (bypasses the
+  // current publication, still uses the shared cache).
+  Result<Energy> ExpectedOn(const Snapshot& snapshot,
+                            const Query& query) const;
+
+ private:
+  class McPool;
+
+  QueryService(std::shared_ptr<const Snapshot> initial, Options options);
+
+  using SharedOutcomes = Evaluator::SharedOutcomes;
+
+  // Cache-or-enumerate against `snapshot`; `key_hint` (may be null) carries
+  // a precomputed cache key from the batch path.
+  Result<SharedOutcomes> EnumerateCached(const Snapshot& snapshot,
+                                         const Query& query,
+                                         const std::string* key_hint) const;
+  std::string CacheKey(const Snapshot& snapshot, const Query& query) const;
+  Result<QueryOutcome> DispatchOn(const Snapshot& snapshot,
+                                  const Query& query) const;
+  Result<Energy> MonteCarloOn(const Snapshot& snapshot,
+                              const Query& query) const;
+
+  Options options_;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  std::atomic<uint64_t> next_generation_;
+  mutable ShardedLruMap<std::string, SharedOutcomes> cache_;
+  std::unique_ptr<McPool> mc_pool_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_SVC_QUERY_SERVICE_H_

@@ -1,0 +1,175 @@
+// A thread-safe, sharded LRU map with striped locks.
+//
+// Generalises the single-threaded LruMap (src/util/lru.h) for the
+// concurrent query service: the key space is split across N independent
+// shards, each a mutex plus its own LruMap, so concurrent lookups on
+// different shards never contend. Every shard keeps its own hit / miss /
+// eviction counters (the paper's point that a cache's statistics *are*
+// knowledge a resource manager feeds back as ECV probabilities), and the
+// aggregate view preserves the invariant hits + misses == lookups.
+//
+// Capacity is distributed across shards as evenly as possible; the shard
+// count is clamped so no shard ends up with zero capacity unless the whole
+// cache has zero capacity (which disables storage, like LruMap).
+
+#ifndef ECLARITY_SRC_SVC_SHARDED_CACHE_H_
+#define ECLARITY_SRC_SVC_SHARDED_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/util/lru.h"
+
+namespace eclarity {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruMap {
+ public:
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+
+    uint64_t lookups() const { return hits + misses; }
+  };
+
+  // `shard_count` is a request: it is clamped to [1, total_capacity] (or 1
+  // when the capacity is zero) so every shard can hold at least one entry.
+  explicit ShardedLruMap(size_t total_capacity, size_t shard_count = 16) {
+    if (shard_count == 0) {
+      shard_count = 1;
+    }
+    if (total_capacity > 0 && shard_count > total_capacity) {
+      shard_count = total_capacity;
+    }
+    if (total_capacity == 0) {
+      shard_count = 1;
+    }
+    shards_.reserve(shard_count);
+    const size_t base = total_capacity / shard_count;
+    const size_t remainder = total_capacity % shard_count;
+    for (size_t i = 0; i < shard_count; ++i) {
+      shards_.push_back(
+          std::make_unique<Shard>(base + (i < remainder ? 1 : 0)));
+    }
+  }
+
+  // Copy of the value on hit (entry promoted to most-recent), nullopt on a
+  // miss. Returns by value so the caller never holds a pointer into a shard
+  // another thread may mutate; V is typically a shared_ptr.
+  std::optional<V> Get(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (V* hit = shard.map.Get(key)) {
+      return *hit;
+    }
+    return std::nullopt;
+  }
+
+  // Inserts (or refreshes) an entry. Returns true when a resident entry was
+  // evicted to make room.
+  bool Put(K key, V value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.Put(std::move(key), std::move(value));
+  }
+
+  // Lookup without promoting or touching the statistics.
+  bool Contains(const K& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.Contains(key);
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.Clear();
+    }
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+  size_t capacity() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->map.capacity();  // immutable after construction
+    }
+    return total;
+  }
+
+  ShardStats StatsForShard(size_t index) const {
+    const Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ShardStats{shard.map.hits(), shard.map.misses(),
+                      shard.map.evictions(), shard.map.size(),
+                      shard.map.capacity()};
+  }
+
+  // Aggregate over all shards. Each shard is snapshotted under its own lock;
+  // with concurrent traffic the aggregate is a consistent sum of per-shard
+  // snapshots (hits + misses still equals the lookups those snapshots saw).
+  ShardStats TotalStats() const {
+    ShardStats total;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const ShardStats s = StatsForShard(i);
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.size += s.size;
+      total.capacity += s.capacity;
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.ResetStats();
+    }
+  }
+
+  // Exposed for tests: which shard a key routes to.
+  size_t ShardIndexOf(const K& key) const { return ShardIndex(key); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : map(cap) {}
+    mutable std::mutex mu;
+    LruMap<K, V, Hash> map;
+  };
+
+  size_t ShardIndex(const K& key) const {
+    // Fibonacci spreading keeps clustered hash values (sequential integers,
+    // common prefixes) from piling onto one shard.
+    const uint64_t h =
+        static_cast<uint64_t>(hash_(key)) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>((h >> 32) % shards_.size());
+  }
+
+  Shard& ShardFor(const K& key) { return *shards_[ShardIndex(key)]; }
+  const Shard& ShardFor(const K& key) const { return *shards_[ShardIndex(key)]; }
+
+  Hash hash_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_SVC_SHARDED_CACHE_H_

@@ -15,6 +15,7 @@
 #include <list>
 #include <unordered_map>
 #include <utility>
+#include <variant>
 
 namespace eclarity {
 
@@ -97,6 +98,38 @@ class LruMap {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+};
+
+// A key-presence view over LruMap: an LRU *set* with hit/miss statistics.
+//
+// This is what the Fig. 1 web service uses for both the node-local request
+// cache and the remote (Redis-like) tier — the hit statistics a cache keeps
+// are exactly the knowledge its resource manager contributes as ECV
+// probabilities when composing energy interfaces (paper §3). It replaces
+// the former src/apps/lru_cache.h copy of the same idea.
+template <typename K, typename Hash = std::hash<K>>
+class LruSet {
+ public:
+  explicit LruSet(size_t capacity) : map_(capacity) {}
+
+  // True on hit (entry promoted to most-recent).
+  bool Get(const K& key) { return map_.Get(key) != nullptr; }
+
+  // Inserts (or refreshes) an entry, evicting the least-recent on overflow.
+  void Put(K key) { map_.Put(std::move(key), std::monostate{}); }
+
+  bool Contains(const K& key) const { return map_.Contains(key); }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return map_.capacity(); }
+
+  uint64_t hits() const { return map_.hits(); }
+  uint64_t misses() const { return map_.misses(); }
+  uint64_t evictions() const { return map_.evictions(); }
+  double HitRate() const { return map_.HitRate(); }
+  void ResetStats() { map_.ResetStats(); }
+
+ private:
+  LruMap<K, std::monostate, Hash> map_;
 };
 
 }  // namespace eclarity

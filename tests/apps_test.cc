@@ -1,22 +1,24 @@
-// Tests for the application substrates: LRU cache, the Fig. 1 web service
+// Tests for the application substrates: the LRU request-cache view, the
+// Fig. 1 web service
 // (system + interface agreement), and the fuzzing campaign model.
 
 #include <gtest/gtest.h>
 
 #include "src/apps/fuzzing.h"
-#include "src/apps/lru_cache.h"
 #include "src/apps/webservice.h"
 #include "src/hw/vendor.h"
 #include "src/iface/energy_interface.h"
+#include "src/util/lru.h"
+#include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace eclarity {
 namespace {
 
-// --- LruCache ---------------------------------------------------------------
+// --- LruSet (the former apps/lru_cache.h, now a util/lru.h view) ------------
 
-TEST(LruCacheTest, BasicHitMiss) {
-  LruCache cache(2);
+TEST(LruSetTest, BasicHitMiss) {
+  LruSet<uint64_t> cache(2);
   EXPECT_FALSE(cache.Get(1));
   cache.Put(1);
   EXPECT_TRUE(cache.Get(1));
@@ -25,8 +27,8 @@ TEST(LruCacheTest, BasicHitMiss) {
   EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
 }
 
-TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
-  LruCache cache(2);
+TEST(LruSetTest, EvictsLeastRecentlyUsed) {
+  LruSet<uint64_t> cache(2);
   cache.Put(1);
   cache.Put(2);
   EXPECT_TRUE(cache.Get(1));  // 1 is now most recent
@@ -37,8 +39,8 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
-TEST(LruCacheTest, PutRefreshesExisting) {
-  LruCache cache(2);
+TEST(LruSetTest, PutRefreshesExisting) {
+  LruSet<uint64_t> cache(2);
   cache.Put(1);
   cache.Put(2);
   cache.Put(1);  // refresh, no eviction
@@ -47,11 +49,45 @@ TEST(LruCacheTest, PutRefreshesExisting) {
   EXPECT_FALSE(cache.Contains(2));
 }
 
-TEST(LruCacheTest, ZeroCapacityNeverStores) {
-  LruCache cache(0);
+TEST(LruSetTest, ZeroCapacityNeverStores) {
+  LruSet<uint64_t> cache(0);
   cache.Put(1);
   EXPECT_FALSE(cache.Contains(1));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// Regression for the former src/apps/lru_cache.h: drive the set view and a
+// bare LruMap<uint64_t, std::monostate> (what LruCache wrapped) with the
+// same mixed operation sequence and require identical observable behavior —
+// hits, residency, sizes, and statistics.
+TEST(LruSetTest, AgreesWithMonostateLruMap) {
+  LruSet<uint64_t> set(3);
+  LruMap<uint64_t, std::monostate> map(3);
+  Rng rng(0xec1a517ull);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.NextUint64() % 8;
+    switch (rng.NextUint64() % 3) {
+      case 0: {
+        EXPECT_EQ(set.Get(key), map.Get(key) != nullptr);
+        break;
+      }
+      case 1:
+        set.Put(key);
+        map.Put(key, std::monostate{});
+        break;
+      default:
+        EXPECT_EQ(set.Contains(key), map.Contains(key));
+        break;
+    }
+  }
+  EXPECT_EQ(set.size(), map.size());
+  EXPECT_EQ(set.hits(), map.hits());
+  EXPECT_EQ(set.misses(), map.misses());
+  EXPECT_EQ(set.evictions(), map.evictions());
+  EXPECT_DOUBLE_EQ(set.HitRate(), map.HitRate());
+  for (uint64_t key = 0; key < 8; ++key) {
+    EXPECT_EQ(set.Contains(key), map.Contains(key)) << key;
+  }
 }
 
 // --- WebService ----------------------------------------------------------------

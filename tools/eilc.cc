@@ -12,6 +12,13 @@
 //   eilc chaos  FILE ENTRY ARGS... [--plan=PLAN.json] [--reads=N]
 //                                        audit the entry's prediction against
 //                                        a fault-injected telemetry counter
+//   eilc serve  FILE ENTRY ARGS... [--threads=N] [--requests=M] [--batch=K]
+//                                        drive the concurrent query service
+//                                        with N client threads x M mixed
+//                                        queries, verify the run is
+//                                        bit-identical to a single-threaded
+//                                        replay, and report throughput +
+//                                        cache/metric statistics
 //
 // Numeric ARGS are numbers; `true`/`false` are booleans. --ecv NAME=VALUE
 // pins an ECV (VALUE in {true,false} or a number); --ecv NAME~P sets a
@@ -19,14 +26,18 @@
 //
 // Exit codes: 0 success, 1 error, 2 usage, 3 evaluation budget exhausted
 // (max_steps / max_call_depth / max_paths), 4 telemetry unavailable (the
-// chaos run ended with the counter's circuit breaker open).
+// chaos run ended with the counter's circuit breaker open), 5 determinism
+// violation (a concurrent serve run diverged from its single-threaded
+// replay).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/eval/interp.h"
@@ -40,8 +51,10 @@
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/obs/accuracy.h"
+#include "src/obs/metrics.h"
 #include "src/obs/provenance.h"
 #include "src/obs/trace.h"
+#include "src/svc/query_service.h"
 
 namespace eclarity {
 namespace {
@@ -56,6 +69,8 @@ int Usage() {
                " [--chrome-trace OUT.json]\n"
                "       eilc chaos FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
                " [--plan=PLAN.json] [--reads=N]\n"
+               "       eilc serve FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
+               " [--threads=N] [--requests=M] [--batch=K]\n"
                "exit codes:\n"
                "  0  success\n"
                "  1  error (I/O, parse, static check, evaluation)\n"
@@ -63,7 +78,9 @@ int Usage() {
                "  3  evaluation budget exhausted (max_steps / max_call_depth"
                " / max_paths)\n"
                "  4  telemetry unavailable (chaos ended with the counter's"
-               " circuit open)\n");
+               " circuit open)\n"
+               "  5  determinism violation (concurrent serve diverged from"
+               " its single-threaded replay)\n");
   return 2;
 }
 
@@ -464,6 +481,197 @@ int Chaos(const std::string& path, const std::string& entry,
   return 0;
 }
 
+// Drives the concurrent QueryService the way a resource manager would: N
+// client threads each issue M queries against one published snapshot. The
+// mix is mostly exact expectations with an exact distribution every 16th
+// query and a Monte Carlo run (seeded by the global query index) every
+// 64th. Every outcome is fingerprinted; after the concurrent run, a
+// single-threaded replay through a fresh service must reproduce every
+// fingerprint bit for bit — the service's determinism contract. Exits 5
+// when any fingerprint diverges.
+int Serve(const std::string& path, const std::string& entry,
+          std::vector<std::string> rest) {
+  size_t threads = 4;
+  size_t requests = 256;
+  size_t batch = 1;
+  std::vector<std::string> kept;
+  for (const std::string& arg : rest) {
+    auto parse_size = [&arg](const char* flag, size_t* out) {
+      const size_t len = std::strlen(flag);
+      if (arg.rfind(flag, 0) != 0) {
+        return false;
+      }
+      char* end = nullptr;
+      const long v = std::strtol(arg.c_str() + len, &end, 10);
+      if (end == nullptr || *end != '\0' || v <= 0) {
+        *out = 0;  // flag matched but value bad; caller reports usage
+      } else {
+        *out = static_cast<size_t>(v);
+      }
+      return true;
+    };
+    if (parse_size("--threads=", &threads) ||
+        parse_size("--requests=", &requests) || parse_size("--batch=", &batch)) {
+      continue;
+    }
+    kept.push_back(arg);
+  }
+  if (threads == 0 || requests == 0 || batch == 0) {
+    std::fprintf(stderr,
+                 "--threads/--requests/--batch expect positive integers\n");
+    return 2;
+  }
+  rest = std::move(kept);
+
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto profile = ExtractProfile(rest);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Value> args;
+  for (const std::string& text : rest) {
+    auto v = ParseValueArg(text);
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    args.push_back(*v);
+  }
+
+  auto make_service = [&]() {
+    return QueryService::Create(program->Clone(), {}, *profile);
+  };
+  auto service = make_service();
+  if (!service.ok()) {
+    return FailWith(service.status());
+  }
+
+  // The request log is a pure function of the global query index, so the
+  // replay can regenerate it without any shared state.
+  auto query_at = [&](size_t global) {
+    Query query;
+    query.interface = entry;
+    query.args = args;
+    if (global % 64 == 0) {
+      query.kind = QueryKind::kMonteCarlo;
+      query.seed = global;
+      query.samples = 256;
+    } else if (global % 16 == 0) {
+      query.kind = QueryKind::kDistribution;
+    } else {
+      query.kind = QueryKind::kExpected;
+    }
+    return query;
+  };
+
+  // Concurrent run: per-(thread, request) fingerprints; errors abort the
+  // serve (first status wins) rather than feeding the determinism check.
+  std::vector<std::vector<std::string>> fingerprints(threads);
+  std::vector<Status> failures(threads, OkStatus());
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<std::string>& out = fingerprints[t];
+        out.reserve(requests);
+        std::vector<Query> pending;
+        for (size_t i = 0; i < requests; ++i) {
+          pending.push_back(query_at(t * requests + i));
+          const bool flush = pending.size() == batch || i + 1 == requests;
+          if (!flush) {
+            continue;
+          }
+          for (auto& result : (*service)->EvaluateBatch(pending)) {
+            if (!result.ok()) {
+              if (failures[t].ok()) {
+                failures[t] = result.status();
+              }
+              return;
+            }
+            out.push_back(result->Fingerprint());
+          }
+          pending.clear();
+        }
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const Status& status : failures) {
+    if (!status.ok()) {
+      return FailWith(status);
+    }
+  }
+
+  // Single-threaded replay through a fresh service; every fingerprint must
+  // match the concurrent run.
+  auto replay = make_service();
+  if (!replay.ok()) {
+    return FailWith(replay.status());
+  }
+  size_t divergences = 0;
+  for (size_t t = 0; t < threads; ++t) {
+    for (size_t i = 0; i < requests; ++i) {
+      auto result = (*replay)->Dispatch(query_at(t * requests + i));
+      if (!result.ok()) {
+        return FailWith(result.status());
+      }
+      if (result->Fingerprint() != fingerprints[t][i]) {
+        ++divergences;
+      }
+    }
+  }
+
+  const size_t total = threads * requests;
+  std::printf("served:       %zu queries (%zu threads x %zu, batch %zu)\n",
+              total, threads, requests, batch);
+  std::printf("throughput:   %.0f queries/s over %.3f s\n",
+              elapsed > 0.0 ? total / elapsed : 0.0, elapsed);
+  const QueryService::CacheStats stats = (*service)->TotalCacheStats();
+  std::printf("cache:        %llu lookups, %llu hits, %llu misses, "
+              "%llu evictions (%zu resident / %zu capacity)\n",
+              static_cast<unsigned long long>(stats.lookups()),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions), stats.size,
+              stats.capacity);
+  const auto shards = (*service)->PerShardCacheStats();
+  std::printf("shards:       %zu;", shards.size());
+  for (const QueryService::CacheStats& shard : shards) {
+    std::printf(" %llu", static_cast<unsigned long long>(shard.lookups()));
+  }
+  std::printf(" lookups\n");
+  std::printf("determinism:  %zu/%zu fingerprints match the single-threaded "
+              "replay\n",
+              total - divergences, total);
+  std::printf("\n--- metrics (Prometheus text) ---\n%s",
+              MetricsRegistry::Global().ToPrometheusText().c_str());
+  if (divergences > 0) {
+    std::fprintf(stderr,
+                 "determinism violation: %zu of %zu outcomes diverged from "
+                 "the single-threaded replay (exit 5)\n",
+                 divergences, total);
+    return 5;
+  }
+  return 0;
+}
+
 int Bounds(const std::string& path, const std::string& entry,
            const std::vector<std::string>& rest) {
   auto source = ReadFile(path);
@@ -530,6 +738,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "chaos") {
     return Chaos(path, entry, std::move(rest));
+  }
+  if (command == "serve") {
+    return Serve(path, entry, std::move(rest));
   }
   if (command == "bounds") {
     return Bounds(path, entry, rest);
