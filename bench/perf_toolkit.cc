@@ -149,11 +149,11 @@ void BM_TaskInterfaceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskInterfaceGeneration);
 
-// Raw enumeration cost as the choice tree deepens: `depth` boolean ECVs give
-// 2^depth paths. The enumeration cache is disabled so every iteration pays
-// the full depth-first sweep.
-void BM_EnumerateDepth(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
+// The depth benchmark program: `depth` boolean ECVs feeding a guarded
+// accumulator — 2^depth paths, and exactly the shape the analytic algebra
+// collapses. Shared by the enumeration and analytic depth benchmarks so
+// their numbers are directly comparable.
+std::string DeepEcvSource(int depth) {
   std::string source = "interface E_deep(x) {\n  let mut acc = 0J;\n";
   for (int i = 0; i < depth; ++i) {
     const std::string b = "b" + std::to_string(i);
@@ -161,7 +161,15 @@ void BM_EnumerateDepth(benchmark::State& state) {
     source += "  if (" + b + ") { acc = acc + 1mJ * x; }\n";
   }
   source += "  return acc;\n}\n";
-  auto program = ParseProgram(source);
+  return source;
+}
+
+// Raw enumeration cost as the choice tree deepens: `depth` boolean ECVs give
+// 2^depth paths. The enumeration cache is disabled so every iteration pays
+// the full depth-first sweep.
+void BM_EnumerateDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto program = ParseProgram(DeepEcvSource(depth));
   EvalOptions options;
   options.enum_cache_capacity = 0;
   Evaluator evaluator(*program, options);
@@ -173,6 +181,47 @@ void BM_EnumerateDepth(benchmark::State& state) {
   state.SetComplexityN(int64_t{1} << depth);
 }
 BENCHMARK(BM_EnumerateDepth)->Arg(4)->Arg(8)->Arg(12);
+
+// The same program through the analytic exact engine (collapsed-path DFS
+// over raw doubles; bit-identical answers). The sub-distribution cache is
+// disabled so every iteration pays the full evaluation — compare against
+// BM_EnumerateDepth at equal depth for the collapse factor.
+void BM_AnalyticExactDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto program = ParseProgram(DeepEcvSource(depth));
+  EvalOptions options;
+  options.enum_cache_capacity = 0;
+  options.analytic_cache_capacity = 0;
+  options.dist_mode = DistMode::kAnalyticExact;
+  Evaluator evaluator(*program, options);
+  const std::vector<Value> args = {Value::Number(3.0)};
+  for (auto _ : state) {
+    auto cd = evaluator.EvalCertified("E_deep", args, {});
+    benchmark::DoNotOptimize(cd.ok());
+  }
+  state.SetComplexityN(int64_t{1} << depth);
+}
+BENCHMARK(BM_AnalyticExactDepth)->Arg(4)->Arg(8)->Arg(12);
+
+// And through the bounded convolution algebra: O(depth * |support|^2) work
+// instead of 2^depth paths, every answer carrying a certified error bound.
+void BM_AnalyticBoundedDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto program = ParseProgram(DeepEcvSource(depth));
+  EvalOptions options;
+  options.enum_cache_capacity = 0;
+  options.analytic_cache_capacity = 0;
+  options.dist_mode = DistMode::kAnalyticBounded;
+  options.prune_threshold = 1e-6;
+  Evaluator evaluator(*program, options);
+  const std::vector<Value> args = {Value::Number(3.0)};
+  for (auto _ : state) {
+    auto cd = evaluator.EvalCertified("E_deep", args, {});
+    benchmark::DoNotOptimize(cd.ok());
+  }
+  state.SetComplexityN(int64_t{1} << depth);
+}
+BENCHMARK(BM_AnalyticBoundedDepth)->Arg(4)->Arg(8)->Arg(12);
 
 // --- Concurrent query service ------------------------------------------------
 

@@ -1,0 +1,238 @@
+#include "src/dist/certified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace eclarity {
+namespace {
+
+// Conservative first-order rounding slack for `ops` composition steps over
+// values of magnitude `scale`. Deliberately generous (each step may touch
+// every atom): the point is a *sound* bound, not a tight one.
+double FpSlack(size_t ops, double scale) {
+  return static_cast<double>(ops + 16) * 8.0 *
+         std::numeric_limits<double>::epsilon() * scale;
+}
+
+}  // namespace
+
+void CertifiedDist::SortMerge() {
+  std::sort(atoms_.begin(), atoms_.end(),
+            [](const Atom& a, const Atom& b) { return a.value < b.value; });
+  size_t out = 0;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (out > 0 && atoms_[out - 1].value == atoms_[i].value) {
+      atoms_[out - 1].probability += atoms_[i].probability;
+    } else {
+      atoms_[out++] = atoms_[i];
+    }
+  }
+  atoms_.resize(out);
+}
+
+CertifiedDist CertifiedDist::Point(double value) {
+  CertifiedDist d;
+  d.atoms_.push_back({value, 1.0});
+  d.min_v_ = value;
+  d.max_v_ = value;
+  return d;
+}
+
+Result<CertifiedDist> CertifiedDist::FromOutcomes(std::vector<Atom> atoms) {
+  if (atoms.empty()) {
+    return InvalidArgumentError("CertifiedDist: empty outcome set");
+  }
+  double total = 0.0;
+  for (const Atom& a : atoms) {
+    if (!std::isfinite(a.value) || !std::isfinite(a.probability) ||
+        a.probability < 0.0) {
+      return InvalidArgumentError(
+          "CertifiedDist: outcome with non-finite value or negative "
+          "probability");
+    }
+    total += a.probability;
+  }
+  if (total <= 0.0 || total > 1.0 + 1e-9) {
+    return InvalidArgumentError(
+        "CertifiedDist: outcome probabilities must sum to (0, 1]");
+  }
+  CertifiedDist d;
+  d.atoms_ = std::move(atoms);
+  d.SortMerge();
+  d.min_v_ = d.atoms_.front().value;
+  d.max_v_ = d.atoms_.back().value;
+  // Mass short of 1 is treated as already-pruned (sub-distribution input).
+  d.pruned_ = std::max(0.0, 1.0 - total);
+  return d;
+}
+
+CertifiedDist CertifiedDist::FromCertified(const CertifiedDistribution& cd) {
+  CertifiedDist d;
+  const double retained = 1.0 - cd.pruned_mass;
+  if (cd.has_distribution && cd.distribution.IsValid()) {
+    d.atoms_.reserve(cd.distribution.atoms().size());
+    for (const Atom& a : cd.distribution.atoms()) {
+      d.atoms_.push_back({a.value, a.probability * retained});
+    }
+  }
+  d.pruned_ = cd.pruned_mass;
+  d.min_v_ = cd.min_joules;
+  d.max_v_ = cd.max_joules;
+  // The callee's bound decomposes as midpoint term + residual slack; the
+  // midpoint term is re-derived by Finalize from pruned_/min/max, so only
+  // the residual is carried (conservatively: our span is at least as wide).
+  const double midpoint_part =
+      cd.pruned_mass * (cd.max_joules - cd.min_joules) / 2.0;
+  d.carried_ = std::max(0.0, cd.mean_error_bound - midpoint_part);
+  d.ops_ = 1;
+  return d;
+}
+
+CertifiedDist CertifiedDist::Convolve(const CertifiedDist& a,
+                                      const CertifiedDist& b,
+                                      size_t max_support) {
+  CertifiedDist out;
+  out.atoms_.reserve(a.atoms_.size() * b.atoms_.size());
+  for (const Atom& x : a.atoms_) {
+    for (const Atom& y : b.atoms_) {
+      out.atoms_.push_back({x.value + y.value, x.probability * y.probability});
+    }
+  }
+  out.SortMerge();
+  out.min_v_ = a.min_v_ + b.min_v_;
+  out.max_v_ = a.max_v_ + b.max_v_;
+  // Missing mass composes multiplicatively: retained = retained_a*retained_b.
+  out.pruned_ = 1.0 - (1.0 - a.pruned_) * (1.0 - b.pruned_);
+  out.carried_ = a.carried_ + b.carried_;
+  out.ops_ = a.ops_ + b.ops_ + 1;
+  if (max_support > 0) {
+    out.TruncateSupport(max_support);
+  }
+  return out;
+}
+
+Result<CertifiedDist> CertifiedDist::Mixture(
+    const std::vector<double>& weights,
+    const std::vector<CertifiedDist>& parts) {
+  if (weights.size() != parts.size() || parts.empty()) {
+    return InvalidArgumentError("CertifiedDist::Mixture: size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return InvalidArgumentError(
+          "CertifiedDist::Mixture: negative or non-finite weight");
+    }
+    total += w;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return InvalidArgumentError(
+        "CertifiedDist::Mixture: weights must sum to 1");
+  }
+  CertifiedDist out;
+  out.min_v_ = std::numeric_limits<double>::infinity();
+  out.max_v_ = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const CertifiedDist& p = parts[i];
+    for (const Atom& a : p.atoms_) {
+      out.atoms_.push_back({a.value, weights[i] * a.probability});
+    }
+    out.pruned_ += weights[i] * p.pruned_;
+    out.carried_ += weights[i] * p.carried_;
+    out.min_v_ = std::min(out.min_v_, p.min_v_);
+    out.max_v_ = std::max(out.max_v_, p.max_v_);
+    out.ops_ += p.ops_;
+  }
+  out.ops_ += 1;
+  out.SortMerge();
+  return out;
+}
+
+CertifiedDist CertifiedDist::Affine(double scale, double offset) const {
+  CertifiedDist out;
+  out.atoms_.reserve(atoms_.size());
+  for (const Atom& a : atoms_) {
+    out.atoms_.push_back({a.value * scale + offset, a.probability});
+  }
+  const double lo = min_v_ * scale + offset;
+  const double hi = max_v_ * scale + offset;
+  out.min_v_ = std::min(lo, hi);
+  out.max_v_ = std::max(lo, hi);
+  out.pruned_ = pruned_;
+  out.carried_ = carried_ * std::abs(scale);
+  out.ops_ = ops_ + 1;
+  out.SortMerge();  // negative scale reverses the order
+  return out;
+}
+
+void CertifiedDist::PruneBelow(double threshold) {
+  if (threshold <= 0.0 || atoms_.size() <= 1) {
+    return;
+  }
+  size_t heaviest = 0;
+  for (size_t i = 1; i < atoms_.size(); ++i) {
+    if (atoms_[i].probability > atoms_[heaviest].probability) {
+      heaviest = i;
+    }
+  }
+  size_t out = 0;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i != heaviest && atoms_[i].probability < threshold) {
+      pruned_ += atoms_[i].probability;
+    } else {
+      atoms_[out++] = atoms_[i];
+    }
+  }
+  atoms_.resize(out);
+}
+
+void CertifiedDist::TruncateSupport(size_t max_support) {
+  if (max_support == 0 || atoms_.size() <= max_support) {
+    return;
+  }
+  // Keep the `max_support` heaviest atoms; order by probability, drop the
+  // tail, restore value order.
+  std::vector<Atom> sorted = atoms_;
+  std::sort(sorted.begin(), sorted.end(), [](const Atom& a, const Atom& b) {
+    return a.probability > b.probability;
+  });
+  for (size_t i = max_support; i < sorted.size(); ++i) {
+    pruned_ += sorted[i].probability;
+  }
+  sorted.resize(max_support);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Atom& a, const Atom& b) { return a.value < b.value; });
+  atoms_ = std::move(sorted);
+}
+
+CertifiedDistribution CertifiedDist::Finalize() const {
+  CertifiedDistribution cd;
+  cd.pruned_mass = std::clamp(pruned_, 0.0, 1.0);
+  cd.min_joules = min_v_;
+  cd.max_joules = max_v_;
+  double retained_mean = 0.0;
+  double scale = std::max(std::abs(min_v_), std::abs(max_v_));
+  for (const Atom& a : atoms_) {
+    retained_mean += a.value * a.probability;
+  }
+  // Dropped mass lies in [min, max]; placing it at the midpoint costs at
+  // most half the span.
+  const double midpoint = (min_v_ + max_v_) / 2.0;
+  cd.mean = retained_mean + cd.pruned_mass * midpoint;
+  cd.mean_error_bound = cd.pruned_mass * (max_v_ - min_v_) / 2.0 +
+                        carried_ + FpSlack(ops_ + atoms_.size(), scale);
+  auto dist = Distribution::Categorical(atoms_);  // normalises retained mass
+  if (dist.ok()) {
+    cd.distribution = *std::move(dist);
+    cd.has_distribution = true;
+    cd.variance = cd.distribution.Variance();
+  } else {
+    cd.has_distribution = false;
+  }
+  cd.exact = false;
+  return cd;
+}
+
+}  // namespace eclarity

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "src/eval/analytic.h"
 #include "src/eval/builtins.h"
 #include "src/eval/env.h"
 #include "src/eval/lower.h"
@@ -36,6 +39,9 @@ struct EvalCounters {
   Counter& enum_cache_evictions;
   Counter& enum_cache_trace_bypass;
   Counter& mc_samples;
+  Counter& analytic_hits;
+  Counter& analytic_fallbacks;
+  Histogram& analytic_pruned_mass;
 
   static EvalCounters& Get() {
     static EvalCounters* counters = new EvalCounters{
@@ -69,6 +75,16 @@ struct EvalCounters {
         MetricsRegistry::Global().GetCounter(
             "eclarity_mc_samples_total",
             "Monte Carlo samples drawn by MonteCarloMean"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_analytic_hits_total",
+            "certified evaluations answered by the analytic engines"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_analytic_fallbacks_total",
+            "certified evaluations that fell back to exact enumeration"),
+        MetricsRegistry::Global().GetHistogram(
+            "eclarity_eval_analytic_pruned_mass",
+            "certified pruned probability mass per analytic evaluation",
+            LinearBuckets(0.0, 0.05, 20)),
     };
     return *counters;
   }
@@ -963,7 +979,8 @@ class FastExecution {
 Evaluator::Evaluator(const Program& program, EvalOptions options)
     : program_(&program),
       options_(options),
-      enum_cache_(options.enum_cache_capacity) {
+      enum_cache_(options.enum_cache_capacity),
+      analytic_cache_(options.analytic_cache_capacity) {
   if (options_.engine == EvalEngine::kFastPath) {
     lowered_ = std::make_unique<LoweredProgram>(LoweredProgram::Lower(
         program, options_.max_ecv_support,
@@ -1099,6 +1116,164 @@ size_t Evaluator::enum_cache_misses() const {
   return enum_cache_.misses();
 }
 
+size_t Evaluator::analytic_cache_hits() const {
+  std::lock_guard<std::mutex> lock(analytic_mu_);
+  return analytic_cache_.hits();
+}
+
+size_t Evaluator::analytic_cache_misses() const {
+  std::lock_guard<std::mutex> lock(analytic_mu_);
+  return analytic_cache_.misses();
+}
+
+const AnalyticAnalysis* Evaluator::EnsureAnalysis() const {
+  std::lock_guard<std::mutex> lock(analytic_mu_);
+  if (analysis_ == nullptr) {
+    analysis_ = AnalyticAnalysis::Analyze(*program_, *lowered_);
+  }
+  return analysis_.get();
+}
+
+Result<CertifiedDistribution> Evaluator::EnumerateToCertified(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
+                            EnumerateShared(interface_name, args, profile));
+  std::vector<Atom> atoms;
+  atoms.reserve(outcomes->size());
+  for (const WeightedOutcome& o : *outcomes) {
+    ECLARITY_ASSIGN_OR_RETURN(double joules,
+                              OutcomeJoules(o.value, calibration));
+    atoms.push_back({joules, o.probability});
+  }
+  ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
+                            Distribution::Categorical(std::move(atoms)));
+  CertifiedDistribution cd;
+  cd.distribution = std::move(dist);
+  cd.has_distribution = true;
+  cd.mean = cd.distribution.Mean();
+  cd.variance = cd.distribution.Variance();
+  cd.min_joules = cd.distribution.MinValue();
+  cd.max_joules = cd.distribution.MaxValue();
+  cd.exact = true;
+  return cd;
+}
+
+Result<CertifiedDistribution> Evaluator::EvalCertified(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  return EvalCertifiedMode(interface_name, args, profile, calibration,
+                           options_.dist_mode);
+}
+
+Result<CertifiedDistribution> Evaluator::EvalCertifiedMode(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, const EnergyCalibration* calibration,
+    DistMode mode) const {
+  // kEnumerate, the tree-walk engine, and tracing all answer through exact
+  // enumeration (tracing because the analytic engines emit no per-path
+  // events; the result would be correct but silent).
+  if (mode == DistMode::kEnumerate || lowered_ == nullptr ||
+      options_.trace != nullptr) {
+    return EnumerateToCertified(interface_name, args, profile, calibration);
+  }
+  const LoweredInterface* iface = lowered_->Find(interface_name);
+  if (iface == nullptr) {
+    // Unknown interface: let enumeration raise its usual error.
+    return EnumerateToCertified(interface_name, args, profile, calibration);
+  }
+  const AnalyticAnalysis* analysis = EnsureAnalysis();
+  const AnalyticShape* shape = analysis->Find(iface);
+  // Budget pre-checks: the analytic engines run only when no enumeration
+  // path could exhaust the step or call-depth budgets, so an analytic
+  // answer never succeeds where enumeration would error (and vice versa —
+  // the max_paths budget is enforced inside the exact engine itself).
+  if (shape == nullptr || !shape->exact_ok ||
+      shape->max_path_stmts > options_.max_steps ||
+      shape->call_depth > options_.max_call_depth) {
+    analytic_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    EvalCounters::Get().analytic_fallbacks.Increment();
+    return EnumerateToCertified(interface_name, args, profile, calibration);
+  }
+
+  const bool use_cache = options_.analytic_cache_capacity > 0;
+  std::string key;
+  if (use_cache) {
+    key.reserve(96);
+    key += interface_name;
+    key.push_back('\x1f');
+    for (const Value& arg : args) {
+      arg.AppendFingerprint(key);
+    }
+    key.push_back('\x1f');
+    key += profile.Fingerprint();
+    key.push_back('\x1f');
+    // Mode, prune threshold, and calibration all change the cached value.
+    key.push_back(static_cast<char>('0' + static_cast<int>(mode)));
+    uint64_t prune_bits = 0;
+    static_assert(sizeof(prune_bits) == sizeof(options_.prune_threshold));
+    std::memcpy(&prune_bits, &options_.prune_threshold, sizeof(prune_bits));
+    key.append(reinterpret_cast<const char*>(&prune_bits), sizeof(prune_bits));
+    key.push_back('\x1f');
+    if (calibration != nullptr) {
+      key += calibration->Fingerprint();
+    }
+    std::lock_guard<std::mutex> lock(analytic_mu_);
+    if (const std::shared_ptr<const CertifiedDistribution>* hit =
+            analytic_cache_.Get(key)) {
+      return **hit;
+    }
+  }
+
+  CertifiedDistribution result;
+  bool computed = false;
+  if (mode != DistMode::kAnalyticExact && shape->bounded_ok) {
+    // Sub-interface calls resolve through the cache-aware certified
+    // evaluation; any error makes the parent fall back, and the fallback
+    // enumeration reproduces it.
+    const AnalyticSubEval subeval =
+        [&](const LoweredInterface& callee,
+            const std::vector<Value>& callee_args)
+        -> std::optional<CertifiedDistribution> {
+      Result<CertifiedDistribution> sub = EvalCertifiedMode(
+          callee.decl->name, callee_args, profile, calibration, mode);
+      if (!sub.ok()) {
+        return std::nullopt;
+      }
+      return *std::move(sub);
+    };
+    std::optional<CertifiedDistribution> approx = AnalyticApprox(
+        *analysis, *iface, args, profile, options_, calibration,
+        mode == DistMode::kAnalyticMoments, subeval);
+    if (approx.has_value()) {
+      result = *std::move(approx);
+      computed = true;
+      EvalCounters::Get().analytic_pruned_mass.Observe(result.pruned_mass);
+    }
+    // Off-template for the approximate engines: fall through to exact.
+  }
+  if (!computed) {
+    ECLARITY_ASSIGN_OR_RETURN(
+        std::optional<CertifiedDistribution> exact,
+        AnalyticExact(*analysis, *iface, args, profile, options_,
+                      calibration));
+    if (!exact.has_value()) {
+      analytic_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      EvalCounters::Get().analytic_fallbacks.Increment();
+      return EnumerateToCertified(interface_name, args, profile, calibration);
+    }
+    result = *std::move(exact);
+  }
+  analytic_hits_.fetch_add(1, std::memory_order_relaxed);
+  EvalCounters::Get().analytic_hits.Increment();
+  if (use_cache) {
+    auto shared = std::make_shared<const CertifiedDistribution>(result);
+    std::lock_guard<std::mutex> lock(analytic_mu_);
+    analytic_cache_.Put(std::move(key), std::move(shared));
+  }
+  return result;
+}
+
 Result<double> OutcomeJoules(const Value& value,
                              const EnergyCalibration* calibration) {
   ECLARITY_ASSIGN_OR_RETURN(AbstractEnergy energy, value.AsEnergy());
@@ -1117,6 +1292,17 @@ Result<double> OutcomeJoules(const Value& value,
 Result<Distribution> Evaluator::EvalDistribution(
     const std::string& interface_name, const std::vector<Value>& args,
     const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  if (options_.dist_mode != DistMode::kEnumerate) {
+    ECLARITY_ASSIGN_OR_RETURN(
+        CertifiedDistribution cd,
+        EvalCertified(interface_name, args, profile, calibration));
+    if (!cd.has_distribution) {
+      return FailedPreconditionError(
+          "moments-only evaluation materialises no distribution; use "
+          "EvalCertified");
+    }
+    return cd.distribution;
+  }
   ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
                             EnumerateShared(interface_name, args, profile));
   std::vector<Atom> atoms;
@@ -1132,6 +1318,12 @@ Result<Distribution> Evaluator::EvalDistribution(
 Result<Energy> Evaluator::ExpectedEnergy(
     const std::string& interface_name, const std::vector<Value>& args,
     const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  if (options_.dist_mode != DistMode::kEnumerate) {
+    ECLARITY_ASSIGN_OR_RETURN(
+        CertifiedDistribution cd,
+        EvalCertified(interface_name, args, profile, calibration));
+    return Energy::Joules(cd.mean);
+  }
   ECLARITY_ASSIGN_OR_RETURN(
       Distribution dist,
       EvalDistribution(interface_name, args, profile, calibration));

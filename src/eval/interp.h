@@ -32,11 +32,13 @@
 #ifndef ECLARITY_SRC_EVAL_INTERP_H_
 #define ECLARITY_SRC_EVAL_INTERP_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/dist/certified.h"
 #include "src/dist/distribution.h"
 #include "src/eval/ecv_profile.h"
 #include "src/lang/ast.h"
@@ -48,12 +50,31 @@
 
 namespace eclarity {
 
+class AnalyticAnalysis;
 class LoweredProgram;
 class TraceSink;
 
 enum class EvalEngine {
   kFastPath,  // lowered IR + slot frames + enumeration cache
   kTreeWalk,  // reference AST interpreter
+};
+
+// How EvalCertified / EvalDistribution / ExpectedEnergy compute their
+// answers (see DESIGN.md, "Analytic distribution algebra").
+enum class DistMode {
+  // Exact enumeration fold over every ECV assignment (the default, and the
+  // only mode before the analytic algebra existed).
+  kEnumerate,
+  // Analytic collapsed-path evaluation when the shape analysis proves it
+  // bit-identical to enumeration; transparent fallback to enumeration
+  // otherwise. Same answers as kEnumerate, often exponentially faster.
+  kAnalyticExact,
+  // Convolution/mixture algebra with mass-threshold pruning. Approximate,
+  // but every answer carries a certified bound:
+  // |exact_mean - mean| <= mean_error_bound.
+  kAnalyticBounded,
+  // Mean/variance propagation only — no distribution is materialised.
+  kAnalyticMoments,
 };
 
 struct EvalOptions {
@@ -81,6 +102,18 @@ struct EvalOptions {
   // mode. The sink must outlive the evaluator. nullptr (default) keeps
   // evaluation at full speed: the engines only test this pointer.
   TraceSink* trace = nullptr;
+  // Distribution-evaluation mode for EvalCertified / EvalDistribution /
+  // ExpectedEnergy. Tracing forces kEnumerate behaviour (the analytic
+  // engines emit no per-path events).
+  DistMode dist_mode = DistMode::kEnumerate;
+  // kAnalyticBounded only: after each composition step, retained atoms with
+  // probability strictly below this threshold are dropped; the dropped mass
+  // is certified into CertifiedDistribution::mean_error_bound. 0 disables
+  // pruning. A larger threshold never yields a tighter certified bound.
+  double prune_threshold = 0.0;
+  // Capacity of the per-evaluator analytic sub-distribution cache, keyed by
+  // (interface, arguments, ECV profile, mode, threshold). 0 disables.
+  size_t analytic_cache_capacity = 128;
 
   bool operator==(const EvalOptions&) const = default;
 };
@@ -157,14 +190,53 @@ class Evaluator {
                                 const EnergyCalibration* calibration = nullptr)
       const;
 
+  // Certified evaluation through the analytic distribution algebra
+  // (options.dist_mode selects the engine; kEnumerate and the tree-walk
+  // engine answer via exact enumeration with a zero bound). Exact answers —
+  // analytic or enumerated — have exact == true and distributions
+  // bit-identical to the enumeration fold; bounded/moments answers certify
+  // |exact_mean - mean| <= mean_error_bound. Thread-safe.
+  Result<CertifiedDistribution> EvalCertified(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile,
+      const EnergyCalibration* calibration = nullptr) const;
+
+  // As EvalCertified, but with an explicit mode overriding
+  // options().dist_mode (per-query mode selection, e.g. QueryService).
+  Result<CertifiedDistribution> EvalCertifiedMode(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile, const EnergyCalibration* calibration,
+      DistMode mode) const;
+
   // Enumeration-cache observability (tests, benchmarks).
   size_t enum_cache_hits() const;
   size_t enum_cache_misses() const;
+
+  // Analytic-engine observability: evaluations answered analytically vs.
+  // fallen back to enumeration, and sub-distribution cache traffic.
+  size_t analytic_hits() const {
+    return analytic_hits_.load(std::memory_order_relaxed);
+  }
+  size_t analytic_fallbacks() const {
+    return analytic_fallbacks_.load(std::memory_order_relaxed);
+  }
+  size_t analytic_cache_hits() const;
+  size_t analytic_cache_misses() const;
 
  private:
   Result<std::vector<WeightedOutcome>> EnumerateUncached(
       const std::string& interface_name, const std::vector<Value>& args,
       const EcvProfile& profile) const;
+
+  // Exact enumeration folded into a CertifiedDistribution (exact == true,
+  // zero bound). The universal fallback for every analytic mode.
+  Result<CertifiedDistribution> EnumerateToCertified(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile, const EnergyCalibration* calibration) const;
+
+  // Lazily builds (once) and returns the analytic shape analysis of the
+  // lowered program. Requires lowered_ != nullptr.
+  const AnalyticAnalysis* EnsureAnalysis() const;
 
   const Program* program_;
   EvalOptions options_;
@@ -172,6 +244,15 @@ class Evaluator {
 
   mutable std::mutex cache_mu_;
   mutable LruMap<std::string, SharedOutcomes> enum_cache_;
+
+  // Analytic state: shape analysis (built on first certified evaluation)
+  // and the memoized sub-distribution cache, both guarded by analytic_mu_.
+  mutable std::mutex analytic_mu_;
+  mutable std::unique_ptr<const AnalyticAnalysis> analysis_;
+  mutable LruMap<std::string, std::shared_ptr<const CertifiedDistribution>>
+      analytic_cache_;
+  mutable std::atomic<uint64_t> analytic_hits_{0};
+  mutable std::atomic<uint64_t> analytic_fallbacks_{0};
 };
 
 // Resolves an outcome's energy value to Joules (through `calibration` when

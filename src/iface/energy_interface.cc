@@ -109,6 +109,14 @@ Result<Distribution> EnergyInterface::EnergyDistribution(
                                                  calibration);
 }
 
+Result<CertifiedDistribution> EnergyInterface::Certified(
+    const std::vector<Value>& args, const EcvProfile& profile,
+    const EnergyCalibration* calibration, const EvalOptions& options) const {
+  ECLARITY_RETURN_IF_ERROR(RequireClosed());
+  return EvaluatorFor(options)->EvalCertified(entry_, args, profile,
+                                              calibration);
+}
+
 Result<std::vector<WeightedOutcome>> EnergyInterface::Paths(
     const std::vector<Value>& args, const EcvProfile& profile,
     const EvalOptions& options) const {

@@ -67,6 +67,14 @@ class EnergyInterface {
       const EnergyCalibration* calibration = nullptr,
       const EvalOptions& options = {}) const;
 
+  // Certified evaluation through the analytic distribution algebra:
+  // options.dist_mode selects the engine, and every answer carries a sound
+  // bound |exact_mean - mean| <= mean_error_bound (zero for exact modes).
+  Result<CertifiedDistribution> Certified(
+      const std::vector<Value>& args, const EcvProfile& profile = {},
+      const EnergyCalibration* calibration = nullptr,
+      const EvalOptions& options = {}) const;
+
   Result<std::vector<WeightedOutcome>> Paths(
       const std::vector<Value>& args, const EcvProfile& profile = {},
       const EvalOptions& options = {}) const;

@@ -104,6 +104,15 @@ std::vector<double> ExponentialBuckets(double start, double factor,
   return out;
 }
 
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(start + width * static_cast<double>(i));
+  }
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

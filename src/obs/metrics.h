@@ -85,6 +85,9 @@ class Histogram {
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
 
+// Linear bucket bounds: start, start+width, ... (count bounds).
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

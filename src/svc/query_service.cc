@@ -72,6 +72,11 @@ std::string QueryOutcome::Fingerprint() const {
   if (sample.has_value()) {
     sample->AppendFingerprint(out);
   }
+  if (analytic) {
+    out.push_back('\x01');
+    AppendBits(out, error_bound);
+    AppendBits(out, pruned_mass);
+  }
   return out;
 }
 
@@ -295,6 +300,28 @@ std::string QueryService::CacheKey(const Snapshot& snapshot,
   return key;
 }
 
+DistMode QueryService::EffectiveMode(const Query& query) const {
+  return query.dist_mode.value_or(options_.eval.dist_mode);
+}
+
+Result<CertifiedDistribution> QueryService::CertifiedOn(
+    const Snapshot& snapshot, const Query& query, DistMode mode) const {
+  // The snapshot evaluator's analytic cache keys on (interface, args,
+  // profile, mode, threshold, calibration), so concurrent certified queries
+  // dedup there; a program swap replaces the evaluator wholesale, which
+  // rekeys by construction.
+  const Evaluator& evaluator = snapshot.bundle().evaluator;
+  if (query.profile.empty()) {
+    return evaluator.EvalCertifiedMode(query.interface, query.args,
+                                       snapshot.profile(),
+                                       options_.calibration, mode);
+  }
+  EcvProfile merged = snapshot.profile();
+  merged.MergeFrom(query.profile);
+  return evaluator.EvalCertifiedMode(query.interface, query.args, merged,
+                                     options_.calibration, mode);
+}
+
 Result<QueryService::SharedOutcomes> QueryService::EnumerateCached(
     const Snapshot& snapshot, const Query& query,
     const std::string* key_hint) const {
@@ -330,6 +357,12 @@ Result<QueryService::SharedOutcomes> QueryService::EnumerateCached(
 
 Result<Energy> QueryService::ExpectedOn(const Snapshot& snapshot,
                                         const Query& query) const {
+  const DistMode mode = EffectiveMode(query);
+  if (mode != DistMode::kEnumerate) {
+    ECLARITY_ASSIGN_OR_RETURN(CertifiedDistribution cd,
+                              CertifiedOn(snapshot, query, mode));
+    return Energy::Joules(cd.mean);
+  }
   // Folds through Distribution's canonical atom order — the exact path
   // Evaluator::ExpectedEnergy takes — so service answers are bit-identical
   // to the single-threaded engine's.
@@ -415,13 +448,38 @@ Result<QueryOutcome> QueryService::DispatchOn(const Snapshot& snapshot,
                                               const Query& query) const {
   QueryOutcome outcome;
   outcome.kind = query.kind;
+  const DistMode mode = EffectiveMode(query);
   switch (query.kind) {
     case QueryKind::kExpected: {
+      if (mode != DistMode::kEnumerate) {
+        ECLARITY_ASSIGN_OR_RETURN(CertifiedDistribution cd,
+                                  CertifiedOn(snapshot, query, mode));
+        outcome.joules = cd.mean;
+        outcome.analytic = true;
+        outcome.error_bound = cd.mean_error_bound;
+        outcome.pruned_mass = cd.pruned_mass;
+        return outcome;
+      }
       ECLARITY_ASSIGN_OR_RETURN(Energy energy, ExpectedOn(snapshot, query));
       outcome.joules = energy.joules();
       return outcome;
     }
     case QueryKind::kDistribution: {
+      if (mode != DistMode::kEnumerate) {
+        ECLARITY_ASSIGN_OR_RETURN(CertifiedDistribution cd,
+                                  CertifiedOn(snapshot, query, mode));
+        if (!cd.has_distribution) {
+          return FailedPreconditionError(
+              "moments-only evaluation materialises no distribution; "
+              "use kExpected");
+        }
+        outcome.joules = cd.mean;
+        outcome.distribution = std::move(cd.distribution);
+        outcome.analytic = true;
+        outcome.error_bound = cd.mean_error_bound;
+        outcome.pruned_mass = cd.pruned_mass;
+        return outcome;
+      }
       ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
                                 EnumerateCached(snapshot, query, nullptr));
       std::vector<Atom> atoms;
@@ -484,8 +542,11 @@ std::vector<Result<QueryOutcome>> QueryService::EvaluateBatch(
   std::unordered_map<std::string, Result<SharedOutcomes>> enumerated;
   for (size_t i = 0; i < batch.size(); ++i) {
     const Query& query = batch[i];
-    if (query.kind != QueryKind::kExpected &&
-        query.kind != QueryKind::kDistribution) {
+    if ((query.kind != QueryKind::kExpected &&
+         query.kind != QueryKind::kDistribution) ||
+        EffectiveMode(query) != DistMode::kEnumerate) {
+      // Certified queries dedup inside the snapshot evaluator's analytic
+      // cache; the service's enumeration dedup below is kEnumerate-only.
       results.push_back(DispatchOn(*snapshot, query));
       continue;
     }

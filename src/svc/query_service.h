@@ -72,6 +72,12 @@ struct Query {
   QueryKind kind = QueryKind::kExpected;
   uint64_t seed = 0;     // RNG seed for kMonteCarlo / kSample
   size_t samples = 1024;  // sample count for kMonteCarlo
+  // Distribution-evaluation mode for kExpected / kDistribution. Unset uses
+  // the service-wide options.eval.dist_mode; an analytic mode routes the
+  // query through the snapshot evaluator's certified engine (with its
+  // memoized sub-distribution cache), kEnumerate through the service's
+  // sharded enumeration cache.
+  std::optional<DistMode> dist_mode;
 };
 
 // One query's answer. `joules` is filled for kExpected / kMonteCarlo (and
@@ -83,8 +89,17 @@ struct QueryOutcome {
   std::optional<Distribution> distribution;
   std::optional<Value> sample;
 
+  // Certified-evaluation metadata, meaningful only when `analytic` is true
+  // (the query ran under an analytic dist_mode): |exact_mean - joules| <=
+  // error_bound, and pruned_mass is the certified dropped probability mass.
+  bool analytic = false;
+  double error_bound = 0.0;
+  double pruned_mass = 0.0;
+
   // Canonical byte encoding (bit-exact doubles); equal outcomes produce
-  // equal fingerprints. The concurrency tests compare these.
+  // equal fingerprints. The concurrency tests compare these. Certified
+  // metadata is appended only when `analytic` is set, so fingerprints of
+  // legacy (enumeration-mode) outcomes are unchanged.
   std::string Fingerprint() const;
 };
 
@@ -180,6 +195,13 @@ class QueryService {
                                          const Query& query,
                                          const std::string* key_hint) const;
   std::string CacheKey(const Snapshot& snapshot, const Query& query) const;
+  // The query's dist_mode, falling back to the service-wide default.
+  DistMode EffectiveMode(const Query& query) const;
+  // Certified evaluation against `snapshot` under an analytic mode, through
+  // the snapshot evaluator's memoized sub-distribution cache.
+  Result<CertifiedDistribution> CertifiedOn(const Snapshot& snapshot,
+                                            const Query& query,
+                                            DistMode mode) const;
   Result<QueryOutcome> DispatchOn(const Snapshot& snapshot,
                                   const Query& query) const;
   Result<Energy> MonteCarloOn(const Snapshot& snapshot,

@@ -1,6 +1,8 @@
 #include "src/units/abstract_energy.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 namespace eclarity {
@@ -33,6 +35,22 @@ std::vector<std::string> EnergyCalibration::Units() const {
     names.push_back(name);
   }
   return names;
+}
+
+std::string EnergyCalibration::Fingerprint() const {
+  std::string fp;
+  fp.reserve(bindings_.size() * 16);
+  for (const auto& [name, energy] : bindings_) {  // std::map: sorted order
+    fp += name;
+    fp.push_back('=');
+    const double joules = energy.joules();
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(joules));
+    std::memcpy(&bits, &joules, sizeof(bits));
+    fp.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+    fp.push_back(';');
+  }
+  return fp;
 }
 
 AbstractEnergy AbstractEnergy::FromConcrete(Energy e) {

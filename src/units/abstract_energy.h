@@ -39,6 +39,10 @@ class EnergyCalibration {
 
   size_t size() const { return bindings_.size(); }
 
+  // Deterministic key over all bindings (unit names + exact Joule bits),
+  // for caches whose entries depend on the calibration.
+  std::string Fingerprint() const;
+
  private:
   std::map<std::string, Energy> bindings_;
 };

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -19,6 +20,7 @@
 #include "src/svc/query_service.h"
 #include "src/svc/sharded_cache.h"
 #include "src/util/rng.h"
+#include "tests/parity_programs.h"
 
 namespace eclarity {
 namespace {
@@ -551,6 +553,140 @@ TEST(QueryServiceSnapshotTest, ProgramSwapBumpsGenerationAndRekeysCache) {
   // The generation is part of the cache key, so the old program's cached
   // enumeration cannot leak into the new world.
   EXPECT_DOUBLE_EQ(v2->joules(), 2.0);
+}
+
+// --- QueryService: analytic certified modes ---------------------------------
+
+// A request mix cycling the per-query dist_mode override — a pure function
+// of the global index, so the concurrent run and the replay share a log.
+Query AnalyticQueryAt(size_t global) {
+  Query query;
+  query.interface = "acc_chain";
+  query.args = {Value::Number(6.0)};
+  query.kind = QueryKind::kExpected;
+  switch (global % 4) {
+    case 0:  // service default (enumeration) baseline
+      break;
+    case 1:
+      query.dist_mode = DistMode::kAnalyticExact;
+      break;
+    case 2:
+      query.kind = QueryKind::kDistribution;
+      query.dist_mode = DistMode::kAnalyticBounded;
+      break;
+    default:
+      query.dist_mode = DistMode::kAnalyticMoments;
+      break;
+  }
+  return query;
+}
+
+TEST(QueryServiceConcurrencyTest,
+     AnalyticModesBitIdenticalToSingleThreadedReplay) {
+  // 8 threads hammer the snapshot evaluator's memoized sub-distribution
+  // cache with mixed certified/enumeration queries; the outcome
+  // fingerprints (which include the certified bound and pruned-mass bits)
+  // must match a single-threaded replay of the same log exactly.
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 64;
+  auto service = MustCreate(parity::kAccumulatorChainSource);
+
+  std::vector<std::vector<std::string>> fingerprints(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &fingerprints, t] {
+      std::vector<std::string>& out = fingerprints[t];
+      out.reserve(kPerThread);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        auto result = service->Dispatch(AnalyticQueryAt(t * kPerThread + i));
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        out.push_back(result->Fingerprint());
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  auto replay = MustCreate(parity::kAccumulatorChainSource);
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kPerThread; ++i) {
+      auto result = replay->Dispatch(AnalyticQueryAt(t * kPerThread + i));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->Fingerprint(), fingerprints[t][i])
+          << "thread " << t << " query " << i;
+    }
+  }
+}
+
+TEST(QueryServiceConcurrencyTest, AnalyticOutcomesMatchEvaluatorAndCertify) {
+  // The concurrent service's certified answers carry the single-threaded
+  // engine's exact bits (exact mode) and a bound containing the exact mean
+  // (bounded/moments modes).
+  const Program program = MustParse(parity::kAccumulatorChainSource);
+  Evaluator evaluator(program);
+  auto exact = evaluator.ExpectedEnergy("acc_chain", {Value::Number(6.0)}, {});
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  const double want = exact->joules();
+
+  auto service = MustCreate(parity::kAccumulatorChainSource);
+  std::vector<std::thread> workers;
+  workers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&service, want] {
+      for (size_t i = 1; i < 32; ++i) {  // skip the enumerate slot
+        const Query query = AnalyticQueryAt(i % 4 == 0 ? i + 1 : i);
+        auto outcome = service->Dispatch(query);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        EXPECT_TRUE(outcome->analytic);
+        if (query.dist_mode == DistMode::kAnalyticExact) {
+          EXPECT_EQ(Bits(outcome->joules), Bits(want));
+          EXPECT_EQ(outcome->error_bound, 0.0);
+        } else {
+          EXPECT_LE(std::abs(outcome->joules - want), outcome->error_bound);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+}
+
+TEST(QueryServiceSnapshotTest, ProgramSwapRekeysAnalyticCache) {
+  // The sub-distribution cache lives in the snapshot's evaluator, which is
+  // rebuilt on UpdateProgram — so a new generation can never be answered
+  // from the old program's cached analytic results.
+  auto service = MustCreate(R"(
+interface f() {
+  let mut acc = 0J;
+  ecv hit ~ bernoulli(0.5);
+  if (hit) { acc = acc + 2mJ; }
+  return acc;
+}
+)");
+  Query query;
+  query.interface = "f";
+  query.dist_mode = DistMode::kAnalyticExact;
+  auto v1 = service->Dispatch(query);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_DOUBLE_EQ(v1->joules, 0.001);
+  EXPECT_TRUE(v1->analytic);
+
+  ASSERT_TRUE(service
+                  ->UpdateProgram(MustParse(R"(
+interface f() {
+  let mut acc = 0J;
+  ecv hit ~ bernoulli(0.5);
+  if (hit) { acc = acc + 4mJ; }
+  return acc;
+}
+)"))
+                  .ok());
+  auto v2 = service->Dispatch(query);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_DOUBLE_EQ(v2->joules, 0.002);
 }
 
 TEST(QueryServiceSnapshotTest, ZeroCapacityCacheStillAnswersCorrectly) {

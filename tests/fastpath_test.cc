@@ -15,9 +15,19 @@
 #include "src/eval/interp.h"
 #include "src/lang/parser.h"
 #include "src/obs/trace.h"
+#include "tests/parity_programs.h"
 
 namespace eclarity {
 namespace {
+
+std::vector<Value> NumberArgs(const std::vector<double>& xs) {
+  std::vector<Value> args;
+  args.reserve(xs.size());
+  for (double x : xs) {
+    args.push_back(Value::Number(x));
+  }
+  return args;
+}
 
 Program MustParse(const std::string& source) {
   auto program = ParseProgram(source);
@@ -141,80 +151,20 @@ void ExpectSampleParity(const Program& program, const std::string& entry,
   }
 }
 
-constexpr char kFig1Source[] = R"(
-const max_response_len = 1024;
-interface E_ml_webservice_handle(image_size, n_zeros) {
-  ecv request_hit ~ bernoulli(0.3);
-  if (request_hit) {
-    return E_cache_lookup(image_size, max_response_len);
-  } else {
-    return E_cnn_forward(image_size, n_zeros);
+// The corpus lives in tests/parity_programs.h so the analytic differential
+// harness replays exactly the same programs.
+TEST(FastPathTest, ParityCorpus) {
+  for (const parity::ParityCase& c : parity::kParityCorpus) {
+    SCOPED_TRACE(c.name);
+    const Program p = MustParse(c.source);
+    const std::vector<Value> args = NumberArgs(c.args);
+    ExpectEnumerationParity(p, c.entry, args);
+    ExpectSampleParity(p, c.entry, args);
   }
-}
-interface E_cache_lookup(key_size, response_len) {
-  ecv local_cache_hit ~ bernoulli(0.8);
-  if (local_cache_hit) {
-    return 0.001mJ * response_len;
-  } else {
-    return 0.1mJ * response_len;
-  }
-}
-interface E_cnn_forward(image_size, n_zeros) {
-  let n_embedding = 256;
-  return 8 * (image_size - n_zeros) * 20nJ +
-         8 * n_embedding * 0.1nJ +
-         16 * n_embedding * 1.5nJ;
-}
-)";
-
-TEST(FastPathTest, Fig1EnumerationParity) {
-  const Program p = MustParse(kFig1Source);
-  ExpectEnumerationParity(p, "E_ml_webservice_handle",
-                          {Value::Number(50176.0), Value::Number(10000.0)});
-  ExpectSampleParity(p, "E_ml_webservice_handle",
-                     {Value::Number(50176.0), Value::Number(10000.0)});
-}
-
-TEST(FastPathTest, LoopsConstsAndBuiltinsParity) {
-  const Program p = MustParse(R"(
-const k_iters = 4;
-const k_unit = 2mJ;
-interface f(x) {
-  let mut total = 0J;
-  for i in 0..k_iters {
-    ecv spike ~ bernoulli(0.25);
-    let step = spike ? k_unit * (i + 1) : k_unit;
-    total = total + step;
-  }
-  return total + min(x, k_iters) * 1mJ;
-}
-)");
-  ExpectEnumerationParity(p, "f", {Value::Number(7.0)});
-  ExpectSampleParity(p, "f", {Value::Number(7.0)});
-}
-
-TEST(FastPathTest, NestedCallsAndCategoricalParity) {
-  const Program p = MustParse(R"(
-interface outer(n) {
-  ecv tier ~ categorical(0: 0.5, 1: 0.3, 2: 0.2);
-  return inner(tier) * n;
-}
-interface inner(tier) {
-  ecv burst ~ uniform_int(1, 3);
-  return (tier + 1) * burst * 1uJ;
-}
-)");
-  ExpectEnumerationParity(p, "outer", {Value::Number(2.0)});
-  ExpectSampleParity(p, "outer", {Value::Number(2.0)});
 }
 
 TEST(FastPathTest, ProfileOverrideParity) {
-  const Program p = MustParse(R"(
-interface f() {
-  ecv mode ~ bernoulli(0.5);
-  return mode ? 1mJ : 2mJ;
-}
-)");
+  const Program p = MustParse(parity::kProfileOverrideSource);
   EcvProfile profile;
   ASSERT_TRUE(profile
                   .Set("mode", {{Value::Bool(true), 0.2},
@@ -225,41 +175,14 @@ interface f() {
 }
 
 TEST(FastPathTest, ErrorParity) {
-  // Each program/entry pair hits a different failure path; both engines must
+  // Each corpus program hits a different failure path; both engines must
   // agree on the status code and the exact message.
-  const struct {
-    const char* source;
-    const char* entry;
-    std::vector<Value> args;
-  } cases[] = {
-      // Undefined variable.
-      {"interface f(x) { return ghost + x; }", "f", {Value::Number(1.0)}},
-      // Call to an undefined interface.
-      {"interface f(x) { return E_missing(x); }", "f", {Value::Number(1.0)}},
-      // Arity mismatch.
-      {"interface f(x) { return g(x, x); }\n"
-       "interface g(a) { return a * 1J; }",
-       "f",
-       {Value::Number(1.0)}},
-      // Non-bool condition.
-      {"interface f(x) { if (x) { return 1J; } return 2J; }", "f",
-       {Value::Number(1.0)}},
-      // Assignment to an immutable binding.
-      {"interface f(x) { let y = 1; y = 2; return y * 1J; }", "f",
-       {Value::Number(1.0)}},
-      // Bernoulli parameter out of range.
-      {"interface f(p) { ecv e ~ bernoulli(p); return e ? 1J : 2J; }", "f",
-       {Value::Number(1.5)}},
-      // Mixed-kind arithmetic.
-      {"interface f(x) { return x + 1J; }", "f", {Value::Number(2.0)}},
-      // Unknown entry interface.
-      {"interface f(x) { return x * 1J; }", "nope", {Value::Number(1.0)}},
-  };
-  for (const auto& c : cases) {
-    SCOPED_TRACE(c.source);
+  for (const parity::ParityCase& c : parity::kErrorCorpus) {
+    SCOPED_TRACE(c.name);
     const Program p = MustParse(c.source);
-    ExpectEnumerationParity(p, c.entry, c.args);
-    ExpectSampleParity(p, c.entry, c.args);
+    const std::vector<Value> args = NumberArgs(c.args);
+    ExpectEnumerationParity(p, c.entry, args);
+    ExpectSampleParity(p, c.entry, args);
   }
 }
 
@@ -273,7 +196,7 @@ TEST(FastPathTest, ConstantFoldingPreservesRuntimeErrors) {
 }
 
 TEST(FastPathTest, MonteCarloDeterministicAcrossWorkerCounts) {
-  const Program p = MustParse(kFig1Source);
+  const Program p = MustParse(parity::kFig1Source);
   const std::vector<Value> args = {Value::Number(50176.0),
                                    Value::Number(10000.0)};
   double reference = 0.0;
@@ -297,7 +220,7 @@ TEST(FastPathTest, MonteCarloDeterministicAcrossWorkerCounts) {
 }
 
 TEST(FastPathTest, MonteCarloAgreesWithExactExpectation) {
-  const Program p = MustParse(kFig1Source);
+  const Program p = MustParse(parity::kFig1Source);
   const std::vector<Value> args = {Value::Number(50176.0),
                                    Value::Number(10000.0)};
   Evaluator eval(p);

@@ -2,6 +2,9 @@
 // never crash, hang, or accept garbage — on hostile inputs: random byte
 // soup, random token soup, and mutations of valid programs.
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -10,6 +13,7 @@
 #include "src/lang/lexer.h"
 #include "src/lang/parser.h"
 #include "src/util/rng.h"
+#include "tests/deep_program_gen.h"
 
 namespace eclarity {
 namespace {
@@ -139,6 +143,60 @@ TEST_P(FuzzTest, LexerHandlesPathologicalNumbers) {
       s += alphabet[rng.UniformUint64(sizeof(alphabet) - 1)];
     }
     (void)Tokenize(s);
+  }
+}
+
+TEST_P(FuzzTest, DeepEcvProgramsAnalyticAgreement) {
+  // Randomized deep ECV programs (depth <= 14) through the analytic
+  // distribution algebra: the exact mode must be bit-identical to the
+  // enumeration fold, and the bounded mode's certified envelope must
+  // contain the exact mean. (differential_test.cc is the exhaustive
+  // harness; this keeps a fast sweep in the fuzz tier.)
+  const auto bits = [](double v) {
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  };
+  Rng rng(0xdeeb + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 3; ++trial) {
+    const int depth = 4 + static_cast<int>(rng.UniformInt(0, 10));
+    const bool friendly = rng.Bernoulli(0.5);
+    const std::string source =
+        deepgen::DeepProgram(rng, depth, friendly, /*binary_only=*/true);
+    SCOPED_TRACE(source);
+    auto program = ParseProgram(source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    const std::vector<Value> args = {Value::Number(3.0)};
+
+    Evaluator reference(*program);  // dist_mode defaults to kEnumerate
+    auto ref = reference.EvalCertified("deep", args, {});
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+    EvalOptions exact_options;
+    exact_options.dist_mode = DistMode::kAnalyticExact;
+    Evaluator exact(*program, exact_options);
+    auto got = exact.EvalCertified("deep", args, {});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->exact);
+    EXPECT_EQ(got->mean_error_bound, 0.0);
+    EXPECT_EQ(bits(got->mean), bits(ref->mean));
+    const auto& ra = ref->distribution.atoms();
+    const auto& ga = got->distribution.atoms();
+    ASSERT_EQ(ga.size(), ra.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(bits(ga[i].value), bits(ra[i].value)) << "atom " << i;
+      EXPECT_EQ(bits(ga[i].probability), bits(ra[i].probability))
+          << "atom " << i;
+    }
+
+    EvalOptions bounded_options;
+    bounded_options.dist_mode = DistMode::kAnalyticBounded;
+    bounded_options.prune_threshold = 1e-3;
+    Evaluator bounded(*program, bounded_options);
+    auto approx = bounded.EvalCertified("deep", args, {});
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    EXPECT_TRUE(std::isfinite(approx->mean));
+    EXPECT_LE(std::abs(ref->mean - approx->mean), approx->mean_error_bound);
   }
 }
 

@@ -12,6 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "src/dist/certified.h"
 #include "src/eval/interp.h"
 #include "src/eval/interval.h"
 #include "src/lang/checker.h"
@@ -298,7 +303,165 @@ TEST_P(RandomProgramTest, MonteCarloConvergesToExact) {
   EXPECT_NEAR(mc->joules(), exact->joules(), slack) << PrintProgram(program_);
 }
 
+TEST_P(RandomProgramTest, CertifiedModesAgreeWithEnumeration) {
+  // The analytic certified surface over the random-program family: exact
+  // mode must be bit-identical to the enumeration fold (mostly through the
+  // fallback on these loop-heavy programs — which is exactly the contract
+  // under test), and the bounded mode's envelope must contain the exact
+  // mean.
+  const auto bits = [](double v) {
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  };
+  Evaluator reference(program_);
+  auto ref = reference.EvalCertified("f", args_, {});
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString() << "\n"
+                        << PrintProgram(program_);
+  EvalOptions exact_options;
+  exact_options.dist_mode = DistMode::kAnalyticExact;
+  Evaluator exact(program_, exact_options);
+  auto got = exact.EvalCertified("f", args_, {});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->exact) << PrintProgram(program_);
+  EXPECT_EQ(bits(got->mean), bits(ref->mean)) << PrintProgram(program_);
+  const auto& ra = ref->distribution.atoms();
+  const auto& ga = got->distribution.atoms();
+  ASSERT_EQ(ga.size(), ra.size()) << PrintProgram(program_);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(bits(ga[i].value), bits(ra[i].value));
+    EXPECT_EQ(bits(ga[i].probability), bits(ra[i].probability));
+  }
+  EvalOptions bounded_options;
+  bounded_options.dist_mode = DistMode::kAnalyticBounded;
+  Evaluator bounded(program_, bounded_options);
+  auto approx = bounded.EvalCertified("f", args_, {});
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_LE(std::abs(ref->mean - approx->mean), approx->mean_error_bound)
+      << PrintProgram(program_);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// Certified distribution algebra (src/dist/certified.h)
+// ---------------------------------------------------------------------------
+
+std::vector<Atom> RandomAtoms(Rng& rng, size_t count) {
+  std::vector<Atom> atoms;
+  atoms.reserve(count);
+  std::vector<double> weights;
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    const double w = 1.0 + static_cast<double>(rng.UniformInt(0, 9));
+    weights.push_back(w);
+    total += w;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    // A coarse value grid makes bit-equal collisions (the merge path)
+    // likely.
+    const double value = 0.5 * static_cast<double>(rng.UniformInt(0, 12));
+    atoms.push_back({value, weights[i] / total});
+  }
+  return atoms;
+}
+
+CertifiedDist MustFromOutcomes(std::vector<Atom> atoms) {
+  auto dist = CertifiedDist::FromOutcomes(std::move(atoms));
+  EXPECT_TRUE(dist.ok()) << dist.status().ToString();
+  return *dist;
+}
+
+class CertifiedAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertifiedAlgebraTest, ConvolutionCommutes) {
+  Rng rng(0xc0aa + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const CertifiedDist a =
+        MustFromOutcomes(RandomAtoms(rng, rng.UniformUint64(6) + 1));
+    const CertifiedDist b =
+        MustFromOutcomes(RandomAtoms(rng, rng.UniformUint64(6) + 1));
+    const CertifiedDist ab = CertifiedDist::Convolve(a, b, 4096);
+    const CertifiedDist ba = CertifiedDist::Convolve(b, a, 4096);
+    // IEEE addition is commutative bitwise, so the supports agree exactly;
+    // merged probabilities may differ by summation order only.
+    ASSERT_EQ(ab.atoms().size(), ba.atoms().size());
+    for (size_t i = 0; i < ab.atoms().size(); ++i) {
+      EXPECT_EQ(ab.atoms()[i].value, ba.atoms()[i].value) << "atom " << i;
+      EXPECT_NEAR(ab.atoms()[i].probability, ba.atoms()[i].probability,
+                  1e-15);
+    }
+    EXPECT_NEAR(ab.Finalize().mean, ba.Finalize().mean, 1e-12);
+  }
+}
+
+TEST_P(CertifiedAlgebraTest, ConvolutionAssociatesWithinSlack) {
+  Rng rng(0xc0bb + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const CertifiedDist a =
+        MustFromOutcomes(RandomAtoms(rng, rng.UniformUint64(5) + 1));
+    const CertifiedDist b =
+        MustFromOutcomes(RandomAtoms(rng, rng.UniformUint64(5) + 1));
+    const CertifiedDist c =
+        MustFromOutcomes(RandomAtoms(rng, rng.UniformUint64(5) + 1));
+    const CertifiedDistribution left =
+        CertifiedDist::Convolve(CertifiedDist::Convolve(a, b, 4096), c, 4096)
+            .Finalize();
+    const CertifiedDistribution right =
+        CertifiedDist::Convolve(a, CertifiedDist::Convolve(b, c, 4096), 4096)
+            .Finalize();
+    // Support values regroup (FP addition is not associative), so compare
+    // the finalized summaries, not atom bits.
+    const double scale = std::max(1.0, std::abs(left.mean));
+    EXPECT_NEAR(left.mean, right.mean, 1e-12 * scale);
+    EXPECT_NEAR(left.min_joules, right.min_joules, 1e-12 * scale);
+    EXPECT_NEAR(left.max_joules, right.max_joules, 1e-12 * scale);
+  }
+}
+
+TEST_P(CertifiedAlgebraTest, MomentsMatchCategorical) {
+  Rng rng(0xc0cc + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Atom> atoms = RandomAtoms(rng, rng.UniformUint64(8) + 1);
+    const CertifiedDistribution cd = MustFromOutcomes(atoms).Finalize();
+    auto dist = Distribution::Categorical(std::move(atoms));
+    ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+    EXPECT_NEAR(cd.mean, dist->Mean(), 1e-12);
+    EXPECT_NEAR(cd.variance, dist->Variance(), 1e-12);
+    EXPECT_EQ(cd.min_joules, dist->MinValue());
+    EXPECT_EQ(cd.max_joules, dist->MaxValue());
+    // Exact input, no pruning: the bound is FP slack only.
+    EXPECT_LE(cd.mean_error_bound, 1e-10);
+    EXPECT_LE(std::abs(cd.mean - dist->Mean()), cd.mean_error_bound);
+  }
+}
+
+TEST_P(CertifiedAlgebraTest, PruningBoundIsMonotoneInThreshold) {
+  Rng rng(0xc0dd + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const CertifiedDist base =
+        MustFromOutcomes(RandomAtoms(rng, rng.UniformUint64(10) + 2));
+    double prev_bound = -1.0;
+    double prev_pruned = -1.0;
+    for (double threshold : {0.0, 1e-3, 1e-2, 0.05, 0.2, 0.5}) {
+      CertifiedDist pruned = base;
+      pruned.PruneBelow(threshold);
+      const CertifiedDistribution cd = pruned.Finalize();
+      // A larger threshold never prunes less mass or certifies a tighter
+      // bound — the monotonicity the algebra documents.
+      EXPECT_GE(pruned.pruned_mass(), prev_pruned) << "t=" << threshold;
+      EXPECT_GE(cd.mean_error_bound, prev_bound) << "t=" << threshold;
+      // And the bound stays sound against the unpruned mean.
+      EXPECT_LE(std::abs(cd.mean - base.Finalize().mean),
+                cd.mean_error_bound + base.Finalize().mean_error_bound)
+          << "t=" << threshold;
+      prev_bound = cd.mean_error_bound;
+      prev_pruned = pruned.pruned_mass();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertifiedAlgebraTest, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace eclarity

@@ -3,7 +3,13 @@
 //   eilc check  FILE                     parse + static checks + summary
 //   eilc print  FILE                     canonical pretty-printed source
 //   eilc eval   FILE ENTRY ARGS... [--ecv NAME=VALUE|NAME~P]
-//                                        expectation + exact distribution
+//               [--mode=enumerate|exact|bounded|moments] [--prune=T]
+//                                        expectation + exact distribution;
+//                                        --mode selects the analytic
+//                                        distribution algebra (answers carry
+//                                        a certified +/- bound), --prune a
+//                                        mass-pruning threshold for bounded
+//                                        mode
 //   eilc paths  FILE ENTRY ARGS...       enumerate ECV draw sequences
 //   eilc bounds FILE ENTRY LO:HI...      guaranteed worst-case interval
 //   eilc trace  FILE ENTRY ARGS... [--chrome-trace OUT.json]
@@ -31,6 +37,7 @@
 // replay).
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,7 +69,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: eilc check|print FILE\n"
-               "       eilc eval  FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
+               "       eilc eval  FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
+               " [--mode=enumerate|exact|bounded|moments] [--prune=T]\n"
                "       eilc paths FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
                "       eilc bounds FILE ENTRY LO:HI...\n"
                "       eilc trace FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
@@ -229,6 +237,39 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
     std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
     return 1;
   }
+  EvalOptions options;
+  bool analytic = false;
+  std::vector<std::string> kept;
+  for (const std::string& arg : rest) {
+    if (arg.rfind("--mode=", 0) == 0) {
+      const std::string name = arg.substr(7);
+      if (name == "enumerate") {
+        options.dist_mode = DistMode::kEnumerate;
+      } else if (name == "exact") {
+        options.dist_mode = DistMode::kAnalyticExact;
+      } else if (name == "bounded") {
+        options.dist_mode = DistMode::kAnalyticBounded;
+      } else if (name == "moments") {
+        options.dist_mode = DistMode::kAnalyticMoments;
+      } else {
+        std::fprintf(stderr,
+                     "--mode expects enumerate|exact|bounded|moments\n");
+        return 2;
+      }
+      analytic = options.dist_mode != DistMode::kEnumerate;
+    } else if (arg.rfind("--prune=", 0) == 0) {
+      char* end = nullptr;
+      options.prune_threshold = std::strtod(arg.c_str() + 8, &end);
+      if (end == nullptr || *end != '\0' || options.prune_threshold < 0.0 ||
+          options.prune_threshold >= 1.0) {
+        std::fprintf(stderr, "--prune expects a threshold in [0, 1)\n");
+        return 2;
+      }
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  rest = std::move(kept);
   std::vector<Value> args;
   for (const std::string& text : rest) {
     auto v = ParseValueArg(text);
@@ -238,7 +279,7 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
     }
     args.push_back(*v);
   }
-  Evaluator evaluator(*program);
+  Evaluator evaluator(*program, options);
   if (mode == "paths") {
     auto outcomes = evaluator.Enumerate(entry, args, *profile);
     if (!outcomes.ok()) {
@@ -252,6 +293,27 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
       }
       std::printf("\n");
     }
+    return 0;
+  }
+  if (analytic) {
+    auto cd = evaluator.EvalCertified(entry, args, *profile);
+    if (!cd.ok()) {
+      return FailWith(cd.status());
+    }
+    std::printf("expected:     %s +/- %.6g J%s\n",
+                Energy::Joules(cd->mean).ToString().c_str(),
+                cd->mean_error_bound, cd->exact ? " (exact)" : "");
+    std::printf("stddev:       %s\n",
+                Energy::Joules(std::sqrt(cd->variance)).ToString().c_str());
+    std::printf("range:        [%s, %s]\n",
+                Energy::Joules(cd->min_joules).ToString().c_str(),
+                Energy::Joules(cd->max_joules).ToString().c_str());
+    std::printf("pruned mass:  %.6g\n", cd->pruned_mass);
+    if (cd->has_distribution) {
+      std::printf("distribution: %s\n", cd->distribution.ToString().c_str());
+    }
+    std::printf("engine:       analytic=%zu fallback=%zu\n",
+                evaluator.analytic_hits(), evaluator.analytic_fallbacks());
     return 0;
   }
   auto dist = evaluator.EvalDistribution(entry, args, *profile);
