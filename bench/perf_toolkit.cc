@@ -6,8 +6,10 @@
 
 #include <string>
 
+#include "src/eval/bytecode.h"
 #include "src/eval/interp.h"
 #include "src/eval/interval.h"
+#include "src/eval/lower.h"
 #include "src/hw/vendor.h"
 #include "src/iface/energy_interface.h"
 #include "src/lang/parser.h"
@@ -65,6 +67,39 @@ void BM_EnumerateFig1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnumerateFig1);
+
+// Bytecode compilation of the whole Fig. 1 program (lowering excluded):
+// the one-time cost an evaluator pays at construction to run queries on
+// the register VM instead of the tree walk.
+void BM_CompileBytecode(benchmark::State& state) {
+  auto program = ParseProgram(kFig1Source);
+  const LoweredProgram lowered =
+      LoweredProgram::Lower(*program, EvalOptions().max_ecv_support);
+  for (auto _ : state) {
+    auto bytecode = BytecodeProgram::Compile(lowered);
+    benchmark::DoNotOptimize(bytecode.ok());
+  }
+}
+BENCHMARK(BM_CompileBytecode);
+
+// Snapshot-swap specialization: recompiling the bytecode with ECV draws
+// baked against the incoming profile. Alternating two profiles defeats the
+// evaluator's same-fingerprint fast path, so every iteration measures a
+// full respecialization — the work UpdateProfile adds to a publication
+// (readers never wait on it).
+void BM_SpecializeOnSwap(benchmark::State& state) {
+  auto program = ParseProgram(kFig1Source);
+  Evaluator evaluator(*program);
+  EcvProfile profiles[2];
+  profiles[0].SetBernoulli("request_hit", 0.5);
+  profiles[1].SetBernoulli("request_hit", 0.7);
+  size_t i = 0;
+  for (auto _ : state) {
+    evaluator.PrepareSpecialized(profiles[i++ & 1]);
+    benchmark::DoNotOptimize(evaluator.specialized_bytecode());
+  }
+}
+BENCHMARK(BM_SpecializeOnSwap);
 
 // The same evaluation with tracing attached: measures the full cost of the
 // observability path (preserve-terms lowering, per-event sink calls, and the

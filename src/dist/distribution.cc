@@ -13,19 +13,27 @@ constexpr double kMassEpsilon = 1e-15;
 
 }  // namespace
 
-Distribution Distribution::PointMass(double value) {
+const std::vector<Atom>& Distribution::EmptyAtoms() {
+  static const std::vector<Atom> empty;
+  return empty;
+}
+
+Distribution Distribution::Adopt(std::vector<Atom> atoms) {
   Distribution d;
-  d.atoms_ = {{value, 1.0}};
+  if (!atoms.empty()) {
+    d.atoms_ = std::make_shared<const std::vector<Atom>>(std::move(atoms));
+  }
   return d;
+}
+
+Distribution Distribution::PointMass(double value) {
+  return Adopt({{value, 1.0}});
 }
 
 Distribution Distribution::BernoulliValues(double p, double value_true,
                                            double value_false) {
   p = std::clamp(p, 0.0, 1.0);
-  Distribution d;
-  d.atoms_ = {{value_true, p}, {value_false, 1.0 - p}};
-  d.Canonicalize();
-  return d;
+  return Adopt(Canonical({{value_true, p}, {value_false, 1.0 - p}}));
 }
 
 Result<Distribution> Distribution::Categorical(std::vector<Atom> atoms) {
@@ -45,10 +53,7 @@ Result<Distribution> Distribution::Categorical(std::vector<Atom> atoms) {
   if (total <= 0.0) {
     return InvalidArgumentError("Categorical: zero total mass");
   }
-  Distribution d;
-  d.atoms_ = std::move(atoms);
-  d.Canonicalize();
-  return d;
+  return Adopt(Canonical(std::move(atoms)));
 }
 
 Result<Distribution> Distribution::FromSamples(
@@ -101,7 +106,7 @@ Result<Distribution> Distribution::FromSamplesBinned(
 
 double Distribution::Mean() const {
   double mean = 0.0;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     mean += a.value * a.probability;
   }
   return mean;
@@ -110,7 +115,7 @@ double Distribution::Mean() const {
 double Distribution::Variance() const {
   const double mean = Mean();
   double var = 0.0;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     var += (a.value - mean) * (a.value - mean) * a.probability;
   }
   return var;
@@ -120,17 +125,17 @@ double Distribution::Stddev() const { return std::sqrt(Variance()); }
 
 double Distribution::MinValue() const {
   assert(IsValid());
-  return atoms_.front().value;
+  return atoms().front().value;
 }
 
 double Distribution::MaxValue() const {
   assert(IsValid());
-  return atoms_.back().value;
+  return atoms().back().value;
 }
 
 double Distribution::Cdf(double x) const {
   double mass = 0.0;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     if (a.value > x) {
       break;
     }
@@ -143,18 +148,18 @@ double Distribution::Quantile(double q) const {
   assert(IsValid());
   q = std::clamp(q, 0.0, 1.0);
   double mass = 0.0;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     mass += a.probability;
     if (mass >= q - kMassEpsilon) {
       return a.value;
     }
   }
-  return atoms_.back().value;
+  return atoms().back().value;
 }
 
 double Distribution::MassInRange(double lo, double hi) const {
   double mass = 0.0;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     if (a.value >= lo && a.value <= hi) {
       mass += a.probability;
     }
@@ -163,30 +168,29 @@ double Distribution::MassInRange(double lo, double hi) const {
 }
 
 Distribution Distribution::Affine(double scale, double offset) const {
-  Distribution out;
-  out.atoms_.reserve(atoms_.size());
-  for (const Atom& a : atoms_) {
-    out.atoms_.push_back({a.value * scale + offset, a.probability});
+  std::vector<Atom> out;
+  out.reserve(atoms().size());
+  for (const Atom& a : atoms()) {
+    out.push_back({a.value * scale + offset, a.probability});
   }
-  out.Canonicalize();
-  return out;
+  return Adopt(Canonical(std::move(out)));
 }
 
 Distribution Distribution::Convolve(const Distribution& other,
                                     size_t max_support) const {
   assert(IsValid() && other.IsValid());
-  Distribution out;
-  out.atoms_.reserve(atoms_.size() * other.atoms_.size());
-  for (const Atom& a : atoms_) {
-    for (const Atom& b : other.atoms_) {
-      out.atoms_.push_back({a.value + b.value, a.probability * b.probability});
+  std::vector<Atom> out;
+  out.reserve(atoms().size() * other.atoms().size());
+  for (const Atom& a : atoms()) {
+    for (const Atom& b : other.atoms()) {
+      out.push_back({a.value + b.value, a.probability * b.probability});
     }
   }
-  out.Canonicalize();
-  if (out.atoms_.size() > max_support) {
-    out = out.Compact(max_support);
+  Distribution result = Adopt(Canonical(std::move(out)));
+  if (result.SupportSize() > max_support) {
+    result = result.Compact(max_support);
   }
-  return out;
+  return result;
 }
 
 Result<Distribution> Distribution::Mixture(
@@ -208,7 +212,7 @@ Result<Distribution> Distribution::Mixture(
   if (total <= 0.0) {
     return InvalidArgumentError("Mixture: zero total weight");
   }
-  Distribution out;
+  std::vector<Atom> out;
   for (size_t i = 0; i < components.size(); ++i) {
     if (weights[i] == 0.0) {
       continue;
@@ -216,23 +220,24 @@ Result<Distribution> Distribution::Mixture(
     if (!components[i].IsValid()) {
       return InvalidArgumentError("Mixture: invalid component distribution");
     }
-    for (const Atom& a : components[i].atoms_) {
-      out.atoms_.push_back({a.value, a.probability * weights[i] / total});
+    for (const Atom& a : components[i].atoms()) {
+      out.push_back({a.value, a.probability * weights[i] / total});
     }
   }
-  out.Canonicalize();
-  return out;
+  return Adopt(Canonical(std::move(out)));
 }
 
 Distribution Distribution::Compact(size_t max_support,
                                    double tolerance) const {
-  Distribution out = *this;
-  if (tolerance > 0.0 && out.atoms_.size() > 1) {
+  // Works on a private copy of the atoms; merging keeps them sorted and
+  // does not change total mass, so no re-canonicalisation afterwards.
+  std::vector<Atom> out = atoms();
+  if (tolerance > 0.0 && out.size() > 1) {
     std::vector<Atom> merged;
-    merged.push_back(out.atoms_.front());
-    for (size_t i = 1; i < out.atoms_.size(); ++i) {
+    merged.push_back(out.front());
+    for (size_t i = 1; i < out.size(); ++i) {
       Atom& last = merged.back();
-      const Atom& cur = out.atoms_[i];
+      const Atom& cur = out[i];
       if (cur.value - last.value <= tolerance) {
         const double mass = last.probability + cur.probability;
         last.value = (last.value * last.probability +
@@ -242,41 +247,40 @@ Distribution Distribution::Compact(size_t max_support,
         merged.push_back(cur);
       }
     }
-    out.atoms_ = std::move(merged);
+    out = std::move(merged);
   }
   // Repeatedly merge the adjacent pair with the smallest combined mass until
   // the support fits. Values stay sorted because we merge neighbours.
-  while (out.atoms_.size() > std::max<size_t>(max_support, 1)) {
+  while (out.size() > std::max<size_t>(max_support, 1)) {
     size_t best = 0;
-    double best_mass = out.atoms_[0].probability + out.atoms_[1].probability;
-    for (size_t i = 1; i + 1 < out.atoms_.size(); ++i) {
-      const double mass =
-          out.atoms_[i].probability + out.atoms_[i + 1].probability;
+    double best_mass = out[0].probability + out[1].probability;
+    for (size_t i = 1; i + 1 < out.size(); ++i) {
+      const double mass = out[i].probability + out[i + 1].probability;
       if (mass < best_mass) {
         best_mass = mass;
         best = i;
       }
     }
-    Atom& a = out.atoms_[best];
-    const Atom& b = out.atoms_[best + 1];
+    Atom& a = out[best];
+    const Atom& b = out[best + 1];
     const double mass = a.probability + b.probability;
     a.value = (a.value * a.probability + b.value * b.probability) / mass;
     a.probability = mass;
-    out.atoms_.erase(out.atoms_.begin() + static_cast<ptrdiff_t>(best) + 1);
+    out.erase(out.begin() + static_cast<ptrdiff_t>(best) + 1);
   }
-  return out;
+  return Adopt(std::move(out));
 }
 
 double Distribution::Sample(Rng& rng) const {
   assert(IsValid());
   double u = rng.UniformDouble();
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     u -= a.probability;
     if (u < 0.0) {
       return a.value;
     }
   }
-  return atoms_.back().value;
+  return atoms().back().value;
 }
 
 std::vector<double> Distribution::SampleMany(Rng& rng, size_t n) const {
@@ -293,11 +297,11 @@ double Distribution::Wasserstein1(const Distribution& a,
   assert(a.IsValid() && b.IsValid());
   // W1 = ∫ |CDF_a(x) - CDF_b(x)| dx over the union of breakpoints.
   std::vector<double> points;
-  points.reserve(a.atoms_.size() + b.atoms_.size());
-  for (const Atom& atom : a.atoms_) {
+  points.reserve(a.atoms().size() + b.atoms().size());
+  for (const Atom& atom : a.atoms()) {
     points.push_back(atom.value);
   }
-  for (const Atom& atom : b.atoms_) {
+  for (const Atom& atom : b.atoms()) {
     points.push_back(atom.value);
   }
   std::sort(points.begin(), points.end());
@@ -315,10 +319,10 @@ double Distribution::KolmogorovSmirnov(const Distribution& a,
                                        const Distribution& b) {
   assert(a.IsValid() && b.IsValid());
   double worst = 0.0;
-  for (const Atom& atom : a.atoms_) {
+  for (const Atom& atom : a.atoms()) {
     worst = std::max(worst, std::fabs(a.Cdf(atom.value) - b.Cdf(atom.value)));
   }
-  for (const Atom& atom : b.atoms_) {
+  for (const Atom& atom : b.atoms()) {
     worst = std::max(worst, std::fabs(a.Cdf(atom.value) - b.Cdf(atom.value)));
   }
   return worst;
@@ -327,26 +331,27 @@ double Distribution::KolmogorovSmirnov(const Distribution& a,
 std::string Distribution::ToString(size_t max_atoms) const {
   std::ostringstream os;
   os << "{";
-  const size_t shown = std::min(max_atoms, atoms_.size());
+  const std::vector<Atom>& as = atoms();
+  const size_t shown = std::min(max_atoms, as.size());
   for (size_t i = 0; i < shown; ++i) {
     if (i > 0) {
       os << ", ";
     }
-    os << atoms_[i].value << ": " << atoms_[i].probability;
+    os << as[i].value << ": " << as[i].probability;
   }
-  if (shown < atoms_.size()) {
-    os << ", ... (" << atoms_.size() - shown << " more)";
+  if (shown < as.size()) {
+    os << ", ... (" << as.size() - shown << " more)";
   }
   os << "}";
   return os.str();
 }
 
-void Distribution::Canonicalize() {
-  std::sort(atoms_.begin(), atoms_.end(),
+std::vector<Atom> Distribution::Canonical(std::vector<Atom> atoms) {
+  std::sort(atoms.begin(), atoms.end(),
             [](const Atom& a, const Atom& b) { return a.value < b.value; });
   std::vector<Atom> merged;
-  merged.reserve(atoms_.size());
-  for (const Atom& a : atoms_) {
+  merged.reserve(atoms.size());
+  for (const Atom& a : atoms) {
     if (a.probability <= kMassEpsilon) {
       continue;
     }
@@ -356,16 +361,16 @@ void Distribution::Canonicalize() {
       merged.push_back(a);
     }
   }
-  atoms_ = std::move(merged);
   double total = 0.0;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : merged) {
     total += a.probability;
   }
   if (total > 0.0 && std::fabs(total - 1.0) > 1e-12) {
-    for (Atom& a : atoms_) {
+    for (Atom& a : merged) {
       a.probability /= total;
     }
   }
+  return merged;
 }
 
 }  // namespace eclarity

@@ -20,6 +20,7 @@
 #define ECLARITY_SRC_DIST_DISTRIBUTION_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,9 +68,11 @@ class Distribution {
 
   // --- Structure ----------------------------------------------------------
 
-  bool IsValid() const { return !atoms_.empty(); }
-  const std::vector<Atom>& atoms() const { return atoms_; }
-  size_t SupportSize() const { return atoms_.size(); }
+  bool IsValid() const { return atoms_ != nullptr && !atoms_->empty(); }
+  const std::vector<Atom>& atoms() const {
+    return atoms_ == nullptr ? EmptyAtoms() : *atoms_;
+  }
+  size_t SupportSize() const { return atoms().size(); }
 
   // --- Moments and queries ------------------------------------------------
 
@@ -123,15 +126,25 @@ class Distribution {
 
   std::string ToString(size_t max_atoms = 8) const;
 
-  bool operator==(const Distribution&) const = default;
+  bool operator==(const Distribution& other) const {
+    return atoms_ == other.atoms_ || atoms() == other.atoms();
+  }
 
   static constexpr size_t kDefaultMaxSupport = 4096;
 
  private:
-  // Sorts by value, merges exact duplicates, normalises mass to 1.
-  void Canonicalize();
+  static const std::vector<Atom>& EmptyAtoms();
+  // Sorts by value, merges exact duplicates, drops ~zero-mass atoms, and
+  // normalises total mass to 1.
+  static std::vector<Atom> Canonical(std::vector<Atom> atoms);
+  // Wraps already-canonical atoms without copying them.
+  static Distribution Adopt(std::vector<Atom> atoms);
 
-  std::vector<Atom> atoms_;  // sorted by value, probabilities sum to 1
+  // Canonical atoms (sorted by value, probabilities summing to 1), shared
+  // immutably between copies: copying a Distribution is one refcount bump,
+  // never an atom-vector clone — exact query caches hand out cached
+  // distributions at shared_ptr cost. null encodes the empty distribution.
+  std::shared_ptr<const std::vector<Atom>> atoms_;
 };
 
 }  // namespace eclarity

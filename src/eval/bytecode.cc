@@ -1,0 +1,935 @@
+#include "src/eval/bytecode.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "src/eval/builtins.h"
+
+namespace eclarity {
+
+using eval_internal::DescribeSupport;
+using eval_internal::DistKindName;
+using eval_internal::EmitBranch;
+using eval_internal::EmitDraw;
+using eval_internal::EmitEnter;
+using eval_internal::EmitExit;
+using eval_internal::EmitTerm;
+using eval_internal::EvalCounters;
+using eval_internal::PosContext;
+
+namespace {
+
+// For-loop counters are exact int64s bit-stored in the double payload of a
+// hidden register (never read by program code), so iteration matches the
+// reference engine's int64 loop even past 2^53.
+inline Value CounterValue(int64_t i) {
+  return Value::Number(std::bit_cast<double>(i));
+}
+inline int64_t CounterBits(const Value& v) {
+  return std::bit_cast<int64_t>(v.number());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+// Two passes over the lowered program: pass 1 creates every interface record
+// (so calls resolve to indices before any body compiles), pass 2 emits the
+// bodies. Registers are frame-relative; slots [0, frame_size) alias the
+// lowered frame slots and a bump allocator hands out expression temporaries
+// above them. Each expression saves and restores the bump pointer around its
+// own temporaries, so argument registers for calls and builtins come out
+// consecutive by construction.
+class BytecodeCompiler {
+ public:
+  BytecodeCompiler(const LoweredProgram& lowered,
+                   const BytecodeProgram::CompileOptions& options)
+      : lowered_(lowered),
+        opts_(options),
+        super_(options.enable_superinstructions),
+        p_(new BytecodeProgram()) {}
+
+  Result<std::shared_ptr<const BytecodeProgram>> Compile() {
+    const auto& ifaces = lowered_.interfaces();
+    for (uint32_t i = 0; i < ifaces.size(); ++i) {
+      const LoweredInterface& src = *ifaces[i];
+      iface_index_[&src] = i;
+      BytecodeProgram::BcIface f;
+      f.src = &src;
+      f.frame_size = static_cast<uint32_t>(src.frame_size);
+      if (src.frame_size > 0xFFFF) {
+        overflow_ = true;
+      }
+      const std::string& name = src.decl->name;
+      f.depth_error = ResourceExhaustedError(
+          "interface call depth limit exceeded at '" + name + "'");
+      f.falloff_error = InternalError("interface '" + name +
+                                      "' fell off the end without returning");
+      p_->ifaces_.push_back(std::move(f));
+      p_->index_.emplace(name, i);
+    }
+    for (uint32_t i = 0; i < ifaces.size(); ++i) {
+      cur_ = ifaces[i].get();
+      temp_top_ = static_cast<uint32_t>(cur_->frame_size);
+      max_regs_ = temp_top_;
+      p_->ifaces_[i].entry = static_cast<uint32_t>(p_->code_.size());
+      CompileBlock(cur_->body);
+      Emit({BcOp::kFail, 0, 0, 0, 0, PoolStatus(p_->ifaces_[i].falloff_error)});
+      p_->ifaces_[i].nregs = max_regs_;
+    }
+    if (overflow_) {
+      return ResourceExhaustedError(
+          "bytecode compilation overflow: an interface needs more than 65535 "
+          "registers");
+    }
+    if (opts_.specialize_profile != nullptr) {
+      p_->specialized_ = true;
+      p_->spec_fingerprint_ = opts_.specialize_profile->Fingerprint();
+    }
+    return std::shared_ptr<const BytecodeProgram>(std::move(p_));
+  }
+
+ private:
+  uint32_t Emit(Instr in) {
+    p_->code_.push_back(in);
+    return static_cast<uint32_t>(p_->code_.size() - 1);
+  }
+  uint32_t Here() const { return static_cast<uint32_t>(p_->code_.size()); }
+
+  uint16_t AllocReg() {
+    const uint32_t r = temp_top_++;
+    max_regs_ = std::max(max_regs_, temp_top_);
+    if (r > 0xFFFF) {
+      overflow_ = true;
+    }
+    return static_cast<uint16_t>(r);
+  }
+
+  uint32_t PoolConst(const Value& v) {
+    std::string key;
+    v.AppendFingerprint(key);
+    const auto [it, inserted] = const_index_.emplace(
+        std::move(key), static_cast<uint32_t>(p_->const_pool_.size()));
+    if (inserted) {
+      p_->const_pool_.push_back(v);
+    }
+    return it->second;
+  }
+
+  uint32_t PoolStatus(Status s) {
+    p_->status_pool_.push_back(std::move(s));
+    return static_cast<uint32_t>(p_->status_pool_.size() - 1);
+  }
+
+  uint32_t PoolCtx(const std::string* ctx) {
+    const auto [it, inserted] = ctx_index_.emplace(
+        ctx, static_cast<uint32_t>(p_->ctx_pool_.size()));
+    if (inserted) {
+      p_->ctx_pool_.push_back(ctx);
+    }
+    return it->second;
+  }
+
+  std::string Ctx(int line, int column) const {
+    return PosContext(*cur_->decl, line, column);
+  }
+
+  Status BudgetStatus(const LStmt& stmt) const {
+    return ResourceExhaustedError("statement budget exhausted " +
+                                  Ctx(stmt.line, stmt.column));
+  }
+
+  static bool IsGuardingIf(const LStmt& stmt, int slot) {
+    return stmt.kind == LStmtKind::kIf && stmt.a != nullptr &&
+           stmt.a->kind == LExprKind::kSlot && stmt.a->slot == slot;
+  }
+
+  void CompileBlock(const std::vector<LStmtPtr>& block) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      const LStmt& s = *block[i];
+      Emit({BcOp::kStep, 0, 0, 0, 0, PoolStatus(BudgetStatus(s))});
+      // Superinstruction: an ECV draw immediately guarded by `if <ecv>`
+      // fuses draw + budget + branch into one dispatch. Requires a valid
+      // slot — rejected bindings must surface their error before the if.
+      if (super_ && s.kind == LStmtKind::kEcv && s.slot >= 0 &&
+          i + 1 < block.size() && IsGuardingIf(*block[i + 1], s.slot)) {
+        CompileEcv(s, block[i + 1].get());
+        ++i;
+        continue;
+      }
+      switch (s.kind) {
+        case LStmtKind::kStore:
+        case LStmtKind::kAssign: {
+          if (s.slot >= 0) {
+            CompileExpr(*s.a, static_cast<uint16_t>(s.slot));
+          } else {
+            const uint32_t save = temp_top_;
+            const uint16_t t = AllocReg();
+            CompileExpr(*s.a, t);
+            temp_top_ = save;
+            Emit({BcOp::kFail, 0, 0, 0, 0, PoolStatus(s.error)});
+          }
+          break;
+        }
+        case LStmtKind::kEcv:
+          CompileEcv(s, nullptr);
+          break;
+        case LStmtKind::kIf: {
+          const uint32_t save = temp_top_;
+          const uint16_t c = CompileOperand(*s.a);
+          p_->branch_sites_.push_back(
+              {Ctx(s.line, s.column) + ": if condition: ", s.line, s.column,
+               0});
+          const uint32_t site =
+              static_cast<uint32_t>(p_->branch_sites_.size() - 1);
+          Emit({BcOp::kBranch, 0, 0, c, 0, site});
+          temp_top_ = save;
+          CompileBlock(s.then_block);
+          const uint32_t j = Emit({BcOp::kJump, 0, 0, 0, 0, 0});
+          p_->branch_sites_[site].else_target = Here();
+          CompileBlock(s.else_block);
+          p_->code_[j].imm = Here();
+          break;
+        }
+        case LStmtKind::kFor: {
+          const uint32_t save = temp_top_;
+          const uint16_t rb = AllocReg();
+          CompileExpr(*s.a, rb);
+          const uint16_t re = AllocReg();
+          CompileExpr(*s.b, re);
+          Emit({BcOp::kForPrep, 0, rb, re, 0, 0});
+          p_->for_sites_.push_back({PoolStatus(BudgetStatus(s)), 0});
+          const uint32_t site =
+              static_cast<uint32_t>(p_->for_sites_.size() - 1);
+          const bool bad_slot = s.slot < 0;
+          const uint16_t var =
+              bad_slot ? AllocReg() : static_cast<uint16_t>(s.slot);
+          const uint32_t head = Here();
+          Emit({BcOp::kForNext, 0, rb, re, var, site});
+          if (bad_slot) {
+            Emit({BcOp::kFail, 0, 0, 0, 0, PoolStatus(s.error)});
+          } else {
+            CompileBlock(s.then_block);
+          }
+          Emit({BcOp::kForIncJump, 0, rb, 0, 0, head});
+          p_->for_sites_[site].end_target = Here();
+          temp_top_ = save;
+          break;
+        }
+        case LStmtKind::kReturn: {
+          if (s.a->kind == LExprKind::kSlot) {
+            Emit({BcOp::kReturn, 0, static_cast<uint16_t>(s.a->slot), 0, 0,
+                  0});
+          } else {
+            const uint32_t save = temp_top_;
+            const uint16_t t = AllocReg();
+            CompileExpr(*s.a, t);
+            Emit({BcOp::kReturn, 0, t, 0, 0, 0});
+            temp_top_ = save;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Emits the resolution + draw sequence for one ECV statement. When
+  // `fused_if` is non-null the draw fuses with the guarding if statement
+  // into kEcvDrawBranch. Always re-index ecv_sites_ on write: nested blocks
+  // push more sites and invalidate references.
+  void CompileEcv(const LStmt& s, const LStmt* fused_if) {
+    const LEcv& ecv = *s.ecv;
+    const uint32_t site = static_cast<uint32_t>(p_->ecv_sites_.size());
+    {
+      BytecodeProgram::EcvSite e;
+      e.ecv = &ecv;
+      e.line = s.line;
+      e.column = s.column;
+      e.slot = s.slot;
+      if (s.slot < 0) {
+        e.redef_error = s.error;
+      }
+      p_->ecv_sites_.push_back(std::move(e));
+    }
+    bool baked = false;
+    if (opts_.specialize_profile != nullptr) {
+      // Specialized code answers only for this profile, so the decision the
+      // generic engine makes per draw — override or declared distribution —
+      // is made once, here.
+      const EcvProfile& prof = *opts_.specialize_profile;
+      const EcvSupport* o =
+          prof.empty() ? nullptr : prof.FindQualified(ecv.qualified, ecv.bare);
+      if (o != nullptr) {
+        p_->ecv_sites_[site].baked =
+            static_cast<int32_t>(p_->baked_supports_.size());
+        p_->baked_supports_.push_back(*o);
+        p_->ecv_sites_[site].baked_overridden = true;
+        Emit({BcOp::kEcvBaked, 0, 0, 0, 0, site});
+        baked = true;
+      }
+    } else {
+      Emit({BcOp::kEcvBegin, 0, 0, 0, 0, site});
+    }
+    if (!baked) {
+      if (!ecv.static_error.ok()) {
+        Emit({BcOp::kFail, 0, 0, 0, 0, PoolStatus(ecv.static_error)});
+      } else if (ecv.static_support.has_value()) {
+        Emit({BcOp::kEcvStatic, 0, 0, 0, 0, site});
+      } else {
+        switch (ecv.dist_kind) {
+          case EcvDistKind::kBernoulli: {
+            p_->ecv_sites_[site].range_error = InvalidArgumentError(
+                Ctx(s.line, s.column) + ": bernoulli probability out of [0,1]");
+            const uint32_t save = temp_top_;
+            const uint16_t rp = CompileOperand(*ecv.params[0]);
+            Emit({BcOp::kEcvDynBern, 0, 0, rp, 0, site});
+            temp_top_ = save;
+            break;
+          }
+          case EcvDistKind::kUniformInt: {
+            p_->ecv_sites_[site].inverted_error = InvalidArgumentError(
+                Ctx(s.line, s.column) + ": uniform_int with inverted bounds");
+            p_->ecv_sites_[site].toolarge_error = ResourceExhaustedError(
+                Ctx(s.line, s.column) + ": uniform_int support too large");
+            const uint32_t save = temp_top_;
+            const uint16_t rlo = CompileOperand(*ecv.params[0]);
+            const uint16_t rhi = CompileOperand(*ecv.params[1]);
+            Emit({BcOp::kEcvDynUniform, 0, 0, rlo, rhi, site});
+            temp_top_ = save;
+            break;
+          }
+          case EcvDistKind::kCategorical: {
+            p_->ecv_sites_[site].cat_prefix = Ctx(s.line, s.column) + ": ";
+            Emit({BcOp::kEcvCatOpen, 0, 0, 0, 0, 0});
+            for (size_t i = 0; i + 1 < ecv.params.size(); i += 2) {
+              const uint32_t save = temp_top_;
+              const uint16_t rv = CompileOperand(*ecv.params[i]);
+              const uint16_t rp = CompileOperand(*ecv.params[i + 1]);
+              Emit({BcOp::kEcvCatPush, 0, 0, rv, rp, 0});
+              temp_top_ = save;
+            }
+            Emit({BcOp::kEcvDynCat, 0, 0, 0, 0, site});
+            break;
+          }
+        }
+      }
+    }
+    p_->ecv_sites_[site].draw_target = Here();
+    if (fused_if != nullptr) {
+      p_->ecv_sites_[site].fused_step_status =
+          PoolStatus(BudgetStatus(*fused_if));
+      p_->branch_sites_.push_back(
+          {Ctx(fused_if->line, fused_if->column) + ": if condition: ",
+           fused_if->line, fused_if->column, 0});
+      const uint32_t bsite =
+          static_cast<uint32_t>(p_->branch_sites_.size() - 1);
+      p_->ecv_sites_[site].fused_branch = bsite;
+      Emit({BcOp::kEcvDrawBranch, 0, 0, 0, 0, site});
+      ++p_->superinstruction_count_;
+      CompileBlock(fused_if->then_block);
+      const uint32_t j = Emit({BcOp::kJump, 0, 0, 0, 0, 0});
+      p_->branch_sites_[bsite].else_target = Here();
+      CompileBlock(fused_if->else_block);
+      p_->code_[j].imm = Here();
+    } else {
+      Emit({BcOp::kEcvDraw, 0, 0, 0, 0, site});
+    }
+  }
+
+  // Slots are used in place (expressions never mutate the current frame's
+  // slots, so a slot operand stays valid across later operand evaluation);
+  // anything else lands in a fresh temporary.
+  uint16_t CompileOperand(const LExpr& e) {
+    if (e.kind == LExprKind::kSlot) {
+      return static_cast<uint16_t>(e.slot);
+    }
+    const uint16_t t = AllocReg();
+    CompileExpr(e, t);
+    return t;
+  }
+
+  void CompileExpr(const LExpr& e, uint16_t dst) {
+    switch (e.kind) {
+      case LExprKind::kConst: {
+        const uint32_t ci = PoolConst(e.constant);
+        if (e.is_energy_term) {
+          p_->term_sites_.push_back({ci, e.line, e.column});
+          Emit({BcOp::kConstTerm, 0, dst, 0, 0,
+                static_cast<uint32_t>(p_->term_sites_.size() - 1)});
+        } else {
+          Emit({BcOp::kConst, 0, dst, 0, 0, ci});
+        }
+        break;
+      }
+      case LExprKind::kSlot:
+        if (static_cast<uint16_t>(e.slot) != dst) {
+          Emit({BcOp::kMove, 0, dst, static_cast<uint16_t>(e.slot), 0, 0});
+        }
+        break;
+      case LExprKind::kError:
+        Emit({BcOp::kFail, 0, 0, 0, 0, PoolStatus(e.error)});
+        break;
+      case LExprKind::kUnary: {
+        const uint32_t save = temp_top_;
+        const uint16_t s0 = CompileOperand(*e.children[0]);
+        Emit({BcOp::kUnary, static_cast<uint8_t>(e.uop), dst, s0, 0,
+              PoolCtx(&e.context)});
+        temp_top_ = save;
+        break;
+      }
+      case LExprKind::kBinary: {
+        if (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr) {
+          const uint32_t save = temp_top_;
+          const uint16_t l = CompileOperand(*e.children[0]);
+          const BcOp op =
+              e.bop == BinaryOp::kAnd ? BcOp::kAndShort : BcOp::kOrShort;
+          const uint32_t sc = Emit({op, 0, dst, l, 0, 0});
+          temp_top_ = save;
+          const uint16_t r = CompileOperand(*e.children[1]);
+          Emit({BcOp::kBoolCast, 0, dst, r, 0, 0});
+          temp_top_ = save;
+          p_->code_[sc].imm = Here();
+          break;
+        }
+        if (super_ && TryFoldChain(e, dst)) {
+          break;
+        }
+        const uint32_t save = temp_top_;
+        const uint16_t l = CompileOperand(*e.children[0]);
+        const uint16_t r = CompileOperand(*e.children[1]);
+        Emit({BcOp::kBinary, static_cast<uint8_t>(e.bop), dst, l, r,
+              PoolCtx(&e.context)});
+        temp_top_ = save;
+        break;
+      }
+      case LExprKind::kConditional: {
+        const uint32_t save = temp_top_;
+        const uint16_t c = CompileOperand(*e.children[0]);
+        const uint32_t cj = Emit({BcOp::kCondJump, 0, 0, c, 0, 0});
+        temp_top_ = save;
+        CompileExpr(*e.children[1], dst);
+        const uint32_t j = Emit({BcOp::kJump, 0, 0, 0, 0, 0});
+        p_->code_[cj].imm = Here();
+        CompileExpr(*e.children[2], dst);
+        p_->code_[j].imm = Here();
+        break;
+      }
+      case LExprKind::kBuiltin:
+      case LExprKind::kCall: {
+        const uint32_t save = temp_top_;
+        const uint16_t rbase = static_cast<uint16_t>(temp_top_);
+        if (e.children.size() > 0xFFFF) {
+          overflow_ = true;
+        }
+        for (const LExprPtr& child : e.children) {
+          const uint16_t t = AllocReg();
+          CompileExpr(*child, t);
+        }
+        const uint16_t argc = static_cast<uint16_t>(e.children.size());
+        if (e.kind == LExprKind::kBuiltin) {
+          p_->builtin_sites_.push_back({e.call_src, &e.context, e.line,
+                                        e.column,
+                                        e.call_src->callee == "au"});
+          Emit({BcOp::kBuiltin, 0, dst, rbase, argc,
+                static_cast<uint32_t>(p_->builtin_sites_.size() - 1)});
+        } else if (!e.call_error.ok()) {
+          // Arguments evaluate before resolution errors, as in the tree walk.
+          Emit({BcOp::kFail, 0, 0, 0, 0, PoolStatus(e.call_error)});
+        } else {
+          Emit({BcOp::kCall, 0, dst, rbase, argc, iface_index_.at(e.callee)});
+        }
+        temp_top_ = save;
+        break;
+      }
+    }
+  }
+
+  // Left-spine chains of non-logical binaries whose right operands are
+  // side-effect-free atoms (slots, non-term constants) fold into one
+  // kFoldChain superinstruction; the accumulator stays local during the
+  // fold, so error order and aliasing match the reference engine exactly.
+  bool TryFoldChain(const LExpr& e, uint16_t dst) {
+    const auto is_atom = [](const LExpr& x) {
+      return x.kind == LExprKind::kSlot ||
+             (x.kind == LExprKind::kConst && !x.is_energy_term);
+    };
+    std::vector<const LExpr*> links;  // outermost first
+    const LExpr* cur = &e;
+    while (cur->kind == LExprKind::kBinary && cur->bop != BinaryOp::kAnd &&
+           cur->bop != BinaryOp::kOr && is_atom(*cur->children[1])) {
+      links.push_back(cur);
+      cur = cur->children[0].get();
+    }
+    if (links.size() < 2 || links.size() > 0xFFFF) {
+      return false;
+    }
+    std::vector<BytecodeProgram::FoldStep> steps;
+    steps.reserve(links.size());
+    bool dst_clash = false;
+    for (auto it = links.rbegin(); it != links.rend(); ++it) {
+      const LExpr& n = **it;
+      const LExpr& rhs = *n.children[1];
+      BytecodeProgram::FoldStep st;
+      st.bop = n.bop;
+      st.ctx = PoolCtx(&n.context);
+      if (rhs.kind == LExprKind::kConst) {
+        const uint32_t ci = PoolConst(rhs.constant);
+        if (ci > 0xFFFF) {
+          return false;
+        }
+        st.from_pool = true;
+        st.src = static_cast<uint16_t>(ci);
+      } else {
+        st.src = static_cast<uint16_t>(rhs.slot);
+        if (st.src == dst) {
+          dst_clash = true;
+        }
+      }
+      steps.push_back(st);
+    }
+    // `x = x + x + x`: seeding the accumulator in dst would clobber the
+    // slot the later steps read. Fold into a temp and move.
+    const uint32_t save = temp_top_;
+    const uint16_t acc = dst_clash ? AllocReg() : dst;
+    CompileExpr(*cur, acc);
+    const uint32_t first = static_cast<uint32_t>(p_->fold_steps_.size());
+    p_->fold_steps_.insert(p_->fold_steps_.end(), steps.begin(), steps.end());
+    Emit({BcOp::kFoldChain, 0, acc, 0, static_cast<uint16_t>(steps.size()),
+          first});
+    if (dst_clash) {
+      Emit({BcOp::kMove, 0, dst, acc, 0, 0});
+    }
+    temp_top_ = save;
+    ++p_->superinstruction_count_;
+    return true;
+  }
+
+  const LoweredProgram& lowered_;
+  const BytecodeProgram::CompileOptions opts_;
+  const bool super_;
+  std::shared_ptr<BytecodeProgram> p_;
+  std::unordered_map<std::string, uint32_t> const_index_;
+  std::unordered_map<const std::string*, uint32_t> ctx_index_;
+  std::unordered_map<const LoweredInterface*, uint32_t> iface_index_;
+  const LoweredInterface* cur_ = nullptr;
+  uint32_t temp_top_ = 0;
+  uint32_t max_regs_ = 0;
+  bool overflow_ = false;
+};
+
+Result<std::shared_ptr<const BytecodeProgram>> BytecodeProgram::Compile(
+    const LoweredProgram& lowered, const CompileOptions& options) {
+  return BytecodeCompiler(lowered, options).Compile();
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+BytecodeInterpreter::BytecodeInterpreter(const BytecodeProgram& bc,
+                                         const EvalOptions& options,
+                                         const EcvProfile& profile,
+                                         eval_internal::Chooser& chooser)
+    : bc_(bc),
+      options_(options),
+      profile_(profile),
+      chooser_(chooser),
+      trace_(options.trace) {}
+
+void BytecodeInterpreter::Reset() {
+  steps_ = 0;
+  depth_ = 0;
+  frames_.clear();
+  cat_stack_.clear();
+}
+
+void BytecodeInterpreter::EnsureRegs(size_t needed) {
+  if (regs_.size() < needed) {
+    regs_.resize(std::max(needed, regs_.size() * 2));
+  }
+}
+
+Result<Value> BytecodeInterpreter::CallByName(const std::string& name,
+                                              const std::vector<Value>& args) {
+  const auto it = bc_.index_.find(name);
+  if (it == bc_.index_.end()) {
+    return NotFoundError("call to undefined interface '" + name + "'");
+  }
+  const BytecodeProgram::BcIface& f = bc_.ifaces_[it->second];
+  if (f.src->param_slots.size() != args.size()) {
+    std::ostringstream os;
+    os << "interface '" << name << "' takes " << f.src->param_slots.size()
+       << " arguments, got " << args.size();
+    return InvalidArgumentError(os.str());
+  }
+  if (++depth_ > options_.max_call_depth) {
+    EvalCounters::Get().budget_depth.Increment();
+    return f.depth_error;
+  }
+  if (trace_ != nullptr) {
+    EmitEnter(*trace_, name, f.src->decl->line, depth_, path_index_);
+  }
+  if (!f.src->entry_error.ok()) {
+    return f.src->entry_error;
+  }
+  frames_.clear();
+  base_ = 0;
+  reg_top_ = f.nregs;
+  EnsureRegs(reg_top_);
+  std::fill(regs_.begin(), regs_.begin() + f.frame_size, Value());
+  for (size_t i = 0; i < args.size(); ++i) {
+    regs_[f.src->param_slots[i]] = args[i];
+  }
+  cur_iface_ = it->second;
+  pc_ = f.entry;
+  return Run();
+}
+
+// Draw for the current ECV site: choose from the support every preceding
+// instruction just resolved, trace, surface a rejected binding, store the
+// outcome. Returns the drawn outcome (kEcvDrawBranch reads it back).
+Result<const Value*> BytecodeInterpreter::DrawEcv(
+    const BytecodeProgram::EcvSite& site) {
+  ECLARITY_ASSIGN_OR_RETURN(
+      size_t idx, chooser_.Choose(site.ecv->qualified, *cur_support_));
+  if (idx >= cur_support_->outcomes.size()) {
+    return InternalError("chooser returned out-of-range index");
+  }
+  const auto& outcome = cur_support_->outcomes[idx];
+  if (trace_ != nullptr) {
+    EmitDraw(*trace_, site.ecv->qualified,
+             DescribeSupport(
+                 overridden_ ? "profile" : DistKindName(site.ecv->dist_kind),
+                 *cur_support_),
+             outcome.first, outcome.second, site.line, site.column, depth_,
+             path_index_);
+  }
+  // Order matters: the reference engine resolves and draws before the
+  // redefinition error surfaces.
+  if (site.slot < 0) {
+    return site.redef_error;
+  }
+  regs_[base_ + site.slot] = outcome.first;
+  return &outcome.first;
+}
+
+Result<Value> BytecodeInterpreter::Run() {
+  const Instr* code = bc_.code_.data();
+  for (;;) {
+    const Instr& in = code[pc_++];
+    switch (in.op) {
+      case BcOp::kConst:
+        regs_[base_ + in.a] = bc_.const_pool_[in.imm];
+        break;
+      case BcOp::kConstTerm: {
+        const BytecodeProgram::TermSite& site = bc_.term_sites_[in.imm];
+        const Value& v = bc_.const_pool_[site.pool];
+        if (trace_ != nullptr) {
+          EmitTerm(*trace_, bc_.ifaces_[cur_iface_].src->decl->name, v,
+                   site.line, site.column, depth_, path_index_);
+        }
+        regs_[base_ + in.a] = v;
+        break;
+      }
+      case BcOp::kMove:
+        regs_[base_ + in.a] = regs_[base_ + in.b];
+        break;
+      case BcOp::kUnary: {
+        ECLARITY_ASSIGN_OR_RETURN(
+            Value v, ApplyUnary(static_cast<UnaryOp>(in.sub),
+                                regs_[base_ + in.b], *bc_.ctx_pool_[in.imm]));
+        regs_[base_ + in.a] = std::move(v);
+        break;
+      }
+      case BcOp::kBinary: {
+        ECLARITY_ASSIGN_OR_RETURN(
+            Value v,
+            ApplyBinary(static_cast<BinaryOp>(in.sub), regs_[base_ + in.b],
+                        regs_[base_ + in.c], *bc_.ctx_pool_[in.imm]));
+        regs_[base_ + in.a] = std::move(v);
+        break;
+      }
+      case BcOp::kFoldChain: {
+        // The accumulator stays local until the chain completes so steps
+        // that read the destination slot see its pre-statement value.
+        Value acc = regs_[base_ + in.a];
+        const BytecodeProgram::FoldStep* step = &bc_.fold_steps_[in.imm];
+        for (uint16_t i = 0; i < in.c; ++i, ++step) {
+          const Value& rhs = step->from_pool ? bc_.const_pool_[step->src]
+                                             : regs_[base_ + step->src];
+          ECLARITY_ASSIGN_OR_RETURN(
+              acc, ApplyBinary(step->bop, acc, rhs, *bc_.ctx_pool_[step->ctx]));
+        }
+        regs_[base_ + in.a] = std::move(acc);
+        break;
+      }
+      case BcOp::kJump:
+        pc_ = in.imm;
+        break;
+      case BcOp::kAndShort: {
+        ECLARITY_ASSIGN_OR_RETURN(bool lv, regs_[base_ + in.b].AsBool());
+        if (!lv) {
+          regs_[base_ + in.a] = Value::Bool(false);
+          pc_ = in.imm;
+        }
+        break;
+      }
+      case BcOp::kOrShort: {
+        ECLARITY_ASSIGN_OR_RETURN(bool lv, regs_[base_ + in.b].AsBool());
+        if (lv) {
+          regs_[base_ + in.a] = Value::Bool(true);
+          pc_ = in.imm;
+        }
+        break;
+      }
+      case BcOp::kBoolCast: {
+        ECLARITY_ASSIGN_OR_RETURN(bool rv, regs_[base_ + in.b].AsBool());
+        regs_[base_ + in.a] = Value::Bool(rv);
+        break;
+      }
+      case BcOp::kCondJump: {
+        ECLARITY_ASSIGN_OR_RETURN(bool truth, regs_[base_ + in.b].AsBool());
+        if (!truth) {
+          pc_ = in.imm;
+        }
+        break;
+      }
+      case BcOp::kBranch: {
+        const BytecodeProgram::BranchSite& site = bc_.branch_sites_[in.imm];
+        const Result<bool> truth = regs_[base_ + in.b].AsBool();
+        if (!truth.ok()) {
+          return InvalidArgumentError(site.prefix + truth.status().message());
+        }
+        if (trace_ != nullptr) {
+          EmitBranch(*trace_, truth.value(), site.line, site.column, depth_,
+                     path_index_);
+        }
+        if (!truth.value()) {
+          pc_ = site.else_target;
+        }
+        break;
+      }
+      case BcOp::kStep:
+        if (++steps_ > options_.max_steps) {
+          EvalCounters::Get().budget_steps.Increment();
+          return bc_.status_pool_[in.imm];
+        }
+        break;
+      case BcOp::kFail:
+        return bc_.status_pool_[in.imm];
+      case BcOp::kBuiltin: {
+        const BytecodeProgram::BuiltinSite& site = bc_.builtin_sites_[in.imm];
+        builtin_scratch_.assign(regs_.begin() + base_ + in.b,
+                                regs_.begin() + base_ + in.b + in.c);
+        Result<Value> result =
+            ApplyBuiltin(site.call->callee, builtin_scratch_,
+                         site.call->string_args, *site.ctx);
+        if (!result.ok()) {
+          return result.status();
+        }
+        // au(...) mints abstract energy: an energy term for the trace.
+        if (trace_ != nullptr && site.is_au) {
+          EmitTerm(*trace_, bc_.ifaces_[cur_iface_].src->decl->name,
+                   result.value(), site.line, site.column, depth_,
+                   path_index_);
+        }
+        regs_[base_ + in.a] = std::move(result).value();
+        break;
+      }
+      case BcOp::kCall: {
+        const BytecodeProgram::BcIface& f = bc_.ifaces_[in.imm];
+        if (++depth_ > options_.max_call_depth) {
+          EvalCounters::Get().budget_depth.Increment();
+          return f.depth_error;
+        }
+        // The reference engine reports entry before its parameter defines,
+        // so the enter event precedes entry_error.
+        if (trace_ != nullptr) {
+          EmitEnter(*trace_, f.src->decl->name, f.src->decl->line, depth_,
+                    path_index_);
+        }
+        if (!f.src->entry_error.ok()) {
+          return f.src->entry_error;
+        }
+        const uint32_t cbase = reg_top_;
+        EnsureRegs(cbase + f.nregs);
+        std::fill(regs_.begin() + cbase, regs_.begin() + cbase + f.frame_size,
+                  Value());
+        const std::vector<int>& pslots = f.src->param_slots;
+        for (size_t i = 0; i < pslots.size(); ++i) {
+          regs_[cbase + pslots[i]] = regs_[base_ + in.b + i];
+        }
+        frames_.push_back({pc_, base_ + in.a, base_, cur_iface_});
+        base_ = cbase;
+        reg_top_ = cbase + f.nregs;
+        cur_iface_ = in.imm;
+        pc_ = f.entry;
+        break;
+      }
+      case BcOp::kReturn: {
+        Value v = std::move(regs_[base_ + in.a]);
+        --depth_;
+        if (trace_ != nullptr) {
+          EmitExit(*trace_, bc_.ifaces_[cur_iface_].src->decl->name, v,
+                   depth_ + 1, path_index_);
+        }
+        if (frames_.empty()) {
+          return v;
+        }
+        const CallFrame fr = frames_.back();
+        frames_.pop_back();
+        reg_top_ = base_;
+        base_ = fr.caller_base;
+        cur_iface_ = fr.caller_iface;
+        pc_ = fr.ret_pc;
+        regs_[fr.ret_dst] = std::move(v);
+        break;
+      }
+      case BcOp::kForPrep: {
+        ECLARITY_ASSIGN_OR_RETURN(double begin_n,
+                                  regs_[base_ + in.a].AsNumber());
+        ECLARITY_ASSIGN_OR_RETURN(double end_n, regs_[base_ + in.b].AsNumber());
+        regs_[base_ + in.a] =
+            CounterValue(static_cast<int64_t>(std::llround(begin_n)));
+        regs_[base_ + in.b] =
+            CounterValue(static_cast<int64_t>(std::llround(end_n)));
+        break;
+      }
+      case BcOp::kForNext: {
+        const int64_t i = CounterBits(regs_[base_ + in.a]);
+        const int64_t hi = CounterBits(regs_[base_ + in.b]);
+        const BytecodeProgram::ForSite& site = bc_.for_sites_[in.imm];
+        if (i >= hi) {
+          pc_ = site.end_target;
+          break;
+        }
+        if (++steps_ > options_.max_steps) {
+          EvalCounters::Get().budget_steps.Increment();
+          return bc_.status_pool_[site.budget_status];
+        }
+        regs_[base_ + in.c] = Value::Number(static_cast<double>(i));
+        break;
+      }
+      case BcOp::kForIncJump:
+        regs_[base_ + in.a] =
+            CounterValue(CounterBits(regs_[base_ + in.a]) + 1);
+        pc_ = in.imm;
+        break;
+      case BcOp::kEcvBegin: {
+        const BytecodeProgram::EcvSite& site = bc_.ecv_sites_[in.imm];
+        if (!profile_.empty()) {
+          const EcvSupport* o =
+              profile_.FindQualified(site.ecv->qualified, site.ecv->bare);
+          if (o != nullptr) {
+            cur_support_ = o;
+            overridden_ = true;
+            pc_ = site.draw_target;
+          }
+        }
+        break;
+      }
+      case BcOp::kEcvStatic:
+        cur_support_ = &*bc_.ecv_sites_[in.imm].ecv->static_support;
+        overridden_ = false;
+        break;
+      case BcOp::kEcvBaked: {
+        const BytecodeProgram::EcvSite& site = bc_.ecv_sites_[in.imm];
+        cur_support_ = &bc_.baked_supports_[site.baked];
+        overridden_ = site.baked_overridden;
+        break;
+      }
+      case BcOp::kEcvCatOpen:
+        cat_stack_.emplace_back();
+        break;
+      case BcOp::kEcvCatPush: {
+        ECLARITY_ASSIGN_OR_RETURN(double p, regs_[base_ + in.c].AsNumber());
+        cat_stack_.back().emplace_back(regs_[base_ + in.b], p);
+        break;
+      }
+      case BcOp::kEcvDynCat: {
+        const BytecodeProgram::EcvSite& site = bc_.ecv_sites_[in.imm];
+        Result<EcvSupport> support =
+            EcvSupport::Make(std::move(cat_stack_.back()));
+        cat_stack_.pop_back();
+        if (!support.ok()) {
+          return InvalidArgumentError(site.cat_prefix +
+                                      support.status().message());
+        }
+        dyn_support_ = std::move(support).value();
+        cur_support_ = &dyn_support_;
+        overridden_ = false;
+        break;
+      }
+      case BcOp::kEcvDynBern: {
+        const BytecodeProgram::EcvSite& site = bc_.ecv_sites_[in.imm];
+        ECLARITY_ASSIGN_OR_RETURN(double p, regs_[base_ + in.b].AsNumber());
+        if (p < 0.0 || p > 1.0) {
+          return site.range_error;
+        }
+        dyn_support_ = EcvSupport::Bernoulli(p);
+        cur_support_ = &dyn_support_;
+        overridden_ = false;
+        break;
+      }
+      case BcOp::kEcvDynUniform: {
+        const BytecodeProgram::EcvSite& site = bc_.ecv_sites_[in.imm];
+        ECLARITY_ASSIGN_OR_RETURN(double lo_n, regs_[base_ + in.b].AsNumber());
+        ECLARITY_ASSIGN_OR_RETURN(double hi_n, regs_[base_ + in.c].AsNumber());
+        const int64_t lo = static_cast<int64_t>(std::llround(lo_n));
+        const int64_t hi = static_cast<int64_t>(std::llround(hi_n));
+        if (hi < lo) {
+          return site.inverted_error;
+        }
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span > options_.max_ecv_support) {
+          return site.toolarge_error;
+        }
+        std::vector<std::pair<Value, double>> outcomes;
+        outcomes.reserve(span);
+        for (int64_t v = lo; v <= hi; ++v) {
+          outcomes.emplace_back(Value::Number(static_cast<double>(v)), 1.0);
+        }
+        ECLARITY_ASSIGN_OR_RETURN(dyn_support_,
+                                  EcvSupport::Make(std::move(outcomes)));
+        cur_support_ = &dyn_support_;
+        overridden_ = false;
+        break;
+      }
+      case BcOp::kEcvDraw: {
+        ECLARITY_ASSIGN_OR_RETURN(const Value* outcome,
+                                  DrawEcv(bc_.ecv_sites_[in.imm]));
+        (void)outcome;
+        break;
+      }
+      case BcOp::kEcvDrawBranch: {
+        const BytecodeProgram::EcvSite& site = bc_.ecv_sites_[in.imm];
+        ECLARITY_ASSIGN_OR_RETURN(const Value* outcome, DrawEcv(site));
+        // The fused if statement's own budget step, then its branch.
+        if (++steps_ > options_.max_steps) {
+          EvalCounters::Get().budget_steps.Increment();
+          return bc_.status_pool_[site.fused_step_status];
+        }
+        const BytecodeProgram::BranchSite& bsite =
+            bc_.branch_sites_[site.fused_branch];
+        const Result<bool> truth = outcome->AsBool();
+        if (!truth.ok()) {
+          return InvalidArgumentError(bsite.prefix + truth.status().message());
+        }
+        if (trace_ != nullptr) {
+          EmitBranch(*trace_, truth.value(), bsite.line, bsite.column, depth_,
+                     path_index_);
+        }
+        if (!truth.value()) {
+          pc_ = bsite.else_target;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace eclarity

@@ -1,0 +1,263 @@
+// Register bytecode for energy interfaces.
+//
+// The third execution engine (see DESIGN.md, "Bytecode VM"): LoweredProgram
+// is compiled once into a flat register-based instruction buffer — constant
+// pool, pre-resolved call targets (direct code offsets instead of
+// LoweredInterface* chasing), pre-rendered error statuses, and
+// superinstructions for the hot term shapes (fused sum-of-terms accumulate,
+// guarded ECV-branch select). A dispatch-loop interpreter then executes the
+// buffer over one contiguous, reusable register stack.
+//
+// The compiler can additionally *specialize* a program against a fixed
+// EcvProfile: every ECV site whose resolution is decided by the profile
+// (override, static support, or static error) is baked into the code, so
+// per-draw profile map lookups disappear. QueryService snapshots carry one
+// specialized program per profile generation; profile swaps re-specialize
+// from the already-lowered IR without re-lowering and never block readers.
+//
+// Parity contract: the bytecode engine is observationally identical to the
+// tree walk and the lowered-tree fast path — same values, probability bits,
+// draw order, error codes *and messages*, and byte-identical trace events
+// (tests/fastpath_test.cc, tests/bytecode_test.cc, and the differential
+// harness hold the line). Compilation is total for every program the
+// lowerer accepts except degenerate register pressure (> 65535 live
+// registers in one interface), where Compile() fails and the evaluator
+// transparently falls back to the fast path, counting the fallback.
+
+#ifndef ECLARITY_SRC_EVAL_BYTECODE_H_
+#define ECLARITY_SRC_EVAL_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/eval/ecv_profile.h"
+#include "src/eval/exec_common.h"
+#include "src/eval/interp.h"
+#include "src/eval/lower.h"
+#include "src/lang/value.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+// One 12-byte instruction. `a` is the destination register, `b`/`c` are
+// operand registers or an argument base/count, `imm` indexes a pool or site
+// table or is an absolute jump target. Registers are frame-relative; slots
+// [0, frame_size) alias the lowered frame slots and expression temporaries
+// live above them.
+enum class BcOp : uint8_t {
+  kConst,         // regs[a] = const_pool[imm]
+  kConstTerm,     // regs[a] = pool[term.pool]; trace kEnergyTerm (term_sites)
+  kMove,          // regs[a] = regs[b]
+  kUnary,         // regs[a] = ApplyUnary(sub, regs[b], ctx_pool[imm])
+  kBinary,        // regs[a] = ApplyBinary(sub, regs[b], regs[c], ctx[imm])
+  kFoldChain,     // regs[a] = fold of c steps from fold_steps[imm] (superop)
+  kJump,          // pc = imm
+  kAndShort,      // !AsBool(regs[b]) ? regs[a]=false, pc=imm : fall through
+  kOrShort,       // AsBool(regs[b]) ? regs[a]=true, pc=imm : fall through
+  kBoolCast,      // regs[a] = Bool(AsBool(regs[b]))
+  kCondJump,      // conditional expr: !AsBool(regs[b]) -> pc = imm
+  kBranch,        // if stmt: wrapped AsBool, trace, !taken -> else target
+  kStep,          // ++steps > max_steps -> status_pool[imm]
+  kFail,          // return status_pool[imm]
+  kBuiltin,       // regs[a] = builtin(regs[b..b+c)); builtin_sites[imm]
+  kCall,          // regs[a] = call ifaces[imm](regs[b..b+c))
+  kReturn,        // return regs[a] from the current frame
+  kForPrep,       // regs[a]=bits(llround(AsNumber)), regs[b]=bits(... end)
+  kForNext,       // i>=hi -> pc=end; else budget, regs[c]=Number(i)
+  kForIncJump,    // ++i (bit-stored in regs[a]); pc = imm
+  kEcvBegin,      // profile override check; hit -> pc = draw target
+  kEcvStatic,     // cur support = lowered static support
+  kEcvBaked,      // cur support = baked_supports[site.baked] (specialized)
+  kEcvCatOpen,    // open a categorical accumulation level
+  kEcvCatPush,    // push (regs[b], AsNumber(regs[c])) onto the open level
+  kEcvDynBern,    // cur support = Bernoulli(AsNumber(regs[b]))
+  kEcvDynUniform, // cur support = uniform_int(regs[b], regs[c])
+  kEcvDynCat,     // cur support = Make(open level)
+  kEcvDraw,       // choose + trace + store slot (ecv_sites[imm])
+  kEcvDrawBranch, // kEcvDraw fused with an immediately-guarding if (superop)
+};
+
+struct Instr {
+  BcOp op = BcOp::kFail;
+  uint8_t sub = 0;  // UnaryOp / BinaryOp payload
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint16_t c = 0;
+  uint32_t imm = 0;
+};
+
+class BytecodeProgram {
+ public:
+  struct CompileOptions {
+    // Emit kFoldChain / kEcvDrawBranch superinstructions. Off exists for
+    // the fused-vs-unfused parity tests; both settings are bit-identical.
+    bool enable_superinstructions = true;
+    // When non-null, bake ECV resolution against this profile. The
+    // resulting program answers *only* for profiles with this fingerprint;
+    // the evaluator checks before selecting it.
+    const EcvProfile* specialize_profile = nullptr;
+  };
+
+  // Compiles every interface of `lowered`, which must outlive the result
+  // (instructions reference lowered ECV metadata and pre-rendered operator
+  // contexts in place). Fails only on register overflow; the caller is
+  // expected to fall back to the lowered-tree walk.
+  static Result<std::shared_ptr<const BytecodeProgram>> Compile(
+      const LoweredProgram& lowered, const CompileOptions& options);
+  static Result<std::shared_ptr<const BytecodeProgram>> Compile(
+      const LoweredProgram& lowered) {
+    return Compile(lowered, CompileOptions());
+  }
+
+  // Introspection (tests, metrics).
+  size_t instruction_count() const { return code_.size(); }
+  size_t constant_pool_size() const { return const_pool_.size(); }
+  size_t superinstruction_count() const { return superinstruction_count_; }
+  bool specialized() const { return specialized_; }
+  // EcvProfile::Fingerprint() of the baked profile (empty-profile
+  // fingerprint when specialized against an empty profile).
+  const std::string& specialization_fingerprint() const {
+    return spec_fingerprint_;
+  }
+
+ private:
+  friend class BytecodeCompiler;
+  friend class BytecodeInterpreter;
+
+  struct TermSite {
+    uint32_t pool = 0;
+    int line = 0;
+    int column = 0;
+  };
+  struct BuiltinSite {
+    const CallExpr* call = nullptr;
+    const std::string* ctx = nullptr;
+    int line = 0;
+    int column = 0;
+    bool is_au = false;
+  };
+  struct BranchSite {
+    std::string prefix;  // "in 'iface' at L:C: if condition: "
+    int line = 0;
+    int column = 0;
+    uint32_t else_target = 0;
+  };
+  struct ForSite {
+    uint32_t budget_status = 0;
+    uint32_t end_target = 0;
+  };
+  struct FoldStep {
+    BinaryOp bop = BinaryOp::kAdd;
+    bool from_pool = false;
+    uint16_t src = 0;  // register or constant-pool index
+    uint32_t ctx = 0;
+  };
+  struct EcvSite {
+    const LEcv* ecv = nullptr;
+    int line = 0;
+    int column = 0;
+    int slot = -1;
+    uint32_t draw_target = 0;
+    Status redef_error;     // stmt.error when the binding was rejected
+    Status range_error;     // bernoulli probability out of [0,1]
+    Status inverted_error;  // uniform_int with inverted bounds
+    Status toolarge_error;  // uniform_int support too large
+    std::string cat_prefix; // "in 'iface' at L:C: "
+    int32_t baked = -1;     // index into baked_supports_ (kEcvBaked)
+    bool baked_overridden = false;
+    uint32_t fused_step_status = 0;  // kEcvDrawBranch: the if's budget error
+    uint32_t fused_branch = 0;       // kEcvDrawBranch: branch site
+  };
+  struct BcIface {
+    const LoweredInterface* src = nullptr;
+    uint32_t entry = 0;
+    uint32_t nregs = 0;
+    uint32_t frame_size = 0;
+    Status depth_error;   // pre-rendered call-depth budget status
+    Status falloff_error; // pre-rendered fell-off-the-end status
+  };
+
+  std::vector<Instr> code_;
+  std::vector<Value> const_pool_;
+  std::vector<Status> status_pool_;
+  std::vector<const std::string*> ctx_pool_;  // lowered LExpr contexts
+  std::vector<TermSite> term_sites_;
+  std::vector<BuiltinSite> builtin_sites_;
+  std::vector<BranchSite> branch_sites_;
+  std::vector<ForSite> for_sites_;
+  std::vector<FoldStep> fold_steps_;
+  std::vector<EcvSite> ecv_sites_;
+  std::vector<BcIface> ifaces_;
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<EcvSupport> baked_supports_;
+  bool specialized_ = false;
+  std::string spec_fingerprint_;
+  size_t superinstruction_count_ = 0;
+};
+
+// One execution of a compiled program: a dispatch loop over a flat register
+// stack, with an explicit frame stack for nested interface calls. Mirrors
+// FastExecution observable-step for observable-step. Reusable across runs
+// (Reset()), like FastExecution — registers and frame storage are retained.
+class BytecodeInterpreter {
+ public:
+  BytecodeInterpreter(const BytecodeProgram& bc, const EvalOptions& options,
+                      const EcvProfile& profile,
+                      eval_internal::Chooser& chooser);
+
+  // Reuses this interpreter (and its register storage) for another run.
+  void Reset();
+
+  // Labels trace events with the enumeration path being executed.
+  void set_path_index(size_t index) { path_index_ = index; }
+
+  Result<Value> CallByName(const std::string& name,
+                           const std::vector<Value>& args);
+
+ private:
+  struct CallFrame {
+    uint32_t ret_pc = 0;
+    uint32_t ret_dst = 0;      // absolute register index
+    uint32_t caller_base = 0;
+    uint32_t caller_iface = 0;
+  };
+
+  Result<Value> Run();
+  Result<const Value*> DrawEcv(const BytecodeProgram::EcvSite& site);
+  void EnsureRegs(size_t needed);
+
+  const BytecodeProgram& bc_;
+  const EvalOptions& options_;
+  const EcvProfile& profile_;
+  eval_internal::Chooser& chooser_;
+  TraceSink* const trace_;
+
+  std::vector<Value> regs_;
+  std::vector<CallFrame> frames_;
+  uint32_t base_ = 0;
+  uint32_t reg_top_ = 0;
+  uint32_t pc_ = 0;
+  uint32_t cur_iface_ = 0;
+
+  // ECV resolution scratch. Every control path into a draw sets
+  // cur_support_/overridden_ in the immediately preceding instruction, so
+  // nested draws (inside dynamic-parameter evaluation) cannot clobber a
+  // pending one. Categorical accumulation nests through calls, hence a
+  // stack of levels rather than one vector.
+  const EcvSupport* cur_support_ = nullptr;
+  bool overridden_ = false;
+  EcvSupport dyn_support_;
+  std::vector<std::vector<std::pair<Value, double>>> cat_stack_;
+
+  std::vector<Value> builtin_scratch_;
+  size_t steps_ = 0;
+  int depth_ = 0;
+  size_t path_index_ = 0;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EVAL_BYTECODE_H_

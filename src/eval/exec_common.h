@@ -1,0 +1,321 @@
+// Internals shared by the execution engines (interp.cc, bytecode.cc).
+//
+// The tree walk, the lowered-tree fast path, and the bytecode VM must be
+// observably identical: same values, same probabilities, same draw order,
+// same error statuses, and byte-identical trace events. Everything in this
+// header exists so each observable behaviour is implemented in exactly one
+// place — choosers (the ECV-resolution strategies), the shared trace-event
+// constructors, support rendering, and the engine counters.
+//
+// This is an implementation header for src/eval; it is not part of the
+// public evaluator API.
+
+#ifndef ECLARITY_SRC_EVAL_EXEC_COMMON_H_
+#define ECLARITY_SRC_EVAL_EXEC_COMMON_H_
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/eval/ecv_profile.h"
+#include "src/lang/ast.h"
+#include "src/lang/value.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+namespace eval_internal {
+
+inline std::string PosContext(const InterfaceDecl& iface, int line,
+                              int column) {
+  std::ostringstream os;
+  os << "in '" << iface.name << "' at " << line << ":" << column;
+  return os.str();
+}
+
+// Built-in instrumentation. The references are resolved once; every update
+// afterwards is a single relaxed atomic increment, and all of them sit on
+// cold paths (construction, cache boundaries, budget failures).
+struct EvalCounters {
+  Counter& engine_fastpath;
+  Counter& engine_treewalk;
+  Counter& engine_bytecode;
+  Counter& bytecode_fallbacks;
+  Counter& bytecode_specializations;
+  Counter& budget_steps;
+  Counter& budget_depth;
+  Counter& budget_paths;
+  Counter& enum_cache_hits;
+  Counter& enum_cache_misses;
+  Counter& enum_cache_evictions;
+  Counter& enum_cache_trace_bypass;
+  Counter& mc_samples;
+  Counter& analytic_hits;
+  Counter& analytic_fallbacks;
+  Histogram& analytic_pruned_mass;
+  Histogram& bytecode_compile_micros;
+
+  static EvalCounters& Get() {
+    static EvalCounters* counters = new EvalCounters{
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_engine_fastpath_total",
+            "evaluators constructed with the fast-path engine"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_engine_treewalk_total",
+            "evaluators constructed with the tree-walk engine"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_engine_bytecode_total",
+            "evaluators constructed with the bytecode engine"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_bytecode_fallback_total",
+            "bytecode-engine evaluators that fell back to the fast path "
+            "because the program did not compile (e.g. register overflow)"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_bytecode_specialize_total",
+            "bytecode programs re-specialized against an ECV profile"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_budget_steps_exhausted_total",
+            "evaluations aborted by the max_steps statement budget"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_budget_depth_exhausted_total",
+            "evaluations aborted by the max_call_depth budget"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_budget_paths_exhausted_total",
+            "enumerations aborted by the max_paths budget"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_hits_total",
+            "enumeration-cache hits across all evaluators"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_misses_total",
+            "enumeration-cache misses across all evaluators"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_evictions_total",
+            "enumeration-cache evictions across all evaluators"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_enum_cache_trace_bypass_total",
+            "enumerations that skipped the cache because tracing was on"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_mc_samples_total",
+            "Monte Carlo samples drawn by MonteCarloMean"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_analytic_hits_total",
+            "certified evaluations answered by the analytic engines"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_eval_analytic_fallbacks_total",
+            "certified evaluations that fell back to exact enumeration"),
+        MetricsRegistry::Global().GetHistogram(
+            "eclarity_eval_analytic_pruned_mass",
+            "certified pruned probability mass per analytic evaluation",
+            LinearBuckets(0.0, 0.05, 20)),
+        MetricsRegistry::Global().GetHistogram(
+            "eclarity_bytecode_compile_micros",
+            "wall-clock microseconds spent compiling or specializing one "
+            "bytecode program",
+            LinearBuckets(0.0, 50.0, 20)),
+    };
+    return *counters;
+  }
+};
+
+inline const char* DistKindName(EcvDistKind kind) {
+  switch (kind) {
+    case EcvDistKind::kBernoulli:
+      return "bernoulli";
+    case EcvDistKind::kUniformInt:
+      return "uniform_int";
+    case EcvDistKind::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+// Renders a resolved support for kEcvDraw events. All engines resolve the
+// same support by construction, so rendering from it is parity-safe.
+inline std::string DescribeSupport(const char* kind,
+                                   const EcvSupport& support) {
+  std::ostringstream os;
+  os << kind << '{';
+  const size_t shown = std::min<size_t>(support.outcomes.size(), 4);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << support.outcomes[i].first.ToString() << ':'
+       << support.outcomes[i].second;
+  }
+  if (shown < support.outcomes.size()) {
+    os << ", ... " << support.outcomes.size() << " outcomes";
+  }
+  os << '}';
+  return os.str();
+}
+
+// Strategy for resolving ECV draws. The sampling chooser draws randomly;
+// the enumerating chooser drives a DFS over the whole choice tree.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  // Returns the index of the chosen outcome in `support`.
+  virtual Result<size_t> Choose(const std::string& qualified_name,
+                                const EcvSupport& support) = 0;
+};
+
+class SamplingChooser : public Chooser {
+ public:
+  explicit SamplingChooser(Rng& rng) : rng_(rng) {}
+
+  Result<size_t> Choose(const std::string& /*qualified_name*/,
+                        const EcvSupport& support) override {
+    std::vector<double> weights;
+    weights.reserve(support.outcomes.size());
+    for (const auto& [value, prob] : support.outcomes) {
+      weights.push_back(prob);
+    }
+    return rng_.Categorical(weights);
+  }
+
+ private:
+  Rng& rng_;
+};
+
+// Drives repeated executions through every combination of choices.
+// Execution i follows the recorded prefix and extends with first choices;
+// Advance() then increments the deepest counter (dropping exhausted ones)
+// like an odometer over a tree with heterogeneous arity.
+class EnumeratingChooser : public Chooser {
+ public:
+  Result<size_t> Choose(const std::string& qualified_name,
+                        const EcvSupport& support) override {
+    if (cursor_ < path_.size()) {
+      // Replaying the recorded prefix.
+      ChoicePoint& cp = path_[cursor_];
+      if (cp.arity != support.outcomes.size()) {
+        return InternalError("non-deterministic choice structure for ECV '" +
+                             qualified_name + "'");
+      }
+      probability_ *= support.outcomes[cp.index].second;
+      assignments_.emplace_back(qualified_name,
+                                support.outcomes[cp.index].first);
+      return path_[cursor_++].index;
+    }
+    // New choice point: take the first outcome and record it.
+    path_.push_back(ChoicePoint{0, support.outcomes.size()});
+    ++cursor_;
+    probability_ *= support.outcomes[0].second;
+    assignments_.emplace_back(qualified_name, support.outcomes[0].first);
+    return size_t{0};
+  }
+
+  // Prepares the next execution. Returns false when the tree is exhausted.
+  bool Advance() {
+    while (!path_.empty()) {
+      ChoicePoint& last = path_.back();
+      if (last.index + 1 < last.arity) {
+        ++last.index;
+        Reset();
+        return true;
+      }
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  void Reset() {
+    cursor_ = 0;
+    probability_ = 1.0;
+    assignments_.clear();
+  }
+
+  double probability() const { return probability_; }
+  const std::vector<std::pair<std::string, Value>>& assignments() const {
+    return assignments_;
+  }
+  size_t depth() const { return path_.size(); }
+
+ private:
+  struct ChoicePoint {
+    size_t index;
+    size_t arity;
+  };
+  std::vector<ChoicePoint> path_;
+  size_t cursor_ = 0;
+  double probability_ = 1.0;
+  std::vector<std::pair<std::string, Value>> assignments_;
+};
+
+// Shared trace-event constructors: every engine must emit byte-identical
+// events, so every field is filled in exactly one place.
+
+inline void EmitEnter(TraceSink& trace, const std::string& name, int line,
+                      int depth, size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kInterfaceEnter;
+  event.name = name;
+  event.line = line;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+inline void EmitExit(TraceSink& trace, const std::string& name,
+                     const Value& value, int depth, size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kInterfaceExit;
+  event.name = name;
+  event.value = value;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+inline void EmitDraw(TraceSink& trace, const std::string& qualified,
+                     std::string detail, const Value& outcome,
+                     double probability, int line, int column, int depth,
+                     size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kEcvDraw;
+  event.name = qualified;
+  event.detail = std::move(detail);
+  event.value = outcome;
+  event.probability = probability;
+  event.line = line;
+  event.column = column;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+inline void EmitBranch(TraceSink& trace, bool taken, int line, int column,
+                       int depth, size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kBranch;
+  event.branch_taken = taken;
+  event.line = line;
+  event.column = column;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+inline void EmitTerm(TraceSink& trace, const std::string& iface_name,
+                     const Value& value, int line, int column, int depth,
+                     size_t path_index) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kEnergyTerm;
+  event.name = iface_name;  // the enclosing interface: provenance's site key
+  event.value = value;
+  event.line = line;
+  event.column = column;
+  event.depth = depth;
+  event.path_index = path_index;
+  trace.OnEvent(event);
+}
+
+}  // namespace eval_internal
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EVAL_EXEC_COMMON_H_

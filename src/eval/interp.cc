@@ -1,6 +1,7 @@
 #include "src/eval/interp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -11,276 +12,29 @@
 
 #include "src/eval/analytic.h"
 #include "src/eval/builtins.h"
+#include "src/eval/bytecode.h"
 #include "src/eval/env.h"
+#include "src/eval/exec_common.h"
 #include "src/eval/lower.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace eclarity {
+
+using eval_internal::Chooser;
+using eval_internal::DescribeSupport;
+using eval_internal::DistKindName;
+using eval_internal::EmitBranch;
+using eval_internal::EmitDraw;
+using eval_internal::EmitEnter;
+using eval_internal::EmitExit;
+using eval_internal::EmitTerm;
+using eval_internal::EnumeratingChooser;
+using eval_internal::EvalCounters;
+using eval_internal::PosContext;
+using eval_internal::SamplingChooser;
+
 namespace {
-
-std::string PosContext(const InterfaceDecl& iface, int line, int column) {
-  std::ostringstream os;
-  os << "in '" << iface.name << "' at " << line << ":" << column;
-  return os.str();
-}
-
-// Built-in instrumentation. The references are resolved once; every update
-// afterwards is a single relaxed atomic increment, and all of them sit on
-// cold paths (construction, cache boundaries, budget failures).
-struct EvalCounters {
-  Counter& engine_fastpath;
-  Counter& engine_treewalk;
-  Counter& budget_steps;
-  Counter& budget_depth;
-  Counter& budget_paths;
-  Counter& enum_cache_hits;
-  Counter& enum_cache_misses;
-  Counter& enum_cache_evictions;
-  Counter& enum_cache_trace_bypass;
-  Counter& mc_samples;
-  Counter& analytic_hits;
-  Counter& analytic_fallbacks;
-  Histogram& analytic_pruned_mass;
-
-  static EvalCounters& Get() {
-    static EvalCounters* counters = new EvalCounters{
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_engine_fastpath_total",
-            "evaluators constructed with the fast-path engine"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_engine_treewalk_total",
-            "evaluators constructed with the tree-walk engine"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_budget_steps_exhausted_total",
-            "evaluations aborted by the max_steps statement budget"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_budget_depth_exhausted_total",
-            "evaluations aborted by the max_call_depth budget"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_budget_paths_exhausted_total",
-            "enumerations aborted by the max_paths budget"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_enum_cache_hits_total",
-            "enumeration-cache hits across all evaluators"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_enum_cache_misses_total",
-            "enumeration-cache misses across all evaluators"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_enum_cache_evictions_total",
-            "enumeration-cache evictions across all evaluators"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_enum_cache_trace_bypass_total",
-            "enumerations that skipped the cache because tracing was on"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_mc_samples_total",
-            "Monte Carlo samples drawn by MonteCarloMean"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_analytic_hits_total",
-            "certified evaluations answered by the analytic engines"),
-        MetricsRegistry::Global().GetCounter(
-            "eclarity_eval_analytic_fallbacks_total",
-            "certified evaluations that fell back to exact enumeration"),
-        MetricsRegistry::Global().GetHistogram(
-            "eclarity_eval_analytic_pruned_mass",
-            "certified pruned probability mass per analytic evaluation",
-            LinearBuckets(0.0, 0.05, 20)),
-    };
-    return *counters;
-  }
-};
-
-const char* DistKindName(EcvDistKind kind) {
-  switch (kind) {
-    case EcvDistKind::kBernoulli:
-      return "bernoulli";
-    case EcvDistKind::kUniformInt:
-      return "uniform_int";
-    case EcvDistKind::kCategorical:
-      return "categorical";
-  }
-  return "unknown";
-}
-
-// Renders a resolved support for kEcvDraw events. Both engines resolve the
-// same support by construction, so rendering from it is parity-safe.
-std::string DescribeSupport(const char* kind, const EcvSupport& support) {
-  std::ostringstream os;
-  os << kind << '{';
-  const size_t shown = std::min<size_t>(support.outcomes.size(), 4);
-  for (size_t i = 0; i < shown; ++i) {
-    if (i > 0) {
-      os << ", ";
-    }
-    os << support.outcomes[i].first.ToString() << ':'
-       << support.outcomes[i].second;
-  }
-  if (shown < support.outcomes.size()) {
-    os << ", ... " << support.outcomes.size() << " outcomes";
-  }
-  os << '}';
-  return os.str();
-}
-
-// Strategy for resolving ECV draws. The sampling chooser draws randomly;
-// the enumerating chooser drives a DFS over the whole choice tree.
-class Chooser {
- public:
-  virtual ~Chooser() = default;
-  // Returns the index of the chosen outcome in `support`.
-  virtual Result<size_t> Choose(const std::string& qualified_name,
-                                const EcvSupport& support) = 0;
-};
-
-class SamplingChooser : public Chooser {
- public:
-  explicit SamplingChooser(Rng& rng) : rng_(rng) {}
-
-  Result<size_t> Choose(const std::string& /*qualified_name*/,
-                        const EcvSupport& support) override {
-    std::vector<double> weights;
-    weights.reserve(support.outcomes.size());
-    for (const auto& [value, prob] : support.outcomes) {
-      weights.push_back(prob);
-    }
-    return rng_.Categorical(weights);
-  }
-
- private:
-  Rng& rng_;
-};
-
-// Drives repeated executions through every combination of choices.
-// Execution i follows the recorded prefix and extends with first choices;
-// Advance() then increments the deepest counter (dropping exhausted ones)
-// like an odometer over a tree with heterogeneous arity.
-class EnumeratingChooser : public Chooser {
- public:
-  Result<size_t> Choose(const std::string& qualified_name,
-                        const EcvSupport& support) override {
-    if (cursor_ < path_.size()) {
-      // Replaying the recorded prefix.
-      ChoicePoint& cp = path_[cursor_];
-      if (cp.arity != support.outcomes.size()) {
-        return InternalError("non-deterministic choice structure for ECV '" +
-                             qualified_name + "'");
-      }
-      probability_ *= support.outcomes[cp.index].second;
-      assignments_.emplace_back(qualified_name,
-                                support.outcomes[cp.index].first);
-      return path_[cursor_++].index;
-    }
-    // New choice point: take the first outcome and record it.
-    path_.push_back(ChoicePoint{0, support.outcomes.size()});
-    ++cursor_;
-    probability_ *= support.outcomes[0].second;
-    assignments_.emplace_back(qualified_name, support.outcomes[0].first);
-    return size_t{0};
-  }
-
-  // Prepares the next execution. Returns false when the tree is exhausted.
-  bool Advance() {
-    while (!path_.empty()) {
-      ChoicePoint& last = path_.back();
-      if (last.index + 1 < last.arity) {
-        ++last.index;
-        Reset();
-        return true;
-      }
-      path_.pop_back();
-    }
-    return false;
-  }
-
-  void Reset() {
-    cursor_ = 0;
-    probability_ = 1.0;
-    assignments_.clear();
-  }
-
-  double probability() const { return probability_; }
-  const std::vector<std::pair<std::string, Value>>& assignments() const {
-    return assignments_;
-  }
-  size_t depth() const { return path_.size(); }
-
- private:
-  struct ChoicePoint {
-    size_t index;
-    size_t arity;
-  };
-  std::vector<ChoicePoint> path_;
-  size_t cursor_ = 0;
-  double probability_ = 1.0;
-  std::vector<std::pair<std::string, Value>> assignments_;
-};
-
-// Shared trace-event constructors: both engines must emit byte-identical
-// events, so every field is filled in exactly one place.
-
-void EmitEnter(TraceSink& trace, const std::string& name, int line, int depth,
-               size_t path_index) {
-  TraceEvent event;
-  event.kind = TraceEventKind::kInterfaceEnter;
-  event.name = name;
-  event.line = line;
-  event.depth = depth;
-  event.path_index = path_index;
-  trace.OnEvent(event);
-}
-
-void EmitExit(TraceSink& trace, const std::string& name, const Value& value,
-              int depth, size_t path_index) {
-  TraceEvent event;
-  event.kind = TraceEventKind::kInterfaceExit;
-  event.name = name;
-  event.value = value;
-  event.depth = depth;
-  event.path_index = path_index;
-  trace.OnEvent(event);
-}
-
-void EmitDraw(TraceSink& trace, const std::string& qualified,
-              std::string detail, const Value& outcome, double probability,
-              int line, int column, int depth, size_t path_index) {
-  TraceEvent event;
-  event.kind = TraceEventKind::kEcvDraw;
-  event.name = qualified;
-  event.detail = std::move(detail);
-  event.value = outcome;
-  event.probability = probability;
-  event.line = line;
-  event.column = column;
-  event.depth = depth;
-  event.path_index = path_index;
-  trace.OnEvent(event);
-}
-
-void EmitBranch(TraceSink& trace, bool taken, int line, int column, int depth,
-                size_t path_index) {
-  TraceEvent event;
-  event.kind = TraceEventKind::kBranch;
-  event.branch_taken = taken;
-  event.line = line;
-  event.column = column;
-  event.depth = depth;
-  event.path_index = path_index;
-  trace.OnEvent(event);
-}
-
-void EmitTerm(TraceSink& trace, const std::string& iface_name,
-              const Value& value, int line, int column, int depth,
-              size_t path_index) {
-  TraceEvent event;
-  event.kind = TraceEventKind::kEnergyTerm;
-  event.name = iface_name;  // the enclosing interface: provenance's site key
-  event.value = value;
-  event.line = line;
-  event.column = column;
-  event.depth = depth;
-  event.path_index = path_index;
-  trace.OnEvent(event);
-}
 
 // ---------------------------------------------------------------------------
 // Reference engine: one execution of an interface, walking the AST.
@@ -979,16 +733,98 @@ class FastExecution {
 Evaluator::Evaluator(const Program& program, EvalOptions options)
     : program_(&program),
       options_(options),
+      eval_id_([] {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()),
       enum_cache_(options.enum_cache_capacity),
+      fold_cache_(options.enum_cache_capacity),
       analytic_cache_(options.analytic_cache_capacity) {
-  if (options_.engine == EvalEngine::kFastPath) {
+  if (options_.engine != EvalEngine::kTreeWalk) {
     lowered_ = std::make_unique<LoweredProgram>(LoweredProgram::Lower(
         program, options_.max_ecv_support,
         /*preserve_energy_terms=*/options_.trace != nullptr));
-    EvalCounters::Get().engine_fastpath.Increment();
-  } else {
-    EvalCounters::Get().engine_treewalk.Increment();
   }
+  switch (options_.engine) {
+    case EvalEngine::kBytecode: {
+      const auto start = std::chrono::steady_clock::now();
+      Result<std::shared_ptr<const BytecodeProgram>> compiled =
+          BytecodeProgram::Compile(*lowered_);
+      EvalCounters::Get().bytecode_compile_micros.Observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      if (compiled.ok()) {
+        bytecode_ = *std::move(compiled);
+        EvalCounters::Get().engine_bytecode.Increment();
+      } else {
+        // Degenerate register pressure: the lowered-tree walk serves
+        // instead, transparently (identical observable behaviour).
+        EvalCounters::Get().bytecode_fallbacks.Increment();
+        EvalCounters::Get().engine_fastpath.Increment();
+      }
+      break;
+    }
+    case EvalEngine::kFastPath:
+      EvalCounters::Get().engine_fastpath.Increment();
+      break;
+    case EvalEngine::kTreeWalk:
+      EvalCounters::Get().engine_treewalk.Increment();
+      break;
+  }
+}
+
+void Evaluator::PrepareSpecialized(const EcvProfile& profile) const {
+  if (bytecode_ == nullptr) {
+    return;
+  }
+  std::string fingerprint = profile.Fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(spec_mu_);
+    if (spec_bytecode_ != nullptr && spec_fingerprint_ == fingerprint) {
+      spec_profile_ = &profile;  // same profile at a new address
+      return;
+    }
+  }
+  // Compile outside the lock: readers keep selecting the previous program
+  // until the swap below, so re-specialization never blocks evaluation.
+  BytecodeProgram::CompileOptions copts;
+  copts.specialize_profile = &profile;
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::shared_ptr<const BytecodeProgram>> compiled =
+      BytecodeProgram::Compile(*lowered_, copts);
+  EvalCounters::Get().bytecode_compile_micros.Observe(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (!compiled.ok()) {
+    return;  // the generic program keeps serving
+  }
+  EvalCounters::Get().bytecode_specializations.Increment();
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  spec_bytecode_ = *std::move(compiled);
+  spec_fingerprint_ = std::move(fingerprint);
+  spec_profile_ = &profile;
+  has_spec_.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<const BytecodeProgram> Evaluator::specialized_bytecode()
+    const {
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  return spec_bytecode_;
+}
+
+std::shared_ptr<const BytecodeProgram> Evaluator::PickBytecode(
+    const EcvProfile& profile) const {
+  if (!has_spec_.load(std::memory_order_acquire)) {
+    return bytecode_;  // possibly null (non-bytecode engine or fallback)
+  }
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  if (spec_profile_ == &profile ||
+      spec_fingerprint_ == profile.Fingerprint()) {
+    return spec_bytecode_;
+  }
+  return bytecode_;
 }
 
 Evaluator::~Evaluator() = default;
@@ -998,6 +834,11 @@ Result<Value> Evaluator::EvalSampled(const std::string& interface_name,
                                      const EcvProfile& profile,
                                      Rng& rng) const {
   SamplingChooser chooser(rng);
+  if (const std::shared_ptr<const BytecodeProgram> bc = PickBytecode(profile);
+      bc != nullptr) {
+    BytecodeInterpreter vm(*bc, options_, profile, chooser);
+    return vm.CallByName(interface_name, args);
+  }
   if (lowered_ != nullptr) {
     FastExecution exec(*lowered_, options_, profile, chooser);
     return exec.CallByName(interface_name, args);
@@ -1012,8 +853,12 @@ Result<std::vector<WeightedOutcome>> Evaluator::EnumerateUncached(
   EnumeratingChooser chooser;
   std::vector<WeightedOutcome> outcomes;
   TraceSink* const trace = options_.trace;
+  const std::shared_ptr<const BytecodeProgram> bc = PickBytecode(profile);
+  std::optional<BytecodeInterpreter> vm;
   std::optional<FastExecution> fast;
-  if (lowered_ != nullptr) {
+  if (bc != nullptr) {
+    vm.emplace(*bc, options_, profile, chooser);
+  } else if (lowered_ != nullptr) {
     fast.emplace(*lowered_, options_, profile, chooser);
   }
   for (;;) {
@@ -1030,7 +875,11 @@ Result<std::vector<WeightedOutcome>> Evaluator::EnumerateUncached(
       trace->OnEvent(start);
     }
     Value value;
-    if (fast.has_value()) {
+    if (vm.has_value()) {
+      vm->Reset();
+      vm->set_path_index(path_index);
+      ECLARITY_ASSIGN_OR_RETURN(value, vm->CallByName(interface_name, args));
+    } else if (fast.has_value()) {
       fast->Reset();
       fast->set_path_index(path_index);
       ECLARITY_ASSIGN_OR_RETURN(value, fast->CallByName(interface_name, args));
@@ -1289,6 +1138,79 @@ Result<double> OutcomeJoules(const Value& value,
   return resolved.joules();
 }
 
+Result<const Evaluator::FoldEntry*> Evaluator::FoldShared(
+    const std::string& interface_name, const std::vector<Value>& args,
+    const EcvProfile& profile, const EnergyCalibration* calibration) const {
+  // The last entry this thread resolved, pinned by the slot's shared_ptr:
+  // a repeat of the same exact query is answered with one key build and
+  // one string compare, no lock and no refcount traffic. Entries are
+  // immutable, so a slot gone stale (evicted from fold_cache_, or kept
+  // across a long gap) still holds the correct value for its key.
+  struct MruSlot {
+    uint64_t eval_id = 0;
+    std::string key;
+    std::shared_ptr<const FoldEntry> entry;
+  };
+  thread_local MruSlot mru;
+  // Tracing bypasses caching end to end (EnumerateShared would replay no
+  // events); zero capacity disables it, as for the enumeration cache.
+  const bool use_cache =
+      options_.enum_cache_capacity > 0 && options_.trace == nullptr;
+  // Function-local scratch: the steady-state exact-query path builds its
+  // key without allocating. Never escapes this frame before being copied.
+  thread_local std::string key;
+  if (use_cache) {
+    key.clear();
+    key += interface_name;
+    key.push_back('\x1f');
+    for (const Value& arg : args) {
+      arg.AppendFingerprint(key);
+    }
+    key.push_back('\x1f');
+    if (!profile.empty()) {  // the empty profile's fingerprint is ""
+      key += profile.Fingerprint();
+    }
+    key.push_back('\x1f');
+    if (calibration != nullptr) {
+      key.push_back('c');
+      key += calibration->Fingerprint();
+    }
+    if (mru.eval_id == eval_id_ && mru.key == key) {
+      return mru.entry.get();
+    }
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (const std::shared_ptr<const FoldEntry>* hit = fold_cache_.Get(key)) {
+      mru.eval_id = eval_id_;
+      mru.key = key;
+      mru.entry = *hit;
+      return mru.entry.get();
+    }
+  }
+  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
+                            EnumerateShared(interface_name, args, profile));
+  std::vector<Atom> atoms;
+  atoms.reserve(outcomes->size());
+  for (const WeightedOutcome& o : *outcomes) {
+    ECLARITY_ASSIGN_OR_RETURN(double joules,
+                              OutcomeJoules(o.value, calibration));
+    atoms.push_back({joules, o.probability});
+  }
+  ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
+                            Distribution::Categorical(std::move(atoms)));
+  const double mean = dist.Mean();
+  auto entry =
+      std::make_shared<const FoldEntry>(FoldEntry{std::move(dist), mean});
+  if (use_cache) {
+    // Errors never reach this point, so only successes are cached.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    fold_cache_.Put(key, entry);
+  }
+  mru.eval_id = use_cache ? eval_id_ : 0;
+  mru.key = use_cache ? key : std::string();
+  mru.entry = std::move(entry);
+  return mru.entry.get();
+}
+
 Result<Distribution> Evaluator::EvalDistribution(
     const std::string& interface_name, const std::vector<Value>& args,
     const EcvProfile& profile, const EnergyCalibration* calibration) const {
@@ -1303,16 +1225,10 @@ Result<Distribution> Evaluator::EvalDistribution(
     }
     return cd.distribution;
   }
-  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
-                            EnumerateShared(interface_name, args, profile));
-  std::vector<Atom> atoms;
-  atoms.reserve(outcomes->size());
-  for (const WeightedOutcome& o : *outcomes) {
-    ECLARITY_ASSIGN_OR_RETURN(double joules,
-                              OutcomeJoules(o.value, calibration));
-    atoms.push_back({joules, o.probability});
-  }
-  return Distribution::Categorical(std::move(atoms));
+  ECLARITY_ASSIGN_OR_RETURN(
+      const FoldEntry* entry,
+      FoldShared(interface_name, args, profile, calibration));
+  return entry->distribution;
 }
 
 Result<Energy> Evaluator::ExpectedEnergy(
@@ -1325,9 +1241,9 @@ Result<Energy> Evaluator::ExpectedEnergy(
     return Energy::Joules(cd.mean);
   }
   ECLARITY_ASSIGN_OR_RETURN(
-      Distribution dist,
-      EvalDistribution(interface_name, args, profile, calibration));
-  return Energy::Joules(dist.Mean());
+      const FoldEntry* entry,
+      FoldShared(interface_name, args, profile, calibration));
+  return Energy::Joules(entry->mean);
 }
 
 Result<Energy> Evaluator::MonteCarloMean(
@@ -1360,14 +1276,22 @@ Result<Energy> Evaluator::MonteCarloMean(
     chunks.push_back(std::move(chunk));
   }
 
+  const std::shared_ptr<const BytecodeProgram> bc = PickBytecode(profile);
   const auto run_chunk = [&](Chunk& chunk) {
     SamplingChooser chooser(chunk.rng);
+    std::optional<BytecodeInterpreter> vm;
     std::optional<FastExecution> fast;
-    if (lowered_ != nullptr) {
+    if (bc != nullptr) {
+      vm.emplace(*bc, options_, profile, chooser);
+    } else if (lowered_ != nullptr) {
       fast.emplace(*lowered_, options_, profile, chooser);
     }
     for (size_t i = 0; i < chunk.count; ++i) {
       Result<Value> value = [&]() -> Result<Value> {
+        if (vm.has_value()) {
+          vm->Reset();
+          return vm->CallByName(interface_name, args);
+        }
         if (fast.has_value()) {
           fast->Reset();
           return fast->CallByName(interface_name, args);

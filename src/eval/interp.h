@@ -51,12 +51,14 @@
 namespace eclarity {
 
 class AnalyticAnalysis;
+class BytecodeProgram;
 class LoweredProgram;
 class TraceSink;
 
 enum class EvalEngine {
   kFastPath,  // lowered IR + slot frames + enumeration cache
   kTreeWalk,  // reference AST interpreter
+  kBytecode,  // lowered IR compiled to register bytecode (the default)
 };
 
 // How EvalCertified / EvalDistribution / ExpectedEnergy compute their
@@ -86,8 +88,10 @@ struct EvalOptions {
   size_t max_paths = 200'000;
   // Guard on the size of a single ECV's support (e.g. wide uniform_int).
   size_t max_ecv_support = 4096;
-  // Which execution engine runs the program. Both produce identical results.
-  EvalEngine engine = EvalEngine::kFastPath;
+  // Which execution engine runs the program. All three produce identical
+  // results; kBytecode transparently falls back to kFastPath when the
+  // program does not compile (see DESIGN.md, "Bytecode VM").
+  EvalEngine engine = EvalEngine::kBytecode;
   // Capacity of the per-evaluator enumeration cache, in entries keyed by
   // (interface, arguments, ECV profile). 0 disables caching.
   size_t enum_cache_capacity = 128;
@@ -208,6 +212,23 @@ class Evaluator {
       const EcvProfile& profile, const EnergyCalibration* calibration,
       DistMode mode) const;
 
+  // Bytecode engine only: compiles a program specialized against `profile`
+  // (ECV profile decisions baked into the code; see DESIGN.md, "Bytecode
+  // VM") and installs it for evaluations whose profile matches. Compilation
+  // runs outside the selection lock, so concurrent readers keep answering
+  // from the generic (or previously specialized) program — QueryService
+  // calls this before publishing each snapshot. `profile` must stay alive
+  // and unmodified while evaluations use it. No-op on other engines; a
+  // failed specialization keeps the generic program serving.
+  void PrepareSpecialized(const EcvProfile& profile) const;
+
+  // Bytecode-engine observability (tests, metrics). bytecode() is the
+  // generic program, or nullptr when the engine is not kBytecode or
+  // compilation fell back; specialized_bytecode() is the program installed
+  // by the last successful PrepareSpecialized.
+  std::shared_ptr<const BytecodeProgram> bytecode() const { return bytecode_; }
+  std::shared_ptr<const BytecodeProgram> specialized_bytecode() const;
+
   // Enumeration-cache observability (tests, benchmarks).
   size_t enum_cache_hits() const;
   size_t enum_cache_misses() const;
@@ -228,6 +249,25 @@ class Evaluator {
       const std::string& interface_name, const std::vector<Value>& args,
       const EcvProfile& profile) const;
 
+  // Bytecode program serving `profile`: the specialized program when its
+  // baked profile matches (by address, then by fingerprint), the generic
+  // program otherwise, nullptr when the engine is not bytecode.
+  std::shared_ptr<const BytecodeProgram> PickBytecode(
+      const EcvProfile& profile) const;
+
+  // One folded enumeration: the Joules distribution and its mean, cached so
+  // repeated exact queries skip the per-call fold + Distribution build.
+  struct FoldEntry {
+    Distribution distribution;
+    double mean = 0.0;
+  };
+  // The returned pointer stays valid until the calling thread's next
+  // FoldShared call (a thread-local MRU slot pins the entry); callers
+  // consume it immediately.
+  Result<const FoldEntry*> FoldShared(
+      const std::string& interface_name, const std::vector<Value>& args,
+      const EcvProfile& profile, const EnergyCalibration* calibration) const;
+
   // Exact enumeration folded into a CertifiedDistribution (exact == true,
   // zero bound). The universal fallback for every analytic mode.
   Result<CertifiedDistribution> EnumerateToCertified(
@@ -241,9 +281,31 @@ class Evaluator {
   const Program* program_;
   EvalOptions options_;
   std::unique_ptr<LoweredProgram> lowered_;  // null when engine == kTreeWalk
+  // Generic compiled program (kBytecode engine; null after a compile
+  // fallback). Immutable once constructed, so reads need no lock.
+  std::shared_ptr<const BytecodeProgram> bytecode_;
+
+  // Profile-specialized program, swapped in by PrepareSpecialized. The flag
+  // lets unspecialized evaluators skip the mutex entirely.
+  mutable std::mutex spec_mu_;
+  mutable std::atomic<bool> has_spec_{false};
+  mutable std::shared_ptr<const BytecodeProgram> spec_bytecode_;
+  mutable std::string spec_fingerprint_;
+  mutable const EcvProfile* spec_profile_ = nullptr;
+
+  // Distinguishes this evaluator in thread-local caches (never reused, so
+  // an evaluator reallocated at the same address cannot alias a stale
+  // thread-local entry the way an address tag could).
+  const uint64_t eval_id_;
 
   mutable std::mutex cache_mu_;
   mutable LruMap<std::string, SharedOutcomes> enum_cache_;
+  // Folded-enumeration cache (same keying as enum_cache_ plus calibration).
+  // The hot path is a lock-free thread-local MRU slot inside FoldShared —
+  // one key build plus one string compare; this map is the shared store
+  // behind it. Entries are immutable shared state, so a stale MRU slot
+  // after eviction still holds the correct value.
+  mutable LruMap<std::string, std::shared_ptr<const FoldEntry>> fold_cache_;
 
   // Analytic state: shape analysis (built on first certified evaluation)
   // and the memoized sub-distribution cache, both guarded by analytic_mu_.

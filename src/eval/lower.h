@@ -155,6 +155,12 @@ class LoweredProgram {
     return it == index_.end() ? nullptr : it->second;
   }
 
+  // Declaration-ordered view of every lowered interface (the bytecode
+  // compiler walks this to assign code-buffer entry points).
+  const std::vector<std::unique_ptr<LoweredInterface>>& interfaces() const {
+    return interfaces_;
+  }
+
  private:
   std::vector<std::unique_ptr<LoweredInterface>> interfaces_;
   std::unordered_map<std::string, const LoweredInterface*> index_;

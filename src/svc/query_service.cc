@@ -1,6 +1,7 @@
 #include "src/svc/query_service.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
@@ -227,6 +228,9 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
   auto snapshot =
       std::make_shared<const Snapshot>(std::move(bundle),
                                        std::move(base_profile));
+  // Specialize the bytecode program against the snapshot's own profile
+  // object so the evaluator's pointer fast path matches on the query path.
+  snapshot->bundle().evaluator.PrepareSpecialized(snapshot->profile());
   return std::unique_ptr<QueryService>(
       new QueryService(std::move(snapshot), std::move(options)));
 }
@@ -234,7 +238,12 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
 QueryService::QueryService(std::shared_ptr<const Snapshot> initial,
                            Options options)
     : options_(options),
+      svc_id_([] {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()),
       snapshot_(std::move(initial)),
+      publish_seq_(1),
       next_generation_(1),
       cache_(options.cache_capacity, options.cache_shards),
       mc_pool_(std::make_unique<McPool>(options.mc_pool_threads,
@@ -242,9 +251,34 @@ QueryService::QueryService(std::shared_ptr<const Snapshot> initial,
 
 QueryService::~QueryService() = default;
 
+const std::shared_ptr<const QueryService::Snapshot>&
+QueryService::SnapshotSlot() const {
+  // Per-thread snapshot cache, revalidated against publish_seq_: while no
+  // writer publishes, acquisition is one atomic load instead of the
+  // (locked) atomic shared_ptr load. A thread that stops querying keeps
+  // its last snapshot pinned until it queries again or exits — standard
+  // RCU-reader behaviour, bounded by the thread count.
+  struct TlSnapshot {
+    uint64_t svc_id = 0;
+    uint64_t seq = 0;
+    std::shared_ptr<const Snapshot> snapshot;
+  };
+  thread_local TlSnapshot tl;
+  const uint64_t seq = publish_seq_.load(std::memory_order_acquire);
+  if (tl.svc_id == svc_id_ && tl.seq == seq) {
+    return tl.snapshot;
+  }
+  // The writer stores the snapshot before bumping publish_seq_, so having
+  // observed `seq` guarantees this load sees at least that publication.
+  tl.snapshot = snapshot_.load(std::memory_order_acquire);
+  tl.svc_id = svc_id_;
+  tl.seq = seq;
+  return tl.snapshot;
+}
+
 std::shared_ptr<const QueryService::Snapshot> QueryService::AcquireSnapshot()
     const {
-  return snapshot_.load(std::memory_order_acquire);
+  return SnapshotSlot();
 }
 
 void QueryService::UpdateProfile(EcvProfile profile) {
@@ -253,7 +287,13 @@ void QueryService::UpdateProfile(EcvProfile profile) {
   auto current = snapshot_.load(std::memory_order_acquire);
   auto next = std::make_shared<const Snapshot>(current->bundle_ptr(),
                                                std::move(profile));
+  // Re-specialize from the already-lowered IR before publication. The
+  // compile runs outside every snapshot and evaluator lock: readers on the
+  // old snapshot keep the generic program (profile fingerprints no longer
+  // match) and are never blocked.
+  next->bundle().evaluator.PrepareSpecialized(next->profile());
   snapshot_.store(std::move(next), std::memory_order_release);
+  publish_seq_.fetch_add(1, std::memory_order_release);
   SvcCounters::Get().snapshot_swaps.Increment();
 }
 
@@ -269,7 +309,9 @@ Status QueryService::UpdateProgram(Program program) {
   auto current = snapshot_.load(std::memory_order_acquire);
   auto next =
       std::make_shared<const Snapshot>(std::move(bundle), current->profile());
+  next->bundle().evaluator.PrepareSpecialized(next->profile());
   snapshot_.store(std::move(next), std::memory_order_release);
+  publish_seq_.fetch_add(1, std::memory_order_release);
   SvcCounters::Get().snapshot_swaps.Increment();
   return OkStatus();
 }
@@ -278,25 +320,31 @@ uint64_t QueryService::snapshot_generation() const {
   return AcquireSnapshot()->generation();
 }
 
+void QueryService::AppendCacheKey(const Snapshot& snapshot,
+                                  const Query& query,
+                                  std::string& out) const {
+  out.append(reinterpret_cast<const char*>(&snapshot.bundle().generation),
+             sizeof(uint64_t));
+  out += query.interface;
+  out.push_back('\x1f');
+  for (const Value& arg : query.args) {
+    arg.AppendFingerprint(out);
+  }
+  out.push_back('\x1f');
+  if (query.profile.empty()) {
+    out += snapshot.profile_fingerprint();
+  } else {
+    EcvProfile merged = snapshot.profile();
+    merged.MergeFrom(query.profile);
+    out += merged.Fingerprint();
+  }
+}
+
 std::string QueryService::CacheKey(const Snapshot& snapshot,
                                    const Query& query) const {
   std::string key;
   key.reserve(96);
-  key.append(reinterpret_cast<const char*>(&snapshot.bundle().generation),
-             sizeof(uint64_t));
-  key += query.interface;
-  key.push_back('\x1f');
-  for (const Value& arg : query.args) {
-    arg.AppendFingerprint(key);
-  }
-  key.push_back('\x1f');
-  if (query.profile.empty()) {
-    key += snapshot.profile_fingerprint();
-  } else {
-    EcvProfile merged = snapshot.profile();
-    merged.MergeFrom(query.profile);
-    key += merged.Fingerprint();
-  }
+  AppendCacheKey(snapshot, query, key);
   return key;
 }
 
@@ -322,18 +370,46 @@ Result<CertifiedDistribution> QueryService::CertifiedOn(
                                      options_.calibration, mode);
 }
 
-Result<QueryService::SharedOutcomes> QueryService::EnumerateCached(
+Result<const QueryService::ExactFold*> QueryService::FoldCached(
     const Snapshot& snapshot, const Query& query,
     const std::string* key_hint) const {
-  std::string key_storage;
+  // Per-thread direct-mapped fold cache: a repeated exact query is
+  // answered with one key build, one hash, and one string compare — no
+  // shard lock, no refcount traffic. The answer path is gated on a
+  // non-zero shared-cache capacity so a deliberately uncached service
+  // still pays (and counts) one shard miss per lookup, but the slot
+  // always pins the returned entry (svc_id 0 marks a pin that must not
+  // answer later lookups). Entries are immutable shared_ptrs and the key
+  // embeds the program generation and effective-profile fingerprint, so a
+  // stale slot — even one outliving a shard eviction or snapshot swap —
+  // can only ever answer with the exact fold its key names.
+  struct Slot {
+    uint64_t svc_id = 0;
+    std::string key;
+    SharedFold entry;
+  };
+  constexpr size_t kTlSlots = 128;  // power of two; ~7 KiB per thread
+  thread_local std::array<Slot, kTlSlots> tl_slots;
+  // Thread-local scratch: steady-state key builds allocate nothing.
+  thread_local std::string scratch;
   const std::string* key = key_hint;
   if (key == nullptr) {
-    key_storage = CacheKey(snapshot, query);
-    key = &key_storage;
+    scratch.clear();
+    AppendCacheKey(snapshot, query, scratch);
+    key = &scratch;
   }
-  if (std::optional<SharedOutcomes> hit = cache_.Get(*key)) {
+  Slot& slot = tl_slots[std::hash<std::string>{}(*key) & (kTlSlots - 1)];
+  const bool use_tl = cache_.capacity() > 0;
+  if (use_tl && slot.svc_id == svc_id_ && slot.key == *key) {
     SvcCounters::Get().cache_hits.Increment();
-    return *hit;
+    return slot.entry.get();
+  }
+  if (std::optional<SharedFold> hit = cache_.Get(*key)) {
+    SvcCounters::Get().cache_hits.Increment();
+    slot.svc_id = svc_id_;
+    slot.key = *key;
+    slot.entry = std::move(*hit);
+    return slot.entry.get();
   }
   SvcCounters::Get().cache_misses.Increment();
   const Evaluator& evaluator = snapshot.bundle().evaluator;
@@ -349,10 +425,29 @@ Result<QueryService::SharedOutcomes> QueryService::EnumerateCached(
   if (!outcomes.ok()) {
     return outcomes.status();  // errors are never cached
   }
-  if (cache_.Put(*key, *outcomes)) {
+  // Fold through Distribution's canonical atom order — the exact path
+  // Evaluator::ExpectedEnergy takes — so service answers are bit-identical
+  // to the single-threaded engine's. Folding once at insert means a cache
+  // hit serves Expected and Distribution queries with no per-query fold.
+  std::vector<Atom> atoms;
+  atoms.reserve((*outcomes)->size());
+  for (const WeightedOutcome& o : **outcomes) {
+    ECLARITY_ASSIGN_OR_RETURN(double joules,
+                              OutcomeJoules(o.value, options_.calibration));
+    atoms.push_back({joules, o.probability});
+  }
+  ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
+                            Distribution::Categorical(std::move(atoms)));
+  const double mean = dist.Mean();
+  auto entry = std::make_shared<const ExactFold>(
+      ExactFold{std::move(dist), mean});
+  if (cache_.Put(*key, entry)) {
     SvcCounters::Get().cache_evictions.Increment();
   }
-  return *outcomes;
+  slot.svc_id = use_tl ? svc_id_ : 0;
+  slot.key = use_tl ? *key : std::string();
+  slot.entry = std::move(entry);
+  return slot.entry.get();
 }
 
 Result<Energy> QueryService::ExpectedOn(const Snapshot& snapshot,
@@ -363,42 +458,21 @@ Result<Energy> QueryService::ExpectedOn(const Snapshot& snapshot,
                               CertifiedOn(snapshot, query, mode));
     return Energy::Joules(cd.mean);
   }
-  // Folds through Distribution's canonical atom order — the exact path
-  // Evaluator::ExpectedEnergy takes — so service answers are bit-identical
-  // to the single-threaded engine's.
-  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
-                            EnumerateCached(snapshot, query, nullptr));
-  std::vector<Atom> atoms;
-  atoms.reserve(outcomes->size());
-  for (const WeightedOutcome& o : *outcomes) {
-    ECLARITY_ASSIGN_OR_RETURN(double joules,
-                              OutcomeJoules(o.value, options_.calibration));
-    atoms.push_back({joules, o.probability});
-  }
-  ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
-                            Distribution::Categorical(std::move(atoms)));
-  return Energy::Joules(dist.Mean());
+  ECLARITY_ASSIGN_OR_RETURN(const ExactFold* fold,
+                            FoldCached(snapshot, query, nullptr));
+  return Energy::Joules(fold->mean);
 }
 
 Result<Energy> QueryService::Expected(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  auto snapshot = AcquireSnapshot();
-  return ExpectedOn(*snapshot, query);
+  return ExpectedOn(AcquireSnapshotRef(), query);
 }
 
 Result<Distribution> QueryService::EvalDistribution(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  auto snapshot = AcquireSnapshot();
-  ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
-                            EnumerateCached(*snapshot, query, nullptr));
-  std::vector<Atom> atoms;
-  atoms.reserve(outcomes->size());
-  for (const WeightedOutcome& o : *outcomes) {
-    ECLARITY_ASSIGN_OR_RETURN(double joules,
-                              OutcomeJoules(o.value, options_.calibration));
-    atoms.push_back({joules, o.probability});
-  }
-  return Distribution::Categorical(std::move(atoms));
+  ECLARITY_ASSIGN_OR_RETURN(const ExactFold* fold,
+                            FoldCached(AcquireSnapshotRef(), query, nullptr));
+  return fold->distribution;
 }
 
 Result<Energy> QueryService::MonteCarloOn(const Snapshot& snapshot,
@@ -426,20 +500,21 @@ Result<Energy> QueryService::MonteCarloOn(const Snapshot& snapshot,
 
 Result<Energy> QueryService::MonteCarlo(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  auto snapshot = AcquireSnapshot();
-  return MonteCarloOn(*snapshot, query);
+  // MonteCarloOn blocks this thread until the pool task finishes, so the
+  // borrowed snapshot stays pinned for the whole call.
+  return MonteCarloOn(AcquireSnapshotRef(), query);
 }
 
 Result<Value> QueryService::Sample(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  auto snapshot = AcquireSnapshot();
+  const Snapshot& snapshot = AcquireSnapshotRef();
   Rng rng(query.seed);
-  const Evaluator& evaluator = snapshot->bundle().evaluator;
+  const Evaluator& evaluator = snapshot.bundle().evaluator;
   if (query.profile.empty()) {
     return evaluator.EvalSampled(query.interface, query.args,
-                                 snapshot->profile(), rng);
+                                 snapshot.profile(), rng);
   }
-  EcvProfile merged = snapshot->profile();
+  EcvProfile merged = snapshot.profile();
   merged.MergeFrom(query.profile);
   return evaluator.EvalSampled(query.interface, query.args, merged, rng);
 }
@@ -480,19 +555,10 @@ Result<QueryOutcome> QueryService::DispatchOn(const Snapshot& snapshot,
         outcome.pruned_mass = cd.pruned_mass;
         return outcome;
       }
-      ECLARITY_ASSIGN_OR_RETURN(SharedOutcomes outcomes,
-                                EnumerateCached(snapshot, query, nullptr));
-      std::vector<Atom> atoms;
-      atoms.reserve(outcomes->size());
-      for (const WeightedOutcome& o : *outcomes) {
-        ECLARITY_ASSIGN_OR_RETURN(
-            double joules, OutcomeJoules(o.value, options_.calibration));
-        atoms.push_back({joules, o.probability});
-      }
-      ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
-                                Distribution::Categorical(std::move(atoms)));
-      outcome.joules = dist.Mean();
-      outcome.distribution = std::move(dist);
+      ECLARITY_ASSIGN_OR_RETURN(const ExactFold* fold,
+                                FoldCached(snapshot, query, nullptr));
+      outcome.joules = fold->mean;
+      outcome.distribution = fold->distribution;
       return outcome;
     }
     case QueryKind::kMonteCarlo: {
@@ -524,74 +590,57 @@ Result<QueryOutcome> QueryService::DispatchOn(const Snapshot& snapshot,
 
 Result<QueryOutcome> QueryService::Dispatch(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  auto snapshot = AcquireSnapshot();
-  return DispatchOn(*snapshot, query);
+  return DispatchOn(AcquireSnapshotRef(), query);
 }
 
 std::vector<Result<QueryOutcome>> QueryService::EvaluateBatch(
     const std::vector<Query>& batch) const {
   SvcCounters::Get().batches.Increment();
   SvcCounters::Get().batch_queries.Increment(batch.size());
-  auto snapshot = AcquireSnapshot();
+  const Snapshot& snapshot = AcquireSnapshotRef();
 
   // Fingerprint exact queries once, and enumerate each distinct key once.
   // The map holds positions so later duplicates reuse the first result.
+  // Fold copies are cheap: the distribution's atoms are shared, not cloned.
   std::vector<Result<QueryOutcome>> results;
   results.reserve(batch.size());
   std::vector<std::string> keys(batch.size());
-  std::unordered_map<std::string, Result<SharedOutcomes>> enumerated;
+  std::unordered_map<std::string, Result<ExactFold>> folded;
   for (size_t i = 0; i < batch.size(); ++i) {
     const Query& query = batch[i];
     if ((query.kind != QueryKind::kExpected &&
          query.kind != QueryKind::kDistribution) ||
         EffectiveMode(query) != DistMode::kEnumerate) {
       // Certified queries dedup inside the snapshot evaluator's analytic
-      // cache; the service's enumeration dedup below is kEnumerate-only.
-      results.push_back(DispatchOn(*snapshot, query));
+      // cache; the service's fold dedup below is kEnumerate-only.
+      results.push_back(DispatchOn(snapshot, query));
       continue;
     }
-    keys[i] = CacheKey(*snapshot, query);
-    auto [it, fresh] = enumerated.try_emplace(
+    keys[i] = CacheKey(snapshot, query);
+    auto [it, fresh] = folded.try_emplace(
         keys[i], InternalError("batch slot never filled"));
     if (fresh) {
-      it->second = EnumerateCached(*snapshot, query, &keys[i]);
+      it->second = [&]() -> Result<ExactFold> {
+        ECLARITY_ASSIGN_OR_RETURN(const ExactFold* fold,
+                                  FoldCached(snapshot, query, &keys[i]));
+        return *fold;
+      }();
     }
-    const Result<SharedOutcomes>& outcomes = it->second;
-    if (!outcomes.ok()) {
-      results.push_back(outcomes.status());
+    // The cached fold went through the same canonical atom order as the
+    // single-query paths, so batch results are bit-identical to
+    // dispatching each query alone.
+    const Result<ExactFold>& fold = it->second;
+    if (!fold.ok()) {
+      results.push_back(fold.status());
       continue;
     }
     QueryOutcome outcome;
     outcome.kind = query.kind;
-    Status fold = OkStatus();
-    std::vector<Atom> atoms;
-    atoms.reserve((*outcomes)->size());
-    for (const WeightedOutcome& o : **outcomes) {
-      Result<double> joules = OutcomeJoules(o.value, options_.calibration);
-      if (!joules.ok()) {
-        fold = joules.status();
-        break;
-      }
-      atoms.push_back({*joules, o.probability});
+    outcome.joules = fold->mean;
+    if (query.kind == QueryKind::kDistribution) {
+      outcome.distribution = fold->distribution;
     }
-    if (fold.ok()) {
-      // Same canonical fold as the single-query paths, so batch results
-      // are bit-identical to dispatching each query alone.
-      Result<Distribution> dist = Distribution::Categorical(std::move(atoms));
-      if (dist.ok()) {
-        outcome.joules = dist->Mean();
-        if (query.kind == QueryKind::kDistribution) {
-          outcome.distribution = *std::move(dist);
-        }
-      } else {
-        fold = dist.status();
-      }
-    }
-    if (!fold.ok()) {
-      results.push_back(fold);
-    } else {
-      results.push_back(std::move(outcome));
-    }
+    results.emplace_back(std::move(outcome));
   }
   return results;
 }

@@ -13,10 +13,19 @@
 //     snapshot stays valid until its last reader drops it, so profile
 //     updates never block queries.
 //
-//   * Sharded enumeration cache. Exact enumeration results are cached in a
+//   * Sharded exact-fold cache. Exact enumeration results are folded to a
+//     canonical (distribution, mean) pair at insert time and cached in a
 //     ShardedLruMap keyed on (program generation, interface, argument
 //     fingerprints, effective-profile fingerprint); concurrent queries on
-//     different keys take different shard locks. Errors are never cached.
+//     different keys take different shard locks, and a hit answers an
+//     Expected or Distribution query with no re-fold. Errors are never
+//     cached.
+//
+//   * Snapshot-time bytecode specialization. Each publication specializes
+//     the bundle's bytecode program against the snapshot's base profile
+//     (Evaluator::PrepareSpecialized), so steady-state queries run baked
+//     ECV resolution. Specialization compiles outside every lock — readers
+//     on the old snapshot fall back to the generic program and never block.
 //
 //   * Deterministic concurrency. Expected / Distribution queries are exact
 //     folds of the enumeration and therefore bit-reproducible regardless
@@ -166,8 +175,16 @@ class QueryService {
 
   // --- Observability -------------------------------------------------------
 
-  using CacheStats =
-      ShardedLruMap<std::string, Evaluator::SharedOutcomes>::ShardStats;
+  // An exact query's fully folded answer, shared via the cache: the
+  // enumeration folded to its canonical distribution and mean once, at
+  // insert time, so hits answer Expected / Distribution queries directly.
+  struct ExactFold {
+    Distribution distribution;
+    double mean = 0.0;
+  };
+  using SharedFold = std::shared_ptr<const ExactFold>;
+
+  using CacheStats = ShardedLruMap<std::string, SharedFold>::ShardStats;
   CacheStats TotalCacheStats() const;
   std::vector<CacheStats> PerShardCacheStats() const;
   size_t cache_shard_count() const;
@@ -189,12 +206,25 @@ class QueryService {
 
   using SharedOutcomes = Evaluator::SharedOutcomes;
 
-  // Cache-or-enumerate against `snapshot`; `key_hint` (may be null) carries
-  // a precomputed cache key from the batch path.
-  Result<SharedOutcomes> EnumerateCached(const Snapshot& snapshot,
-                                         const Query& query,
-                                         const std::string* key_hint) const;
+  // The calling thread's cached snapshot slot (revalidated against
+  // publish_seq_). The returned reference is pinned by the thread-local
+  // shared_ptr until this thread's next acquisition on any service.
+  const std::shared_ptr<const Snapshot>& SnapshotSlot() const;
+  // Borrowed snapshot for the synchronous query paths: no refcount traffic.
+  // Valid until the calling thread's next acquisition — callers consume it
+  // within the query and never stash it.
+  const Snapshot& AcquireSnapshotRef() const { return *SnapshotSlot(); }
+
+  // Cache-or-(enumerate+fold) against `snapshot`; `key_hint` (may be null)
+  // carries a precomputed cache key from the batch path. The returned
+  // pointer stays valid until the calling thread's next FoldCached call (a
+  // thread-local MRU slot pins the entry); callers consume it immediately.
+  Result<const ExactFold*> FoldCached(const Snapshot& snapshot,
+                                      const Query& query,
+                                      const std::string* key_hint) const;
   std::string CacheKey(const Snapshot& snapshot, const Query& query) const;
+  void AppendCacheKey(const Snapshot& snapshot, const Query& query,
+                      std::string& out) const;
   // The query's dist_mode, falling back to the service-wide default.
   DistMode EffectiveMode(const Query& query) const;
   // Certified evaluation against `snapshot` under an analytic mode, through
@@ -208,9 +238,17 @@ class QueryService {
                               const Query& query) const;
 
   Options options_;
+  // Distinguishes this service in thread-local caches; allocated from a
+  // process-wide counter and never reused, so a service constructed at a
+  // freed service's address cannot alias its stale thread-local state.
+  const uint64_t svc_id_;
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  // Bumped after every snapshot publication. AcquireSnapshot's per-thread
+  // cache revalidates against this with one relaxed-cost atomic load,
+  // skipping the heavier atomic shared_ptr load while no swap happened.
+  std::atomic<uint64_t> publish_seq_;
   std::atomic<uint64_t> next_generation_;
-  mutable ShardedLruMap<std::string, SharedOutcomes> cache_;
+  mutable ShardedLruMap<std::string, SharedFold> cache_;
   std::unique_ptr<McPool> mc_pool_;
 };
 

@@ -33,7 +33,9 @@ class LruMap {
       return nullptr;
     }
     ++hits_;
-    order_.splice(order_.begin(), order_, it->second);
+    if (it->second != order_.begin()) {
+      order_.splice(order_.begin(), order_, it->second);
+    }
     return &it->second->second;
   }
 

@@ -1,0 +1,289 @@
+// Edge tests for the register bytecode VM (src/eval/bytecode.h) that the
+// engine-parity harnesses cannot see from the outside: constant-pool
+// deduplication, superinstruction fusion parity, register-frame reuse
+// across nested calls, and profile-swap respecialization rekeying the
+// query-service cache. Broad value/trace/error parity with the tree walk
+// lives in tests/differential_test.cc and tests/eval_edge_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/eval/bytecode.h"
+#include "src/eval/ecv_profile.h"
+#include "src/eval/interp.h"
+#include "src/eval/lower.h"
+#include "src/lang/parser.h"
+#include "src/svc/query_service.h"
+#include "tests/parity_programs.h"
+
+namespace eclarity {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::string Fingerprint(const Value& v) {
+  std::string out;
+  v.AppendFingerprint(out);
+  return out;
+}
+
+std::shared_ptr<const BytecodeProgram> MustCompile(
+    const LoweredProgram& lowered,
+    const BytecodeProgram::CompileOptions& options = {}) {
+  auto bc = BytecodeProgram::Compile(lowered, options);
+  EXPECT_TRUE(bc.ok()) << bc.status().ToString();
+  return std::move(bc).value();
+}
+
+// One enumerated path, captured bit-exactly.
+struct PathOutcome {
+  std::string value_fp;
+  uint64_t probability_bits = 0;
+  std::vector<std::pair<std::string, Value>> assignments;
+};
+
+// Enumerates the full ECV tree through an existing interpreter, mirroring
+// the driving loop in Evaluator::EnumerateUncached. Takes the vm and its
+// chooser by reference so a test can re-run the same (reused) frame.
+Result<std::vector<PathOutcome>> EnumerateVm(
+    BytecodeInterpreter& vm, eval_internal::EnumeratingChooser& chooser,
+    const std::string& entry, const std::vector<Value>& args) {
+  std::vector<PathOutcome> outcomes;
+  for (;;) {
+    vm.Reset();
+    vm.set_path_index(outcomes.size());
+    ECLARITY_ASSIGN_OR_RETURN(Value value, vm.CallByName(entry, args));
+    PathOutcome o;
+    o.value_fp = Fingerprint(value);
+    o.probability_bits = Bits(chooser.probability());
+    o.assignments = chooser.assignments();
+    outcomes.push_back(std::move(o));
+    if (!chooser.Advance()) {
+      break;
+    }
+  }
+  return outcomes;
+}
+
+void ExpectSameOutcomes(const std::vector<PathOutcome>& a,
+                        const std::vector<PathOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("path " + std::to_string(i));
+    EXPECT_EQ(a[i].value_fp, b[i].value_fp);
+    EXPECT_EQ(a[i].probability_bits, b[i].probability_bits);
+    ASSERT_EQ(a[i].assignments.size(), b[i].assignments.size());
+    for (size_t j = 0; j < a[i].assignments.size(); ++j) {
+      EXPECT_EQ(a[i].assignments[j].first, b[i].assignments[j].first);
+      EXPECT_EQ(Fingerprint(a[i].assignments[j].second),
+                Fingerprint(b[i].assignments[j].second));
+    }
+  }
+}
+
+TEST(BytecodeCompilerTest, ConstantPoolDeduplicatesRepeatedLiterals) {
+  // The same 2mJ literal in five argument positions, plus one distinct
+  // literal. None of the uses is constant-foldable (each multiplies the
+  // runtime argument), so the compiler sees six kConst sites.
+  const Program program = MustParse(R"(
+interface f(x) {
+  return x * 2mJ + x * 2mJ + x * 2mJ + x * 2mJ + x * 2mJ + x * 5mJ;
+}
+)");
+  const Program single = MustParse(R"(
+interface f(x) {
+  return x * 2mJ + x * 5mJ;
+}
+)");
+  const size_t support = EvalOptions().max_ecv_support;
+  const LoweredProgram lowered = LoweredProgram::Lower(program, support);
+  const LoweredProgram lowered_single =
+      LoweredProgram::Lower(single, support);
+  const auto bc = MustCompile(lowered);
+  const auto bc_single = MustCompile(lowered_single);
+  // Five uses of the same value share one pool entry: both programs pool
+  // exactly the same set of distinct constants.
+  EXPECT_EQ(bc->constant_pool_size(), bc_single->constant_pool_size());
+  EXPECT_GE(bc->instruction_count(), bc_single->instruction_count());
+}
+
+TEST(BytecodeCompilerTest, SuperinstructionsAreBitIdenticalToUnfused) {
+  // Fig. 1 exercises both superinstruction shapes: the CNN interface is a
+  // fused sum-of-terms chain (kFoldChain) and both bernoulli draws guard
+  // an immediate if (kEcvDrawBranch).
+  const Program program = MustParse(parity::kFig1Source);
+  const EvalOptions options;
+  const LoweredProgram lowered =
+      LoweredProgram::Lower(program, options.max_ecv_support);
+  BytecodeProgram::CompileOptions unfused_options;
+  unfused_options.enable_superinstructions = false;
+  const auto fused = MustCompile(lowered);
+  const auto unfused = MustCompile(lowered, unfused_options);
+  EXPECT_GT(fused->superinstruction_count(), 0u);
+  EXPECT_EQ(unfused->superinstruction_count(), 0u);
+  EXPECT_GT(unfused->instruction_count(), fused->instruction_count());
+
+  const std::vector<Value> args = {Value::Number(64), Value::Number(16)};
+  const EcvProfile profile;
+  eval_internal::EnumeratingChooser fused_chooser;
+  eval_internal::EnumeratingChooser unfused_chooser;
+  BytecodeInterpreter fused_vm(*fused, options, profile, fused_chooser);
+  BytecodeInterpreter unfused_vm(*unfused, options, profile,
+                                 unfused_chooser);
+  auto fused_out =
+      EnumerateVm(fused_vm, fused_chooser, "E_ml_webservice_handle", args);
+  auto unfused_out = EnumerateVm(unfused_vm, unfused_chooser,
+                                 "E_ml_webservice_handle", args);
+  ASSERT_TRUE(fused_out.ok()) << fused_out.status().ToString();
+  ASSERT_TRUE(unfused_out.ok()) << unfused_out.status().ToString();
+  ASSERT_EQ(fused_out->size(), 3u);  // hit/local-hit, hit/local-miss, miss
+  ExpectSameOutcomes(*fused_out, *unfused_out);
+}
+
+TEST(BytecodeInterpreterTest, FrameReuseAcrossNestedCalls) {
+  // Three-deep call chain with a draw at every level, so enumeration
+  // re-enters the nested frames on every path. One interpreter runs the
+  // whole tree twice over the same register storage; both sweeps must be
+  // bit-identical to each other and to the tree walk.
+  const Program program = MustParse(R"(
+interface outer(x) {
+  ecv a ~ bernoulli(0.5);
+  return middle(x) + (a ? 1mJ : 2mJ);
+}
+interface middle(x) {
+  ecv b ~ bernoulli(0.25);
+  return inner(x) * (b ? 2 : 3);
+}
+interface inner(x) {
+  ecv c ~ uniform_int(0, 2);
+  return x * 1mJ + c * 10uJ;
+}
+)");
+  const EvalOptions options;
+  const LoweredProgram lowered =
+      LoweredProgram::Lower(program, options.max_ecv_support);
+  const auto bc = MustCompile(lowered);
+  const std::vector<Value> args = {Value::Number(3)};
+  const EcvProfile profile;
+  eval_internal::EnumeratingChooser chooser;
+  BytecodeInterpreter vm(*bc, options, profile, chooser);
+  auto first = EnumerateVm(vm, chooser, "outer", args);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->size(), 12u);  // 2 * 2 * 3 assignments
+  // Second sweep on the same interpreter: Reset() retains the register
+  // and frame storage, so any stale-state leak between runs shows up as
+  // a bit difference here.
+  chooser.Reset();
+  auto second = EnumerateVm(vm, chooser, "outer", args);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectSameOutcomes(*first, *second);
+
+  EvalOptions tree_options;
+  tree_options.engine = EvalEngine::kTreeWalk;
+  Evaluator tree(program, tree_options);
+  auto reference = tree.Enumerate("outer", args, profile);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->size(), first->size());
+  for (size_t i = 0; i < reference->size(); ++i) {
+    SCOPED_TRACE("path " + std::to_string(i));
+    EXPECT_EQ(Fingerprint((*reference)[i].value), (*first)[i].value_fp);
+    EXPECT_EQ(Bits((*reference)[i].probability),
+              (*first)[i].probability_bits);
+  }
+}
+
+TEST(BytecodeSpecializationTest, PrepareSpecializedSwapsFingerprint) {
+  const Program program = MustParse(parity::kFig1Source);
+  EvalOptions options;
+  options.engine = EvalEngine::kBytecode;
+  Evaluator evaluator(program, options);
+  EcvProfile p0;
+  p0.SetBernoulli("request_hit", 0.2);
+  EcvProfile p1;
+  p1.SetBernoulli("request_hit", 0.9);
+  evaluator.PrepareSpecialized(p0);
+  const auto bc0 = evaluator.specialized_bytecode();
+  ASSERT_NE(bc0, nullptr);
+  EXPECT_TRUE(bc0->specialized());
+  EXPECT_EQ(bc0->specialization_fingerprint(), p0.Fingerprint());
+  // Re-specializing swaps in a fresh program keyed to the new profile;
+  // the old one stays valid for readers that still hold it.
+  evaluator.PrepareSpecialized(p1);
+  const auto bc1 = evaluator.specialized_bytecode();
+  ASSERT_NE(bc1, nullptr);
+  EXPECT_NE(bc1, bc0);
+  EXPECT_EQ(bc1->specialization_fingerprint(), p1.Fingerprint());
+  EXPECT_EQ(bc0->specialization_fingerprint(), p0.Fingerprint());
+}
+
+TEST(BytecodeSpecializationTest, ProfileSwapRespecializesAndRekeysCache) {
+  QueryService::Options options;
+  options.eval.engine = EvalEngine::kBytecode;
+  EcvProfile p0;
+  p0.SetBernoulli("hit", 0.25);
+  EcvProfile p1;
+  p1.SetBernoulli("hit", 0.75);
+  auto service = QueryService::Create(MustParse(R"(
+interface f(x) {
+  ecv hit ~ bernoulli(0.5);
+  if (hit) {
+    return 1mJ * x;
+  } else {
+    return 3mJ * x;
+  }
+}
+)"),
+                                      options, p0);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  QueryService& svc = **service;
+  Query query;
+  query.interface = "f";
+  query.args = {Value::Number(2)};
+
+  auto first = svc.Expected(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(svc.TotalCacheStats().misses, 1u);
+  // A repeat under the same profile is a cache answer, not a re-fold.
+  auto repeat = svc.Expected(query);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(Bits(repeat->joules()), Bits(first->joules()));
+  EXPECT_EQ(svc.TotalCacheStats().misses, 1u);
+
+  // Swapping the base profile re-specializes the snapshot and rekeys the
+  // cache: the same query must miss again and fold a different answer.
+  svc.UpdateProfile(p1);
+  auto swapped = svc.Expected(query);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(svc.TotalCacheStats().misses, 2u);
+  EXPECT_NE(Bits(swapped->joules()), Bits(first->joules()));
+  // 0.25 * 2mJ + 0.75 * 6mJ vs 0.75 * 2mJ + 0.25 * 6mJ.
+  EXPECT_DOUBLE_EQ(first->millijoules(), 5.0);
+  EXPECT_DOUBLE_EQ(swapped->millijoules(), 3.0);
+
+  // Swapping back re-uses the original generation+fingerprint key: no new
+  // fold, and the answer is bit-identical to the first.
+  svc.UpdateProfile(p0);
+  auto back = svc.Expected(query);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(svc.TotalCacheStats().misses, 2u);
+  EXPECT_EQ(Bits(back->joules()), Bits(first->joules()));
+}
+
+}  // namespace
+}  // namespace eclarity

@@ -129,16 +129,26 @@ void ExpectDifferentialAgreement(const Program& program,
   Evaluator tree(program, tree_options);
   const auto ref = tree.EvalCertified(entry, args, profile);
 
-  // Reference #2: the lowered fast path in kEnumerate mode must agree with
-  // the tree walk bit for bit (the pre-existing parity contract, rechecked
-  // here through the certified surface).
-  Evaluator fast(program, EvalOptions{});
-  const auto fast_ref = fast.EvalCertified(entry, args, profile);
-  ASSERT_EQ(fast_ref.ok(), ref.ok())
-      << "fast: " << fast_ref.status().ToString()
-      << "\ntree: " << ref.status().ToString();
-  if (ref.ok()) {
-    ExpectExactBitIdentity(*ref, *fast_ref);
+  // References #2 and #3: the lowered fast path and the register bytecode
+  // VM in kEnumerate mode must agree with the tree walk bit for bit (the
+  // pre-existing parity contract, rechecked here through the certified
+  // surface). Errors must match code and message too.
+  for (const EvalEngine engine :
+       {EvalEngine::kFastPath, EvalEngine::kBytecode}) {
+    SCOPED_TRACE(engine == EvalEngine::kFastPath ? "fastpath" : "bytecode");
+    EvalOptions engine_options;
+    engine_options.engine = engine;
+    Evaluator lowered(program, engine_options);
+    const auto lowered_ref = lowered.EvalCertified(entry, args, profile);
+    ASSERT_EQ(lowered_ref.ok(), ref.ok())
+        << "lowered: " << lowered_ref.status().ToString()
+        << "\ntree: " << ref.status().ToString();
+    if (ref.ok()) {
+      ExpectExactBitIdentity(*ref, *lowered_ref);
+    } else {
+      EXPECT_EQ(lowered_ref.status().code(), ref.status().code());
+      EXPECT_EQ(lowered_ref.status().message(), ref.status().message());
+    }
   }
 
   for (const ModeCase& mode : kModes) {

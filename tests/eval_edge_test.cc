@@ -221,7 +221,7 @@ EvalOptions WithEngine(EvalEngine engine) {
   return options;
 }
 
-TEST(EvalEdgeTest, MaxPathsExhaustedOnBothEngines) {
+TEST(EvalEdgeTest, MaxPathsExhaustedOnAllEngines) {
   // 12 Bernoullis -> 4096 assignments, over a 100-path budget.
   std::string source = "interface f(x) {\n  let mut acc = 0J;\n";
   for (int i = 0; i < 12; ++i) {
@@ -230,7 +230,8 @@ TEST(EvalEdgeTest, MaxPathsExhaustedOnBothEngines) {
   }
   source += "  return acc;\n}\n";
   const Program p = MustParse(source.c_str());
-  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+  for (EvalEngine engine :
+       {EvalEngine::kFastPath, EvalEngine::kTreeWalk, EvalEngine::kBytecode}) {
     EvalOptions options = WithEngine(engine);
     options.max_paths = 100;
     Evaluator eval(p, options);
@@ -240,9 +241,10 @@ TEST(EvalEdgeTest, MaxPathsExhaustedOnBothEngines) {
   }
 }
 
-TEST(EvalEdgeTest, MaxCallDepthExhaustedOnBothEngines) {
+TEST(EvalEdgeTest, MaxCallDepthExhaustedOnAllEngines) {
   const Program p = MustParse("interface f(x) { return f(x); }");
-  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+  for (EvalEngine engine :
+       {EvalEngine::kFastPath, EvalEngine::kTreeWalk, EvalEngine::kBytecode}) {
     EvalOptions options = WithEngine(engine);
     options.max_call_depth = 8;
     Evaluator eval(p, options);
@@ -253,10 +255,11 @@ TEST(EvalEdgeTest, MaxCallDepthExhaustedOnBothEngines) {
   }
 }
 
-TEST(EvalEdgeTest, MaxEcvSupportExhaustedOnBothEngines) {
+TEST(EvalEdgeTest, MaxEcvSupportExhaustedOnAllEngines) {
   const Program p = MustParse(
       "interface f(x) { ecv e ~ uniform_int(0, 10); return e * 1J; }");
-  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+  for (EvalEngine engine :
+       {EvalEngine::kFastPath, EvalEngine::kTreeWalk, EvalEngine::kBytecode}) {
     EvalOptions options = WithEngine(engine);
     options.max_ecv_support = 4;
     Evaluator eval(p, options);
@@ -267,11 +270,12 @@ TEST(EvalEdgeTest, MaxEcvSupportExhaustedOnBothEngines) {
   }
 }
 
-TEST(EvalEdgeTest, MaxStepsExhaustedOnBothEngines) {
+TEST(EvalEdgeTest, MaxStepsExhaustedOnAllEngines) {
   const Program p = MustParse(
       "interface f(x) { let mut t = 0J; for i in 0..100000 { t = t + 1J; } "
       "return t; }");
-  for (EvalEngine engine : {EvalEngine::kFastPath, EvalEngine::kTreeWalk}) {
+  for (EvalEngine engine :
+       {EvalEngine::kFastPath, EvalEngine::kTreeWalk, EvalEngine::kBytecode}) {
     EvalOptions options = WithEngine(engine);
     options.max_steps = 50;
     Evaluator eval(p, options);

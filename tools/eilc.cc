@@ -4,12 +4,15 @@
 //   eilc print  FILE                     canonical pretty-printed source
 //   eilc eval   FILE ENTRY ARGS... [--ecv NAME=VALUE|NAME~P]
 //               [--mode=enumerate|exact|bounded|moments] [--prune=T]
+//               [--engine=tree|fastpath|bytecode]
 //                                        expectation + exact distribution;
 //                                        --mode selects the analytic
 //                                        distribution algebra (answers carry
 //                                        a certified +/- bound), --prune a
 //                                        mass-pruning threshold for bounded
-//                                        mode
+//                                        mode, --engine the execution engine
+//                                        (default bytecode; all three are
+//                                        bit-identical)
 //   eilc paths  FILE ENTRY ARGS...       enumerate ECV draw sequences
 //   eilc bounds FILE ENTRY LO:HI...      guaranteed worst-case interval
 //   eilc trace  FILE ENTRY ARGS... [--chrome-trace OUT.json]
@@ -19,6 +22,7 @@
 //                                        audit the entry's prediction against
 //                                        a fault-injected telemetry counter
 //   eilc serve  FILE ENTRY ARGS... [--threads=N] [--requests=M] [--batch=K]
+//               [--engine=tree|fastpath|bytecode]
 //                                        drive the concurrent query service
 //                                        with N client threads x M mixed
 //                                        queries, verify the run is
@@ -70,7 +74,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: eilc check|print FILE\n"
                "       eilc eval  FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
-               " [--mode=enumerate|exact|bounded|moments] [--prune=T]\n"
+               " [--mode=enumerate|exact|bounded|moments] [--prune=T]"
+               " [--engine=tree|fastpath|bytecode]\n"
                "       eilc paths FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]\n"
                "       eilc bounds FILE ENTRY LO:HI...\n"
                "       eilc trace FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
@@ -78,7 +83,8 @@ int Usage() {
                "       eilc chaos FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
                " [--plan=PLAN.json] [--reads=N]\n"
                "       eilc serve FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
-               " [--threads=N] [--requests=M] [--batch=K]\n"
+               " [--threads=N] [--requests=M] [--batch=K]"
+               " [--engine=tree|fastpath|bytecode]\n"
                "exit codes:\n"
                "  0  success\n"
                "  1  error (I/O, parse, static check, evaluation)\n"
@@ -220,6 +226,48 @@ int Print(const std::string& path) {
   return 0;
 }
 
+// Parses and strips a --engine= flag from `rest`, writing the chosen
+// execution engine (the bytecode VM stays the default). Returns 0 when the
+// flag is absent or valid, 2 on a bad value. All engines are bit-identical;
+// if bytecode compilation is impossible the evaluator transparently falls
+// back to the fast path and counts the fallback in
+// eclarity_eval_bytecode_fallback_total.
+int ExtractEngine(std::vector<std::string>& rest, EvalEngine* engine) {
+  std::vector<std::string> kept;
+  int rc = 0;
+  for (const std::string& arg : rest) {
+    if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "tree") {
+        *engine = EvalEngine::kTreeWalk;
+      } else if (name == "fastpath") {
+        *engine = EvalEngine::kFastPath;
+      } else if (name == "bytecode") {
+        *engine = EvalEngine::kBytecode;
+      } else {
+        std::fprintf(stderr, "--engine expects tree|fastpath|bytecode\n");
+        rc = 2;
+      }
+      continue;
+    }
+    kept.push_back(arg);
+  }
+  rest = std::move(kept);
+  return rc;
+}
+
+const char* EngineName(EvalEngine engine) {
+  switch (engine) {
+    case EvalEngine::kTreeWalk:
+      return "tree";
+    case EvalEngine::kFastPath:
+      return "fastpath";
+    case EvalEngine::kBytecode:
+      return "bytecode";
+  }
+  return "unknown";
+}
+
 int EvalOrPaths(const std::string& mode, const std::string& path,
                 const std::string& entry, std::vector<std::string> rest) {
   auto source = ReadFile(path);
@@ -238,6 +286,9 @@ int EvalOrPaths(const std::string& mode, const std::string& path,
     return 1;
   }
   EvalOptions options;
+  if (const int rc = ExtractEngine(rest, &options.engine); rc != 0) {
+    return rc;
+  }
   bool analytic = false;
   std::vector<std::string> kept;
   for (const std::string& arg : rest) {
@@ -556,6 +607,10 @@ int Serve(const std::string& path, const std::string& entry,
   size_t threads = 4;
   size_t requests = 256;
   size_t batch = 1;
+  QueryService::Options svc_options;
+  if (const int rc = ExtractEngine(rest, &svc_options.eval.engine); rc != 0) {
+    return rc;
+  }
   std::vector<std::string> kept;
   for (const std::string& arg : rest) {
     auto parse_size = [&arg](const char* flag, size_t* out) {
@@ -611,7 +666,7 @@ int Serve(const std::string& path, const std::string& entry,
   }
 
   auto make_service = [&]() {
-    return QueryService::Create(program->Clone(), {}, *profile);
+    return QueryService::Create(program->Clone(), svc_options, *profile);
   };
   auto service = make_service();
   if (!service.ok()) {
@@ -703,6 +758,7 @@ int Serve(const std::string& path, const std::string& entry,
   const size_t total = threads * requests;
   std::printf("served:       %zu queries (%zu threads x %zu, batch %zu)\n",
               total, threads, requests, batch);
+  std::printf("engine:       %s\n", EngineName(svc_options.eval.engine));
   std::printf("throughput:   %.0f queries/s over %.3f s\n",
               elapsed > 0.0 ? total / elapsed : 0.0, elapsed);
   const QueryService::CacheStats stats = (*service)->TotalCacheStats();
