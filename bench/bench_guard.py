@@ -17,6 +17,7 @@ slower path, a lost cache), not single-digit-percent drift.
 Usage:
   bench_guard.py --binary <perf_toolkit> --baseline <BENCH_perf_toolkit.json>
                  [--filter REGEX] [--factor 2.0] [--min-time 0.25]
+                 [--obs-filter REGEX]
 """
 
 import argparse
@@ -46,6 +47,10 @@ def main():
         default=r"BM_EnumerateFig1|BM_ServiceThroughput/real_time/threads:1$")
     parser.add_argument("--factor", type=float, default=2.0)
     parser.add_argument("--min-time", type=float, default=0.25)
+    parser.add_argument(
+        "--obs-filter", default=r"BM_ServiceMixedThroughput",
+        help="benchmark(s) whose obs_overhead_ratio must stay under the "
+             "1%% telemetry budget; empty string skips the check")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -58,16 +63,19 @@ def main():
         return 1
     baseline = load_benchmarks(baseline_doc)
 
-    with tempfile.NamedTemporaryFile(suffix=".json") as out:
-        subprocess.run(
-            [args.binary,
-             f"--benchmark_filter={args.filter}",
-             f"--benchmark_min_time={args.min_time}",
-             "--benchmark_out_format=json",
-             f"--benchmark_out={out.name}"],
-            check=True, stdout=subprocess.DEVNULL)
-        with open(out.name) as f:
-            current = load_benchmarks(json.load(f))
+    def run_benchmarks(bench_filter):
+        with tempfile.NamedTemporaryFile(suffix=".json") as out:
+            subprocess.run(
+                [args.binary,
+                 f"--benchmark_filter={bench_filter}",
+                 f"--benchmark_min_time={args.min_time}",
+                 "--benchmark_out_format=json",
+                 f"--benchmark_out={out.name}"],
+                check=True, stdout=subprocess.DEVNULL)
+            with open(out.name) as f:
+                return load_benchmarks(json.load(f))
+
+    current = run_benchmarks(args.filter)
 
     pattern = re.compile(args.filter)
     guarded = {name: bench for name, bench in current.items()
@@ -99,6 +107,31 @@ def main():
               f"(limit {args.factor:.2f}x)")
         if ratio > args.factor:
             failures.append(f"{name}: {detail}")
+
+    # Self-accounted telemetry budget: the observability layer must stay
+    # under 1% of the steady-state service work it observed. The bound is
+    # asserted on the serve-shaped mixed-traffic benchmark in a dedicated
+    # pass (a pure cache-hit stream is too cheap per query for a fixed-rate
+    # 1% budget to be meaningful — see BM_ServiceMixedThroughput). This is
+    # an absolute bound, not a baseline comparison, so it needs no
+    # re-recording.
+    if args.obs_filter:
+        obs_checked = 0
+        for name, bench in sorted(run_benchmarks(args.obs_filter).items()):
+            obs_ratio = bench.get("obs_overhead_ratio")
+            if obs_ratio is None:
+                continue
+            obs_checked += 1
+            verdict = "FAIL" if obs_ratio >= 0.01 else "ok"
+            print(f"bench_guard: [{verdict}] {name}: obs_overhead_ratio "
+                  f"{obs_ratio:.6f} (budget < 0.01)")
+            if obs_ratio >= 0.01:
+                failures.append(
+                    f"{name}: obs_overhead_ratio {obs_ratio:.6f} >= 0.01")
+        if obs_checked == 0:
+            failures.append(
+                f"obs filter {args.obs_filter!r} matched no benchmark "
+                "exporting obs_overhead_ratio")
 
     if failures:
         print(f"bench_guard: {len(failures)} regression(s) beyond "

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/eval/builtins.h"
+#include "src/obs/budget.h"
 
 namespace eclarity {
 
@@ -538,7 +539,22 @@ BytecodeInterpreter::BytecodeInterpreter(const BytecodeProgram& bc,
       options_(options),
       profile_(profile),
       chooser_(chooser),
-      trace_(options.trace) {}
+      trace_(options.trace),
+      profiler_(options.vm_profiler) {
+  if (profiler_ != nullptr) {
+    prof_interval_ = profiler_->sample_interval();
+    prof_overhead_ns_ = profiler_->timer_overhead_ns();
+    // Uniform random start, fixed stride thereafter: unbiased per-site
+    // sampling even for runs much shorter than the interval's period.
+    local_prof_.countdown = profiler_->NextCountdown();
+  }
+}
+
+BytecodeInterpreter::~BytecodeInterpreter() {
+  if (profiler_ != nullptr) {
+    profiler_->Merge(local_prof_, bc_);
+  }
+}
 
 void BytecodeInterpreter::Reset() {
   steps_ = 0;
@@ -617,10 +633,31 @@ Result<const Value*> BytecodeInterpreter::DrawEcv(
   return &outcome.first;
 }
 
-Result<Value> BytecodeInterpreter::Run() {
+template <bool kProfiled>
+Result<Value> BytecodeInterpreter::RunImpl() {
   const Instr* code = bc_.code_.data();
   for (;;) {
     const Instr& in = code[pc_++];
+    // Profiled loop only: count the dispatch, and on every
+    // prof_interval_-th instruction capture the site and a start timestamp
+    // so the matching block after the switch can attribute the measured
+    // cost (see src/eval/vm_profile.h). A timed instruction that returns
+    // out of the switch simply drops its sample.
+    [[maybe_unused]] uint64_t prof_t0 = 0;
+    [[maybe_unused]] uint32_t prof_pc = 0;
+    [[maybe_unused]] uint32_t prof_iface = 0;
+    [[maybe_unused]] bool prof_timed = false;
+    if constexpr (kProfiled) {
+      ++local_prof_.dispatches;
+      ++local_prof_.hits[static_cast<size_t>(in.op)];
+      if (--local_prof_.countdown == 0) {
+        local_prof_.countdown = prof_interval_;
+        prof_timed = true;
+        prof_pc = pc_ - 1;
+        prof_iface = cur_iface_;
+        prof_t0 = ObsNowNs();
+      }
+    }
     switch (in.op) {
       case BcOp::kConst:
         regs_[base_ + in.a] = bc_.const_pool_[in.imm];
@@ -929,7 +966,104 @@ Result<Value> BytecodeInterpreter::Run() {
         break;
       }
     }
+    if constexpr (kProfiled) {
+      if (prof_timed) {
+        // Attribute this one instruction's measured cost, minus the
+        // calibrated cost of the empty timer pair (otherwise cheap,
+        // frequent ops absorb clock overhead proportional to their hit
+        // count and rank above genuinely expensive superinstructions),
+        // scaled by the interval so totals estimate the full stream.
+        double cost = static_cast<double>(ObsNowNs() - prof_t0);
+        cost -= prof_overhead_ns_;
+        if (cost < 0.0) {
+          cost = 0.0;
+        }
+        const uint64_t scaled =
+            static_cast<uint64_t>(cost) * prof_interval_;
+        const size_t op = static_cast<size_t>(in.op);
+        local_prof_.est_ns[op] += scaled;
+        ++local_prof_.samples;
+        VmLocalProfile::Site& site = local_prof_.sites[prof_pc];
+        site.op = static_cast<uint8_t>(in.op);
+        site.iface = prof_iface;
+        ++site.samples;
+        site.est_ns += scaled;
+      }
+    }
   }
+}
+
+// Explicit instantiations: Run() selects one at runtime.
+template Result<Value> BytecodeInterpreter::RunImpl<false>();
+template Result<Value> BytecodeInterpreter::RunImpl<true>();
+
+static_assert(static_cast<size_t>(BcOp::kEcvDrawBranch) < kVmOpCount,
+              "grow kVmOpCount (src/eval/vm_profile.h) with the BcOp enum");
+
+const char* VmOpName(uint8_t op) {
+  switch (static_cast<BcOp>(op)) {
+    case BcOp::kConst:
+      return "kConst";
+    case BcOp::kConstTerm:
+      return "kConstTerm";
+    case BcOp::kMove:
+      return "kMove";
+    case BcOp::kUnary:
+      return "kUnary";
+    case BcOp::kBinary:
+      return "kBinary";
+    case BcOp::kFoldChain:
+      return "kFoldChain";
+    case BcOp::kJump:
+      return "kJump";
+    case BcOp::kAndShort:
+      return "kAndShort";
+    case BcOp::kOrShort:
+      return "kOrShort";
+    case BcOp::kBoolCast:
+      return "kBoolCast";
+    case BcOp::kCondJump:
+      return "kCondJump";
+    case BcOp::kBranch:
+      return "kBranch";
+    case BcOp::kStep:
+      return "kStep";
+    case BcOp::kFail:
+      return "kFail";
+    case BcOp::kBuiltin:
+      return "kBuiltin";
+    case BcOp::kCall:
+      return "kCall";
+    case BcOp::kReturn:
+      return "kReturn";
+    case BcOp::kForPrep:
+      return "kForPrep";
+    case BcOp::kForNext:
+      return "kForNext";
+    case BcOp::kForIncJump:
+      return "kForIncJump";
+    case BcOp::kEcvBegin:
+      return "kEcvBegin";
+    case BcOp::kEcvStatic:
+      return "kEcvStatic";
+    case BcOp::kEcvBaked:
+      return "kEcvBaked";
+    case BcOp::kEcvCatOpen:
+      return "kEcvCatOpen";
+    case BcOp::kEcvCatPush:
+      return "kEcvCatPush";
+    case BcOp::kEcvDynBern:
+      return "kEcvDynBern";
+    case BcOp::kEcvDynUniform:
+      return "kEcvDynUniform";
+    case BcOp::kEcvDynCat:
+      return "kEcvDynCat";
+    case BcOp::kEcvDraw:
+      return "kEcvDraw";
+    case BcOp::kEcvDrawBranch:
+      return "kEcvDrawBranch";
+  }
+  return "op?";
 }
 
 }  // namespace eclarity

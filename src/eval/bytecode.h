@@ -37,6 +37,7 @@
 #include "src/eval/exec_common.h"
 #include "src/eval/interp.h"
 #include "src/eval/lower.h"
+#include "src/eval/vm_profile.h"
 #include "src/lang/value.h"
 #include "src/util/status.h"
 
@@ -126,6 +127,7 @@ class BytecodeProgram {
  private:
   friend class BytecodeCompiler;
   friend class BytecodeInterpreter;
+  friend class VmProfiler;  // resolves interface names for profile merges
 
   struct TermSite {
     uint32_t pool = 0;
@@ -207,6 +209,8 @@ class BytecodeInterpreter {
   BytecodeInterpreter(const BytecodeProgram& bc, const EvalOptions& options,
                       const EcvProfile& profile,
                       eval_internal::Chooser& chooser);
+  // Merges any accumulated profiling data into options.vm_profiler.
+  ~BytecodeInterpreter();
 
   // Reuses this interpreter (and its register storage) for another run.
   void Reset();
@@ -225,7 +229,17 @@ class BytecodeInterpreter {
     uint32_t caller_iface = 0;
   };
 
-  Result<Value> Run();
+  // The dispatch loop is compiled twice: the kProfiled=false instantiation
+  // is the production loop and carries no profiling instructions; the
+  // kProfiled=true one counts every dispatch and times every
+  // sample_interval-th instruction (src/eval/vm_profile.h). Run() picks the
+  // instantiation once per call, so the hot loop itself stays branch-free
+  // on the profiling question.
+  Result<Value> Run() {
+    return profiler_ != nullptr ? RunImpl<true>() : RunImpl<false>();
+  }
+  template <bool kProfiled>
+  Result<Value> RunImpl();
   Result<const Value*> DrawEcv(const BytecodeProgram::EcvSite& site);
   void EnsureRegs(size_t needed);
 
@@ -234,6 +248,10 @@ class BytecodeInterpreter {
   const EcvProfile& profile_;
   eval_internal::Chooser& chooser_;
   TraceSink* const trace_;
+  VmProfiler* const profiler_;
+  uint32_t prof_interval_ = 0;
+  double prof_overhead_ns_ = 0.0;
+  VmLocalProfile local_prof_;
 
   std::vector<Value> regs_;
   std::vector<CallFrame> frames_;

@@ -54,6 +54,7 @@ class AnalyticAnalysis;
 class BytecodeProgram;
 class LoweredProgram;
 class TraceSink;
+class VmProfiler;
 
 enum class EvalEngine {
   kFastPath,  // lowered IR + slot frames + enumeration cache
@@ -118,6 +119,13 @@ struct EvalOptions {
   // Capacity of the per-evaluator analytic sub-distribution cache, keyed by
   // (interface, arguments, ECV profile, mode, threshold). 0 disables.
   size_t analytic_cache_capacity = 128;
+  // Bytecode VM profiler (src/eval/vm_profile.h). When set, the bytecode
+  // engine runs its profiled dispatch loop — per-opcode hit counters plus a
+  // sampled instruction-site histogram merged into the profiler as each
+  // interpreter retires. nullptr (default) selects the unprofiled loop,
+  // which carries no profiling instructions at all. The profiler must
+  // outlive the evaluator. Results are unaffected either way.
+  VmProfiler* vm_profiler = nullptr;
 
   bool operator==(const EvalOptions&) const = default;
 };

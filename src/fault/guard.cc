@@ -1,5 +1,6 @@
 #include "src/fault/guard.h"
 
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 
 namespace eclarity {
@@ -48,6 +49,9 @@ void TelemetryGuard::TransitionTo(State next) {
   }
   transition_log_.push_back(source_ + ": " + StateName(state_) + "->" +
                             StateName(next));
+  Journal::Global().Record(JournalEventKind::kGuardTransition,
+                           static_cast<uint64_t>(next),
+                           static_cast<uint64_t>(state_));
   state_ = next;
   ++transitions_;
   GlobalTransitions().Increment();

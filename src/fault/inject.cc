@@ -1,5 +1,7 @@
 #include "src/fault/inject.h"
 
+#include "src/obs/journal.h"
+
 namespace eclarity {
 
 FaultInjector::FaultInjector(FaultPlanSpec spec)
@@ -40,6 +42,8 @@ ReadFault FaultInjector::NextNvmlFault() {
   }
   ++consecutive_;
   ++injected_nvml_;
+  Journal::Global().Record(JournalEventKind::kFaultInjected,
+                           static_cast<uint64_t>(fault), /*b=*/0);
   return fault;
 }
 
@@ -67,6 +71,8 @@ RaplFault FaultInjector::NextRaplFault() {
   }
   ++consecutive_;
   ++injected_rapl_;
+  Journal::Global().Record(JournalEventKind::kFaultInjected,
+                           fault.reset ? 1u : 2u, /*b=*/1);
   return fault;
 }
 

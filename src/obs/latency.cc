@@ -1,0 +1,50 @@
+#include "src/obs/latency.h"
+
+namespace eclarity {
+
+uint64_t LatencyHistogram::QuantileNs(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the target sample, 1-based; q=0 means the first sample.
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      return BucketValue(i);
+    }
+  }
+  // Concurrent recording moved the total under us; report the ceiling.
+  return MaxNs();
+}
+
+void LatencyHistogram::Reset() {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::BucketValue(size_t idx) {
+  if (idx < kSubBuckets) {
+    return static_cast<uint64_t>(idx);
+  }
+  const int msb = static_cast<int>(idx / kSubBuckets) + kSubBits - 1;
+  const uint64_t sub = idx % kSubBuckets;
+  const uint64_t lower =
+      (uint64_t{1} << msb) | (sub << (msb - kSubBits));
+  return lower + (uint64_t{1} << (msb - kSubBits)) / 2;
+}
+
+}  // namespace eclarity

@@ -1,0 +1,76 @@
+// HDR-style latency histogram: fixed bucket layout with bounded relative
+// error, lock-free recording, quantile queries by cumulative scan.
+//
+// Values below 16ns land in exact unit buckets; above that, each power of
+// two is split into 16 linear sub-buckets, so every recorded value is
+// represented with < ~6% relative error across the full uint64 range with
+// a flat array of 992 counters (no allocation, no rebalancing, no locks).
+// Record() is one branch-free index computation plus one relaxed
+// fetch_add — cheap enough to sit on the sampled service hot path.
+// Quantiles are computed on demand from a racy-but-monotone snapshot of
+// the counters; concurrent recording can only make a reported quantile
+// reflect a slightly older population, never a torn value.
+
+#ifndef ECLARITY_SRC_OBS_LATENCY_H_
+#define ECLARITY_SRC_OBS_LATENCY_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace eclarity {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  // Octaves 0..3 collapse into the exact region [0, 16); octaves 4..63 get
+  // kSubBuckets each.
+  static constexpr size_t kBuckets = kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  void Record(uint64_t value_ns) {
+    buckets_[BucketIndex(value_ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(value_ns, std::memory_order_relaxed);
+    // Racy max: lost updates only ever under-report, and Record() stays
+    // wait-free. Good enough for a diagnostic ceiling.
+    uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (value_ns > prev && !max_ns_.compare_exchange_weak(
+                                  prev, value_ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t SumNs() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t MaxNs() const { return max_ns_.load(std::memory_order_relaxed); }
+
+  // Value at quantile q in [0, 1]: the representative (midpoint) value of
+  // the first bucket whose cumulative count reaches q * Count(). Returns 0
+  // on an empty histogram.
+  uint64_t QuantileNs(double q) const;
+
+  void Reset();
+
+  static size_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) {
+      return static_cast<size_t>(v);
+    }
+    const int msb = 63 - std::countl_zero(v);  // >= kSubBits here
+    const uint64_t sub = (v >> (msb - kSubBits)) & (kSubBuckets - 1);
+    return static_cast<size_t>((msb - kSubBits + 1) * kSubBuckets + sub);
+  }
+
+  // Midpoint of the value range bucket `idx` covers.
+  static uint64_t BucketValue(size_t idx);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_OBS_LATENCY_H_

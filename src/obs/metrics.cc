@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/util/json.h"
+
 namespace eclarity {
 namespace {
 
@@ -28,30 +30,7 @@ std::string JsonNumber(double v) {
 
 std::string JsonString(const std::string& s) {
   std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  out += JsonEscape(s);
   out += '"';
   return out;
 }
@@ -123,7 +102,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.counter == nullptr && entry.gauge == nullptr &&
-      entry.histogram == nullptr) {
+      entry.histogram == nullptr && entry.latency == nullptr) {
     entry.help = help;
     entry.counter = std::make_unique<Counter>();
   }
@@ -140,7 +119,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.counter == nullptr && entry.gauge == nullptr &&
-      entry.histogram == nullptr) {
+      entry.histogram == nullptr && entry.latency == nullptr) {
     entry.help = help;
     entry.gauge = std::make_unique<Gauge>();
   }
@@ -157,7 +136,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.counter == nullptr && entry.gauge == nullptr &&
-      entry.histogram == nullptr) {
+      entry.histogram == nullptr && entry.latency == nullptr) {
     entry.help = help;
     entry.histogram = std::make_unique<Histogram>(std::move(bounds));
   }
@@ -168,14 +147,32 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *dummy;
 }
 
+LatencyHistogram& MetricsRegistry::GetLatencyHistogram(
+    const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr && entry.latency == nullptr) {
+    entry.help = help;
+    entry.latency = std::make_unique<LatencyHistogram>();
+  }
+  if (entry.latency != nullptr) {
+    return *entry.latency;
+  }
+  static LatencyHistogram* dummy = new LatencyHistogram();
+  return *dummy;
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream counters;
   std::ostringstream gauges;
   std::ostringstream histograms;
+  std::ostringstream latencies;
   bool first_counter = true;
   bool first_gauge = true;
   bool first_histogram = true;
+  bool first_latency = true;
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) {
       if (!first_counter) counters << ',';
@@ -200,11 +197,23 @@ std::string MetricsRegistry::ToJson() const {
                    << ",\"count\":" << counts[i] << '}';
       }
       histograms << "]}";
+    } else if (entry.latency != nullptr) {
+      if (!first_latency) latencies << ',';
+      first_latency = false;
+      const LatencyHistogram& h = *entry.latency;
+      latencies << JsonString(name) << ":{\"count\":" << h.Count()
+                << ",\"sum_ns\":" << h.SumNs()
+                << ",\"p50_ns\":" << h.QuantileNs(0.50)
+                << ",\"p90_ns\":" << h.QuantileNs(0.90)
+                << ",\"p99_ns\":" << h.QuantileNs(0.99)
+                << ",\"p999_ns\":" << h.QuantileNs(0.999)
+                << ",\"max_ns\":" << h.MaxNs() << '}';
     }
   }
   std::ostringstream os;
   os << "{\"counters\":{" << counters.str() << "},\"gauges\":{"
-     << gauges.str() << "},\"histograms\":{" << histograms.str() << "}}";
+     << gauges.str() << "},\"histograms\":{" << histograms.str()
+     << "},\"latency\":{" << latencies.str() << "}}";
   return os.str();
 }
 
@@ -232,6 +241,22 @@ std::string MetricsRegistry::ToPrometheusText() const {
       }
       os << name << "_sum " << FormatDouble(h.sum()) << '\n'
          << name << "_count " << h.count() << '\n';
+    } else if (entry.latency != nullptr) {
+      const LatencyHistogram& h = *entry.latency;
+      os << "# TYPE " << name << " summary\n";
+      // Canonical short labels: FormatDouble's %.17g would render 0.99 as
+      // 0.98999999999999999, which breaks label matching in scrapers.
+      constexpr struct {
+        double q;
+        const char* label;
+      } kQuantiles[] = {
+          {0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}};
+      for (const auto& [q, label] : kQuantiles) {
+        os << name << "{quantile=\"" << label << "\"} " << h.QuantileNs(q)
+           << '\n';
+      }
+      os << name << "_sum " << h.SumNs() << '\n'
+         << name << "_count " << h.Count() << '\n';
     }
   }
   return os.str();
@@ -244,6 +269,7 @@ void MetricsRegistry::ResetAll() {
     if (entry.counter != nullptr) entry.counter->Reset();
     if (entry.gauge != nullptr) entry.gauge->Reset();
     if (entry.histogram != nullptr) entry.histogram->Reset();
+    if (entry.latency != nullptr) entry.latency->Reset();
   }
 }
 

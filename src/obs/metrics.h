@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/latency.h"
+
 namespace eclarity {
 
 // Monotonically increasing event count.
@@ -106,9 +108,13 @@ class MetricsRegistry {
   Gauge& GetGauge(const std::string& name, const std::string& help = "");
   Histogram& GetHistogram(const std::string& name, const std::string& help,
                           std::vector<double> bounds);
+  // HDR-style nanosecond latency histogram (src/obs/latency.h): exported
+  // with p50/p90/p99/p99.9 in JSON and as a Prometheus summary.
+  LatencyHistogram& GetLatencyHistogram(const std::string& name,
+                                        const std::string& help = "");
 
   // All registered metrics as one JSON object:
-  //   {"counters":{...},"gauges":{...},"histograms":{...}}
+  //   {"counters":{...},"gauges":{...},"histograms":{...},"latency":{...}}
   std::string ToJson() const;
 
   // Prometheus text exposition format (counters, gauges, and histograms
@@ -125,6 +131,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LatencyHistogram> latency;
   };
 
   mutable std::mutex mu_;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/util/json.h"
+
 namespace eclarity {
 namespace {
 
@@ -22,36 +24,6 @@ void AppendDoubleBits(std::string& out, double v) {
 void AppendString(std::string& out, const std::string& s) {
   AppendU64(out, s.size());
   out += s;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/budget.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 
 namespace eclarity {
@@ -19,6 +21,8 @@ struct SvcCounters {
   Counter& cache_hits;
   Counter& cache_misses;
   Counter& cache_evictions;
+  Counter& tl_fold_hits;
+  Counter& tl_fold_misses;
   Counter& snapshot_swaps;
   Counter& mc_requests;
 
@@ -42,6 +46,12 @@ struct SvcCounters {
             "eclarity_svc_cache_evictions_total",
             "QueryService enumeration-cache evictions (all shards)"),
         MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_tl_fold_hits_total",
+            "exact-fold lookups answered by the thread-local slot cache"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_tl_fold_misses_total",
+            "exact-fold lookups that fell through to the sharded cache"),
+        MetricsRegistry::Global().GetCounter(
             "eclarity_svc_snapshot_swaps_total",
             "profile/program snapshots published"),
         MetricsRegistry::Global().GetCounter(
@@ -50,6 +60,117 @@ struct SvcCounters {
     };
     return *counters;
   }
+};
+
+// Per-kind sampled query latency, resolved once like SvcCounters.
+struct SvcLatency {
+  LatencyHistogram& expected;
+  LatencyHistogram& distribution;
+  LatencyHistogram& montecarlo;
+  LatencyHistogram& sample;
+
+  LatencyHistogram& For(QueryKind kind) {
+    switch (kind) {
+      case QueryKind::kExpected:
+        return expected;
+      case QueryKind::kDistribution:
+        return distribution;
+      case QueryKind::kMonteCarlo:
+        return montecarlo;
+      case QueryKind::kSample:
+        return sample;
+    }
+    return expected;
+  }
+
+  static SvcLatency& Get() {
+    static SvcLatency* latency = new SvcLatency{
+        MetricsRegistry::Global().GetLatencyHistogram(
+            "eclarity_svc_latency_ns_expected",
+            "sampled Expected query latency (ns)"),
+        MetricsRegistry::Global().GetLatencyHistogram(
+            "eclarity_svc_latency_ns_distribution",
+            "sampled Distribution query latency (ns)"),
+        MetricsRegistry::Global().GetLatencyHistogram(
+            "eclarity_svc_latency_ns_montecarlo",
+            "sampled Monte Carlo query latency (ns)"),
+        MetricsRegistry::Global().GetLatencyHistogram(
+            "eclarity_svc_latency_ns_sample",
+            "sampled Sample query latency (ns)"),
+    };
+    return *latency;
+  }
+};
+
+// Estimated telemetry nanoseconds spent *inside* the current sampled query
+// (phase spans and journal records). The QueryTimer subtracts this from the
+// sampled duration before crediting work and charges it as observability
+// instead, so phase instrumentation cannot launder itself into the work
+// side of the overhead ratio.
+thread_local double tl_phase_obs_ns = 0.0;
+
+// Records an instantaneous sampled event (the journal stamps the clock).
+void JournalInstant(JournalEventKind kind, uint64_t a) {
+  Journal::Global().Record(kind, a);
+  tl_phase_obs_ns += 2.0 * ObsBudget::Global().clock_read_ns();
+}
+
+// Closes a sampled phase span opened at `t0` (costs two clock reads plus
+// the record itself, estimated at one more clock-read-equivalent).
+void JournalPhase(JournalEventKind kind, uint64_t a, uint64_t t0) {
+  Journal::Global().Record(kind, a, 0, t0, ObsNowNs() - t0);
+  tl_phase_obs_ns += 3.0 * ObsBudget::Global().clock_read_ns();
+}
+
+// One query's observability scope. Construction decides (via the shared
+// per-thread 1-in-N gate) whether this query is sampled; an unsampled query
+// pays exactly one thread-local countdown and branch. A sampled query is
+// timed into its kind's latency histogram, journalled as a kQuery span, and
+// settled against the ObsBudget: the measured duration (minus the phase
+// instrumentation recorded inside it) is credited as work scaled by the
+// sampling interval, and every instrumentation cost — the timer's own clock
+// reads, the phase estimates, and the interval's worth of unsampled ticks —
+// is charged as observability.
+class QueryTimer {
+ public:
+  QueryTimer(uint32_t interval, QueryKind kind) : kind_(kind) {
+    if (ObsSampler::Tick(interval)) {
+      interval_ = interval;
+      tl_phase_obs_ns = 0.0;
+      start_ns_ = ObsNowNs();
+    }
+  }
+
+  ~QueryTimer() {
+    if (interval_ == 0) {
+      return;
+    }
+    const uint64_t end = ObsNowNs();
+    const uint64_t dur = end - start_ns_;
+    SvcLatency::Get().For(kind_).Record(dur);
+    Journal::Global().Record(JournalEventKind::kQuery,
+                             static_cast<uint64_t>(kind_), 0, start_ns_, dur);
+    ObsSampler::EndSample();
+    ObsBudget& budget = ObsBudget::Global();
+    const double phase_obs =
+        tl_phase_obs_ns < static_cast<double>(dur) ? tl_phase_obs_ns
+                                                   : static_cast<double>(dur);
+    budget.AddWorkNs((static_cast<double>(dur) - phase_obs) * interval_);
+    // after - end prices the histogram + journal + EndSample work directly;
+    // the remaining clock reads and the unsampled ticks are calibrated.
+    const uint64_t after = ObsNowNs();
+    budget.AddObsNs(static_cast<double>(after - end) + phase_obs +
+                    3.0 * budget.clock_read_ns() +
+                    static_cast<double>(interval_) * budget.sampler_tick_ns());
+  }
+
+  QueryTimer(const QueryTimer&) = delete;
+  QueryTimer& operator=(const QueryTimer&) = delete;
+
+ private:
+  const QueryKind kind_;
+  uint32_t interval_ = 0;  // 0: this query is not sampled
+  uint64_t start_ns_ = 0;
 };
 
 void AppendBits(std::string& out, double v) {
@@ -217,6 +338,11 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     return FailedPreconditionError(
         "QueryService needs a closed program; unresolved imports: " + list);
   }
+  // Force the telemetry budget's one-time calibration now: it resets the
+  // thread's sampler state, so letting it run lazily inside the first
+  // sampled query would clear the in-flight sample and silently drop that
+  // query's phase spans from the journal.
+  ObsBudget::Global();
   // The service's sharded cache replaces the per-evaluator one, and MC
   // sampling runs on the service pool: one inline worker per request.
   EvalOptions eval = options.eval;
@@ -291,10 +417,18 @@ void QueryService::UpdateProfile(EcvProfile profile) {
   // compile runs outside every snapshot and evaluator lock: readers on the
   // old snapshot keep the generic program (profile fingerprints no longer
   // match) and are never blocked.
+  const uint64_t generation = next->generation();
+  const uint64_t spec_t0 = ObsNowNs();
   next->bundle().evaluator.PrepareSpecialized(next->profile());
+  Journal::Global().Record(JournalEventKind::kRespecialize, generation, 0,
+                           spec_t0, ObsNowNs() - spec_t0);
   snapshot_.store(std::move(next), std::memory_order_release);
   publish_seq_.fetch_add(1, std::memory_order_release);
   SvcCounters::Get().snapshot_swaps.Increment();
+  // Writer-path events are rare enough to journal unsampled; their cost is
+  // publish-time, not steady-state query work, so the budget skips them.
+  Journal::Global().Record(JournalEventKind::kSnapshotSwap, generation,
+                           /*b=*/1);
 }
 
 Status QueryService::UpdateProgram(Program program) {
@@ -309,10 +443,15 @@ Status QueryService::UpdateProgram(Program program) {
   auto current = snapshot_.load(std::memory_order_acquire);
   auto next =
       std::make_shared<const Snapshot>(std::move(bundle), current->profile());
+  const uint64_t spec_t0 = ObsNowNs();
   next->bundle().evaluator.PrepareSpecialized(next->profile());
+  Journal::Global().Record(JournalEventKind::kRespecialize, generation, 0,
+                           spec_t0, ObsNowNs() - spec_t0);
   snapshot_.store(std::move(next), std::memory_order_release);
   publish_seq_.fetch_add(1, std::memory_order_release);
   SvcCounters::Get().snapshot_swaps.Increment();
+  Journal::Global().Record(JournalEventKind::kSnapshotSwap, generation,
+                           /*b=*/2);
   return OkStatus();
 }
 
@@ -400,18 +539,37 @@ Result<const QueryService::ExactFold*> QueryService::FoldCached(
   }
   Slot& slot = tl_slots[std::hash<std::string>{}(*key) & (kTlSlots - 1)];
   const bool use_tl = cache_.capacity() > 0;
+  // Phase spans (cache lookup, eval, fold) are recorded only inside a
+  // query the QueryTimer already chose to sample, so the unsampled fast
+  // path pays one thread-local bool read here.
+  const bool sampled = ObsSampler::Active();
+  const uint64_t lookup_t0 = sampled ? ObsNowNs() : 0;
   if (use_tl && slot.svc_id == svc_id_ && slot.key == *key) {
     SvcCounters::Get().cache_hits.Increment();
+    SvcCounters::Get().tl_fold_hits.Increment();
+    if (sampled) {
+      JournalPhase(JournalEventKind::kCacheLookup, /*a=*/1, lookup_t0);
+    }
     return slot.entry.get();
+  }
+  if (use_tl) {
+    SvcCounters::Get().tl_fold_misses.Increment();
   }
   if (std::optional<SharedFold> hit = cache_.Get(*key)) {
     SvcCounters::Get().cache_hits.Increment();
     slot.svc_id = svc_id_;
     slot.key = *key;
     slot.entry = std::move(*hit);
+    if (sampled) {
+      JournalPhase(JournalEventKind::kCacheLookup, /*a=*/2, lookup_t0);
+    }
     return slot.entry.get();
   }
   SvcCounters::Get().cache_misses.Increment();
+  if (sampled) {
+    JournalPhase(JournalEventKind::kCacheLookup, /*a=*/0, lookup_t0);
+  }
+  const uint64_t eval_t0 = sampled ? ObsNowNs() : 0;
   const Evaluator& evaluator = snapshot.bundle().evaluator;
   Result<SharedOutcomes> outcomes = [&]() -> Result<SharedOutcomes> {
     if (query.profile.empty()) {
@@ -425,10 +583,14 @@ Result<const QueryService::ExactFold*> QueryService::FoldCached(
   if (!outcomes.ok()) {
     return outcomes.status();  // errors are never cached
   }
+  if (sampled) {
+    JournalPhase(JournalEventKind::kEval, (*outcomes)->size(), eval_t0);
+  }
   // Fold through Distribution's canonical atom order — the exact path
   // Evaluator::ExpectedEnergy takes — so service answers are bit-identical
   // to the single-threaded engine's. Folding once at insert means a cache
   // hit serves Expected and Distribution queries with no per-query fold.
+  const uint64_t fold_t0 = sampled ? ObsNowNs() : 0;
   std::vector<Atom> atoms;
   atoms.reserve((*outcomes)->size());
   for (const WeightedOutcome& o : **outcomes) {
@@ -439,10 +601,15 @@ Result<const QueryService::ExactFold*> QueryService::FoldCached(
   ECLARITY_ASSIGN_OR_RETURN(Distribution dist,
                             Distribution::Categorical(std::move(atoms)));
   const double mean = dist.Mean();
+  if (sampled) {
+    JournalPhase(JournalEventKind::kFold, dist.atoms().size(), fold_t0);
+  }
   auto entry = std::make_shared<const ExactFold>(
       ExactFold{std::move(dist), mean});
   if (cache_.Put(*key, entry)) {
     SvcCounters::Get().cache_evictions.Increment();
+    // Always-on: evictions are rare and explain hit-rate cliffs.
+    Journal::Global().Record(JournalEventKind::kShardEviction);
   }
   slot.svc_id = use_tl ? svc_id_ : 0;
   slot.key = use_tl ? *key : std::string();
@@ -465,13 +632,23 @@ Result<Energy> QueryService::ExpectedOn(const Snapshot& snapshot,
 
 Result<Energy> QueryService::Expected(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  return ExpectedOn(AcquireSnapshotRef(), query);
+  QueryTimer timer(options_.obs_sample_interval, QueryKind::kExpected);
+  const Snapshot& snapshot = AcquireSnapshotRef();
+  if (ObsSampler::Active()) {
+    JournalInstant(JournalEventKind::kSnapshotPin, snapshot.generation());
+  }
+  return ExpectedOn(snapshot, query);
 }
 
 Result<Distribution> QueryService::EvalDistribution(const Query& query) const {
   SvcCounters::Get().queries.Increment();
+  QueryTimer timer(options_.obs_sample_interval, QueryKind::kDistribution);
+  const Snapshot& snapshot = AcquireSnapshotRef();
+  if (ObsSampler::Active()) {
+    JournalInstant(JournalEventKind::kSnapshotPin, snapshot.generation());
+  }
   ECLARITY_ASSIGN_OR_RETURN(const ExactFold* fold,
-                            FoldCached(AcquireSnapshotRef(), query, nullptr));
+                            FoldCached(snapshot, query, nullptr));
   return fold->distribution;
 }
 
@@ -500,14 +677,24 @@ Result<Energy> QueryService::MonteCarloOn(const Snapshot& snapshot,
 
 Result<Energy> QueryService::MonteCarlo(const Query& query) const {
   SvcCounters::Get().queries.Increment();
+  QueryTimer timer(options_.obs_sample_interval, QueryKind::kMonteCarlo);
   // MonteCarloOn blocks this thread until the pool task finishes, so the
-  // borrowed snapshot stays pinned for the whole call.
-  return MonteCarloOn(AcquireSnapshotRef(), query);
+  // borrowed snapshot stays pinned for the whole call (and the sampled
+  // span covers queueing plus execution — the latency a caller sees).
+  const Snapshot& snapshot = AcquireSnapshotRef();
+  if (ObsSampler::Active()) {
+    JournalInstant(JournalEventKind::kSnapshotPin, snapshot.generation());
+  }
+  return MonteCarloOn(snapshot, query);
 }
 
 Result<Value> QueryService::Sample(const Query& query) const {
   SvcCounters::Get().queries.Increment();
+  QueryTimer timer(options_.obs_sample_interval, QueryKind::kSample);
   const Snapshot& snapshot = AcquireSnapshotRef();
+  if (ObsSampler::Active()) {
+    JournalInstant(JournalEventKind::kSnapshotPin, snapshot.generation());
+  }
   Rng rng(query.seed);
   const Evaluator& evaluator = snapshot.bundle().evaluator;
   if (query.profile.empty()) {
@@ -590,7 +777,12 @@ Result<QueryOutcome> QueryService::DispatchOn(const Snapshot& snapshot,
 
 Result<QueryOutcome> QueryService::Dispatch(const Query& query) const {
   SvcCounters::Get().queries.Increment();
-  return DispatchOn(AcquireSnapshotRef(), query);
+  QueryTimer timer(options_.obs_sample_interval, query.kind);
+  const Snapshot& snapshot = AcquireSnapshotRef();
+  if (ObsSampler::Active()) {
+    JournalInstant(JournalEventKind::kSnapshotPin, snapshot.generation());
+  }
+  return DispatchOn(snapshot, query);
 }
 
 std::vector<Result<QueryOutcome>> QueryService::EvaluateBatch(
@@ -608,6 +800,10 @@ std::vector<Result<QueryOutcome>> QueryService::EvaluateBatch(
   std::unordered_map<std::string, Result<ExactFold>> folded;
   for (size_t i = 0; i < batch.size(); ++i) {
     const Query& query = batch[i];
+    // Batch items sample through the same per-thread gate as single
+    // queries, so a batch of N advances the countdown N times and its
+    // sampled items land in the same histograms and journal.
+    QueryTimer timer(options_.obs_sample_interval, query.kind);
     if ((query.kind != QueryKind::kExpected &&
          query.kind != QueryKind::kDistribution) ||
         EffectiveMode(query) != DistMode::kEnumerate) {

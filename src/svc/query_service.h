@@ -124,10 +124,20 @@ struct QueryServiceOptions {
   size_t mc_queue_limit = 0;
   // Evaluation budgets / engine. The per-evaluator enumeration cache and
   // MC worker spawning are disabled internally: the service's sharded
-  // cache and bounded pool replace them.
+  // cache and bounded pool replace them. Setting eval.vm_profiler threads
+  // the bytecode VM profiler through every snapshot evaluator, giving
+  // per-interface hot-op attribution for service traffic.
   EvalOptions eval;
   // Calibration for abstract-energy returns (borrowed; may be null).
   const EnergyCalibration* calibration = nullptr;
+  // Continuous observability (src/obs): every N-th query per thread is
+  // timed into the per-kind latency histograms and journalled as a span
+  // (with cache-lookup / snapshot-pin / eval / fold phase spans on the
+  // sampled query). Unsampled queries pay one thread-local countdown.
+  // 0 disables sampling. The default keeps the self-accounted overhead
+  // (eclarity_obs_overhead_ratio) well under the 1% telemetry budget even
+  // at cache-hit speeds (~10^7 queries/s); diagnostic tools can lower it.
+  uint32_t obs_sample_interval = 256;
 };
 
 class QueryService {

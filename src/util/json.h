@@ -1,0 +1,57 @@
+// Minimal JSON string escaping shared by every exporter that renders
+// user-controlled text (trace event names/args, journal payloads, metric
+// help strings). JSON has exactly two mandatory escapes — '"' and '\\' —
+// plus the control range; everything else passes through untouched so
+// UTF-8 payloads survive round trips.
+
+#ifndef ECLARITY_SRC_UTIL_JSON_H_
+#define ECLARITY_SRC_UTIL_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace eclarity {
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_UTIL_JSON_H_

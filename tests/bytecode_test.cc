@@ -18,6 +18,7 @@
 #include "src/eval/ecv_profile.h"
 #include "src/eval/interp.h"
 #include "src/eval/lower.h"
+#include "src/eval/vm_profile.h"
 #include "src/lang/parser.h"
 #include "src/svc/query_service.h"
 #include "tests/parity_programs.h"
@@ -283,6 +284,148 @@ interface f(x) {
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(svc.TotalCacheStats().misses, 2u);
   EXPECT_EQ(Bits(back->joules()), Bits(first->joules()));
+}
+
+// --- VM profiler -----------------------------------------------------------
+
+// Inline-arithmetic interface whose left spine of additions compiles to a
+// kFoldChain superinstruction — the hottest opcode by construction, since
+// one fold-chain dispatch does the work of several binary ops.
+constexpr char kFoldChainSource[] = R"(
+const n_embedding = 256;
+interface E_cnn_forward(image_size, n_zeros) {
+  return 8 * (image_size - n_zeros) * 20nJ
+       + 8 * n_embedding * 0.1nJ
+       + 16 * n_embedding * 1.5nJ;
+}
+)";
+
+TEST(VmProfilerTest, IntervalOneCountsEveryDispatch) {
+  const Program program = MustParse(kFoldChainSource);
+  EvalOptions options;
+  options.engine = EvalEngine::kBytecode;
+  options.enum_cache_capacity = 0;
+  VmProfiler profiler(/*sample_interval=*/1);
+  options.vm_profiler = &profiler;
+  Evaluator evaluator(program, options);
+
+  const std::vector<Value> args = {Value::Number(1024.0), Value::Number(64.0)};
+  constexpr int kRepeats = 50;
+  for (int i = 0; i < kRepeats; ++i) {
+    auto dist = evaluator.EvalDistribution("E_cnn_forward", args, {});
+    ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  }
+
+  const VmProfiler::Snapshot snap = profiler.TakeSnapshot();
+  ASSERT_GT(snap.dispatches, 0u);
+  uint64_t hit_sum = 0;
+  for (const VmProfiler::OpStat& op : snap.ops) {
+    hit_sum += op.hits;
+  }
+  // Hit counters are exact regardless of the sampling interval.
+  EXPECT_EQ(hit_sum, snap.dispatches);
+  // At interval 1 every instruction is timed, except returning ones (they
+  // leave the dispatch loop before the post-dispatch timing hook).
+  EXPECT_GT(snap.samples, 0u);
+  EXPECT_LT(snap.samples, snap.dispatches);
+  EXPECT_GE(snap.samples, snap.dispatches / 2);
+  // The run count is stable across calls: dispatches divide evenly.
+  EXPECT_EQ(snap.dispatches % kRepeats, 0u);
+}
+
+TEST(VmProfilerTest, ProfiledRunIsBitIdenticalToUnprofiled) {
+  const Program program = MustParse(parity::kFig1Source);
+  const std::vector<Value> args = {Value::Number(50176.0),
+                                   Value::Number(10000.0)};
+
+  EvalOptions plain;
+  plain.engine = EvalEngine::kBytecode;
+  plain.enum_cache_capacity = 0;
+  Evaluator unprofiled(program, plain);
+  auto reference = unprofiled.EvalDistribution("E_ml_webservice_handle", args, {});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  VmProfiler profiler(/*sample_interval=*/2);
+  EvalOptions profiled = plain;
+  profiled.vm_profiler = &profiler;
+  Evaluator instrumented(program, profiled);
+  auto observed = instrumented.EvalDistribution("E_ml_webservice_handle", args, {});
+  ASSERT_TRUE(observed.ok()) << observed.status().ToString();
+
+  EXPECT_EQ(Bits(observed->Mean()), Bits(reference->Mean()));
+  ASSERT_EQ(observed->atoms().size(), reference->atoms().size());
+  for (size_t i = 0; i < reference->atoms().size(); ++i) {
+    EXPECT_EQ(Bits(observed->atoms()[i].value), Bits(reference->atoms()[i].value));
+    EXPECT_EQ(Bits(observed->atoms()[i].probability),
+              Bits(reference->atoms()[i].probability));
+  }
+  EXPECT_GT(profiler.TakeSnapshot().dispatches, 0u);
+}
+
+TEST(VmProfilerTest, FoldChainIsHottestOpOnBenchShape) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "sanitizer instrumentation distorts per-op timings";
+#endif
+  const Program program = MustParse(kFoldChainSource);
+  EvalOptions options;
+  options.engine = EvalEngine::kBytecode;
+  options.enum_cache_capacity = 0;
+  VmProfiler profiler(/*sample_interval=*/4);
+  options.vm_profiler = &profiler;
+  Evaluator evaluator(program, options);
+
+  const std::vector<Value> args = {Value::Number(1024.0), Value::Number(64.0)};
+  for (int i = 0; i < 3000; ++i) {
+    auto dist = evaluator.EvalDistribution("E_cnn_forward", args, {});
+    ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  }
+
+  const VmProfiler::Snapshot snap = profiler.TakeSnapshot();
+  ASSERT_FALSE(snap.ops.empty());
+  // The random-phase systematic sampler must reach every site, not alias
+  // onto one pc (runs here are much shorter than the sampling period).
+  size_t sampled_sites = 0;
+  for (const VmProfiler::SiteStat& site : snap.sites) {
+    if (site.samples > 0) {
+      ++sampled_sites;
+    }
+  }
+  EXPECT_GE(sampled_sites, 4u);
+  EXPECT_EQ(snap.HottestOp(), "kFoldChain");
+}
+
+TEST(VmProfilerTest, QueryServiceAttributesCostPerInterface) {
+  QueryService::Options options;
+  options.eval.engine = EvalEngine::kBytecode;
+  options.cache_capacity = 2;  // tiny: most queries re-fold and re-eval
+  VmProfiler profiler(/*sample_interval=*/2);
+  options.eval.vm_profiler = &profiler;
+  auto service =
+      QueryService::Create(MustParse(parity::kFig1Source), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  for (int i = 0; i < 256; ++i) {
+    Query query;
+    query.interface = "E_ml_webservice_handle";
+    query.args = {Value::Number(1000.0 + i), Value::Number(100.0)};
+    query.kind = QueryKind::kExpected;
+    auto outcome = (*service)->Dispatch(query);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+
+  const VmProfiler::Snapshot snap = profiler.TakeSnapshot();
+  ASSERT_GT(snap.dispatches, 0u);
+  ASSERT_FALSE(snap.ifaces.empty());
+  // Every sampled site resolves to a real interface of the program.
+  for (const VmProfiler::IfaceStat& iface : snap.ifaces) {
+    EXPECT_TRUE(iface.iface == "E_ml_webservice_handle" ||
+                iface.iface == "E_cache_lookup" ||
+                iface.iface == "E_cnn_forward")
+        << iface.iface;
+  }
+  // The formatted report carries the per-interface table.
+  const std::string report = FormatVmProfile(snap);
+  EXPECT_NE(report.find("E_"), std::string::npos);
 }
 
 }  // namespace

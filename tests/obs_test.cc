@@ -16,10 +16,12 @@
 #include "src/ml/gpt2.h"
 #include "src/ml/gpt2_iface.h"
 #include "src/obs/accuracy.h"
+#include "src/obs/latency.h"
 #include "src/obs/metrics.h"
 #include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/stack/stack.h"
+#include "src/util/json.h"
 #include "src/util/logging.h"
 
 namespace eclarity {
@@ -104,6 +106,90 @@ TEST(MetricsTest, ResetAllKeepsReferencesValid) {
   EXPECT_EQ(c.value(), 0u);
   c.Increment();
   EXPECT_EQ(c.value(), 1u);
+}
+
+// --- JSON escaping ---------------------------------------------------------
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("tab\there\nnewline"), "tab\\there\\nnewline");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01middle")), "nul\\u0001middle");
+  EXPECT_EQ(JsonEscape("\b\f\r"), "\\b\\f\\r");
+  // UTF-8 passes through byte-for-byte (only ASCII controls are escaped).
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(MetricsTest, JsonExportEscapesMetricNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\ncontrols", "").Increment();
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrols"), std::string::npos);
+  // The raw quote must not survive unescaped inside the key.
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
+// --- Latency histogram -----------------------------------------------------
+
+TEST(LatencyHistogramTest, ExactBucketsBelowSixteen) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketValue(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneWithBoundedError) {
+  size_t prev_idx = 0;
+  for (uint64_t v = 1; v < (1ull << 40); v = v * 5 / 4 + 1) {
+    const size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_GE(idx, prev_idx) << "v=" << v;
+    prev_idx = idx;
+    // The bucket midpoint is within one sub-bucket (~6%) of the value.
+    const double mid = static_cast<double>(LatencyHistogram::BucketValue(idx));
+    const double rel = std::abs(mid - static_cast<double>(v)) /
+                       static_cast<double>(v);
+    EXPECT_LT(rel, 1.0 / LatencyHistogram::kSubBuckets) << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesOnKnownPopulation) {
+  LatencyHistogram hist;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.Count(), 1000u);
+  EXPECT_EQ(hist.SumNs(), 500500u);
+  EXPECT_EQ(hist.MaxNs(), 1000u);
+  // Quantiles come back as bucket midpoints: exact to within the ~6%
+  // bucket resolution.
+  EXPECT_NEAR(static_cast<double>(hist.QuantileNs(0.5)), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(hist.QuantileNs(0.9)), 900.0, 900.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(hist.QuantileNs(0.99)), 990.0, 990.0 * 0.07);
+  EXPECT_EQ(hist.QuantileNs(0.0), hist.QuantileNs(0.001));
+
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.QuantileNs(0.5), 0u);
+}
+
+TEST(MetricsTest, LatencyExportsJsonAndPrometheusSummary) {
+  MetricsRegistry registry;
+  LatencyHistogram& hist =
+      registry.GetLatencyHistogram("test_latency_ns", "query latency");
+  for (uint64_t v = 100; v <= 200; ++v) {
+    hist.Record(v);
+  }
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"test_latency_ns\":{\"count\":101"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999_ns\":"), std::string::npos);
+
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE test_latency_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_ns{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_ns_count 101"), std::string::npos);
 }
 
 // --- Tracing ---------------------------------------------------------------

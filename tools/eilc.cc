@@ -21,14 +21,25 @@
 //   eilc chaos  FILE ENTRY ARGS... [--plan=PLAN.json] [--reads=N]
 //                                        audit the entry's prediction against
 //                                        a fault-injected telemetry counter
+//   eilc profile FILE ENTRY ARGS... [--repeat=N] [--sample=N]
+//                                        run the entry N times on the
+//                                        bytecode VM with the sampling
+//                                        profiler attached and print hot
+//                                        opcodes, hot instruction sites, and
+//                                        per-interface attribution
 //   eilc serve  FILE ENTRY ARGS... [--threads=N] [--requests=M] [--batch=K]
-//               [--engine=tree|fastpath|bytecode]
+//               [--engine=tree|fastpath|bytecode] [--journal[=OUT.json]]
 //                                        drive the concurrent query service
 //                                        with N client threads x M mixed
 //                                        queries, verify the run is
 //                                        bit-identical to a single-threaded
-//                                        replay, and report throughput +
-//                                        cache/metric statistics
+//                                        replay, and report throughput,
+//                                        sampled latency percentiles, the
+//                                        self-accounted telemetry overhead
+//                                        ratio, and cache/metric statistics;
+//                                        --journal drains the flight
+//                                        recorder (text to stdout, Chrome
+//                                        trace JSON to OUT.json)
 //
 // Numeric ARGS are numbers; `true`/`false` are booleans. --ecv NAME=VALUE
 // pins an ECV (VALUE in {true,false} or a number); --ecv NAME~P sets a
@@ -53,6 +64,7 @@
 
 #include "src/eval/interp.h"
 #include "src/eval/interval.h"
+#include "src/eval/vm_profile.h"
 #include "src/fault/guard.h"
 #include "src/fault/inject.h"
 #include "src/fault/plan.h"
@@ -62,6 +74,8 @@
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/obs/accuracy.h"
+#include "src/obs/budget.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/provenance.h"
 #include "src/obs/trace.h"
@@ -82,9 +96,11 @@ int Usage() {
                " [--chrome-trace OUT.json]\n"
                "       eilc chaos FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
                " [--plan=PLAN.json] [--reads=N]\n"
+               "       eilc profile FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
+               " [--repeat=N] [--sample=N]\n"
                "       eilc serve FILE ENTRY ARGS... [--ecv NAME=V|NAME~P]"
                " [--threads=N] [--requests=M] [--batch=K]"
-               " [--engine=tree|fastpath|bytecode]\n"
+               " [--engine=tree|fastpath|bytecode] [--journal[=OUT.json]]\n"
                "exit codes:\n"
                "  0  success\n"
                "  1  error (I/O, parse, static check, evaluation)\n"
@@ -594,6 +610,95 @@ int Chaos(const std::string& path, const std::string& entry,
   return 0;
 }
 
+// Profiles the bytecode VM: evaluates the entry --repeat times with the
+// sampling VmProfiler attached and prints the hot-opcode / hot-site /
+// per-interface tables. The per-evaluator enumeration cache is disabled so
+// every repeat actually executes the VM (a cached repeat would profile
+// nothing), and the profiler's own cost is charged to the ObsBudget by the
+// merge path, so the run also demonstrates the telemetry overhead story.
+int Profile(const std::string& path, const std::string& entry,
+            std::vector<std::string> rest) {
+  long repeat = 1000;
+  long sample = 8;
+  std::vector<std::string> kept;
+  for (const std::string& arg : rest) {
+    auto parse_long = [&arg](const char* flag, long* out) {
+      const size_t len = std::strlen(flag);
+      if (arg.rfind(flag, 0) != 0) {
+        return false;
+      }
+      char* end = nullptr;
+      const long v = std::strtol(arg.c_str() + len, &end, 10);
+      *out = (end == nullptr || *end != '\0' || v <= 0) ? 0 : v;
+      return true;
+    };
+    if (parse_long("--repeat=", &repeat) || parse_long("--sample=", &sample)) {
+      continue;
+    }
+    kept.push_back(arg);
+  }
+  if (repeat == 0 || sample == 0) {
+    std::fprintf(stderr, "--repeat/--sample expect positive integers\n");
+    return 2;
+  }
+  rest = std::move(kept);
+
+  auto source = ReadFile(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = ParseProgram(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto profile = ExtractProfile(rest);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Value> args;
+  for (const std::string& text : rest) {
+    auto v = ParseValueArg(text);
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+      return 1;
+    }
+    args.push_back(*v);
+  }
+
+  EvalOptions options;
+  options.engine = EvalEngine::kBytecode;
+  options.enum_cache_capacity = 0;
+  VmProfiler profiler(static_cast<uint32_t>(sample));
+  options.vm_profiler = &profiler;
+  Evaluator evaluator(*program, options);
+  double expected = 0.0;
+  for (long i = 0; i < repeat; ++i) {
+    auto dist = evaluator.EvalDistribution(entry, args, *profile);
+    if (!dist.ok()) {
+      return FailWith(dist.status());
+    }
+    expected = dist->Mean();
+  }
+  const VmProfiler::Snapshot snap = profiler.TakeSnapshot();
+  if (snap.dispatches == 0) {
+    std::fprintf(stderr,
+                 "bytecode VM never ran (compilation fell back to the fast "
+                 "path); nothing to profile\n");
+    return 1;
+  }
+  std::printf("entry:        %s -> %s expected\n", entry.c_str(),
+              Energy::Joules(expected).ToString().c_str());
+  std::printf("repeats:      %ld (sample interval %ld, timer overhead "
+              "%.1f ns)\n",
+              repeat, sample, profiler.timer_overhead_ns());
+  std::printf("%s", FormatVmProfile(snap).c_str());
+  ObsBudget::Global().Publish();
+  return 0;
+}
+
 // Drives the concurrent QueryService the way a resource manager would: N
 // client threads each issue M queries against one published snapshot. The
 // mix is mostly exact expectations with an exact distribution every 16th
@@ -607,12 +712,23 @@ int Serve(const std::string& path, const std::string& entry,
   size_t threads = 4;
   size_t requests = 256;
   size_t batch = 1;
+  bool journal = false;
+  std::string journal_out;
   QueryService::Options svc_options;
   if (const int rc = ExtractEngine(rest, &svc_options.eval.engine); rc != 0) {
     return rc;
   }
   std::vector<std::string> kept;
   for (const std::string& arg : rest) {
+    if (arg == "--journal") {
+      journal = true;
+      continue;
+    }
+    if (arg.rfind("--journal=", 0) == 0) {
+      journal = true;
+      journal_out = arg.substr(10);
+      continue;
+    }
     auto parse_size = [&arg](const char* flag, size_t* out) {
       const size_t len = std::strlen(flag);
       if (arg.rfind(flag, 0) != 0) {
@@ -778,6 +894,49 @@ int Serve(const std::string& path, const std::string& entry,
   std::printf("determinism:  %zu/%zu fingerprints match the single-threaded "
               "replay\n",
               total - divergences, total);
+  // Sampled per-kind latency percentiles (the serve summary line the docs
+  // promise). Kinds that never sampled a query print nothing.
+  for (const char* kind : {"expected", "distribution", "montecarlo",
+                           "sample"}) {
+    const LatencyHistogram& hist = MetricsRegistry::Global().GetLatencyHistogram(
+        std::string("eclarity_svc_latency_ns_") + kind);
+    if (hist.Count() == 0) {
+      continue;
+    }
+    std::printf("latency:      %-12s p50 %llu ns, p90 %llu ns, p99 %llu ns, "
+                "p99.9 %llu ns (%llu sampled)\n",
+                kind,
+                static_cast<unsigned long long>(hist.QuantileNs(0.5)),
+                static_cast<unsigned long long>(hist.QuantileNs(0.9)),
+                static_cast<unsigned long long>(hist.QuantileNs(0.99)),
+                static_cast<unsigned long long>(hist.QuantileNs(0.999)),
+                static_cast<unsigned long long>(hist.Count()));
+  }
+  ObsBudget::Global().Publish();
+  std::printf("obs overhead: %.6f of observed work "
+              "(eclarity_obs_overhead_ratio; budget < 0.01)\n",
+              ObsBudget::Global().OverheadRatio());
+  if (journal) {
+    const std::vector<JournalEvent> events = Journal::Global().Drain();
+    std::printf("journal:      %zu events drained (%llu recorded, %llu "
+                "dropped to ring wraps)\n",
+                events.size(),
+                static_cast<unsigned long long>(
+                    Journal::Global().TotalRecorded()),
+                static_cast<unsigned long long>(
+                    Journal::Global().TotalDropped()));
+    if (!journal_out.empty()) {
+      std::ofstream out(journal_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", journal_out.c_str());
+        return 1;
+      }
+      WriteJournalChromeTrace(events, out);
+      std::printf("journal trace: %s\n", journal_out.c_str());
+    } else {
+      std::printf("%s", FormatJournal(events).c_str());
+    }
+  }
   std::printf("\n--- metrics (Prometheus text) ---\n%s",
               MetricsRegistry::Global().ToPrometheusText().c_str());
   if (divergences > 0) {
@@ -856,6 +1015,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "chaos") {
     return Chaos(path, entry, std::move(rest));
+  }
+  if (command == "profile") {
+    return Profile(path, entry, std::move(rest));
   }
   if (command == "serve") {
     return Serve(path, entry, std::move(rest));
