@@ -44,7 +44,8 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument(
         "--filter",
-        default=r"BM_EnumerateFig1|BM_ServiceThroughput/real_time/threads:1$")
+        default=r"BM_EnumerateFig1|BM_ServiceThroughput/real_time/threads:1$"
+                r"|BM_BatchVsSingle|BM_EasScoreBatch")
     parser.add_argument("--factor", type=float, default=2.0)
     parser.add_argument("--min-time", type=float, default=0.25)
     parser.add_argument(

@@ -416,7 +416,43 @@ void BM_BatchVsSingle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(batch_size));
 }
-BENCHMARK(BM_BatchVsSingle)->Arg(1)->Arg(16)->Arg(64);
+BENCHMARK(BM_BatchVsSingle)->Arg(1)->Arg(8)->Arg(16)->Arg(64)->Arg(512);
+
+// Interface-EAS placement scoring: every Place() call evaluates all
+// candidate (core, OPP) pairs through one EvaluateBatch pass. The task's
+// demand pattern is long enough (4000 phases x ~6 candidates) to overflow
+// the 4096-entry joules memo, so successive quanta keep paying the batched
+// scoring pass instead of degenerating into pure memo hits. Items are
+// placements per second.
+void BM_EasScoreBatch(benchmark::State& state) {
+  const CpuProfile profile = BigLittleProfile();
+  const Duration quantum = Duration::Milliseconds(10.0);
+  const std::vector<Task> tasks = {
+      Task::Transcode("video", 400, 3600, 2.2e7, 5e4)};
+  static auto* scheduler = [] {
+    const CpuProfile p = BigLittleProfile();
+    const std::vector<Task> t = {Task::Transcode("video", 400, 3600, 2.2e7, 5e4)};
+    auto created =
+        InterfaceEasScheduler::Create(t, p, Duration::Milliseconds(10.0));
+    return created.ok() ? created->release() : nullptr;
+  }();
+  if (scheduler == nullptr) {
+    state.SkipWithError("scheduler creation failed");
+    return;
+  }
+  (void)quantum;
+  CpuDevice device(profile);
+  const std::vector<bool> used_cores(static_cast<size_t>(device.CoreCount()),
+                                     false);
+  static int q = 0;
+  for (auto _ : state) {
+    auto placement =
+        scheduler->Place(tasks[0], q++, 0.5, device, used_cores);
+    benchmark::DoNotOptimize(placement.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EasScoreBatch);
 
 }  // namespace
 }  // namespace eclarity

@@ -1,0 +1,124 @@
+// Structure-of-arrays batch evaluation: one compiled interface over many
+// argument vectors per pass (ROADMAP item 3; see DESIGN.md, "Batch
+// evaluation").
+//
+// A BatchPlan binds an evaluator and an entry interface; each pass runs the
+// lowered program once per enumeration path (or Monte Carlo sample) with
+// every value held as a *column*: one entry per lane, contiguous per slot.
+// Term loops over number planes are plain `double` loops the compiler can
+// vectorize; constants and shared ECV draws stay one scalar for the whole
+// pass. The engine is strictly opportunistic: whenever it cannot prove the
+// vector pass bit-identical to running each lane alone on the scalar
+// engine — divergent control flow, a per-lane error, an unsupported
+// construct — it abandons the pass and reruns every lane on the scalar
+// interpreter (the reference semantics), counting the retreat in
+// eclarity_eval_batch_scalar_fallbacks_total. Answers are therefore
+// positionally bit-identical to scalar dispatch by construction, including
+// error codes and messages.
+//
+// The BatchPlan/BatchFrame split is backend-neutral: a plan owns no
+// execution state, and a frame is plain columnar storage (tagged planes of
+// doubles/bools/values), so an accelerator backend (GPU/OpenCL) can consume
+// the same frames and implement the same abort-to-scalar contract without
+// touching the callers.
+
+#ifndef ECLARITY_SRC_EVAL_BATCH_H_
+#define ECLARITY_SRC_EVAL_BATCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dist/distribution.h"
+#include "src/eval/ecv_profile.h"
+#include "src/lang/value.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace eclarity {
+
+class EnergyCalibration;
+class Evaluator;
+
+// One value column: `width` lanes of a single frame slot. Uniform columns
+// carry one scalar for every lane (constants, shared ECV draws); number and
+// bool columns are contiguous planes the inner term loops run over; the
+// value plane is the general per-lane form (mixed kinds, energies).
+struct BatchColumn {
+  enum class Tag : uint8_t {
+    kUniform,  // every lane holds `uniform`
+    kNumbers,  // per-lane doubles (SIMD-friendly plane)
+    kBools,    // per-lane booleans
+    kValues,   // per-lane Values (energies / mixed kinds)
+  };
+
+  Tag tag = Tag::kUniform;
+  Value uniform;
+  std::vector<double> nums;
+  std::vector<uint8_t> bools;
+  std::vector<Value> vals;
+};
+
+// Columnar storage for one call frame: one column per lowered frame slot.
+// Plain data so alternative backends can fill/consume frames directly.
+struct BatchFrame {
+  size_t width = 0;
+  std::vector<BatchColumn> slots;
+};
+
+// One lane's folded exact answer: the enumeration folded through the same
+// canonical (OutcomeJoules -> Distribution::Categorical -> Mean) path the
+// scalar fold uses, so batch answers share bits with single dispatch.
+struct BatchLaneFold {
+  Distribution distribution;
+  double mean = 0.0;
+};
+
+class BatchPlan {
+ public:
+  // Binds the plan to `evaluator` (must outlive the plan) and an entry
+  // interface. Never fails: entry points the vector engine cannot serve
+  // simply run every lane on the scalar engine.
+  BatchPlan(const Evaluator& evaluator, std::string interface_name);
+
+  const std::string& interface_name() const { return interface_name_; }
+
+  // Exact enumeration, one lane per argument vector, all lanes sharing
+  // `profile` (callers group by effective-profile fingerprint first).
+  // Lanes are processed in SoA tiles; a tile that cannot be vector-served
+  // falls back lane by lane to the scalar enumeration. Results align
+  // positionally with `lane_args` and are bit-identical — values, error
+  // codes and messages — to folding each lane through the scalar engine.
+  std::vector<Result<BatchLaneFold>> EnumerateFold(
+      const std::vector<const std::vector<Value>*>& lane_args,
+      const EcvProfile& profile, const EnergyCalibration* calibration) const;
+
+  // Monte Carlo lane sums: lane l draws counts[l] samples from its own RNG
+  // stream (a copy of rngs[l]; the caller's objects are never advanced),
+  // accumulating Joules in sample order. counts must be non-increasing so
+  // active lanes stay a prefix (Evaluator::MonteCarloMean's chunk layout).
+  // Returns per-lane sums bit-identical to running each lane's chunk on the
+  // scalar sampler, or nullopt when the vector pass had to abort (the
+  // caller reruns its scalar chunk loop; the abort is already counted).
+  std::optional<std::vector<double>> SampleSums(
+      const std::vector<Value>& args, const EcvProfile& profile,
+      const EnergyCalibration* calibration, const std::vector<Rng>& rngs,
+      const std::vector<size_t>& counts) const;
+
+  // Lanes per SoA tile in EnumerateFold: bounds per-pass atom storage while
+  // keeping the number planes long enough to vectorize.
+  static constexpr size_t kTileLanes = 64;
+
+ private:
+  Result<BatchLaneFold> ScalarLaneFold(
+      const std::vector<Value>& args, const EcvProfile& profile,
+      const EnergyCalibration* calibration) const;
+
+  const Evaluator* evaluator_;
+  std::string interface_name_;
+};
+
+}  // namespace eclarity
+
+#endif  // ECLARITY_SRC_EVAL_BATCH_H_

@@ -253,6 +253,10 @@ class Evaluator {
   size_t analytic_cache_misses() const;
 
  private:
+  // The SoA batch engine (eval/batch) interprets lowered_ directly and
+  // shares options_; it is an alternative execution frontend, not a client.
+  friend class BatchPlan;
+
   Result<std::vector<WeightedOutcome>> EnumerateUncached(
       const std::string& interface_name, const std::vector<Value>& args,
       const EcvProfile& profile) const;

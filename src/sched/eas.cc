@@ -243,8 +243,21 @@ Result<double> InterfaceEasScheduler::CandidateEnergy(const Task& task,
 Result<Placement> InterfaceEasScheduler::Place(
     const Task& task, int quantum, double /*history_utilization*/,
     const CpuDevice& device, const std::vector<bool>& used_cores) {
-  double best_energy = std::numeric_limits<double>::infinity();
-  Placement best{-1, 0};
+  // Collect every candidate placement (cluster x OPP, first free core per
+  // cluster) up front, probing the memo per candidate; the memo misses are
+  // then scored in ONE EvaluateBatch — one snapshot acquisition, one
+  // fingerprint per effective profile, and one grouped SoA pass — instead
+  // of a full dispatch per candidate.
+  const int phase = quantum % static_cast<int>(task.pattern.size());
+  struct Candidate {
+    int core;
+    int cluster;
+    int opp;
+    std::string memo_key;
+    double energy = 0.0;
+    bool resolved = false;
+  };
+  std::vector<Candidate> candidates;
   int core_base = 0;
   for (size_t cluster_idx = 0; cluster_idx < profile_.clusters.size();
        ++cluster_idx) {
@@ -261,18 +274,67 @@ Result<Placement> InterfaceEasScheduler::Place(
       continue;
     }
     for (size_t opp = 0; opp < cluster.type.opps.size(); ++opp) {
-      ECLARITY_ASSIGN_OR_RETURN(
-          double energy,
-          CandidateEnergy(task, quantum, static_cast<int>(cluster_idx),
-                          static_cast<int>(opp)));
-      if (energy < best_energy) {
-        best_energy = energy;
-        best = {core, static_cast<int>(opp), energy};
+      Candidate cand{core, static_cast<int>(cluster_idx),
+                     static_cast<int>(opp), std::string()};
+      std::ostringstream key;
+      key << task.name << "/" << phase << "/" << cand.cluster << "/"
+          << cand.opp;
+      cand.memo_key = key.str();
+      if (const std::optional<double> cached = memo_.Get(cand.memo_key)) {
+        SchedCounters::Get().memo_hits.Increment();
+        cand.energy = *cached;
+        cand.resolved = true;
+      } else {
+        SchedCounters::Get().memo_misses.Increment();
+      }
+      candidates.push_back(std::move(cand));
+    }
+  }
+  if (candidates.empty()) {
+    return ResourceExhaustedError("no free core for task '" + task.name + "'");
+  }
+
+  std::vector<size_t> miss_index;
+  std::vector<Query> queries;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].resolved) {
+      continue;
+    }
+    miss_index.push_back(i);
+    Query query;
+    query.interface = "E_task_" + task.name + "_quantum";
+    query.args = {Value::Number(static_cast<double>(phase)),
+                  Value::Number(static_cast<double>(candidates[i].cluster)),
+                  Value::Number(static_cast<double>(candidates[i].opp))};
+    queries.push_back(std::move(query));
+  }
+  if (!queries.empty()) {
+    const std::vector<Result<QueryOutcome>> outcomes =
+        service_->EvaluateBatch(queries);
+    for (size_t j = 0; j < miss_index.size(); ++j) {
+      // Candidate order is batch order, so the first failing outcome is the
+      // same error the candidate-at-a-time loop would have returned.
+      if (!outcomes[j].ok()) {
+        return outcomes[j].status();
+      }
+      Candidate& cand = candidates[miss_index[j]];
+      cand.energy = outcomes[j]->joules;
+      cand.resolved = true;
+      if (memo_.Put(cand.memo_key, cand.energy)) {
+        SchedCounters::Get().memo_evictions.Increment();
       }
     }
   }
-  if (best.core < 0) {
-    return ResourceExhaustedError("no free core for task '" + task.name + "'");
+
+  // Strict `<` over the original candidate order preserves the scalar
+  // loop's tie-breaking exactly.
+  double best_energy = std::numeric_limits<double>::infinity();
+  Placement best{-1, 0};
+  for (const Candidate& cand : candidates) {
+    if (cand.energy < best_energy) {
+      best_energy = cand.energy;
+      best = {cand.core, cand.opp, cand.energy};
+    }
   }
   best.uncertainty_joules =
       best.predicted_joules *

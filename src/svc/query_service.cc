@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <deque>
+#include <map>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "src/eval/batch.h"
 #include "src/obs/budget.h"
 #include "src/obs/journal.h"
 #include "src/obs/metrics.h"
@@ -25,6 +29,7 @@ struct SvcCounters {
   Counter& tl_fold_misses;
   Counter& snapshot_swaps;
   Counter& mc_requests;
+  Counter& profile_fingerprints;
 
   static SvcCounters& Get() {
     static SvcCounters* counters = new SvcCounters{
@@ -57,6 +62,10 @@ struct SvcCounters {
         MetricsRegistry::Global().GetCounter(
             "eclarity_svc_mc_requests_total",
             "Monte Carlo requests run on the service pool"),
+        MetricsRegistry::Global().GetCounter(
+            "eclarity_svc_profile_fingerprints_total",
+            "effective-profile merges + fingerprints computed for "
+            "override-carrying exact queries"),
     };
     return *counters;
   }
@@ -109,6 +118,14 @@ struct SvcLatency {
 // side of the overhead ratio.
 thread_local double tl_phase_obs_ns = 0.0;
 
+// Batch-scope work accounting. Inside EvaluateBatch the per-item spans only
+// cover pass-1 probes — the shared group passes and per-batch setup run
+// outside them — so per-item timers must not credit work (the batch-level
+// timer owns the whole wall time) and instead accumulate their
+// instrumentation cost here for the batch timer to subtract.
+thread_local bool tl_batch_active = false;
+thread_local double tl_batch_obs_ns = 0.0;
+
 // Records an instantaneous sampled event (the journal stamps the clock).
 void JournalInstant(JournalEventKind kind, uint64_t a) {
   Journal::Global().Record(kind, a);
@@ -133,7 +150,12 @@ void JournalPhase(JournalEventKind kind, uint64_t a, uint64_t t0) {
 // is charged as observability.
 class QueryTimer {
  public:
-  QueryTimer(uint32_t interval, QueryKind kind) : kind_(kind) {
+  // `credit_work=false` is the EvaluateBatch per-item mode: the span still
+  // samples, journals, and feeds the latency histogram, but work crediting
+  // belongs to the enclosing BatchWorkTimer (per-item spans cover only the
+  // pass-1 probe, not the shared group passes).
+  QueryTimer(uint32_t interval, QueryKind kind, bool credit_work = true)
+      : kind_(kind), credit_work_(credit_work) {
     if (ObsSampler::Tick(interval)) {
       interval_ = interval;
       tl_phase_obs_ns = 0.0;
@@ -155,12 +177,20 @@ class QueryTimer {
     const double phase_obs =
         tl_phase_obs_ns < static_cast<double>(dur) ? tl_phase_obs_ns
                                                    : static_cast<double>(dur);
-    budget.AddWorkNs((static_cast<double>(dur) - phase_obs) * interval_);
+    if (credit_work_) {
+      budget.AddWorkNs((static_cast<double>(dur) - phase_obs) * interval_);
+    }
     // after - end prices the histogram + journal + EndSample work directly;
     // the remaining clock reads and the unsampled ticks are calibrated.
     const uint64_t after = ObsNowNs();
-    budget.AddObsNs(static_cast<double>(after - end) + phase_obs +
-                    3.0 * budget.clock_read_ns() +
+    const double own_obs = static_cast<double>(after - end) + phase_obs +
+                           3.0 * budget.clock_read_ns();
+    if (!credit_work_ && tl_batch_active) {
+      // Ran inside a sampled batch: this instrumentation sits inside the
+      // batch's wall time and must not be credited as batch work.
+      tl_batch_obs_ns += own_obs;
+    }
+    budget.AddObsNs(own_obs +
                     static_cast<double>(interval_) * budget.sampler_tick_ns());
   }
 
@@ -169,7 +199,59 @@ class QueryTimer {
 
  private:
   const QueryKind kind_;
+  const bool credit_work_ = true;
   uint32_t interval_ = 0;  // 0: this query is not sampled
+  uint64_t start_ns_ = 0;
+};
+
+// Whole-batch work scope for EvaluateBatch. Per-item spans there cover only
+// the pass-1 probe (memo/table hits are a few ns), while the per-batch
+// setup, the grouped SoA passes, and the fix-up pass run outside them — so
+// crediting work per item both undercounts (shared passes vanish) and
+// distorts the ratio (a memo hit measures ~20 ns of "work" against a fixed
+// per-sample telemetry cost). Instead: 1-in-N *batches* (own gate, so the
+// per-item cadence that tests pin down is untouched) measure the whole call
+// and credit (duration - inner instrumentation) x interval as work. The
+// unsampled-batch cost is one countdown, priced like a sampler tick.
+class BatchWorkTimer {
+ public:
+  BatchWorkTimer(uint32_t interval, size_t items) : items_(items) {
+    static thread_local uint32_t countdown = 1;
+    if (interval == 0 || --countdown != 0) {
+      return;
+    }
+    countdown = interval;
+    interval_ = interval;
+    tl_batch_active = true;
+    tl_batch_obs_ns = 0.0;
+    start_ns_ = ObsNowNs();
+  }
+
+  ~BatchWorkTimer() {
+    if (interval_ == 0) {
+      return;
+    }
+    const uint64_t end = ObsNowNs();
+    tl_batch_active = false;
+    ObsBudget& budget = ObsBudget::Global();
+    // Every item paid its own per-item sampler tick inside this wall time.
+    double inner_obs = tl_batch_obs_ns +
+                       static_cast<double>(items_) * budget.sampler_tick_ns();
+    const double dur = static_cast<double>(end - start_ns_);
+    if (inner_obs > dur) {
+      inner_obs = dur;
+    }
+    budget.AddWorkNs((dur - inner_obs) * interval_);
+    budget.AddObsNs(2.0 * budget.clock_read_ns() +
+                    static_cast<double>(interval_) * budget.sampler_tick_ns());
+  }
+
+  BatchWorkTimer(const BatchWorkTimer&) = delete;
+  BatchWorkTimer& operator=(const BatchWorkTimer&) = delete;
+
+ private:
+  const size_t items_;
+  uint32_t interval_ = 0;  // 0: this batch is not sampled
   uint64_t start_ns_ = 0;
 };
 
@@ -222,7 +304,11 @@ class QueryService::Snapshot {
   Snapshot(std::shared_ptr<const Bundle> bundle, EcvProfile profile)
       : bundle_(std::move(bundle)),
         profile_(std::move(profile)),
-        profile_fingerprint_(profile_.Fingerprint()) {}
+        profile_fingerprint_(profile_.Fingerprint()),
+        unique_id_([] {
+          static std::atomic<uint64_t> next{1};
+          return next.fetch_add(1, std::memory_order_relaxed);
+        }()) {}
 
   const Bundle& bundle() const { return *bundle_; }
   std::shared_ptr<const Bundle> bundle_ptr() const { return bundle_; }
@@ -231,11 +317,17 @@ class QueryService::Snapshot {
   const std::string& profile_fingerprint() const {
     return profile_fingerprint_;
   }
+  // Process-unique identity of this exact snapshot object. publish_seq_
+  // cannot serve as one: the writer stores the snapshot before bumping the
+  // sequence, so two readers observing equal sequences may hold different
+  // snapshots. Memoization keyed on this id can never mix worlds.
+  uint64_t unique_id() const { return unique_id_; }
 
  private:
   std::shared_ptr<const Bundle> bundle_;
   EcvProfile profile_;
   std::string profile_fingerprint_;
+  const uint64_t unique_id_;
 };
 
 // --- Bounded Monte Carlo worker pool ----------------------------------------
@@ -380,8 +472,8 @@ QueryService::~QueryService() = default;
 const std::shared_ptr<const QueryService::Snapshot>&
 QueryService::SnapshotSlot() const {
   // Per-thread snapshot cache, revalidated against publish_seq_: while no
-  // writer publishes, acquisition is one atomic load instead of the
-  // (locked) atomic shared_ptr load. A thread that stops querying keeps
+  // writer publishes, acquisition is one atomic load instead of taking
+  // the snapshot mutex. A thread that stops querying keeps
   // its last snapshot pinned until it queries again or exits — standard
   // RCU-reader behaviour, bounded by the thread count.
   struct TlSnapshot {
@@ -394,9 +486,14 @@ QueryService::SnapshotSlot() const {
   if (tl.svc_id == svc_id_ && tl.seq == seq) {
     return tl.snapshot;
   }
-  // The writer stores the snapshot before bumping publish_seq_, so having
-  // observed `seq` guarantees this load sees at least that publication.
-  tl.snapshot = snapshot_.load(std::memory_order_acquire);
+  // The writer publishes the snapshot (under the mutex) before bumping
+  // publish_seq_, so having observed `seq` guarantees this read sees at
+  // least that publication — possibly a newer one, which is fine: the
+  // freshness contract is monotonic, not exact.
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    tl.snapshot = snapshot_;
+  }
   tl.svc_id = svc_id_;
   tl.seq = seq;
   return tl.snapshot;
@@ -409,8 +506,12 @@ std::shared_ptr<const QueryService::Snapshot> QueryService::AcquireSnapshot()
 
 void QueryService::UpdateProfile(EcvProfile profile) {
   // Readers that already hold the old snapshot keep it alive through their
-  // shared_ptr; the store only redirects *future* acquisitions.
-  auto current = snapshot_.load(std::memory_order_acquire);
+  // shared_ptr; publication only redirects *future* acquisitions.
+  std::shared_ptr<const Snapshot> current;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    current = snapshot_;
+  }
   auto next = std::make_shared<const Snapshot>(current->bundle_ptr(),
                                                std::move(profile));
   // Re-specialize from the already-lowered IR before publication. The
@@ -422,7 +523,10 @@ void QueryService::UpdateProfile(EcvProfile profile) {
   next->bundle().evaluator.PrepareSpecialized(next->profile());
   Journal::Global().Record(JournalEventKind::kRespecialize, generation, 0,
                            spec_t0, ObsNowNs() - spec_t0);
-  snapshot_.store(std::move(next), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
   publish_seq_.fetch_add(1, std::memory_order_release);
   SvcCounters::Get().snapshot_swaps.Increment();
   // Writer-path events are rare enough to journal unsampled; their cost is
@@ -440,14 +544,21 @@ Status QueryService::UpdateProgram(Program program) {
       next_generation_.fetch_add(1, std::memory_order_relaxed);
   auto bundle = std::make_shared<const Snapshot::Bundle>(
       std::move(program), generation, options_.eval);
-  auto current = snapshot_.load(std::memory_order_acquire);
+  std::shared_ptr<const Snapshot> current;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    current = snapshot_;
+  }
   auto next =
       std::make_shared<const Snapshot>(std::move(bundle), current->profile());
   const uint64_t spec_t0 = ObsNowNs();
   next->bundle().evaluator.PrepareSpecialized(next->profile());
   Journal::Global().Record(JournalEventKind::kRespecialize, generation, 0,
                            spec_t0, ObsNowNs() - spec_t0);
-  snapshot_.store(std::move(next), std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
   publish_seq_.fetch_add(1, std::memory_order_release);
   SvcCounters::Get().snapshot_swaps.Increment();
   Journal::Global().Record(JournalEventKind::kSnapshotSwap, generation,
@@ -459,9 +570,9 @@ uint64_t QueryService::snapshot_generation() const {
   return AcquireSnapshot()->generation();
 }
 
-void QueryService::AppendCacheKey(const Snapshot& snapshot,
-                                  const Query& query,
-                                  std::string& out) const {
+void QueryService::AppendCacheKeyPrefix(const Snapshot& snapshot,
+                                        const Query& query,
+                                        std::string& out) const {
   out.append(reinterpret_cast<const char*>(&snapshot.bundle().generation),
              sizeof(uint64_t));
   out += query.interface;
@@ -470,11 +581,18 @@ void QueryService::AppendCacheKey(const Snapshot& snapshot,
     arg.AppendFingerprint(out);
   }
   out.push_back('\x1f');
+}
+
+void QueryService::AppendCacheKey(const Snapshot& snapshot,
+                                  const Query& query,
+                                  std::string& out) const {
+  AppendCacheKeyPrefix(snapshot, query, out);
   if (query.profile.empty()) {
     out += snapshot.profile_fingerprint();
   } else {
     EcvProfile merged = snapshot.profile();
     merged.MergeFrom(query.profile);
+    SvcCounters::Get().profile_fingerprints.Increment();
     out += merged.Fingerprint();
   }
 }
@@ -509,26 +627,85 @@ Result<CertifiedDistribution> QueryService::CertifiedOn(
                                      options_.calibration, mode);
 }
 
+namespace {
+
+// Per-thread direct-mapped fold cache: a repeated exact query is answered
+// with one key build, one hash, and one string compare — no shard lock, no
+// refcount traffic. The answer path is gated on a non-zero shared-cache
+// capacity so a deliberately uncached service still pays (and counts) one
+// shard miss per lookup, but the slot always pins the most recently
+// returned entry (svc_id 0 marks a pin that must not answer later lookups).
+// Entries are immutable shared_ptrs and the key embeds the program
+// generation and effective-profile fingerprint, so a stale slot — even one
+// outliving a shard eviction or snapshot swap — can only ever answer with
+// the exact fold its key names.
+struct TlFoldSlot {
+  uint64_t svc_id = 0;
+  std::string key;
+  QueryService::SharedFold entry;
+};
+constexpr size_t kTlFoldSlots = 128;  // power of two; ~7 KiB per thread
+
+TlFoldSlot& TlFoldSlotFor(const std::string& key) {
+  thread_local std::array<TlFoldSlot, kTlFoldSlots> slots;
+  return slots[std::hash<std::string>{}(key) & (kTlFoldSlots - 1)];
+}
+
+}  // namespace
+
+QueryService::SharedFold QueryService::LookupFold(
+    const std::string& key) const {
+  TlFoldSlot& slot = TlFoldSlotFor(key);
+  const bool use_tl = cache_.capacity() > 0;
+  // Phase spans (cache lookup, eval, fold) are recorded only inside a
+  // query the QueryTimer already chose to sample, so the unsampled fast
+  // path pays one thread-local bool read here.
+  const bool sampled = ObsSampler::Active();
+  const uint64_t lookup_t0 = sampled ? ObsNowNs() : 0;
+  if (use_tl && slot.svc_id == svc_id_ && slot.key == key) {
+    SvcCounters::Get().cache_hits.Increment();
+    SvcCounters::Get().tl_fold_hits.Increment();
+    if (sampled) {
+      JournalPhase(JournalEventKind::kCacheLookup, /*a=*/1, lookup_t0);
+    }
+    return slot.entry;
+  }
+  if (use_tl) {
+    SvcCounters::Get().tl_fold_misses.Increment();
+  }
+  if (std::optional<SharedFold> hit = cache_.Get(key)) {
+    SvcCounters::Get().cache_hits.Increment();
+    slot.svc_id = svc_id_;
+    slot.key = key;
+    slot.entry = std::move(*hit);
+    if (sampled) {
+      JournalPhase(JournalEventKind::kCacheLookup, /*a=*/2, lookup_t0);
+    }
+    return slot.entry;
+  }
+  SvcCounters::Get().cache_misses.Increment();
+  if (sampled) {
+    JournalPhase(JournalEventKind::kCacheLookup, /*a=*/0, lookup_t0);
+  }
+  return nullptr;
+}
+
+void QueryService::StoreFold(const std::string& key, SharedFold entry) const {
+  if (cache_.Put(key, entry)) {
+    SvcCounters::Get().cache_evictions.Increment();
+    // Always-on: evictions are rare and explain hit-rate cliffs.
+    Journal::Global().Record(JournalEventKind::kShardEviction);
+  }
+  const bool use_tl = cache_.capacity() > 0;
+  TlFoldSlot& slot = TlFoldSlotFor(key);
+  slot.svc_id = use_tl ? svc_id_ : 0;
+  slot.key = use_tl ? key : std::string();
+  slot.entry = std::move(entry);
+}
+
 Result<const QueryService::ExactFold*> QueryService::FoldCached(
     const Snapshot& snapshot, const Query& query,
     const std::string* key_hint) const {
-  // Per-thread direct-mapped fold cache: a repeated exact query is
-  // answered with one key build, one hash, and one string compare — no
-  // shard lock, no refcount traffic. The answer path is gated on a
-  // non-zero shared-cache capacity so a deliberately uncached service
-  // still pays (and counts) one shard miss per lookup, but the slot
-  // always pins the returned entry (svc_id 0 marks a pin that must not
-  // answer later lookups). Entries are immutable shared_ptrs and the key
-  // embeds the program generation and effective-profile fingerprint, so a
-  // stale slot — even one outliving a shard eviction or snapshot swap —
-  // can only ever answer with the exact fold its key names.
-  struct Slot {
-    uint64_t svc_id = 0;
-    std::string key;
-    SharedFold entry;
-  };
-  constexpr size_t kTlSlots = 128;  // power of two; ~7 KiB per thread
-  thread_local std::array<Slot, kTlSlots> tl_slots;
   // Thread-local scratch: steady-state key builds allocate nothing.
   thread_local std::string scratch;
   const std::string* key = key_hint;
@@ -537,38 +714,12 @@ Result<const QueryService::ExactFold*> QueryService::FoldCached(
     AppendCacheKey(snapshot, query, scratch);
     key = &scratch;
   }
-  Slot& slot = tl_slots[std::hash<std::string>{}(*key) & (kTlSlots - 1)];
-  const bool use_tl = cache_.capacity() > 0;
-  // Phase spans (cache lookup, eval, fold) are recorded only inside a
-  // query the QueryTimer already chose to sample, so the unsampled fast
-  // path pays one thread-local bool read here.
+  if (SharedFold hit = LookupFold(*key)) {
+    // The thread-local slot LookupFold touched pins the entry past this
+    // local handle; callers consume the pointer immediately.
+    return hit.get();
+  }
   const bool sampled = ObsSampler::Active();
-  const uint64_t lookup_t0 = sampled ? ObsNowNs() : 0;
-  if (use_tl && slot.svc_id == svc_id_ && slot.key == *key) {
-    SvcCounters::Get().cache_hits.Increment();
-    SvcCounters::Get().tl_fold_hits.Increment();
-    if (sampled) {
-      JournalPhase(JournalEventKind::kCacheLookup, /*a=*/1, lookup_t0);
-    }
-    return slot.entry.get();
-  }
-  if (use_tl) {
-    SvcCounters::Get().tl_fold_misses.Increment();
-  }
-  if (std::optional<SharedFold> hit = cache_.Get(*key)) {
-    SvcCounters::Get().cache_hits.Increment();
-    slot.svc_id = svc_id_;
-    slot.key = *key;
-    slot.entry = std::move(*hit);
-    if (sampled) {
-      JournalPhase(JournalEventKind::kCacheLookup, /*a=*/2, lookup_t0);
-    }
-    return slot.entry.get();
-  }
-  SvcCounters::Get().cache_misses.Increment();
-  if (sampled) {
-    JournalPhase(JournalEventKind::kCacheLookup, /*a=*/0, lookup_t0);
-  }
   const uint64_t eval_t0 = sampled ? ObsNowNs() : 0;
   const Evaluator& evaluator = snapshot.bundle().evaluator;
   Result<SharedOutcomes> outcomes = [&]() -> Result<SharedOutcomes> {
@@ -606,15 +757,9 @@ Result<const QueryService::ExactFold*> QueryService::FoldCached(
   }
   auto entry = std::make_shared<const ExactFold>(
       ExactFold{std::move(dist), mean});
-  if (cache_.Put(*key, entry)) {
-    SvcCounters::Get().cache_evictions.Increment();
-    // Always-on: evictions are rare and explain hit-rate cliffs.
-    Journal::Global().Record(JournalEventKind::kShardEviction);
-  }
-  slot.svc_id = use_tl ? svc_id_ : 0;
-  slot.key = use_tl ? *key : std::string();
-  slot.entry = std::move(entry);
-  return slot.entry.get();
+  const ExactFold* raw = entry.get();
+  StoreFold(*key, std::move(entry));  // the thread-local slot pins `raw`
+  return raw;
 }
 
 Result<Energy> QueryService::ExpectedOn(const Snapshot& snapshot,
@@ -785,58 +930,523 @@ Result<QueryOutcome> QueryService::Dispatch(const Query& query) const {
   return DispatchOn(snapshot, query);
 }
 
+namespace {
+
+// --- EvaluateBatch dedup scratch --------------------------------------------
+//
+// The batch fast path must stay far below one Dispatch per item: N items
+// over K distinct queries pay K key builds and K cache lookups, not N.
+// Base-profile items dedup through an open-addressed table keyed by a raw
+// content hash (interface bytes + argument bits), so repeated items never
+// materialise a string cache key or touch a node-based map. The scratch is
+// thread-local and reused across batches — distinct records keep their key
+// strings' capacity, so the all-hit steady state allocates nothing.
+
+// Hash quality only costs probe time — every lookup is confirmed by a full
+// bit-level content compare — so the mixers favour speed: forced inline
+// (the per-item interface hash is the hot loop's largest line item when
+// outlined) and two accumulator lanes so consecutive 8-byte chunks multiply
+// in parallel instead of serialising on one chain.
+#if defined(__GNUC__)
+#define ECLARITY_BATCH_INLINE inline __attribute__((always_inline))
+#else
+#define ECLARITY_BATCH_INLINE inline
+#endif
+
+ECLARITY_BATCH_INLINE uint64_t BatchHashMix(uint64_t h, uint64_t v) {
+  h = (h ^ v) * 0x9E3779B97F4A7C15ull;
+  return h ^ (h >> 32);
+}
+
+ECLARITY_BATCH_INLINE uint64_t BatchHashBytes(uint64_t h, const char* data,
+                                              size_t n) {
+  // Tails read a final overlapping 8-byte word instead of a variable-length
+  // memcpy (which GCC lowers to a byte loop). Overlap double-mixes a few
+  // bytes; harmless, every probe is confirmed by a full compare.
+  uint64_t a = h ^ (n * 0x9E3779B97F4A7C15ull);
+  uint64_t b = 0x517CC1B727220A95ull;
+  if (n >= 8) {
+    const char* p = data;
+    size_t left = n;
+    while (left >= 16) {
+      uint64_t v0;
+      uint64_t v1;
+      std::memcpy(&v0, p, sizeof(v0));
+      std::memcpy(&v1, p + 8, sizeof(v1));
+      a = (a ^ v0) * 0x9E3779B97F4A7C15ull;
+      b = (b ^ v1) * 0xC2B2AE3D27D4EB4Full;
+      p += 16;
+      left -= 16;
+    }
+    if (left >= 8) {
+      uint64_t v;
+      std::memcpy(&v, p, sizeof(v));
+      a = (a ^ v) * 0x9E3779B97F4A7C15ull;
+      p += 8;
+      left -= 8;
+    }
+    if (left > 0) {
+      uint64_t v;
+      std::memcpy(&v, data + n - 8, sizeof(v));
+      b = (b ^ v) * 0xC2B2AE3D27D4EB4Full;
+    }
+  } else if (n >= 4) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, data, sizeof(lo));
+    std::memcpy(&hi, data + n - 4, sizeof(hi));
+    a = (a ^ (static_cast<uint64_t>(hi) << 32 | lo)) * 0x9E3779B97F4A7C15ull;
+  } else if (n > 0) {
+    uint64_t v = static_cast<unsigned char>(data[0]);
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[n / 2])) << 8;
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[n - 1])) << 16;
+    a = (a ^ v) * 0x9E3779B97F4A7C15ull;
+  }
+  uint64_t x = a ^ b;
+  x ^= x >> 32;
+  x *= 0x9E3779B97F4A7C15ull;
+  return x ^ (x >> 32);
+}
+
+ECLARITY_BATCH_INLINE uint64_t BatchHashValue(uint64_t h, const Value& v,
+                                              std::string& scratch) {
+  if (v.is_number()) {
+    uint64_t bits;
+    const double d = v.number();
+    std::memcpy(&bits, &d, sizeof(bits));
+    // One mix, kind-tagged by constant: number/bool collisions are possible
+    // in principle and harmless (the content compare rejects them).
+    return BatchHashMix(h, bits ^ 0x4E554Dull);
+  }
+  if (v.is_bool()) {
+    return BatchHashMix(h, v.boolean() ? 'T' : 'F');
+  }
+  scratch.clear();
+  v.AppendFingerprint(scratch);
+  return BatchHashBytes(h, scratch.data(), scratch.size());
+}
+
+// Bit-level equality, matching fingerprint keying exactly: distinct NaN or
+// ±0.0 bit patterns fingerprint differently, so they must not dedup.
+ECLARITY_BATCH_INLINE bool SameValueBits(const Value& a, const Value& b,
+                                         std::string& sa, std::string& sb) {
+  if (a.is_number()) {
+    if (!b.is_number()) {
+      return false;
+    }
+    uint64_t x;
+    uint64_t y;
+    const double da = a.number();
+    const double db = b.number();
+    std::memcpy(&x, &da, sizeof(x));
+    std::memcpy(&y, &db, sizeof(y));
+    return x == y;
+  }
+  if (a.is_bool()) {
+    return b.is_bool() && a.boolean() == b.boolean();
+  }
+  if (!b.is_energy()) {
+    return false;
+  }
+  sa.clear();
+  sb.clear();
+  a.AppendFingerprint(sa);
+  b.AppendFingerprint(sb);
+  return sa == sb;
+}
+
+bool SameQueryContent(const Query& a, const Query& b, std::string& sa,
+                      std::string& sb) {
+  if (a.interface != b.interface || a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!SameValueBits(a.args[i], b.args[i], sa, sb)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Cross-batch memo entry: a base-profile item repeated across batches is
+// answered straight from the pinned fold — no cache key build, no fold
+// cache lookup, no distinct record. An entry is valid only for the exact
+// (service, snapshot) pair that filled it; both ids are process-unique and
+// never reused, and the pinned fold is immutable, so a stale entry can
+// only miss, never answer wrongly. Like the single-dispatch TL slot, the
+// memo is gated on a non-zero fold-cache capacity — a deliberately
+// uncached service pays (and counts) every lookup.
+struct BatchMemoEntry {
+  uint64_t hash = 0;
+  uint64_t svc = 0;
+  uint64_t snap = 0;  // 0: empty
+  std::string interface;
+  std::vector<Value> args;
+  QueryService::SharedFold fold;
+};
+
+// Inline chunked byte compare: interface names are short (tens of bytes),
+// so the libc memcmp call overhead would dominate the compare itself.
+ECLARITY_BATCH_INLINE bool SameBytes(const char* a, const char* b, size_t n) {
+  if (n >= 8) {
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      uint64_t x;
+      uint64_t y;
+      std::memcpy(&x, a + i, sizeof(x));
+      std::memcpy(&y, b + i, sizeof(y));
+      if (x != y) {
+        return false;
+      }
+    }
+    if (i == n) {
+      return true;
+    }
+    // Overlapping final word — no variable-length (byte loop) memcpy.
+    uint64_t x;
+    uint64_t y;
+    std::memcpy(&x, a + n - 8, sizeof(x));
+    std::memcpy(&y, b + n - 8, sizeof(y));
+    return x == y;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ECLARITY_BATCH_INLINE bool MemoMatches(const BatchMemoEntry& m, const Query& q,
+                                       std::string& sa, std::string& sb) {
+  if (m.interface.size() != q.interface.size() ||
+      m.args.size() != q.args.size() ||
+      !SameBytes(m.interface.data(), q.interface.data(),
+                 q.interface.size())) {
+    return false;
+  }
+  for (size_t i = 0; i < m.args.size(); ++i) {
+    if (!SameValueBits(m.args[i], q.args[i], sa, sb)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FillMemo(BatchMemoEntry& m, uint64_t hash, uint64_t svc, uint64_t snap,
+              const Query& q, QueryService::SharedFold fold) {
+  m.hash = hash;
+  m.svc = svc;
+  m.snap = snap;
+  m.interface = q.interface;  // assignment keeps capacity across refills
+  m.args = q.args;
+  m.fold = std::move(fold);
+}
+
+// One lane per distinct cache key. Cache hits resolve in pass 1 through the
+// same LookupFold (and counters) as single dispatch; misses become lanes of
+// the grouped SoA passes. Fold copies are cheap: the distribution's atoms
+// are shared, not cloned.
+struct BatchDistinct {
+  std::string key;  // full fold-cache key, built once per distinct
+  const Query* query = nullptr;
+  const EcvProfile* profile = nullptr;  // effective (merged or base)
+  QueryService::SharedFold fold;
+  Status error;
+  bool resolved = false;
+  // Memo slot to fill once this distinct resolves (base-profile items
+  // only, and only when the fold cache is enabled).
+  BatchMemoEntry* memo_slot = nullptr;
+  uint64_t memo_hash = 0;
+};
+
+struct EffProfileEntry {
+  EcvProfile merged;
+  std::string fingerprint;
+};
+
+struct BatchScratch {
+  struct Slot {
+    uint32_t stamp = 0;
+    uint32_t idx = 0;
+  };
+  static constexpr size_t kMemoSlots = 512;  // direct-mapped, power of two
+  std::vector<BatchMemoEntry> memo;          // allocated on first use
+  std::vector<Slot> table;  // open-addressed; size is a power of two
+  uint32_t stamp = 0;
+  std::vector<BatchDistinct> distincts;  // [0, live) valid this batch
+  size_t live = 0;
+  std::vector<int32_t> item_distinct;  // -1: answered in pass 1
+  // Override-carrying items take the interned slow path: one base-profile
+  // merge + fingerprint per distinct override, string-keyed distinct dedup.
+  std::deque<EffProfileEntry> eff_profiles;
+  std::unordered_map<std::string, const EffProfileEntry*> override_index;
+  std::unordered_map<std::string, uint32_t> key_index;
+  std::string va;
+  std::string vb;
+
+  void Begin(size_t batch_size) {
+    live = 0;
+    item_distinct.assign(batch_size, -1);
+    size_t want = 16;
+    while (want < batch_size * 2) {
+      want <<= 1;
+    }
+    if (table.size() < want) {
+      table.assign(want, Slot{});
+      stamp = 0;
+    }
+    if (++stamp == 0) {  // stamp wrapped: stale slots could alias it
+      std::fill(table.begin(), table.end(), Slot{});
+      stamp = 1;
+    }
+    if (!override_index.empty()) {
+      eff_profiles.clear();
+      override_index.clear();
+    }
+    if (!key_index.empty()) {
+      key_index.clear();
+    }
+  }
+
+  BatchDistinct& Acquire(uint32_t& idx_out) {
+    if (live == distincts.size()) {
+      distincts.emplace_back();
+    }
+    BatchDistinct& d = distincts[live];
+    d.key.clear();  // keeps capacity across batches
+    d.query = nullptr;
+    d.profile = nullptr;
+    d.fold = nullptr;
+    d.error = Status();
+    d.resolved = false;
+    d.memo_slot = nullptr;
+    d.memo_hash = 0;
+    idx_out = static_cast<uint32_t>(live++);
+    return d;
+  }
+};
+
+}  // namespace
+
 std::vector<Result<QueryOutcome>> QueryService::EvaluateBatch(
     const std::vector<Query>& batch) const {
   SvcCounters::Get().batches.Increment();
   SvcCounters::Get().batch_queries.Increment(batch.size());
+  if (batch.empty()) {
+    return {};
+  }
+  // Work is credited batch-at-a-time: see BatchWorkTimer. Covers every
+  // return path, including the shared group passes below.
+  BatchWorkTimer batch_timer(options_.obs_sample_interval, batch.size());
   const Snapshot& snapshot = AcquireSnapshotRef();
+  // Fill-construct every slot with a default success outcome up front: one
+  // tight inlined loop instead of a per-item emplace_back call (which GCC
+  // outlines, growth path and all). Every slot is overwritten before
+  // return — hits in pass 1, distinct answers (or errors) in the fix-up
+  // pass.
+  std::vector<Result<QueryOutcome>> results(
+      batch.size(), Result<QueryOutcome>(std::in_place));
 
-  // Fingerprint exact queries once, and enumerate each distinct key once.
-  // The map holds positions so later duplicates reuse the first result.
-  // Fold copies are cheap: the distribution's atoms are shared, not cloned.
-  std::vector<Result<QueryOutcome>> results;
-  results.reserve(batch.size());
-  std::vector<std::string> keys(batch.size());
-  std::unordered_map<std::string, Result<ExactFold>> folded;
+  thread_local BatchScratch scratch;
+  BatchScratch& sc = scratch;
+  sc.Begin(batch.size());
+  const EcvProfile* base_profile = &snapshot.profile();
+  const std::string& base_fp = snapshot.profile_fingerprint();
+  const uint32_t mask = static_cast<uint32_t>(sc.table.size() - 1);
+  const bool memo_on = cache_.capacity() > 0;
+  const uint64_t snap_id = snapshot.unique_id();
+  if (memo_on && sc.memo.empty()) {
+    sc.memo.resize(BatchScratch::kMemoSlots);
+  }
+  bool any_miss = false;
+
   for (size_t i = 0; i < batch.size(); ++i) {
     const Query& query = batch[i];
     // Batch items sample through the same per-thread gate as single
     // queries, so a batch of N advances the countdown N times and its
-    // sampled items land in the same histograms and journal.
-    QueryTimer timer(options_.obs_sample_interval, query.kind);
+    // sampled items land in the same histograms and journal. (Group-pass
+    // enumeration below runs outside these per-item spans; the enclosing
+    // BatchWorkTimer owns work crediting — see DESIGN.md.)
+    QueryTimer timer(options_.obs_sample_interval, query.kind,
+                     /*credit_work=*/false);
     if ((query.kind != QueryKind::kExpected &&
          query.kind != QueryKind::kDistribution) ||
         EffectiveMode(query) != DistMode::kEnumerate) {
       // Certified queries dedup inside the snapshot evaluator's analytic
       // cache; the service's fold dedup below is kEnumerate-only.
-      results.push_back(DispatchOn(snapshot, query));
+      results[i] = DispatchOn(snapshot, query);
       continue;
     }
-    keys[i] = CacheKey(snapshot, query);
-    auto [it, fresh] = folded.try_emplace(
-        keys[i], InternalError("batch slot never filled"));
-    if (fresh) {
-      it->second = [&]() -> Result<ExactFold> {
-        ECLARITY_ASSIGN_OR_RETURN(const ExactFold* fold,
-                                  FoldCached(snapshot, query, &keys[i]));
-        return *fold;
-      }();
+
+    int32_t idx;
+    if (query.profile.empty()) {
+      uint64_t h = BatchHashBytes(0x9E3779B97F4A7C15ull,
+                                  query.interface.data(),
+                                  query.interface.size());
+      for (const Value& arg : query.args) {
+        h = BatchHashValue(h, arg, sc.va);
+      }
+      BatchMemoEntry* memo_slot = nullptr;
+      if (memo_on) {
+        BatchMemoEntry& m = sc.memo[h & (BatchScratch::kMemoSlots - 1)];
+        if (m.snap == snap_id && m.svc == svc_id_ && m.hash == h &&
+            MemoMatches(m, query, sc.va, sc.vb)) {
+          QueryOutcome& outcome = *results[i];
+          outcome.kind = query.kind;
+          outcome.joules = m.fold->mean;
+          if (query.kind == QueryKind::kDistribution) {
+            outcome.distribution = m.fold->distribution;
+          }
+          continue;
+        }
+        memo_slot = &m;
+      }
+      uint32_t pos = static_cast<uint32_t>(h) & mask;
+      for (;;) {
+        BatchScratch::Slot& slot = sc.table[pos];
+        if (slot.stamp != sc.stamp) {
+          uint32_t fresh_idx;
+          BatchDistinct& d = sc.Acquire(fresh_idx);
+          d.query = &query;
+          d.profile = base_profile;
+          d.memo_slot = memo_slot;
+          d.memo_hash = h;
+          AppendCacheKeyPrefix(snapshot, query, d.key);
+          d.key += base_fp;
+          if (SharedFold hit = LookupFold(d.key)) {
+            d.fold = std::move(hit);
+            d.resolved = true;
+            if (memo_slot != nullptr) {
+              FillMemo(*memo_slot, h, svc_id_, snap_id, query, d.fold);
+            }
+          }
+          slot.stamp = sc.stamp;
+          slot.idx = fresh_idx;
+          idx = static_cast<int32_t>(fresh_idx);
+          break;
+        }
+        // Only base-profile distincts enter the table, so a content match
+        // is a key match (same prefix, same base fingerprint).
+        BatchDistinct& d = sc.distincts[slot.idx];
+        if (SameQueryContent(*d.query, query, sc.va, sc.vb)) {
+          idx = static_cast<int32_t>(slot.idx);
+          break;
+        }
+        pos = (pos + 1) & mask;
+      }
+    } else {
+      // Effective profiles, hoisted: one base-profile merge + one
+      // fingerprint per *distinct* override in the batch, not per item.
+      auto [it, fresh] =
+          sc.override_index.try_emplace(query.profile.Fingerprint(), nullptr);
+      if (fresh) {
+        EffProfileEntry& eff = sc.eff_profiles.emplace_back();
+        eff.merged = snapshot.profile();
+        eff.merged.MergeFrom(query.profile);
+        SvcCounters::Get().profile_fingerprints.Increment();
+        eff.fingerprint = eff.merged.Fingerprint();
+        it->second = &eff;
+      }
+      const EffProfileEntry* eff = it->second;
+      thread_local std::string key_scratch;
+      key_scratch.clear();
+      AppendCacheKeyPrefix(snapshot, query, key_scratch);
+      key_scratch += eff->fingerprint;
+      auto [kit, knew] = sc.key_index.try_emplace(key_scratch, 0);
+      if (knew) {
+        uint32_t fresh_idx;
+        BatchDistinct& d = sc.Acquire(fresh_idx);
+        d.key = key_scratch;
+        d.query = &query;
+        d.profile = &eff->merged;
+        if (SharedFold hit = LookupFold(d.key)) {
+          d.fold = std::move(hit);
+          d.resolved = true;
+        }
+        kit->second = fresh_idx;
+      }
+      idx = static_cast<int32_t>(kit->second);
     }
-    // The cached fold went through the same canonical atom order as the
-    // single-query paths, so batch results are bit-identical to
-    // dispatching each query alone.
-    const Result<ExactFold>& fold = it->second;
-    if (!fold.ok()) {
-      results.push_back(fold.status());
+
+    const BatchDistinct& d = sc.distincts[static_cast<size_t>(idx)];
+    if (d.resolved) {
+      // In place: QueryOutcome is large enough that the construct-then-move
+      // idiom dominates the hit path.
+      QueryOutcome& outcome = *results[i];
+      outcome.kind = query.kind;
+      outcome.joules = d.fold->mean;
+      if (query.kind == QueryKind::kDistribution) {
+        outcome.distribution = d.fold->distribution;
+      }
+    } else {
+      sc.item_distinct[i] = idx;
+      any_miss = true;
+    }
+  }
+
+  if (!any_miss) {
+    return results;
+  }
+
+  // Pass 2: distinct cache misses, grouped by (interface, effective
+  // profile) — pointer identity suffices, every override was interned
+  // above — each group one SoA pass. The batch engine's answers (vector or
+  // per-lane scalar fallback) are bit-identical to FoldCached's
+  // enumerate+fold, so duplicates, cache hits, and single dispatch all
+  // agree bit-for-bit. Errors are never cached, exactly like FoldCached.
+  std::map<std::pair<std::string_view, const EcvProfile*>,
+           std::vector<BatchDistinct*>>
+      groups;
+  for (size_t di = 0; di < sc.live; ++di) {
+    BatchDistinct& d = sc.distincts[di];
+    if (!d.resolved) {
+      groups[{std::string_view(d.query->interface), d.profile}].push_back(&d);
+    }
+  }
+  for (auto& [group_key, lanes] : groups) {
+    BatchPlan plan(snapshot.bundle().evaluator, std::string(group_key.first));
+    std::vector<const std::vector<Value>*> lane_args;
+    lane_args.reserve(lanes.size());
+    for (const BatchDistinct* d : lanes) {
+      lane_args.push_back(&d->query->args);
+    }
+    std::vector<Result<BatchLaneFold>> folds =
+        plan.EnumerateFold(lane_args, *group_key.second, options_.calibration);
+    for (size_t l = 0; l < lanes.size(); ++l) {
+      BatchDistinct* d = lanes[l];
+      d->resolved = true;
+      if (!folds[l].ok()) {
+        d->error = folds[l].status();
+        continue;
+      }
+      auto entry = std::make_shared<const ExactFold>(
+          ExactFold{std::move(folds[l]->distribution), folds[l]->mean});
+      d->fold = entry;
+      StoreFold(d->key, std::move(entry));
+      if (d->memo_slot != nullptr) {
+        FillMemo(*d->memo_slot, d->memo_hash, svc_id_, snapshot.unique_id(),
+                 *d->query, d->fold);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int32_t idx = sc.item_distinct[i];
+    if (idx < 0) {
+      continue;  // answered in pass 1
+    }
+    const BatchDistinct& d = sc.distincts[static_cast<size_t>(idx)];
+    if (!d.error.ok()) {
+      results[i] = d.error;
       continue;
     }
-    QueryOutcome outcome;
-    outcome.kind = query.kind;
-    outcome.joules = fold->mean;
-    if (query.kind == QueryKind::kDistribution) {
-      outcome.distribution = fold->distribution;
+    QueryOutcome& outcome = *results[i];
+    outcome.kind = batch[i].kind;
+    outcome.joules = d.fold->mean;
+    if (batch[i].kind == QueryKind::kDistribution) {
+      outcome.distribution = d.fold->distribution;
     }
-    results.emplace_back(std::move(outcome));
   }
   return results;
 }

@@ -232,9 +232,20 @@ class QueryService {
   Result<const ExactFold*> FoldCached(const Snapshot& snapshot,
                                       const Query& query,
                                       const std::string* key_hint) const;
+  // Fold-cache primitives shared by FoldCached and the batch path. Both go
+  // through the same thread-local MRU slots and count exactly one cache hit
+  // or miss per LookupFold call; StoreFold publishes a freshly folded entry
+  // (shard insert + thread-local slot fill, counting evictions).
+  SharedFold LookupFold(const std::string& key) const;
+  void StoreFold(const std::string& key, SharedFold entry) const;
   std::string CacheKey(const Snapshot& snapshot, const Query& query) const;
   void AppendCacheKey(const Snapshot& snapshot, const Query& query,
                       std::string& out) const;
+  // The cache key minus the trailing effective-profile fingerprint. The
+  // batch path appends a fingerprint hoisted once per distinct override
+  // instead of re-merging and re-fingerprinting per item.
+  void AppendCacheKeyPrefix(const Snapshot& snapshot, const Query& query,
+                            std::string& out) const;
   // The query's dist_mode, falling back to the service-wide default.
   DistMode EffectiveMode(const Query& query) const;
   // Certified evaluation against `snapshot` under an analytic mode, through
@@ -252,10 +263,18 @@ class QueryService {
   // process-wide counter and never reused, so a service constructed at a
   // freed service's address cannot alias its stale thread-local state.
   const uint64_t svc_id_;
-  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  // Published snapshot, guarded by snapshot_mu_. A plain mutex instead of
+  // std::atomic<std::shared_ptr>: libstdc++'s lock-based _Sp_atomic unlocks
+  // the reader side with memory_order_relaxed, so a reader's pointer read
+  // and a writer's subsequent store have no happens-before edge — a data
+  // race under the C++ memory model (ThreadSanitizer reports it). Readers
+  // only take the mutex once per publication per thread: the hot path is
+  // the publish_seq_-validated thread-local slot below.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
   // Bumped after every snapshot publication. AcquireSnapshot's per-thread
   // cache revalidates against this with one relaxed-cost atomic load,
-  // skipping the heavier atomic shared_ptr load while no swap happened.
+  // skipping the mutex entirely while no swap happened.
   std::atomic<uint64_t> publish_seq_;
   std::atomic<uint64_t> next_generation_;
   mutable ShardedLruMap<std::string, SharedFold> cache_;

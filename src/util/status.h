@@ -91,6 +91,13 @@ class Result {
     assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
   }
 
+  // Constructs the success value in place — no intermediate T moves. Used on
+  // hot paths where T is large (e.g. batch answers built directly inside a
+  // pre-reserved results vector).
+  template <typename... Args>
+  explicit Result(std::in_place_t, Args&&... args)
+      : data_(std::in_place_index<0>, std::forward<Args>(args)...) {}
+
   bool ok() const { return std::holds_alternative<T>(data_); }
 
   const Status& status() const {

@@ -446,6 +446,126 @@ TEST(QueryServiceConcurrencyTest, BatchBitIdenticalToSinglesAndDeduped) {
   EXPECT_EQ(service->TotalCacheStats().misses, 1u);
 }
 
+// The batch request log: a pure function of (thread, round, lane), so the
+// concurrent run and the single-threaded replay see identical batches.
+std::vector<Query> BatchLogAt(size_t thread, size_t round) {
+  std::vector<Query> batch;
+  batch.reserve(16);
+  for (size_t lane = 0; lane < 16; ++lane) {
+    const size_t global = (thread * 97 + round) * 16 + lane;
+    Query query;
+    query.interface = "E_ml_webservice_handle";
+    query.args = {Value::Number(50176.0 + static_cast<double>(global % 6) * 64.0),
+                  Value::Number(10000.0)};
+    query.kind =
+        global % 5 == 0 ? QueryKind::kDistribution : QueryKind::kExpected;
+    batch.push_back(std::move(query));
+  }
+  return batch;
+}
+
+TEST(QueryServiceConcurrencyTest, BatchDispatchBitIdenticalToReplay) {
+  // 8 threads each push rounds of 16-lane batches through the SoA batch
+  // path; every fingerprint must match a single-threaded replay of the
+  // identical batch log on a fresh service.
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 24;
+  auto service = MustCreate(kFig1Source);
+
+  std::vector<std::vector<std::string>> fingerprints(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &fingerprints, t] {
+      std::vector<std::string>& out = fingerprints[t];
+      out.reserve(kRounds * 16);
+      for (size_t r = 0; r < kRounds; ++r) {
+        const auto results = service->EvaluateBatch(BatchLogAt(t, r));
+        for (const auto& result : results) {
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+          out.push_back(result->Fingerprint());
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  auto replay = MustCreate(kFig1Source);
+  for (size_t t = 0; t < kThreads; ++t) {
+    size_t cursor = 0;
+    for (size_t r = 0; r < kRounds; ++r) {
+      const auto results = replay->EvaluateBatch(BatchLogAt(t, r));
+      for (const auto& result : results) {
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(result->Fingerprint(), fingerprints[t][cursor])
+            << "thread " << t << " round " << r;
+        ++cursor;
+      }
+    }
+  }
+}
+
+TEST(QueryServiceConcurrencyTest, BatchDispatchIsSnapshotAtomicUnderSwaps) {
+  // EvaluateBatch pins ONE snapshot for the whole batch, so while a writer
+  // flips the profile every answer in a batch must come from the same
+  // world: the per-lane fingerprints are uniformly the base world's or
+  // uniformly the hot world's, never a mix.
+  EcvProfile hot;
+  hot.SetBernoulli("request_hit", 0.9);
+  const std::vector<Query> batch = BatchLogAt(0, 0);
+
+  // Oracle fingerprints for both legal worlds, from fresh services.
+  std::vector<std::string> world_a;
+  std::vector<std::string> world_b;
+  {
+    auto base_service = MustCreate(kFig1Source);
+    auto hot_service = MustCreate(kFig1Source, {}, hot);
+    for (const Query& query : batch) {
+      auto a = base_service->Dispatch(query);
+      auto b = hot_service->Dispatch(query);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_NE(a->Fingerprint(), b->Fingerprint());
+      world_a.push_back(a->Fingerprint());
+      world_b.push_back(b->Fingerprint());
+    }
+  }
+
+  auto service = MustCreate(kFig1Source);
+  std::atomic<bool> stop{false};
+  std::thread writer([&service, &hot, &stop] {
+    EcvProfile base;  // empty profile: the seed world
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      service->UpdateProfile(i % 2 == 0 ? hot : base);
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&service, &batch, &world_a, &world_b] {
+      for (int round = 0; round < 50; ++round) {
+        const auto results = service->EvaluateBatch(batch);
+        ASSERT_EQ(results.size(), batch.size());
+        ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+        const std::vector<std::string>* want =
+            results[0]->Fingerprint() == world_a[0] ? &world_a : &world_b;
+        for (size_t i = 0; i < results.size(); ++i) {
+          ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+          EXPECT_EQ(results[i]->Fingerprint(), (*want)[i])
+              << "round " << round << " lane " << i << ": mixed snapshots";
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
 TEST(QueryServiceConcurrencyTest, ErrorsPropagateAndAreNeverCached) {
   auto service = MustCreate(kFig1Source);
   Query query;
